@@ -1,0 +1,65 @@
+//! Criterion bench: cost of the paper's exhaustive trigger search
+//! (14 support subsets per LUT4) and of the whole EE transformation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pl_boolfn::TruthTable;
+use pl_core::ee::EeOptions;
+use pl_core::trigger::search_triggers;
+use pl_core::PlNetlist;
+use pl_techmap::{map_to_lut4, MapOptions};
+
+fn random_masters(count: usize) -> Vec<TruthTable> {
+    let mut x: u64 = 0x5EED_CAFE;
+    (0..count)
+        .map(|_| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            TruthTable::from_bits(4, x & 0xFFFF)
+        })
+        .collect()
+}
+
+fn bench_trigger_search(c: &mut Criterion) {
+    let masters = random_masters(256);
+    let arrivals = [1u32, 2, 3, 4];
+    c.bench_function("trigger_search_256_lut4_masters", |b| {
+        b.iter(|| {
+            let mut found = 0usize;
+            for m in &masters {
+                found += search_triggers(std::hint::black_box(m), &arrivals).len();
+            }
+            std::hint::black_box(found)
+        })
+    });
+}
+
+fn bench_ee_transform(c: &mut Criterion) {
+    let bench = pl_itc99::by_id("b05").expect("b05 exists");
+    let gates = (bench.build)().elaborate().expect("b05 elaborates");
+    let mapped = map_to_lut4(&gates, &MapOptions::default()).expect("b05 maps");
+    let pl = PlNetlist::from_sync(&mapped).expect("b05 maps to PL");
+    c.bench_function("ee_transform_b05", |b| {
+        b.iter_batched(
+            || pl.clone(),
+            |netlist| {
+                let report = netlist.with_early_evaluation(&EeOptions::default());
+                std::hint::black_box(report.pairs().len())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_pl_mapping(c: &mut Criterion) {
+    let bench = pl_itc99::by_id("b12").expect("b12 exists");
+    let gates = (bench.build)().elaborate().expect("b12 elaborates");
+    let mapped = map_to_lut4(&gates, &MapOptions::default()).expect("b12 maps");
+    c.bench_function("sync_to_pl_mapping_b12", |b| {
+        b.iter(|| {
+            let pl = PlNetlist::from_sync(std::hint::black_box(&mapped)).expect("maps");
+            std::hint::black_box(pl.num_logic_gates())
+        })
+    });
+}
+
+criterion_group!(benches, bench_trigger_search, bench_ee_transform, bench_pl_mapping);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion bench: discrete-event simulator throughput with and without
+//! early evaluation (the cost of regenerating one Table 3 cell).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pl_core::ee::EeOptions;
+use pl_core::PlNetlist;
+use pl_sim::{measure_latency, DelayModel};
+use pl_techmap::{map_to_lut4, MapOptions};
+
+fn prepared(id: &str) -> (PlNetlist, PlNetlist) {
+    let bench = pl_itc99::by_id(id).expect("benchmark exists");
+    let gates = (bench.build)().elaborate().expect("elaborates");
+    let mapped = map_to_lut4(&gates, &MapOptions::default()).expect("maps");
+    let plain = PlNetlist::from_sync(&mapped).expect("PL maps");
+    let ee = PlNetlist::from_sync(&mapped)
+        .expect("PL maps")
+        .with_early_evaluation(&EeOptions::default())
+        .into_netlist();
+    (plain, ee)
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    for id in ["b01", "b04", "b09"] {
+        let (plain, ee) = prepared(id);
+        let delays = DelayModel::default();
+        c.bench_function(&format!("simulate_{id}_plain_20vec"), |b| {
+            b.iter(|| {
+                let (out, stats) =
+                    measure_latency(&plain, &delays, 20, 7).expect("simulates");
+                std::hint::black_box((out.len(), stats.mean()))
+            })
+        });
+        c.bench_function(&format!("simulate_{id}_ee_20vec"), |b| {
+            b.iter(|| {
+                let (out, stats) = measure_latency(&ee, &delays, 20, 7).expect("simulates");
+                std::hint::black_box((out.len(), stats.mean()))
+            })
+        });
+    }
+}
+
+criterion_group!(benches, bench_simulation);
+criterion_main!(benches);

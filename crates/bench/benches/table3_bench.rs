@@ -1,0 +1,26 @@
+//! Criterion bench: full Table 3 rows (RTL → LUT4 → PL → EE → simulate)
+//! for representative small/medium benchmarks. The `table3` binary runs
+//! the whole suite with the paper's 100 vectors; here fewer vectors keep
+//! Criterion's sample counts practical.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pl_bench::{run_flow, FlowOptions};
+
+fn bench_rows(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_row");
+    group.sample_size(10);
+    for id in ["b01", "b02", "b06", "b09"] {
+        let bench = pl_itc99::by_id(id).expect("benchmark exists");
+        let opts = FlowOptions { vectors: 25, verify: false, ..FlowOptions::default() };
+        group.bench_function(id, |b| {
+            b.iter(|| {
+                let row = run_flow(&bench, &opts).expect("flow succeeds");
+                std::hint::black_box((row.pl_gates, row.delay_decrease_pct()))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rows);
+criterion_main!(benches);

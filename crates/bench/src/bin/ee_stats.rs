@@ -1,0 +1,81 @@
+//! Per-benchmark anatomy of the early-evaluation pairs: coverage and
+//! support-size distributions, arrival-gap histogram, and the Equation-1
+//! cost spread — the data behind the paper's observation that arithmetic
+//! circuits benefit most.
+//!
+//! ```text
+//! ee_stats [bXX ...]     (defaults to the whole suite)
+//! ```
+
+use pl_core::ee::EeOptions;
+use pl_core::PlNetlist;
+use pl_techmap::{map_to_lut4, MapOptions};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let ids: Vec<String> = if args.is_empty() {
+        pl_itc99::catalog().iter().map(|b| b.id.to_string()).collect()
+    } else {
+        args
+    };
+    println!(
+        "{:<5} {:>6} {:>6} | {:>22} | {:>17} | {:>14} | {:>10}",
+        "bench", "gates", "pairs", "support size 1/2/3", "coverage lo/md/hi", "gap min/avg/max", "cost med"
+    );
+    println!("{}", "-".repeat(98));
+    for id in ids {
+        let Some(bench) = pl_itc99::by_id(&id) else {
+            eprintln!("unknown benchmark {id}");
+            std::process::exit(2);
+        };
+        let gates = (bench.build)().elaborate().expect("elaborates");
+        let mapped = map_to_lut4(&gates, &MapOptions::default()).expect("maps");
+        let pl = PlNetlist::from_sync(&mapped).expect("PL maps");
+        let logic = pl.num_logic_gates();
+        let report = pl.with_early_evaluation(&EeOptions::default());
+
+        let mut by_size = [0usize; 4];
+        let mut coverages: Vec<f64> = Vec::new();
+        let mut gaps: Vec<u32> = Vec::new();
+        let mut costs: Vec<f64> = Vec::new();
+        for p in report.pairs() {
+            by_size[p.candidate.support.count_ones() as usize] += 1;
+            coverages.push(p.candidate.coverage);
+            gaps.push(p.candidate.m_max - p.candidate.t_max);
+            costs.push(p.cost());
+        }
+        coverages.sort_by(f64::total_cmp);
+        costs.sort_by(f64::total_cmp);
+        let med = |v: &[f64]| if v.is_empty() { 0.0 } else { v[v.len() / 2] };
+        let gap_stats = if gaps.is_empty() {
+            (0, 0.0, 0)
+        } else {
+            (
+                *gaps.iter().min().expect("non-empty"),
+                f64::from(gaps.iter().sum::<u32>()) / gaps.len() as f64,
+                *gaps.iter().max().expect("non-empty"),
+            )
+        };
+        println!(
+            "{:<5} {:>6} {:>6} | {:>7}/{:>6}/{:>6} | {:>5.2}/{:>5.2}/{:>5.2} | {:>4}/{:>4.1}/{:>4} | {:>10.2}",
+            bench.id,
+            logic,
+            report.pairs().len(),
+            by_size[1],
+            by_size[2],
+            by_size[3],
+            coverages.first().copied().unwrap_or(0.0),
+            med(&coverages),
+            coverages.last().copied().unwrap_or(0.0),
+            gap_stats.0,
+            gap_stats.1,
+            gap_stats.2,
+            med(&costs),
+        );
+    }
+    println!(
+        "\nsupport size: how many of the LUT4's pins the trigger watches;\n\
+         gap = Mmax − Tmax (arrival-level slack the trigger can exploit);\n\
+         cost = Equation 1 (%coverage × Mmax/Tmax), median over pairs."
+    );
+}

@@ -1,0 +1,94 @@
+//! Cost-threshold sweep: the paper's §4 area/delay trade-off
+//! ("thresholding the cost function allows for a tradeoff in area versus
+//! delay of a PL circuit").
+//!
+//! ```text
+//! sweep [--bench bXX] [--vectors N] [--seed S]
+//! ```
+//!
+//! Prints one CSV-ish row per threshold: threshold, EE pairs, % area
+//! increase, average delay, % delay decrease.
+
+use pl_bench::{run_flow, FlowOptions};
+use pl_core::ee::EeOptions;
+
+const THRESHOLDS: [f64; 8] = [0.0, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0];
+
+fn main() {
+    let mut bench_id = String::from("b07");
+    let mut vectors = 100usize;
+    let mut seed = 0xDA7E_2002u64;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--bench" => {
+                bench_id = args.get(i + 1).unwrap_or_else(|| usage("--bench needs an id")).clone();
+                i += 2;
+            }
+            "--vectors" => {
+                vectors = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--vectors needs a number"));
+                i += 2;
+            }
+            "--seed" => {
+                seed = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--seed needs a number"));
+                i += 2;
+            }
+            other => usage(&format!("unknown argument {other}")),
+        }
+    }
+
+    let Some(bench) = pl_itc99::by_id(&bench_id) else {
+        usage(&format!("unknown benchmark {bench_id}"));
+    };
+    println!("# threshold sweep for {} — {}", bench.id, bench.description);
+    println!("{:>9} {:>9} {:>8} {:>12} {:>8}", "threshold", "ee_pairs", "%area", "avg_delay_ns", "%delay");
+
+    // Baseline delay comes from the threshold=∞ run (no EE at all).
+    let mut base_delay = None;
+    for &t in std::iter::once(&f64::INFINITY).chain(THRESHOLDS.iter()) {
+        let opts = FlowOptions {
+            vectors,
+            seed,
+            ee: EeOptions { cost_threshold: t, ..EeOptions::default() },
+            verify: false,
+            ..FlowOptions::default()
+        };
+        match run_flow(&bench, &opts) {
+            Ok(r) => {
+                let base = *base_delay.get_or_insert(r.delay_ee);
+                if t.is_infinite() {
+                    println!(
+                        "{:>9} {:>9} {:>7.0}% {:>12.1} {:>7.1}%",
+                        "inf", r.ee_gates, r.area_increase_pct(), r.delay_ee, 0.0
+                    );
+                } else {
+                    let decrease = 100.0 * (base - r.delay_ee) / base;
+                    println!(
+                        "{t:>9.2} {:>9} {:>7.0}% {:>12.1} {decrease:>7.1}%",
+                        r.ee_gates,
+                        r.area_increase_pct(),
+                        r.delay_ee,
+                    );
+                }
+            }
+            Err(e) => {
+                eprintln!("threshold {t}: FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: sweep [--bench bXX] [--vectors N] [--seed S]");
+    std::process::exit(2);
+}

@@ -1,0 +1,91 @@
+//! Regenerates the paper's Table 3: EE vs non-EE statistics for b01–b15.
+//!
+//! ```text
+//! table3 [--vectors N] [--seed S] [--threshold T] [--only bXX[,bYY..]]
+//! ```
+
+use pl_bench::{format_table3, run_flow, FlowOptions};
+use pl_core::ee::EeOptions;
+
+fn main() {
+    let mut opts = FlowOptions::default();
+    let mut only: Option<Vec<String>> = None;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--vectors" => {
+                opts.vectors = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--vectors needs a number"));
+                i += 2;
+            }
+            "--seed" => {
+                opts.seed = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--seed needs a number"));
+                i += 2;
+            }
+            "--threshold" => {
+                let t: f64 = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--threshold needs a number"));
+                opts.ee = EeOptions { cost_threshold: t, ..EeOptions::default() };
+                i += 2;
+            }
+            "--only" => {
+                only = Some(
+                    args.get(i + 1)
+                        .unwrap_or_else(|| usage("--only needs ids"))
+                        .split(',')
+                        .map(str::to_string)
+                        .collect(),
+                );
+                i += 2;
+            }
+            "--no-verify" => {
+                opts.verify = false;
+                i += 1;
+            }
+            other => usage(&format!("unknown argument {other}")),
+        }
+    }
+
+    println!(
+        "Table 3 — Experimental Results Comparing the Use of EE in PL Synthesis"
+    );
+    println!(
+        "({} random vectors per circuit, seed {:#x}, cost threshold {})\n",
+        opts.vectors, opts.seed, opts.ee.cost_threshold
+    );
+
+    let mut rows = Vec::new();
+    for bench in pl_itc99::catalog() {
+        if let Some(ids) = &only {
+            if !ids.iter().any(|id| id == bench.id) {
+                continue;
+            }
+        }
+        eprintln!("running {} — {} ...", bench.id, bench.description);
+        match run_flow(&bench, &opts) {
+            Ok(row) => rows.push(row),
+            Err(e) => {
+                eprintln!("  FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    println!("{}", format_table3(&rows));
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: table3 [--vectors N] [--seed S] [--threshold T] [--only bXX,bYY] [--no-verify]"
+    );
+    std::process::exit(2);
+}

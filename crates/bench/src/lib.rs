@@ -1,0 +1,298 @@
+//! Benchmark harness regenerating the DATE 2002 paper's exhibits.
+//!
+//! [`run_flow`] drives the full reproduction pipeline for one ITC99
+//! benchmark — RTL elaboration, LUT4 technology mapping, phased-logic
+//! mapping, early-evaluation post-processing, and discrete-event latency
+//! measurement with random vectors — and returns one row of the paper's
+//! Table 3. [`table3`] runs the whole suite; [`format_table3`] prints it in
+//! the paper's column layout. The `table3`, `sweep` and `table1_2` binaries
+//! expose these from the command line, and the Criterion benches measure
+//! the flow's own runtime costs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use pl_core::ee::EeOptions;
+use pl_core::PlNetlist;
+use pl_itc99::Benchmark;
+use pl_sim::{measure_latency, DelayModel, SimError};
+use pl_techmap::{map_with_report, MapOptions};
+
+/// One row of the paper's Table 3.
+#[derive(Debug, Clone)]
+pub struct FlowResult {
+    /// Benchmark id (`"b01"` …).
+    pub id: &'static str,
+    /// Table 3's circuit description.
+    pub description: &'static str,
+    /// PL gates without EE (LUTs + registers after mapping).
+    pub pl_gates: usize,
+    /// EE master/trigger pairs added ("EE Gates").
+    pub ee_gates: usize,
+    /// Average stable-input→stable-output delay without EE (ns).
+    pub delay_no_ee: f64,
+    /// Average delay with EE (ns).
+    pub delay_ee: f64,
+    /// Vectors simulated per variant.
+    pub vectors: usize,
+}
+
+impl FlowResult {
+    /// Delay difference (positive = EE is faster), ns.
+    #[must_use]
+    pub fn delay_diff(&self) -> f64 {
+        self.delay_no_ee - self.delay_ee
+    }
+
+    /// Percent area increase: EE gates over PL gates.
+    #[must_use]
+    pub fn area_increase_pct(&self) -> f64 {
+        if self.pl_gates == 0 {
+            0.0
+        } else {
+            100.0 * self.ee_gates as f64 / self.pl_gates as f64
+        }
+    }
+
+    /// Percent delay decrease (negative = slowdown).
+    #[must_use]
+    pub fn delay_decrease_pct(&self) -> f64 {
+        if self.delay_no_ee == 0.0 {
+            0.0
+        } else {
+            100.0 * self.delay_diff() / self.delay_no_ee
+        }
+    }
+}
+
+/// Parameters of a Table 3 style run.
+#[derive(Debug, Clone)]
+pub struct FlowOptions {
+    /// Random input vectors per variant (the paper used 100).
+    pub vectors: usize,
+    /// RNG seed for vector generation.
+    pub seed: u64,
+    /// Early-evaluation selection policy.
+    pub ee: EeOptions,
+    /// Component delays.
+    pub delays: DelayModel,
+    /// Cross-check PL outputs against the synchronous reference.
+    pub verify: bool,
+}
+
+impl Default for FlowOptions {
+    fn default() -> Self {
+        Self {
+            vectors: 100,
+            seed: 0xDA7E_2002,
+            ee: EeOptions::default(),
+            delays: DelayModel::default(),
+            verify: true,
+        }
+    }
+}
+
+/// Errors from the benchmark flow.
+#[derive(Debug)]
+pub enum FlowError {
+    /// RTL elaboration failed.
+    Rtl(pl_rtl::RtlError),
+    /// Technology mapping or netlist handling failed.
+    Netlist(pl_netlist::NetlistError),
+    /// Phased-logic mapping failed.
+    Pl(pl_core::PlError),
+    /// Simulation failed.
+    Sim(SimError),
+    /// PL and synchronous outputs diverged (must never happen).
+    Mismatch {
+        /// Which benchmark and variant diverged.
+        context: String,
+    },
+}
+
+impl std::fmt::Display for FlowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlowError::Rtl(e) => write!(f, "rtl: {e}"),
+            FlowError::Netlist(e) => write!(f, "netlist: {e}"),
+            FlowError::Pl(e) => write!(f, "phased logic: {e}"),
+            FlowError::Sim(e) => write!(f, "simulation: {e}"),
+            FlowError::Mismatch { context } => write!(f, "output mismatch in {context}"),
+        }
+    }
+}
+
+impl std::error::Error for FlowError {}
+
+impl From<pl_rtl::RtlError> for FlowError {
+    fn from(e: pl_rtl::RtlError) -> Self {
+        FlowError::Rtl(e)
+    }
+}
+impl From<pl_netlist::NetlistError> for FlowError {
+    fn from(e: pl_netlist::NetlistError) -> Self {
+        FlowError::Netlist(e)
+    }
+}
+impl From<pl_core::PlError> for FlowError {
+    fn from(e: pl_core::PlError) -> Self {
+        FlowError::Pl(e)
+    }
+}
+impl From<SimError> for FlowError {
+    fn from(e: SimError) -> Self {
+        FlowError::Sim(e)
+    }
+}
+
+/// Runs the full reproduction flow for one benchmark.
+///
+/// # Errors
+///
+/// Propagates failures from any pipeline stage; `Mismatch` if the PL
+/// netlists ever disagree with the synchronous reference.
+pub fn run_flow(bench: &Benchmark, opts: &FlowOptions) -> Result<FlowResult, FlowError> {
+    let module = (bench.build)();
+    let gates = module.elaborate()?;
+    let mapped = map_with_report(&gates, &MapOptions::default())?.netlist;
+
+    let plain = PlNetlist::from_sync(&mapped)?;
+    let pl_gates = plain.num_logic_gates();
+    let report = PlNetlist::from_sync(&mapped)?.with_early_evaluation(&opts.ee);
+    let ee_gates = report.pairs().len();
+    let ee_netlist = report.into_netlist();
+
+    let (out_plain, stats_plain) =
+        measure_latency(&plain, &opts.delays, opts.vectors, opts.seed)?;
+    let (out_ee, stats_ee) =
+        measure_latency(&ee_netlist, &opts.delays, opts.vectors, opts.seed)?;
+    if out_plain != out_ee {
+        return Err(FlowError::Mismatch { context: format!("{} (EE vs plain)", bench.id) });
+    }
+    if opts.verify {
+        let mut sync = pl_sim::SyncSimulator::new(&mapped).map_err(FlowError::Netlist)?;
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(opts.seed);
+        for (i, pl_out) in out_plain.iter().enumerate() {
+            let v: Vec<bool> =
+                (0..mapped.inputs().len()).map(|_| rng.gen()).collect();
+            let sync_out = sync.step(&v).map_err(FlowError::Netlist)?;
+            if &sync_out != pl_out {
+                return Err(FlowError::Mismatch {
+                    context: format!("{} vector {i} (sync vs PL)", bench.id),
+                });
+            }
+        }
+    }
+
+    Ok(FlowResult {
+        id: bench.id,
+        description: bench.description,
+        pl_gates,
+        ee_gates,
+        delay_no_ee: stats_plain.mean(),
+        delay_ee: stats_ee.mean(),
+        vectors: opts.vectors,
+    })
+}
+
+/// Runs the whole suite (b01–b15) — the paper's Table 3.
+///
+/// # Errors
+///
+/// Stops at the first failing benchmark.
+pub fn table3(opts: &FlowOptions) -> Result<Vec<FlowResult>, FlowError> {
+    pl_itc99::catalog().iter().map(|b| run_flow(b, opts)).collect()
+}
+
+/// Formats results in the paper's Table 3 column layout.
+#[must_use]
+pub fn format_table3(rows: &[FlowResult]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    writeln!(
+        s,
+        "{:<36} {:>8} {:>8} {:>10} {:>10} {:>10} {:>7} {:>7}",
+        "Description", "PL Gates", "EE Gates", "Avg (ns)", "Avg EE", "Diff", "%Area", "%Delay"
+    )
+    .expect("string write");
+    writeln!(s, "{}", "-".repeat(103)).expect("string write");
+    for r in rows {
+        writeln!(
+            s,
+            "{:<36} {:>8} {:>8} {:>10.1} {:>10.1} {:>10.1} {:>6.0}% {:>6.0}%",
+            r.description,
+            r.pl_gates,
+            r.ee_gates,
+            r.delay_no_ee,
+            r.delay_ee,
+            r.delay_diff(),
+            r.area_increase_pct(),
+            r.delay_decrease_pct(),
+        )
+        .expect("string write");
+    }
+    if !rows.is_empty() {
+        let avg_delay: f64 =
+            rows.iter().map(FlowResult::delay_decrease_pct).sum::<f64>() / rows.len() as f64;
+        let avg_area: f64 =
+            rows.iter().map(FlowResult::area_increase_pct).sum::<f64>() / rows.len() as f64;
+        writeln!(s, "{}", "-".repeat(103)).expect("string write");
+        writeln!(
+            s,
+            "{:<36} {:>66.0}% {:>6.0}%",
+            "Average", avg_area, avg_delay
+        )
+        .expect("string write");
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flow_runs_small_benchmark_end_to_end() {
+        let bench = pl_itc99::by_id("b02").unwrap();
+        let opts = FlowOptions { vectors: 20, ..FlowOptions::default() };
+        let r = run_flow(&bench, &opts).unwrap();
+        assert!(r.pl_gates > 0);
+        assert!(r.delay_no_ee > 0.0);
+        assert_eq!(r.vectors, 20);
+    }
+
+    #[test]
+    fn formatting_contains_all_rows() {
+        let rows = vec![FlowResult {
+            id: "b01",
+            description: "FSM that compares serial flows",
+            pl_gates: 25,
+            ee_gates: 9,
+            delay_no_ee: 49.0,
+            delay_ee: 43.0,
+            vectors: 100,
+        }];
+        let s = format_table3(&rows);
+        assert!(s.contains("FSM that compares serial flows"));
+        assert!(s.contains("36%")); // 9/25
+        assert!(s.contains("12%")); // 6/49
+    }
+
+    #[test]
+    fn percentages_match_paper_arithmetic() {
+        // The paper's own b01 row: 25 gates, 9 EE, 49 -> 43 ns.
+        let r = FlowResult {
+            id: "b01",
+            description: "",
+            pl_gates: 25,
+            ee_gates: 9,
+            delay_no_ee: 49.0,
+            delay_ee: 43.0,
+            vectors: 100,
+        };
+        assert!((r.area_increase_pct() - 36.0).abs() < 0.01);
+        assert!((r.delay_decrease_pct() - 12.24).abs() < 0.1);
+        assert!((r.delay_diff() - 6.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,574 @@
+//! Positional-cube-notation product terms and sum-of-products covers.
+//!
+//! The paper derives candidate trigger functions "by processing the cube list
+//! representation of the `f_ON` and `f_OFF` functions for the master
+//! function" (§3, Table 2). [`Cube`] and [`CubeList`] implement that
+//! representation; `pl-core` uses them for the cube-based trigger derivation
+//! that is cross-checked against the exact truth-table method.
+
+use std::fmt;
+
+use crate::error::BoolFnError;
+use crate::truth::{TruthTable, VarSet, MAX_VARS};
+
+/// Maximum cube width in variables.
+pub const MAX_CUBE_VARS: usize = 16;
+
+/// Polarity of one variable inside a [`Cube`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Polarity {
+    /// The variable appears as a positive literal (`x`).
+    Positive,
+    /// The variable appears as a negative literal (`x'`).
+    Negative,
+    /// The variable does not appear (`-`).
+    DontCare,
+}
+
+/// A product term over `width` variables in positional cube notation.
+///
+/// Internally two bit masks record which variables must be 1 (`pos`) and
+/// which must be 0 (`neg`). A variable in neither mask is a don't-care.
+///
+/// # Example
+///
+/// ```
+/// use pl_boolfn::{Cube, Polarity};
+///
+/// // the cube a'b' over 3 variables, written "00-" in the paper
+/// let c = Cube::universal(3)
+///     .with_literal(0, Polarity::Negative)
+///     .with_literal(1, Polarity::Negative);
+/// assert!(c.covers(0b000));
+/// assert!(c.covers(0b100)); // c is don't-care
+/// assert!(!c.covers(0b001));
+/// assert_eq!(c.covered_count(), 2);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Cube {
+    pos: u16,
+    neg: u16,
+    width: u8,
+}
+
+impl Cube {
+    /// The universal cube (all don't-cares) of `width` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > MAX_CUBE_VARS`.
+    #[must_use]
+    pub fn universal(width: usize) -> Self {
+        assert!(width <= MAX_CUBE_VARS, "cube width limited to {MAX_CUBE_VARS}");
+        Self { pos: 0, neg: 0, width: width as u8 }
+    }
+
+    /// The cube matching the single minterm `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > MAX_CUBE_VARS` or `m >= 2^width`.
+    #[must_use]
+    pub fn minterm(width: usize, m: u32) -> Self {
+        assert!(width <= MAX_CUBE_VARS);
+        assert!(m < (1u32 << width), "minterm out of range");
+        let full = ((1u32 << width) - 1) as u16;
+        Self {
+            pos: m as u16,
+            neg: full & !(m as u16),
+            width: width as u8,
+        }
+    }
+
+    /// Builds a cube from a paper-style string such as `"1-0"`.
+    ///
+    /// The **leftmost** character is variable 0, matching how the paper
+    /// writes `abc` cubes like `00-`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the string is longer than [`MAX_CUBE_VARS`] or
+    /// contains characters other than `0`, `1`, `-`.
+    pub fn parse(s: &str) -> Result<Self, BoolFnError> {
+        if s.len() > MAX_CUBE_VARS {
+            return Err(BoolFnError::LiteralOutOfRange { var: s.len(), width: MAX_CUBE_VARS });
+        }
+        let mut c = Cube::universal(s.len());
+        for (i, ch) in s.chars().enumerate() {
+            c = match ch {
+                '1' => c.with_literal(i, Polarity::Positive),
+                '0' => c.with_literal(i, Polarity::Negative),
+                '-' => c,
+                _ => return Err(BoolFnError::LiteralOutOfRange { var: i, width: s.len() }),
+            };
+        }
+        Ok(c)
+    }
+
+    /// Cube width in variables.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        usize::from(self.width)
+    }
+
+    /// Returns a copy with the literal of `var` set to `polarity`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= width`.
+    #[must_use]
+    pub fn with_literal(mut self, var: usize, polarity: Polarity) -> Self {
+        assert!(var < self.width(), "literal {var} out of range");
+        let bit = 1u16 << var;
+        self.pos &= !bit;
+        self.neg &= !bit;
+        match polarity {
+            Polarity::Positive => self.pos |= bit,
+            Polarity::Negative => self.neg |= bit,
+            Polarity::DontCare => {}
+        }
+        self
+    }
+
+    /// The polarity of `var` in this cube.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= width`.
+    #[must_use]
+    pub fn literal(&self, var: usize) -> Polarity {
+        assert!(var < self.width());
+        let bit = 1u16 << var;
+        if self.pos & bit != 0 {
+            Polarity::Positive
+        } else if self.neg & bit != 0 {
+            Polarity::Negative
+        } else {
+            Polarity::DontCare
+        }
+    }
+
+    /// Number of literals (non-don't-care positions).
+    #[must_use]
+    pub fn num_literals(&self) -> u32 {
+        (self.pos | self.neg).count_ones()
+    }
+
+    /// The set of variables bound by this cube, as a bit mask.
+    #[must_use]
+    pub fn bound_vars(&self) -> u16 {
+        self.pos | self.neg
+    }
+
+    /// Whether every bound variable of the cube lies in `vars`.
+    ///
+    /// This is the test the paper's Table 2 applies: a master cube whose
+    /// support is contained in the candidate trigger subset contributes to
+    /// the trigger function.
+    #[must_use]
+    pub fn support_within(&self, vars: VarSet) -> bool {
+        self.bound_vars() & !u16::from(vars) == 0
+    }
+
+    /// Whether the cube covers minterm `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m >= 2^width`.
+    #[must_use]
+    pub fn covers(&self, m: u32) -> bool {
+        assert!(m < (1u32 << self.width()), "minterm out of range");
+        let m = m as u16;
+        (m & self.pos) == self.pos && (m & self.neg) == 0
+    }
+
+    /// Number of minterms the cube covers: `2^(width − literals)`.
+    #[must_use]
+    pub fn covered_count(&self) -> u64 {
+        1u64 << (self.width() as u32 - self.num_literals())
+    }
+
+    /// Whether `self` covers every minterm of `other`.
+    #[must_use]
+    pub fn contains(&self, other: &Cube) -> bool {
+        self.width == other.width
+            && (self.pos & other.pos) == self.pos
+            && (self.neg & other.neg) == self.neg
+    }
+
+    /// Intersection of two cubes, or `None` if they conflict.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    #[must_use]
+    pub fn intersect(&self, other: &Cube) -> Option<Cube> {
+        assert_eq!(self.width, other.width, "cube width mismatch");
+        let pos = self.pos | other.pos;
+        let neg = self.neg | other.neg;
+        if pos & neg != 0 {
+            None
+        } else {
+            Some(Cube { pos, neg, width: self.width })
+        }
+    }
+
+    /// Converts the cube into a truth table over `width` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > MAX_VARS` (truth tables are narrower than cubes).
+    #[must_use]
+    pub fn to_truth_table(&self) -> TruthTable {
+        assert!(self.width() <= MAX_VARS, "cube too wide for a truth table");
+        TruthTable::from_fn(self.width(), |m| self.covers(m))
+    }
+}
+
+impl fmt::Debug for Cube {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Cube({self})")
+    }
+}
+
+impl fmt::Display for Cube {
+    /// Formats in the paper's style: variable 0 leftmost, `0`/`1`/`-`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for v in 0..self.width() {
+            let ch = match self.literal(v) {
+                Polarity::Positive => '1',
+                Polarity::Negative => '0',
+                Polarity::DontCare => '-',
+            };
+            write!(f, "{ch}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A sum-of-products cover: a list of same-width [`Cube`]s.
+///
+/// # Example
+///
+/// ```
+/// use pl_boolfn::CubeList;
+///
+/// // the paper's trigger ON-set f_trig = {00-, 11-}  (= a'b' + ab)
+/// let trig = CubeList::parse(&["00-", "11-"]).unwrap();
+/// assert_eq!(trig.count_covered(), 4);
+/// assert!(trig.covers(0b000));
+/// assert!(!trig.covers(0b001)); // a=1,b=0,c=0 (var0 leftmost)
+/// ```
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct CubeList {
+    cubes: Vec<Cube>,
+    width: u8,
+}
+
+impl CubeList {
+    /// Creates an empty cover of `width` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > MAX_CUBE_VARS`.
+    #[must_use]
+    pub fn new(width: usize) -> Self {
+        assert!(width <= MAX_CUBE_VARS);
+        Self { cubes: Vec::new(), width: width as u8 }
+    }
+
+    /// Parses a list of paper-style cube strings (all the same width).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for malformed cubes; panics if widths are mixed.
+    pub fn parse(strings: &[&str]) -> Result<Self, BoolFnError> {
+        let mut cubes = Vec::with_capacity(strings.len());
+        for s in strings {
+            cubes.push(Cube::parse(s)?);
+        }
+        let width = cubes.first().map_or(0, Cube::width);
+        let mut list = CubeList::new(width);
+        for c in cubes {
+            list.push(c);
+        }
+        Ok(list)
+    }
+
+    /// Builds the minterm-per-cube cover of a truth table's ON-set.
+    #[must_use]
+    pub fn from_on_set(t: &TruthTable) -> Self {
+        let mut list = CubeList::new(t.num_vars());
+        for m in t.on_minterms() {
+            list.push(Cube::minterm(t.num_vars(), m));
+        }
+        list
+    }
+
+    /// Cover width in variables.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        usize::from(self.width)
+    }
+
+    /// Number of cubes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cubes.len()
+    }
+
+    /// Whether the cover has no cubes (the constant-0 function).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cubes.is_empty()
+    }
+
+    /// Appends a cube.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cube width differs from the cover width.
+    pub fn push(&mut self, cube: Cube) {
+        assert_eq!(cube.width(), self.width(), "cube width mismatch");
+        self.cubes.push(cube);
+    }
+
+    /// Iterates over the cubes.
+    pub fn iter(&self) -> std::slice::Iter<'_, Cube> {
+        self.cubes.iter()
+    }
+
+    /// Whether any cube covers minterm `m`.
+    #[must_use]
+    pub fn covers(&self, m: u32) -> bool {
+        self.cubes.iter().any(|c| c.covers(m))
+    }
+
+    /// Exact number of minterms covered by the union of all cubes.
+    ///
+    /// Overlapping cubes are counted once (inclusion–exclusion via bitmap for
+    /// covers that fit a truth table, otherwise by minterm enumeration).
+    #[must_use]
+    pub fn count_covered(&self) -> u64 {
+        if self.width() <= MAX_VARS {
+            u64::from(self.to_truth_table().count_ones())
+        } else {
+            (0..(1u32 << self.width())).filter(|&m| self.covers(m)).count() as u64
+        }
+    }
+
+    /// Converts the cover to a truth table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the width exceeds [`MAX_VARS`].
+    #[must_use]
+    pub fn to_truth_table(&self) -> TruthTable {
+        assert!(self.width() <= MAX_VARS, "cover too wide for a truth table");
+        let mut t = TruthTable::zero(self.width());
+        for c in &self.cubes {
+            t = t | c.to_truth_table();
+        }
+        t
+    }
+
+    /// Removes cubes contained in another cube of the cover (single-cube
+    /// containment / absorption).
+    pub fn absorb(&mut self) {
+        let mut kept: Vec<Cube> = Vec::with_capacity(self.cubes.len());
+        // Wider cubes (fewer literals) first so they absorb narrower ones.
+        let mut sorted = self.cubes.clone();
+        sorted.sort_by_key(Cube::num_literals);
+        for c in sorted {
+            if !kept.iter().any(|k| k.contains(&c)) {
+                kept.push(c);
+            }
+        }
+        self.cubes = kept;
+    }
+
+    /// The sub-cover of cubes whose bound variables all lie in `vars`.
+    ///
+    /// This is the filtering step of the paper's Table 2.
+    #[must_use]
+    pub fn restricted_to_support(&self, vars: VarSet) -> CubeList {
+        let mut list = CubeList::new(self.width());
+        for c in &self.cubes {
+            if c.support_within(vars) {
+                list.push(*c);
+            }
+        }
+        list
+    }
+}
+
+impl fmt::Debug for CubeList {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CubeList[")?;
+        for (i, c) in self.cubes.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Display for CubeList {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.cubes.is_empty() {
+            return write!(f, "∅");
+        }
+        for (i, c) in self.cubes.iter().enumerate() {
+            if i > 0 {
+                write!(f, " + ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+impl IntoIterator for CubeList {
+    type Item = Cube;
+    type IntoIter = std::vec::IntoIter<Cube>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.cubes.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a CubeList {
+    type Item = &'a Cube;
+    type IntoIter = std::slice::Iter<'a, Cube>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.cubes.iter()
+    }
+}
+
+impl Extend<Cube> for CubeList {
+    fn extend<T: IntoIterator<Item = Cube>>(&mut self, iter: T) {
+        for c in iter {
+            self.push(c);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        for s in ["00-", "11-", "1-1", "-11", "010", "100", "---"] {
+            assert_eq!(Cube::parse(s).unwrap().to_string(), s);
+        }
+        assert!(Cube::parse("0x1").is_err());
+    }
+
+    #[test]
+    fn minterm_cube_covers_exactly_one() {
+        for m in 0..8 {
+            let c = Cube::minterm(3, m);
+            assert_eq!(c.covered_count(), 1);
+            for x in 0..8 {
+                assert_eq!(c.covers(x), x == m);
+            }
+        }
+    }
+
+    #[test]
+    fn universal_covers_everything() {
+        let c = Cube::universal(4);
+        assert_eq!(c.covered_count(), 16);
+        assert_eq!(c.num_literals(), 0);
+        assert!((0..16).all(|m| c.covers(m)));
+    }
+
+    #[test]
+    fn intersect_detects_conflicts() {
+        let a = Cube::parse("1--").unwrap();
+        let b = Cube::parse("0--").unwrap();
+        assert_eq!(a.intersect(&b), None);
+        let c = Cube::parse("-1-").unwrap();
+        assert_eq!(a.intersect(&c).unwrap().to_string(), "11-");
+    }
+
+    #[test]
+    fn containment() {
+        let wide = Cube::parse("1--").unwrap();
+        let narrow = Cube::parse("101").unwrap();
+        assert!(wide.contains(&narrow));
+        assert!(!narrow.contains(&wide));
+        assert!(wide.contains(&wide));
+    }
+
+    #[test]
+    fn support_within_matches_paper_table2() {
+        // Cubes from paper Table 2 (master = carry-out), subset {a,b}:
+        let on = CubeList::parse(&["11-", "1-1", "-11"]).unwrap();
+        let off = CubeList::parse(&["00-", "010", "100"]).unwrap();
+        let s_ab: VarSet = 0b011;
+        let on_in: Vec<String> =
+            on.restricted_to_support(s_ab).iter().map(Cube::to_string).collect();
+        let off_in: Vec<String> =
+            off.restricted_to_support(s_ab).iter().map(Cube::to_string).collect();
+        assert_eq!(on_in, vec!["11-"]);
+        assert_eq!(off_in, vec!["00-"]);
+        // Each contributes 2 covered minterms -> total coverage 4 of 8 = 50%.
+        let total = on.restricted_to_support(s_ab).count_covered()
+            + off.restricted_to_support(s_ab).count_covered();
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn count_covered_handles_overlap() {
+        let mut list = CubeList::new(3);
+        list.push(Cube::parse("1--").unwrap());
+        list.push(Cube::parse("-1-").unwrap());
+        // |x0| + |x1| - |x0&x1| = 4 + 4 - 2
+        assert_eq!(list.count_covered(), 6);
+    }
+
+    #[test]
+    fn absorb_removes_contained_cubes() {
+        let mut list = CubeList::parse(&["1--", "101", "-1-", "011"]).unwrap();
+        list.absorb();
+        let s: Vec<String> = list.iter().map(Cube::to_string).collect();
+        assert_eq!(s, vec!["1--", "-1-"]);
+    }
+
+    #[test]
+    fn cube_list_truth_table_matches_covers() {
+        let list = CubeList::parse(&["11-", "1-1", "-11"]).unwrap();
+        let t = list.to_truth_table();
+        for m in 0..8 {
+            assert_eq!(t.eval(m), list.covers(m));
+        }
+        // carry-out of a full adder: 4 ON minterms
+        assert_eq!(t.count_ones(), 4);
+    }
+
+    #[test]
+    fn from_on_set_roundtrip() {
+        let maj3 = TruthTable::from_fn(3, |m| m.count_ones() >= 2);
+        let list = CubeList::from_on_set(&maj3);
+        assert_eq!(list.len(), 4);
+        assert_eq!(list.to_truth_table(), maj3);
+    }
+
+    #[test]
+    fn display_of_cover() {
+        let list = CubeList::parse(&["00-", "11-"]).unwrap();
+        assert_eq!(list.to_string(), "00- + 11-");
+        assert_eq!(CubeList::new(3).to_string(), "∅");
+    }
+
+    #[test]
+    fn extend_collects_cubes() {
+        let mut list = CubeList::new(3);
+        list.extend([Cube::parse("1--").unwrap(), Cube::parse("0--").unwrap()]);
+        assert_eq!(list.len(), 2);
+        assert_eq!(list.count_covered(), 8);
+    }
+}

@@ -1,0 +1,59 @@
+//! Error type for fallible constructors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by fallible `pl-boolfn` constructors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BoolFnError {
+    /// A truth table of more than [`crate::MAX_VARS`] variables was requested.
+    TooManyVars {
+        /// The requested variable count.
+        requested: usize,
+        /// The supported maximum.
+        max: usize,
+    },
+    /// A cube literal index was out of range for the cube width.
+    LiteralOutOfRange {
+        /// The offending variable index.
+        var: usize,
+        /// The cube width.
+        width: usize,
+    },
+}
+
+impl fmt::Display for BoolFnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BoolFnError::TooManyVars { requested, max } => {
+                write!(f, "requested {requested} variables but at most {max} are supported")
+            }
+            BoolFnError::LiteralOutOfRange { var, width } => {
+                write!(f, "literal index {var} out of range for cube width {width}")
+            }
+        }
+    }
+}
+
+impl Error for BoolFnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_nonempty() {
+        let e = BoolFnError::TooManyVars { requested: 9, max: 6 };
+        let s = e.to_string();
+        assert!(s.starts_with("requested"));
+        let e = BoolFnError::LiteralOutOfRange { var: 20, width: 16 };
+        assert!(e.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<BoolFnError>();
+    }
+}

@@ -1,0 +1,205 @@
+//! Irredundant sum-of-products extraction (Minato–Morreale).
+//!
+//! Converts truth tables into compact [`CubeList`] covers. The early
+//! evaluation algorithm uses these covers as the paper's `f_ON`/`f_OFF` cube
+//! lists (Table 2); the technology mapper uses them to report literal counts.
+
+use crate::cube::{Cube, CubeList, Polarity};
+use crate::truth::TruthTable;
+
+/// Computes an irredundant sum-of-products cover `g` with
+/// `lower ⊆ g ⊆ upper`, using the Minato–Morreale ISOP recursion.
+///
+/// `lower` is the ON-set that must be covered; `upper` is the ON-set plus
+/// don't-cares that may be covered. For a completely specified function pass
+/// the same table twice.
+///
+/// The returned cover is *irredundant*: removing any cube uncovers some
+/// minterm of `lower`.
+///
+/// # Panics
+///
+/// Panics if the tables have different variable counts or `lower ⊄ upper`.
+///
+/// # Example
+///
+/// ```
+/// use pl_boolfn::{isop, TruthTable};
+///
+/// let maj3 = TruthTable::from_fn(3, |m| m.count_ones() >= 2);
+/// let cover = isop(&maj3, &maj3);
+/// assert_eq!(cover.to_truth_table(), maj3);
+/// assert_eq!(cover.len(), 3); // ab + ac + bc
+/// ```
+#[must_use]
+pub fn isop(lower: &TruthTable, upper: &TruthTable) -> CubeList {
+    assert_eq!(lower.num_vars(), upper.num_vars(), "isop arity mismatch");
+    assert!(
+        (*lower & !*upper).is_zero(),
+        "isop requires lower ⊆ upper"
+    );
+    let (cover, realized) = isop_rec(*lower, *upper, lower.num_vars());
+    debug_assert!((*lower & !realized).is_zero(), "isop lost ON minterms");
+    debug_assert!((realized & !*upper).is_zero(), "isop covered OFF minterms");
+    cover
+}
+
+/// Recursive Minato–Morreale step. Returns the cover and the function it
+/// realizes (needed by the caller to compute the residual lower bound).
+fn isop_rec(lower: TruthTable, upper: TruthTable, width: usize) -> (CubeList, TruthTable) {
+    let nv = lower.num_vars();
+    if lower.is_zero() {
+        return (CubeList::new(width), TruthTable::zero(nv));
+    }
+    if upper.is_ones() {
+        let mut list = CubeList::new(width);
+        list.push(Cube::universal(width));
+        return (list, TruthTable::ones(nv));
+    }
+    // Split on the highest variable either bound depends on.
+    let var = (0..nv)
+        .rev()
+        .find(|&v| lower.depends_on(v) || upper.depends_on(v))
+        .expect("non-constant bounds must have support");
+
+    let l0 = lower.cofactor0(var);
+    let l1 = lower.cofactor1(var);
+    let u0 = upper.cofactor0(var);
+    let u1 = upper.cofactor1(var);
+
+    // Minterms that can only be covered with literal x' (resp. x).
+    let (c0, g0) = isop_rec(l0 & !u1, u0, width);
+    let (c1, g1) = isop_rec(l1 & !u0, u1, width);
+    // Residual minterms, coverable without a literal on `var`.
+    let l_rest = (l0 & !g0) | (l1 & !g1);
+    let (cd, gd) = isop_rec(l_rest, u0 & u1, width);
+
+    let mut cover = CubeList::new(width);
+    for c in &c0 {
+        cover.push(c.with_literal(var, Polarity::Negative));
+    }
+    for c in &c1 {
+        cover.push(c.with_literal(var, Polarity::Positive));
+    }
+    cover.extend(cd);
+
+    let x = TruthTable::var(nv, var);
+    let realized = (!x & g0) | (x & g1) | gd;
+    (cover, realized)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exact(t: &TruthTable) -> CubeList {
+        isop(t, t)
+    }
+
+    #[test]
+    fn constants() {
+        let zero = TruthTable::zero(3);
+        let one = TruthTable::ones(3);
+        assert!(exact(&zero).is_empty());
+        let c1 = exact(&one);
+        assert_eq!(c1.len(), 1);
+        assert_eq!(c1.iter().next().unwrap().num_literals(), 0);
+    }
+
+    #[test]
+    fn majority_gives_three_cubes() {
+        let maj3 = TruthTable::from_fn(3, |m| m.count_ones() >= 2);
+        let cover = exact(&maj3);
+        assert_eq!(cover.to_truth_table(), maj3);
+        assert_eq!(cover.len(), 3);
+        assert!(cover.iter().all(|c| c.num_literals() == 2));
+    }
+
+    #[test]
+    fn xor_needs_all_minterms() {
+        let xor3 = TruthTable::from_fn(3, |m| m.count_ones() % 2 == 1);
+        let cover = exact(&xor3);
+        assert_eq!(cover.to_truth_table(), xor3);
+        assert_eq!(cover.len(), 4);
+        assert!(cover.iter().all(|c| c.num_literals() == 3));
+    }
+
+    #[test]
+    fn carry_out_matches_paper_shape() {
+        // carry = c(a+b)+ab has the classic 2-literal cover {11-, 1-1, -11}
+        let carry = TruthTable::from_fn(3, |m| {
+            let (a, b, c) = (m & 1 != 0, m & 2 != 0, m & 4 != 0);
+            (c && (a || b)) || (a && b)
+        });
+        let cover = exact(&carry);
+        assert_eq!(cover.to_truth_table(), carry);
+        assert_eq!(cover.len(), 3);
+        assert!(cover.iter().all(|c| c.num_literals() == 2));
+    }
+
+    #[test]
+    fn exhaustive_3var_functions_are_exact() {
+        for bits in 0u64..256 {
+            let t = TruthTable::from_bits(3, bits);
+            let cover = exact(&t);
+            assert_eq!(cover.to_truth_table(), t, "bits={bits:#x}");
+        }
+    }
+
+    #[test]
+    fn exhaustive_3var_irredundant() {
+        // Removing any cube must uncover part of the ON-set.
+        for bits in (0u64..256).step_by(7) {
+            let t = TruthTable::from_bits(3, bits);
+            let cover = exact(&t);
+            for skip in 0..cover.len() {
+                let mut partial = TruthTable::zero(3);
+                for (i, c) in cover.iter().enumerate() {
+                    if i != skip {
+                        partial = partial | c.to_truth_table();
+                    }
+                }
+                assert_ne!(partial, t, "cube {skip} redundant for bits={bits:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn dont_cares_shrink_cover() {
+        // ON = {111}, DC = everything else: a single universal cube suffices.
+        let on = TruthTable::from_bits(3, 0b1000_0000);
+        let upper = TruthTable::ones(3);
+        let cover = isop(&on, &upper);
+        assert_eq!(cover.len(), 1);
+        assert_eq!(cover.iter().next().unwrap().num_literals(), 0);
+    }
+
+    #[test]
+    fn dont_cares_respected() {
+        // ON = x0&x1, OFF = x0&!x1, rest DC (over 2 vars):
+        // upper = ON | DC = !x0 | x1
+        let on = TruthTable::var(2, 0) & TruthTable::var(2, 1);
+        let upper = !TruthTable::var(2, 0) | TruthTable::var(2, 1);
+        let cover = isop(&on, &upper);
+        let g = cover.to_truth_table();
+        assert!((on & !g).is_zero(), "must cover ON");
+        assert!((g & !upper).is_zero(), "must avoid OFF");
+    }
+
+    #[test]
+    #[should_panic(expected = "lower ⊆ upper")]
+    fn rejects_inconsistent_bounds() {
+        let _ = isop(&TruthTable::ones(2), &TruthTable::zero(2));
+    }
+
+    #[test]
+    fn four_var_random_sample_exact() {
+        // Deterministic pseudo-random sample of 4-var functions.
+        let mut x: u64 = 0x9E37_79B9_7F4A_7C15;
+        for _ in 0..200 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let t = TruthTable::from_bits(4, x & 0xFFFF);
+            assert_eq!(exact(&t).to_truth_table(), t);
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Boolean function kernel for the phased-logic early-evaluation flow.
+//!
+//! This crate provides the function-manipulation substrate used by the
+//! reproduction of *"Generalized Early Evaluation in Self-Timed Circuits"*
+//! (Thornton, Fazel, Reese, Traver — DATE 2002):
+//!
+//! * [`TruthTable`] — complete single-output Boolean functions of up to
+//!   [`MAX_VARS`] variables, stored as a bit mask. The paper's LUT4 cells are
+//!   the 4-variable case.
+//! * [`Cube`] / [`CubeList`] — positional-cube-notation product terms and
+//!   sum-of-products covers, the representation the paper's Table 2 uses to
+//!   derive candidate trigger functions.
+//! * [`isop`] — irredundant sum-of-products extraction (Minato–Morreale),
+//!   used to obtain compact cube lists from truth tables.
+//! * [`support_subsets`] — enumeration of the candidate trigger support sets
+//!   (all proper subsets of ≤ 3 of a LUT4's inputs — the "14 possible support
+//!   sets" of the paper, §3).
+//!
+//! # Example
+//!
+//! Derive the paper's Table 1 trigger situation for a full-adder carry-out:
+//!
+//! ```
+//! use pl_boolfn::TruthTable;
+//!
+//! // carry-out = c(a + b) + ab with variable order (a=var0, b=var1, c=var2)
+//! let carry = TruthTable::from_fn(3, |m| {
+//!     let (a, b, c) = (m & 1 != 0, m & 2 != 0, m & 4 != 0);
+//!     (c && (a || b)) || (a && b)
+//! });
+//! // On the subset {a, b} the function is forced exactly when a == b:
+//! let forced: Vec<_> = (0..4)
+//!     .filter(|&ab| carry.forced_value(0b011, ab).is_some())
+//!     .collect();
+//! assert_eq!(forced, vec![0b00, 0b11]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cube;
+mod error;
+mod isop;
+mod support;
+mod truth;
+
+pub use cube::{Cube, CubeList, Polarity, MAX_CUBE_VARS};
+pub use error::BoolFnError;
+pub use isop::isop;
+pub use support::{support_subsets, SupportSubsets};
+pub use truth::{TruthTable, VarSet, MAX_VARS};

@@ -1,0 +1,119 @@
+//! Enumeration of candidate trigger support subsets.
+//!
+//! The paper (§3) searches "over all 14 possible support sets of 3 or fewer
+//! variables" of a LUT4 master function. [`support_subsets`] generalizes
+//! this: it yields every non-empty subset of the given variable set with at
+//! most `max_size` members, in order of increasing size (then ascending mask).
+
+use crate::truth::VarSet;
+
+/// Iterator over non-empty subsets of a variable set, smallest first.
+///
+/// Produced by [`support_subsets`].
+#[derive(Debug, Clone)]
+pub struct SupportSubsets {
+    vars: Vec<u8>,
+    max_size: u32,
+    /// Current selector over `vars` (bit i selects vars[i]).
+    selector: u32,
+    limit: u32,
+}
+
+impl Iterator for SupportSubsets {
+    type Item = VarSet;
+
+    fn next(&mut self) -> Option<VarSet> {
+        loop {
+            self.selector += 1;
+            if self.selector >= self.limit {
+                return None;
+            }
+            let k = self.selector.count_ones();
+            if k == 0 || k > self.max_size {
+                continue;
+            }
+            let mut set: VarSet = 0;
+            for (i, &v) in self.vars.iter().enumerate() {
+                if self.selector & (1 << i) != 0 {
+                    set |= 1 << v;
+                }
+            }
+            return Some(set);
+        }
+    }
+}
+
+/// Enumerates the non-empty subsets of `vars` with at most `max_size`
+/// variables (ascending popcount-agnostic mask order).
+///
+/// For a full LUT4 (`vars = 0b1111`, `max_size = 3`) this yields exactly the
+/// paper's 14 candidate support sets: 4 singletons + 6 pairs + 4 triples.
+///
+/// # Example
+///
+/// ```
+/// use pl_boolfn::support_subsets;
+///
+/// let all: Vec<_> = support_subsets(0b1111, 3).collect();
+/// assert_eq!(all.len(), 14);
+/// assert!(all.contains(&0b0011)); // the {a, b} subset of Table 1
+/// assert!(!all.contains(&0b1111)); // the full set is not a proper subset
+/// ```
+#[must_use]
+pub fn support_subsets(vars: VarSet, max_size: u32) -> SupportSubsets {
+    let vs: Vec<u8> = (0..8).filter(|&v| vars & (1 << v) != 0).collect();
+    let limit = 1u32 << vs.len();
+    SupportSubsets { vars: vs, max_size, selector: 0, limit }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lut4_has_fourteen_subsets() {
+        let subs: Vec<_> = support_subsets(0b1111, 3).collect();
+        assert_eq!(subs.len(), 14);
+        // 4 singletons, 6 pairs, 4 triples
+        assert_eq!(subs.iter().filter(|s| s.count_ones() == 1).count(), 4);
+        assert_eq!(subs.iter().filter(|s| s.count_ones() == 2).count(), 6);
+        assert_eq!(subs.iter().filter(|s| s.count_ones() == 3).count(), 4);
+        // no duplicates
+        let mut dedup = subs.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), subs.len());
+    }
+
+    #[test]
+    fn subsets_are_within_parent() {
+        for s in support_subsets(0b1011, 2) {
+            assert_eq!(s & !0b1011, 0, "subset escapes parent set");
+            assert!(s.count_ones() <= 2);
+            assert_ne!(s, 0);
+        }
+    }
+
+    #[test]
+    fn three_var_support_gives_six() {
+        // paper's example: 3-input master -> subsets of {a},{b},{c},{a,b},{a,c},{b,c}
+        let subs: Vec<_> = support_subsets(0b0111, 2).collect();
+        assert_eq!(subs.len(), 6);
+    }
+
+    #[test]
+    fn empty_parent_yields_nothing() {
+        assert_eq!(support_subsets(0, 3).count(), 0);
+    }
+
+    #[test]
+    fn max_size_zero_yields_nothing() {
+        assert_eq!(support_subsets(0b1111, 0).count(), 0);
+    }
+
+    #[test]
+    fn singleton_parent() {
+        let subs: Vec<_> = support_subsets(0b0100, 3).collect();
+        assert_eq!(subs, vec![0b0100]);
+    }
+}

@@ -1,0 +1,650 @@
+//! Complete truth tables of up to [`MAX_VARS`] variables.
+
+use std::fmt;
+use std::ops::{BitAnd, BitOr, BitXor, Not};
+
+use crate::error::BoolFnError;
+
+/// Maximum number of variables a [`TruthTable`] can hold.
+///
+/// Six variables fit in a single `u64` word; the phased-logic flow itself
+/// only needs four (LUT4 cells), but the technology mapper evaluates cones of
+/// up to six inputs while searching for mappings.
+pub const MAX_VARS: usize = 6;
+
+/// A set of variable indices packed into a bit mask (bit `i` ⇔ variable `i`).
+///
+/// Used for support sets and for selecting trigger-function subsets.
+pub type VarSet = u8;
+
+/// Bit patterns of the elementary variables `x0..x5` over 64 minterms.
+const VAR_PATTERN: [u64; MAX_VARS] = [
+    0xAAAA_AAAA_AAAA_AAAA,
+    0xCCCC_CCCC_CCCC_CCCC,
+    0xF0F0_F0F0_F0F0_F0F0,
+    0xFF00_FF00_FF00_FF00,
+    0xFFFF_0000_FFFF_0000,
+    0xFFFF_FFFF_0000_0000,
+];
+
+/// A complete single-output Boolean function of `n ≤ 6` variables.
+///
+/// Minterm `m` (an `n`-bit integer whose bit `i` is the value of variable
+/// `i`) is in the ON-set iff bit `m` of the backing mask is set. Two tables
+/// compare equal only if they have the same variable count *and* the same
+/// ON-set.
+///
+/// # Example
+///
+/// ```
+/// use pl_boolfn::TruthTable;
+///
+/// let xor2 = TruthTable::from_fn(2, |m| (m.count_ones() & 1) == 1);
+/// assert_eq!(xor2.count_ones(), 2);
+/// assert!(xor2.eval(0b01));
+/// assert!(!xor2.eval(0b11));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TruthTable {
+    bits: u64,
+    num_vars: u8,
+}
+
+impl TruthTable {
+    /// Creates a table from a raw minterm mask.
+    ///
+    /// Bits above `2^num_vars` are silently truncated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vars > MAX_VARS`.
+    #[must_use]
+    pub fn from_bits(num_vars: usize, bits: u64) -> Self {
+        assert!(
+            num_vars <= MAX_VARS,
+            "truth table limited to {MAX_VARS} variables, got {num_vars}"
+        );
+        let mask = Self::full_mask(num_vars);
+        Self {
+            bits: bits & mask,
+            num_vars: num_vars as u8,
+        }
+    }
+
+    /// Fallible variant of [`TruthTable::from_bits`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoolFnError::TooManyVars`] when `num_vars > MAX_VARS`.
+    pub fn try_from_bits(num_vars: usize, bits: u64) -> Result<Self, BoolFnError> {
+        if num_vars > MAX_VARS {
+            return Err(BoolFnError::TooManyVars {
+                requested: num_vars,
+                max: MAX_VARS,
+            });
+        }
+        Ok(Self::from_bits(num_vars, bits))
+    }
+
+    /// Builds a table by evaluating `f` on every minterm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vars > MAX_VARS`.
+    #[must_use]
+    pub fn from_fn(num_vars: usize, mut f: impl FnMut(u32) -> bool) -> Self {
+        assert!(num_vars <= MAX_VARS);
+        let mut bits = 0u64;
+        for m in 0..(1u32 << num_vars) {
+            if f(m) {
+                bits |= 1 << m;
+            }
+        }
+        Self::from_bits(num_vars, bits)
+    }
+
+    /// The constant-0 function of `num_vars` variables.
+    #[must_use]
+    pub fn zero(num_vars: usize) -> Self {
+        Self::from_bits(num_vars, 0)
+    }
+
+    /// The constant-1 function of `num_vars` variables.
+    #[must_use]
+    pub fn ones(num_vars: usize) -> Self {
+        Self::from_bits(num_vars, u64::MAX)
+    }
+
+    /// The projection function `x_var` of `num_vars` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= num_vars`.
+    #[must_use]
+    pub fn var(num_vars: usize, var: usize) -> Self {
+        assert!(var < num_vars, "variable {var} out of range for {num_vars}-var table");
+        Self::from_bits(num_vars, VAR_PATTERN[var])
+    }
+
+    /// Number of table variables (not necessarily all in the support).
+    #[must_use]
+    pub fn num_vars(&self) -> usize {
+        usize::from(self.num_vars)
+    }
+
+    /// Number of minterms, `2^num_vars`.
+    #[must_use]
+    pub fn num_minterms(&self) -> u32 {
+        1 << self.num_vars
+    }
+
+    /// The raw minterm mask.
+    #[must_use]
+    pub fn bits(&self) -> u64 {
+        self.bits
+    }
+
+    /// Evaluates the function on minterm `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m >= 2^num_vars`.
+    #[must_use]
+    pub fn eval(&self, m: u32) -> bool {
+        assert!(m < self.num_minterms(), "minterm {m} out of range");
+        (self.bits >> m) & 1 == 1
+    }
+
+    /// Number of ON-set minterms.
+    #[must_use]
+    pub fn count_ones(&self) -> u32 {
+        self.bits.count_ones()
+    }
+
+    /// Number of OFF-set minterms.
+    #[must_use]
+    pub fn count_zeros(&self) -> u32 {
+        self.num_minterms() - self.count_ones()
+    }
+
+    /// Whether the function is constant 0.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.bits == 0
+    }
+
+    /// Whether the function is constant 1.
+    #[must_use]
+    pub fn is_ones(&self) -> bool {
+        self.bits == Self::full_mask(self.num_vars())
+    }
+
+    /// Whether the function is constant (0 or 1).
+    #[must_use]
+    pub fn is_constant(&self) -> bool {
+        self.is_zero() || self.is_ones()
+    }
+
+    /// The complement of the function.
+    #[must_use]
+    pub fn complement(&self) -> Self {
+        Self::from_bits(self.num_vars(), !self.bits)
+    }
+
+    /// Negative cofactor: the function with `var` fixed to 0.
+    ///
+    /// The result keeps the same variable count; the cofactored variable
+    /// simply leaves the support.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= num_vars`.
+    #[must_use]
+    pub fn cofactor0(&self, var: usize) -> Self {
+        assert!(var < self.num_vars());
+        let lo = self.bits & !VAR_PATTERN[var];
+        Self::from_bits(self.num_vars(), lo | (lo << (1 << var)))
+    }
+
+    /// Positive cofactor: the function with `var` fixed to 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= num_vars`.
+    #[must_use]
+    pub fn cofactor1(&self, var: usize) -> Self {
+        assert!(var < self.num_vars());
+        let hi = self.bits & VAR_PATTERN[var];
+        Self::from_bits(self.num_vars(), hi | (hi >> (1 << var)))
+    }
+
+    /// Whether the function actually depends on `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= num_vars`.
+    #[must_use]
+    pub fn depends_on(&self, var: usize) -> bool {
+        self.cofactor0(var) != self.cofactor1(var)
+    }
+
+    /// The true support as a [`VarSet`] bit mask.
+    #[must_use]
+    pub fn support(&self) -> VarSet {
+        let mut s = 0u8;
+        for v in 0..self.num_vars() {
+            if self.depends_on(v) {
+                s |= 1 << v;
+            }
+        }
+        s
+    }
+
+    /// Number of variables in the true support.
+    #[must_use]
+    pub fn support_size(&self) -> u32 {
+        self.support().count_ones()
+    }
+
+    /// Restricts the function by fixing every variable in `vars` to the
+    /// corresponding bit of `assignment` (bit *k* of `assignment` is the
+    /// value of the *k*-th lowest set variable of `vars`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vars` references a variable `>= num_vars`.
+    #[must_use]
+    pub fn restrict(&self, vars: VarSet, assignment: u32) -> Self {
+        let mut t = *self;
+        let mut k = 0;
+        for v in 0..MAX_VARS {
+            if vars & (1 << v) != 0 {
+                assert!(v < self.num_vars(), "restrict variable {v} out of range");
+                t = if (assignment >> k) & 1 == 1 {
+                    t.cofactor1(v)
+                } else {
+                    t.cofactor0(v)
+                };
+                k += 1;
+            }
+        }
+        t
+    }
+
+    /// If fixing the variables of `vars` to `assignment` forces the
+    /// function's output, returns that forced value.
+    ///
+    /// This is the primitive behind trigger-function extraction (paper §3):
+    /// when the answer is `Some(v)`, the remaining inputs are don't-cares and
+    /// an early-evaluation master may fire with output `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vars` references a variable `>= num_vars`.
+    #[must_use]
+    pub fn forced_value(&self, vars: VarSet, assignment: u32) -> Option<bool> {
+        let r = self.restrict(vars, assignment);
+        if r.is_zero() {
+            Some(false)
+        } else if r.is_ones() {
+            Some(true)
+        } else {
+            None
+        }
+    }
+
+    /// Existentially quantifies `var` out of the function.
+    #[must_use]
+    pub fn exists(&self, var: usize) -> Self {
+        Self::from_bits(
+            self.num_vars(),
+            self.cofactor0(var).bits | self.cofactor1(var).bits,
+        )
+    }
+
+    /// Extends the table to `new_num_vars` variables (the added variables
+    /// are outside the support).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_num_vars` is smaller than the current variable count
+    /// or larger than [`MAX_VARS`].
+    #[must_use]
+    pub fn extend_to(&self, new_num_vars: usize) -> Self {
+        assert!(new_num_vars >= self.num_vars() && new_num_vars <= MAX_VARS);
+        let mut bits = self.bits;
+        for v in self.num_vars()..new_num_vars {
+            bits |= bits << (1u32 << v);
+        }
+        Self::from_bits(new_num_vars, bits)
+    }
+
+    /// Projects the function onto the variables of `vars`, compacting them
+    /// into a table over `|vars|` variables (preserving relative order).
+    ///
+    /// The function must not depend on any variable outside `vars`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the function depends on a variable outside `vars`.
+    #[must_use]
+    pub fn project(&self, vars: VarSet) -> Self {
+        let kept: Vec<usize> = (0..self.num_vars()).filter(|v| vars & (1 << v) != 0).collect();
+        for v in 0..self.num_vars() {
+            if vars & (1 << v) == 0 {
+                assert!(
+                    !self.depends_on(v),
+                    "cannot project out variable {v}: function depends on it"
+                );
+            }
+        }
+        TruthTable::from_fn(kept.len(), |m| {
+            let mut full = 0u32;
+            for (k, &v) in kept.iter().enumerate() {
+                if (m >> k) & 1 == 1 {
+                    full |= 1 << v;
+                }
+            }
+            self.eval(full)
+        })
+    }
+
+    /// Composes variables: builds the function of `num_vars` variables that
+    /// results from substituting `inputs[i]` for variable `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != self.num_vars()` or the input tables do
+    /// not all have `num_vars` variables.
+    #[must_use]
+    pub fn compose(&self, num_vars: usize, inputs: &[TruthTable]) -> Self {
+        assert_eq!(inputs.len(), self.num_vars(), "compose arity mismatch");
+        for t in inputs {
+            assert_eq!(t.num_vars(), num_vars, "compose input variable-count mismatch");
+        }
+        TruthTable::from_fn(num_vars, |m| {
+            let mut idx = 0u32;
+            for (i, t) in inputs.iter().enumerate() {
+                if t.eval(m) {
+                    idx |= 1 << i;
+                }
+            }
+            self.eval(idx)
+        })
+    }
+
+    /// Permutes variables: variable `i` of the result reads variable
+    /// `perm[i]` of `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of `0..num_vars`.
+    #[must_use]
+    pub fn permute(&self, perm: &[usize]) -> Self {
+        assert_eq!(perm.len(), self.num_vars(), "permutation arity mismatch");
+        let mut seen = [false; MAX_VARS];
+        for &p in perm {
+            assert!(p < self.num_vars() && !seen[p], "invalid permutation");
+            seen[p] = true;
+        }
+        TruthTable::from_fn(self.num_vars(), |m| {
+            let mut src = 0u32;
+            for (i, &p) in perm.iter().enumerate() {
+                if (m >> i) & 1 == 1 {
+                    src |= 1 << p;
+                }
+            }
+            self.eval(src)
+        })
+    }
+
+    /// Iterator over the ON-set minterms in ascending order.
+    pub fn on_minterms(&self) -> impl Iterator<Item = u32> + '_ {
+        let n = self.num_minterms();
+        (0..n).filter(move |&m| self.eval(m))
+    }
+
+    /// Iterator over the OFF-set minterms in ascending order.
+    pub fn off_minterms(&self) -> impl Iterator<Item = u32> + '_ {
+        let n = self.num_minterms();
+        (0..n).filter(move |&m| !self.eval(m))
+    }
+
+    fn full_mask(num_vars: usize) -> u64 {
+        if num_vars == MAX_VARS {
+            u64::MAX
+        } else {
+            (1u64 << (1 << num_vars)) - 1
+        }
+    }
+}
+
+impl BitAnd for TruthTable {
+    type Output = TruthTable;
+    fn bitand(self, rhs: Self) -> Self {
+        assert_eq!(self.num_vars, rhs.num_vars, "truth-table arity mismatch");
+        Self::from_bits(self.num_vars(), self.bits & rhs.bits)
+    }
+}
+
+impl BitOr for TruthTable {
+    type Output = TruthTable;
+    fn bitor(self, rhs: Self) -> Self {
+        assert_eq!(self.num_vars, rhs.num_vars, "truth-table arity mismatch");
+        Self::from_bits(self.num_vars(), self.bits | rhs.bits)
+    }
+}
+
+impl BitXor for TruthTable {
+    type Output = TruthTable;
+    fn bitxor(self, rhs: Self) -> Self {
+        assert_eq!(self.num_vars, rhs.num_vars, "truth-table arity mismatch");
+        Self::from_bits(self.num_vars(), self.bits ^ rhs.bits)
+    }
+}
+
+impl Not for TruthTable {
+    type Output = TruthTable;
+    fn not(self) -> Self {
+        self.complement()
+    }
+}
+
+impl fmt::Debug for TruthTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TruthTable({}v, ", self.num_vars)?;
+        for m in (0..self.num_minterms()).rev() {
+            write!(f, "{}", u8::from(self.eval(m)))?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for TruthTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let digits = (self.num_minterms() as usize).div_ceil(4);
+        write!(f, "{:0width$x}", self.bits, width = digits)
+    }
+}
+
+impl fmt::LowerHex for TruthTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.bits, f)
+    }
+}
+
+impl fmt::Binary for TruthTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.bits, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn var_patterns_match_eval() {
+        for n in 1..=MAX_VARS {
+            for v in 0..n {
+                let t = TruthTable::var(n, v);
+                for m in 0..(1u32 << n) {
+                    assert_eq!(t.eval(m), (m >> v) & 1 == 1, "n={n} v={v} m={m}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn constants() {
+        for n in 0..=MAX_VARS {
+            assert!(TruthTable::zero(n).is_zero());
+            assert!(TruthTable::ones(n).is_ones());
+            assert!(TruthTable::zero(n).is_constant());
+            assert_eq!(TruthTable::ones(n).count_ones(), 1 << n);
+        }
+    }
+
+    #[test]
+    fn from_bits_truncates_high_bits() {
+        let t = TruthTable::from_bits(2, 0xFFFF_FFFF);
+        assert!(t.is_ones());
+        assert_eq!(t.bits(), 0xF);
+    }
+
+    #[test]
+    fn try_from_bits_rejects_oversize() {
+        assert!(TruthTable::try_from_bits(7, 0).is_err());
+        assert!(TruthTable::try_from_bits(6, 0).is_ok());
+    }
+
+    #[test]
+    fn cofactors_agree_with_restriction() {
+        // xor3 and majority3 exercise both symmetric and asymmetric cases.
+        let xor3 = TruthTable::from_fn(3, |m| m.count_ones() % 2 == 1);
+        let maj3 = TruthTable::from_fn(3, |m| m.count_ones() >= 2);
+        for t in [xor3, maj3] {
+            for v in 0..3 {
+                let c0 = t.cofactor0(v);
+                let c1 = t.cofactor1(v);
+                for m in 0..8u32 {
+                    let m0 = m & !(1 << v);
+                    let m1 = m | (1 << v);
+                    assert_eq!(c0.eval(m), t.eval(m0));
+                    assert_eq!(c1.eval(m), t.eval(m1));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn support_detects_vacuous_vars() {
+        // f = x0 & x2 over 4 vars: support = {0, 2}
+        let f = TruthTable::var(4, 0) & TruthTable::var(4, 2);
+        assert_eq!(f.support(), 0b0101);
+        assert_eq!(f.support_size(), 2);
+        assert!(f.depends_on(0));
+        assert!(!f.depends_on(1));
+    }
+
+    #[test]
+    fn forced_value_full_adder_carry() {
+        // Paper Table 1: carry = c(a+b)+ab; on {a,b}: 00 -> forced 0, 11 -> forced 1.
+        let carry = TruthTable::from_fn(3, |m| {
+            let (a, b, c) = (m & 1 != 0, m & 2 != 0, m & 4 != 0);
+            (c && (a || b)) || (a && b)
+        });
+        assert_eq!(carry.forced_value(0b011, 0b00), Some(false));
+        assert_eq!(carry.forced_value(0b011, 0b11), Some(true));
+        assert_eq!(carry.forced_value(0b011, 0b01), None);
+        assert_eq!(carry.forced_value(0b011, 0b10), None);
+    }
+
+    #[test]
+    fn restrict_multiple_vars() {
+        let maj3 = TruthTable::from_fn(3, |m| m.count_ones() >= 2);
+        // fix a=1 (var0), b=1 (var1): result constant 1
+        assert!(maj3.restrict(0b011, 0b11).is_ones());
+        // fix a=0, b=0: constant 0
+        assert!(maj3.restrict(0b011, 0b00).is_zero());
+        // fix a=1, b=0: equals c
+        assert_eq!(maj3.restrict(0b011, 0b01), TruthTable::var(3, 2));
+    }
+
+    #[test]
+    fn extend_and_project_roundtrip() {
+        let xor2 = TruthTable::from_fn(2, |m| m.count_ones() % 2 == 1);
+        let ext = xor2.extend_to(4);
+        assert_eq!(ext.support(), 0b0011);
+        assert_eq!(ext.project(0b0011), xor2);
+    }
+
+    #[test]
+    fn project_compacts_sparse_vars() {
+        // f over 4 vars depending on {1, 3}
+        let f = TruthTable::var(4, 1) ^ TruthTable::var(4, 3);
+        let p = f.project(0b1010);
+        assert_eq!(p.num_vars(), 2);
+        assert_eq!(p, TruthTable::from_fn(2, |m| m.count_ones() % 2 == 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot project out")]
+    fn project_panics_on_lost_support() {
+        let f = TruthTable::var(3, 0);
+        let _ = f.project(0b110);
+    }
+
+    #[test]
+    fn compose_builds_cones() {
+        // g(x,y) = x & y, substitute x = a|b, y = a^b over 2 vars
+        let and2 = TruthTable::from_bits(2, 0b1000);
+        let or2 = TruthTable::from_bits(2, 0b1110);
+        let xor2 = TruthTable::from_bits(2, 0b0110);
+        let cone = and2.compose(2, &[or2, xor2]);
+        // (a|b) & (a^b) == a^b for 2 vars
+        assert_eq!(cone, xor2);
+    }
+
+    #[test]
+    fn permute_swaps_vars() {
+        // f = x0 & !x1; swapping gives x1 & !x0
+        let f = TruthTable::var(2, 0) & !TruthTable::var(2, 1);
+        let g = f.permute(&[1, 0]);
+        assert_eq!(g, TruthTable::var(2, 1) & !TruthTable::var(2, 0));
+    }
+
+    #[test]
+    fn exists_quantification() {
+        let f = TruthTable::var(2, 0) & TruthTable::var(2, 1);
+        // ∃x0. x0&x1 == x1
+        assert_eq!(f.exists(0), TruthTable::var(2, 1));
+    }
+
+    #[test]
+    fn minterm_iterators_partition() {
+        let maj3 = TruthTable::from_fn(3, |m| m.count_ones() >= 2);
+        let on: Vec<_> = maj3.on_minterms().collect();
+        let off: Vec<_> = maj3.off_minterms().collect();
+        assert_eq!(on, vec![3, 5, 6, 7]);
+        assert_eq!(off, vec![0, 1, 2, 4]);
+        assert_eq!(on.len() + off.len(), 8);
+    }
+
+    #[test]
+    fn display_formats() {
+        let t = TruthTable::from_bits(4, 0x8888);
+        assert_eq!(t.to_string(), "8888");
+        assert_eq!(format!("{t:?}"), "TruthTable(4v, 1000100010001000)");
+    }
+
+    #[test]
+    fn operators_check_arity() {
+        let a = TruthTable::var(3, 0);
+        let b = TruthTable::var(3, 1);
+        assert_eq!((a & b).count_ones(), 2);
+        assert_eq!((a | b).count_ones(), 6);
+        assert_eq!((a ^ b).count_ones(), 4);
+        assert_eq!((!a).count_ones(), 4);
+    }
+}

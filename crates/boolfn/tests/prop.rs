@@ -1,0 +1,141 @@
+//! Property-based tests for the Boolean function kernel.
+
+use pl_boolfn::{isop, support_subsets, Cube, CubeList, TruthTable};
+use proptest::prelude::*;
+
+fn arb_table(num_vars: usize) -> impl Strategy<Value = TruthTable> {
+    any::<u64>().prop_map(move |bits| TruthTable::from_bits(num_vars, bits))
+}
+
+proptest! {
+    /// Shannon expansion: f = x'·f0 + x·f1 for every variable.
+    #[test]
+    fn shannon_expansion(t in arb_table(4), var in 0usize..4) {
+        let x = TruthTable::var(4, var);
+        let rebuilt = (!x & t.cofactor0(var)) | (x & t.cofactor1(var));
+        prop_assert_eq!(rebuilt, t);
+    }
+
+    /// Cofactoring eliminates the variable from the support.
+    #[test]
+    fn cofactor_removes_support(t in arb_table(4), var in 0usize..4) {
+        prop_assert!(!t.cofactor0(var).depends_on(var));
+        prop_assert!(!t.cofactor1(var).depends_on(var));
+    }
+
+    /// De Morgan duality on tables.
+    #[test]
+    fn de_morgan(a in arb_table(4), b in arb_table(4)) {
+        prop_assert_eq!(!(a & b), !a | !b);
+        prop_assert_eq!(!(a | b), !a & !b);
+    }
+
+    /// ISOP of a completely specified function realizes it exactly.
+    #[test]
+    fn isop_exact(t in arb_table(4)) {
+        let cover = isop(&t, &t);
+        prop_assert_eq!(cover.to_truth_table(), t);
+    }
+
+    /// ISOP with don't-cares stays within bounds.
+    #[test]
+    fn isop_respects_bounds(on in arb_table(4), dc in arb_table(4)) {
+        let lower = on & !dc;
+        let upper = lower | dc;
+        let g = isop(&lower, &upper).to_truth_table();
+        prop_assert!((lower & !g).is_zero(), "ON-set must be covered");
+        prop_assert!((g & !upper).is_zero(), "OFF-set must be avoided");
+    }
+
+    /// ISOP cube count never exceeds the number of ON minterms.
+    #[test]
+    fn isop_no_worse_than_minterm_cover(t in arb_table(4)) {
+        let cover = isop(&t, &t);
+        prop_assert!(cover.len() as u32 <= t.count_ones());
+    }
+
+    /// forced_value is sound: restricting really yields that constant.
+    #[test]
+    fn forced_value_sound(t in arb_table(4), vars in 1u8..15, asg in 0u32..16) {
+        let k = vars.count_ones();
+        let asg = asg & ((1 << k) - 1);
+        if let Some(v) = t.forced_value(vars, asg) {
+            let r = t.restrict(vars, asg);
+            prop_assert_eq!(r, if v { TruthTable::ones(4) } else { TruthTable::zero(4) });
+        }
+    }
+
+    /// Cube round-trip through string form.
+    #[test]
+    fn cube_parse_display_roundtrip(pos in any::<u16>(), neg in any::<u16>()) {
+        let width = 4usize;
+        let mask = (1u16 << width) - 1;
+        let (pos, neg) = (pos & mask, neg & mask & !pos);
+        let mut c = Cube::universal(width);
+        for v in 0..width {
+            if pos & (1 << v) != 0 {
+                c = c.with_literal(v, pl_boolfn::Polarity::Positive);
+            } else if neg & (1 << v) != 0 {
+                c = c.with_literal(v, pl_boolfn::Polarity::Negative);
+            }
+        }
+        let s = c.to_string();
+        prop_assert_eq!(Cube::parse(&s).unwrap(), c);
+    }
+
+    /// count_covered equals brute-force minterm enumeration.
+    #[test]
+    fn cube_list_count_matches_enumeration(t in arb_table(4)) {
+        let list = CubeList::from_on_set(&t);
+        prop_assert_eq!(list.count_covered(), u64::from(t.count_ones()));
+    }
+
+    /// absorb() preserves the realized function.
+    #[test]
+    fn absorb_preserves_function(t in arb_table(4)) {
+        let mut list = isop(&t, &t);
+        // duplicate some cubes to give absorb something to do
+        let dup: Vec<_> = list.iter().copied().collect();
+        list.extend(dup);
+        let before = list.to_truth_table();
+        list.absorb();
+        prop_assert_eq!(list.to_truth_table(), before);
+    }
+
+    /// Every enumerated subset is proper, non-empty, within bounds.
+    #[test]
+    fn support_subsets_invariants(vars in 1u8..=15, k in 1u32..=3) {
+        let subs: Vec<_> = support_subsets(vars, k).collect();
+        for s in &subs {
+            prop_assert_ne!(*s, 0);
+            prop_assert_eq!(s & !vars, 0);
+            prop_assert!(s.count_ones() <= k);
+        }
+        // count = sum over i=1..=min(k, n) of C(n, i)
+        let n = vars.count_ones();
+        let expected: u32 = (1..=k.min(n)).map(|i| binomial(n, i)).sum();
+        prop_assert_eq!(subs.len() as u32, expected);
+    }
+
+    /// restrict() then extend keeps the function consistent on the slice.
+    #[test]
+    fn restrict_consistency(t in arb_table(4), asg in 0u32..4) {
+        // Fix vars {0,1} and compare against brute-force evaluation.
+        let r = t.restrict(0b0011, asg);
+        for m in 0..16u32 {
+            let forced = (m & !0b11) | (asg & 0b11);
+            prop_assert_eq!(r.eval(forced), t.eval(forced));
+        }
+    }
+}
+
+fn binomial(n: u32, k: u32) -> u32 {
+    if k > n {
+        return 0;
+    }
+    let mut r = 1u32;
+    for i in 0..k {
+        r = r * (n - i) / (i + 1);
+    }
+    r
+}

@@ -1,0 +1,306 @@
+//! Structural model of the PL cell of the paper's Figure 1.
+//!
+//! The marked-graph abstraction used by [`crate::netlist`] and `pl-sim`
+//! says a PL gate "fires when all inputs carry fresh-phase tokens". This
+//! module models the hardware that implements that rule — per-input phase
+//! comparators feeding a Muller C-element, a LUT4 function block and LEDR
+//! output latches — and the tests demonstrate that the structural cell and
+//! the abstract rule agree token-for-token. (The prototype cell of reference \[23\] is
+//! exactly this circuit.)
+
+use pl_boolfn::TruthTable;
+
+use crate::ledr::{LedrSignal, Phase};
+
+/// An n-input Muller C-element.
+///
+/// The output rises when **all** inputs are 1, falls when **all** inputs
+/// are 0, and otherwise holds its state — the canonical asynchronous
+/// rendezvous element (Muller/Bartky 1959, used throughout the paper).
+///
+/// # Example
+///
+/// ```
+/// use pl_core::cell::MullerC;
+///
+/// let mut c = MullerC::new(2);
+/// assert!(!c.update(&[true, false])); // holds at 0
+/// assert!(c.update(&[true, true]));   // all 1 -> 1
+/// assert!(c.update(&[true, false]));  // holds at 1
+/// assert!(!c.update(&[false, false])); // all 0 -> 0
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MullerC {
+    arity: usize,
+    state: bool,
+}
+
+impl MullerC {
+    /// Creates a C-element with the given input count, output initially 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arity == 0`.
+    #[must_use]
+    pub fn new(arity: usize) -> Self {
+        assert!(arity > 0, "C-element needs at least one input");
+        Self { arity, state: false }
+    }
+
+    /// Creates a C-element with a chosen initial state.
+    #[must_use]
+    pub fn with_state(arity: usize, state: bool) -> Self {
+        let mut c = Self::new(arity);
+        c.state = state;
+        c
+    }
+
+    /// Current output.
+    #[must_use]
+    pub fn output(&self) -> bool {
+        self.state
+    }
+
+    /// Applies one input evaluation and returns the (possibly held) output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the element's arity.
+    pub fn update(&mut self, inputs: &[bool]) -> bool {
+        assert_eq!(inputs.len(), self.arity, "C-element arity mismatch");
+        if inputs.iter().all(|&b| b) {
+            self.state = true;
+        } else if inputs.iter().all(|&b| !b) {
+            self.state = false;
+        }
+        self.state
+    }
+}
+
+/// A transparent D-latch (level-sensitive, as in Figure 1's output stage).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DLatch {
+    q: bool,
+}
+
+impl DLatch {
+    /// Creates a latch holding `init`.
+    #[must_use]
+    pub fn new(init: bool) -> Self {
+        Self { q: init }
+    }
+
+    /// Evaluates the latch: transparent while `enable` is high.
+    pub fn update(&mut self, d: bool, enable: bool) -> bool {
+        if enable {
+            self.q = d;
+        }
+        self.q
+    }
+
+    /// Current stored value.
+    #[must_use]
+    pub fn q(&self) -> bool {
+        self.q
+    }
+}
+
+/// The assembled PL cell of Figure 1: phase completion detection (XNOR
+/// comparators + Muller C-element), LUT4 function block, and LEDR output
+/// latches.
+///
+/// [`PlCell::try_fire`] is a *behavioural* step: it checks the firing
+/// condition exactly as the comparator/C-element network would and, when
+/// met, latches the next LEDR output token and toggles the gate phase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlCell {
+    lut: TruthTable,
+    gate_phase: Phase,
+    v_latch: DLatch,
+    t_latch: DLatch,
+}
+
+impl PlCell {
+    /// Creates a cell computing `lut`, starting at even phase with the
+    /// given initial output value (registers map with their reset token).
+    #[must_use]
+    pub fn new(lut: TruthTable, initial_output: bool) -> Self {
+        let out = LedrSignal::with_phase(initial_output, Phase::Even);
+        Self {
+            lut,
+            gate_phase: Phase::Even,
+            v_latch: DLatch::new(out.v()),
+            t_latch: DLatch::new(out.t()),
+        }
+    }
+
+    /// The cell's current gate phase (the Muller C-element's state).
+    #[must_use]
+    pub fn gate_phase(&self) -> Phase {
+        self.gate_phase
+    }
+
+    /// The cell's current LEDR output.
+    #[must_use]
+    pub fn output(&self) -> LedrSignal {
+        LedrSignal::new(self.v_latch.q(), self.t_latch.q())
+    }
+
+    /// Whether the phase-completion network detects fresh tokens on every
+    /// input: "a phased logic gate fires whenever all of the phases of the
+    /// inputs matches the internal gate phase" (§2) — with the internal
+    /// phase interpreted as the phase the gate is *waiting for*, i.e. the
+    /// opposite of the phase it last consumed.
+    #[must_use]
+    pub fn inputs_ready(&self, inputs: &[LedrSignal]) -> bool {
+        assert_eq!(inputs.len(), self.lut.num_vars(), "pin count mismatch");
+        inputs.iter().all(|s| s.phase() != self.gate_phase)
+    }
+
+    /// Fires the cell if every input carries a fresh-phase token: the LUT4
+    /// output is computed from the `v` rails, latched into the LEDR output
+    /// (toggling its phase), and the gate phase flips. Returns the new
+    /// output token, or `None` if the cell is not ready.
+    pub fn try_fire(&mut self, inputs: &[LedrSignal]) -> Option<LedrSignal> {
+        if !self.inputs_ready(inputs) {
+            return None;
+        }
+        let mut minterm = 0u32;
+        for (i, s) in inputs.iter().enumerate() {
+            if s.value() {
+                minterm |= 1 << i;
+            }
+        }
+        let value = self.lut.eval(minterm);
+        let next = self.output().next_token(value);
+        // The firing pulse makes both output latches transparent.
+        self.v_latch.update(next.v(), true);
+        self.t_latch.update(next.t(), true);
+        self.gate_phase = self.gate_phase.toggled();
+        Some(next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn c_element_truth() {
+        let mut c = MullerC::new(3);
+        assert!(!c.update(&[true, true, false]));
+        assert!(c.update(&[true, true, true]));
+        assert!(c.update(&[false, true, false])); // holds
+        assert!(!c.update(&[false, false, false]));
+        assert!(MullerC::with_state(2, true).output());
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn c_element_checks_arity() {
+        let mut c = MullerC::new(2);
+        let _ = c.update(&[true]);
+    }
+
+    #[test]
+    fn latch_transparency() {
+        let mut l = DLatch::new(false);
+        assert!(!l.update(true, false)); // opaque
+        assert!(l.update(true, true)); // transparent
+        assert!(l.update(false, false)); // holds
+        assert!(l.q());
+    }
+
+    #[test]
+    fn cell_fires_only_on_fresh_phases() {
+        let and2 = TruthTable::from_bits(2, 0b1000);
+        let mut cell = PlCell::new(and2, false);
+        // Even-phase inputs = stale (cell waits for odd).
+        let stale = [
+            LedrSignal::with_phase(true, Phase::Even),
+            LedrSignal::with_phase(true, Phase::Even),
+        ];
+        assert!(!cell.inputs_ready(&stale));
+        assert_eq!(cell.try_fire(&stale), None);
+        // One fresh, one stale: still waits (completion detection).
+        let mixed = [
+            LedrSignal::with_phase(true, Phase::Odd),
+            LedrSignal::with_phase(true, Phase::Even),
+        ];
+        assert_eq!(cell.try_fire(&mixed), None);
+        // Both fresh: fires, output carries AND and the odd phase.
+        let fresh = [
+            LedrSignal::with_phase(true, Phase::Odd),
+            LedrSignal::with_phase(true, Phase::Odd),
+        ];
+        let out = cell.try_fire(&fresh).expect("fires");
+        assert!(out.value());
+        assert_eq!(out.phase(), Phase::Odd);
+        assert_eq!(cell.gate_phase(), Phase::Odd);
+        // Same tokens again: consumed, no double fire.
+        assert_eq!(cell.try_fire(&fresh), None);
+    }
+
+    #[test]
+    fn cell_output_moves_one_rail_per_token() {
+        let xor2 = TruthTable::from_bits(2, 0b0110);
+        let mut cell = PlCell::new(xor2, false);
+        let mut a = LedrSignal::with_phase(false, Phase::Even);
+        let mut b = LedrSignal::with_phase(false, Phase::Even);
+        let mut prev = cell.output();
+        let stream = [(true, false), (true, true), (false, true), (false, false)];
+        for (va, vb) in stream {
+            a = a.next_token(va);
+            b = b.next_token(vb);
+            let out = cell.try_fire(&[a, b]).expect("tokens are fresh");
+            assert_eq!(out.value(), va ^ vb);
+            let flips = u8::from(prev.v() != out.v()) + u8::from(prev.t() != out.t());
+            assert_eq!(flips, 1, "LEDR: exactly one rail per token");
+            prev = out;
+        }
+    }
+
+    #[test]
+    fn two_cell_pipeline_propagates_tokens() {
+        // inverter -> buffer chain, token-by-token.
+        let inv = TruthTable::from_bits(1, 0b01);
+        let buf = TruthTable::from_bits(1, 0b10);
+        let mut c1 = PlCell::new(inv, true);
+        let mut c2 = PlCell::new(buf, true);
+        let mut input = LedrSignal::with_phase(false, Phase::Even);
+        for k in 0..6 {
+            let v = k % 2 == 0;
+            input = input.next_token(v);
+            let mid = c1.try_fire(&[input]).expect("stage 1 fires");
+            assert_eq!(mid.value(), !v);
+            let out = c2.try_fire(&[mid]).expect("stage 2 fires");
+            assert_eq!(out.value(), !v);
+            // stage 2 cannot fire again until stage 1 produces a new phase
+            assert_eq!(c2.try_fire(&[mid]), None);
+        }
+    }
+
+    #[test]
+    fn structural_cell_agrees_with_abstract_rule() {
+        // Drive a LUT4 cell with random token streams and cross-check the
+        // structural firing rule against direct evaluation.
+        let lut = TruthTable::from_bits(4, 0xCA35);
+        let mut cell = PlCell::new(lut, false);
+        let mut sigs =
+            [LedrSignal::with_phase(false, Phase::Even); 4];
+        let mut x: u64 = 0xFEED;
+        for _ in 0..50 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let mut minterm = 0u32;
+            for (i, s) in sigs.iter_mut().enumerate() {
+                let v = (x >> (i * 7)) & 1 == 1;
+                *s = s.next_token(v);
+                if v {
+                    minterm |= 1 << i;
+                }
+            }
+            let out = cell.try_fire(&sigs).expect("all tokens fresh");
+            assert_eq!(out.value(), lut.eval(minterm), "minterm {minterm:04b}");
+        }
+    }
+}

@@ -1,0 +1,432 @@
+//! The early-evaluation synthesis transformation (paper §3, Figure 2).
+//!
+//! [`PlNetlist::with_early_evaluation`] post-processes a phased-logic
+//! netlist: every compute gate is examined as a potential *master*; the
+//! best [`TriggerCandidate`] (Equation 1) above the configured threshold is
+//! implemented as a paired *trigger gate* wired to the same fast-arriving
+//! sources, plus an *efire* arc into the master and the acknowledge arcs
+//! that keep the marked graph live and safe. The master records its pairing
+//! in [`EeControl`] so the simulator can apply the
+//! early-firing rule.
+//!
+//! Thresholding reproduces the paper's area/delay trade-off: "it is also
+//! possible to reduce the increase in area by requiring a candidate trigger
+//! function to have a cost value that exceeds some threshold" (§4).
+
+use pl_boolfn::VarSet;
+
+use crate::gate::{EeControl, PlArcKind, PlGateId, PlGateKind};
+use crate::netlist::PlNetlist;
+use crate::trigger::{search_triggers, TriggerCandidate};
+
+/// Options for the early-evaluation transformation.
+#[derive(Debug, Clone)]
+pub struct EeOptions {
+    /// Minimum Equation-1 cost a candidate must reach to be implemented.
+    /// `0.0` accepts every speedup-capable candidate (the paper's Table 3
+    /// configuration: "EE circuitry was added to all PL gates where a
+    /// speedup was possible").
+    pub cost_threshold: f64,
+    /// Require the trigger's inputs to arrive strictly earlier than the
+    /// master's slowest input (`Tmax < Mmax`).
+    pub require_speedup: bool,
+}
+
+impl Default for EeOptions {
+    fn default() -> Self {
+        Self { cost_threshold: 0.0, require_speedup: true }
+    }
+}
+
+/// One implemented master/trigger pair.
+#[derive(Debug, Clone)]
+pub struct EePair {
+    /// The master compute gate.
+    pub master: PlGateId,
+    /// The added trigger gate.
+    pub trigger: PlGateId,
+    /// The winning candidate (support, function, coverage, arrivals).
+    pub candidate: TriggerCandidate,
+}
+
+impl EePair {
+    /// The Equation-1 cost of the implemented candidate.
+    #[must_use]
+    pub fn cost(&self) -> f64 {
+        self.candidate.cost()
+    }
+}
+
+/// Result of [`PlNetlist::with_early_evaluation`].
+#[derive(Debug, Clone)]
+pub struct EeReport {
+    netlist: PlNetlist,
+    pairs: Vec<EePair>,
+    examined: usize,
+    logic_gates_before: usize,
+}
+
+impl EeReport {
+    /// The transformed netlist (masters annotated, triggers added).
+    #[must_use]
+    pub fn netlist(&self) -> &PlNetlist {
+        &self.netlist
+    }
+
+    /// Consumes the report, returning the transformed netlist.
+    #[must_use]
+    pub fn into_netlist(self) -> PlNetlist {
+        self.netlist
+    }
+
+    /// The implemented master/trigger pairs — the paper's "EE Gates" count.
+    #[must_use]
+    pub fn pairs(&self) -> &[EePair] {
+        &self.pairs
+    }
+
+    /// Compute gates examined as potential masters.
+    #[must_use]
+    pub fn examined(&self) -> usize {
+        self.examined
+    }
+
+    /// Logic gate count before the transformation.
+    #[must_use]
+    pub fn logic_gates_before(&self) -> usize {
+        self.logic_gates_before
+    }
+
+    /// Fractional area increase: trigger gates over original PL gates
+    /// (Table 3's "% Area Increase").
+    #[must_use]
+    pub fn area_increase(&self) -> f64 {
+        if self.logic_gates_before == 0 {
+            0.0
+        } else {
+            self.pairs.len() as f64 / self.logic_gates_before as f64
+        }
+    }
+}
+
+impl PlNetlist {
+    /// Applies generalized early evaluation to every eligible compute gate.
+    ///
+    /// Because an EE master *produces early and consumes late*, a directed
+    /// circuit passing through it no longer bounds token counts; all
+    /// feedback arcs are therefore re-planned: master-adjacent data arcs
+    /// receive explicit acknowledges (the paper's Figure 2 "feedback from
+    /// master destinations" / "feedback to all master sources"), and
+    /// loop-coverage paths avoid masters entirely.
+    ///
+    /// See the [module documentation](crate::ee) for the algorithm and
+    /// [`EeOptions`] for the selection policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if early evaluation was already applied to this netlist.
+    #[must_use]
+    pub fn with_early_evaluation(mut self, opts: &EeOptions) -> EeReport {
+        assert!(
+            self.gates().iter().all(|g| g.ee().is_none()),
+            "early evaluation was already applied to this netlist"
+        );
+        let levels = self.arrival_levels();
+        let logic_gates_before = self.num_logic_gates();
+        let mut examined = 0usize;
+
+        // Phase 1: candidate selection (independent of feedback arcs).
+        let mut selections: Vec<(PlGateId, TriggerCandidate)> = Vec::new();
+        let gate_count = self.gates.len();
+        for idx in 0..gate_count {
+            let master = PlGateId::from_index(idx);
+            let table = match self.gates[idx].kind {
+                PlGateKind::Compute { table } => table,
+                _ => continue,
+            };
+            examined += 1;
+            // Fold constant pins into the effective master function.
+            let mut const_vars: VarSet = 0;
+            let mut const_asg: u32 = 0;
+            for (pin, cv) in self.gates[idx].const_pins.iter().enumerate() {
+                if let Some(v) = cv {
+                    const_vars |= 1 << pin;
+                    if *v {
+                        const_asg |= 1 << count_below(const_vars, pin);
+                    }
+                }
+            }
+            let effective = if const_vars == 0 {
+                table
+            } else {
+                table.restrict(const_vars, const_asg)
+            };
+            let arrivals = self.pin_arrivals(master, &levels);
+            let Some(cand) = search_triggers(&effective, &arrivals)
+                .into_iter()
+                .find(|c| {
+                    (!opts.require_speedup || c.offers_speedup())
+                        && c.cost() >= opts.cost_threshold
+                })
+            else {
+                continue;
+            };
+            selections.push((master, cand));
+        }
+
+        // Phase 2: re-plan all control arcs around the chosen masters.
+        self.strip_control_arcs();
+        let mut acks: std::collections::HashSet<(PlGateId, PlGateId, u8)> =
+            std::collections::HashSet::new();
+        let mut pairs = Vec::with_capacity(selections.len());
+        for (master, cand) in selections {
+            let trigger = self.implement_pair(master, &cand, &mut acks);
+            pairs.push(EePair { master, trigger, candidate: cand });
+        }
+        let mut forbidden = vec![false; self.gates.len()];
+        for pair in &pairs {
+            forbidden[pair.master.index()] = true;
+        }
+        self.add_master_adjacent_acks(&forbidden, &mut acks);
+        self.insert_feedback_arcs(&forbidden);
+        EeReport { netlist: self, pairs, examined, logic_gates_before }
+    }
+
+    /// Wires one master/trigger pair (Figure 2) and returns the trigger id.
+    fn implement_pair(
+        &mut self,
+        master: PlGateId,
+        cand: &TriggerCandidate,
+        acks: &mut std::collections::HashSet<(PlGateId, PlGateId, u8)>,
+    ) -> PlGateId {
+        let subset_pins: Vec<u8> =
+            (0..8u8).filter(|p| cand.support & (1 << p) != 0).collect();
+        // Locate the master's source arc for each subset pin.
+        let sources: Vec<(PlGateId, u8, bool)> = subset_pins
+            .iter()
+            .map(|&pin| {
+                let arc_id = self.gates[master.index()]
+                    .data_in
+                    .iter()
+                    .copied()
+                    .find(|&a| self.arcs[a.index()].dst_pin == Some(pin))
+                    .expect("trigger subset pins are live master pins");
+                let arc = &self.arcs[arc_id.index()];
+                (arc.src, arc.init_tokens, arc.init_value)
+            })
+            .collect();
+
+        let trigger = self.push_gate(
+            PlGateKind::Compute { table: cand.table },
+            Some(format!("ee_trigger_{}", master.index())),
+        );
+        self.gates[trigger.index()].const_pins = vec![None; subset_pins.len()];
+        for (k, &(src, toks, val)) in sources.iter().enumerate() {
+            self.add_data_arc(src, trigger, k as u8, toks, val);
+            // The trigger is a fresh consumer with no data fanout, so its
+            // sources always need an explicit feedback signal.
+            self.add_ack_unique(trigger, src, 1 - toks, acks);
+        }
+        // efire: trigger → master (no initial token; the trigger fires first)
+        let efire_arc = self.add_control_arc(trigger, master, PlArcKind::Efire, 0);
+        // and its acknowledge: master → trigger (initially ready).
+        self.add_ack_unique(master, trigger, 1, acks);
+
+        self.gates[master.index()].ee = Some(EeControl {
+            trigger,
+            efire_arc,
+            subset_pins,
+            trigger_table: cand.table,
+        });
+        trigger
+    }
+
+    /// Figure 2's explicit pair feedbacks: every data arc into a master
+    /// gets an ack back to its source ("feedback to all master sources"),
+    /// and every data arc out of a master gets an ack from its consumer
+    /// ("feedback from master destinations"). These must be explicit
+    /// because loop coverage through a non-atomic master is unsound.
+    fn add_master_adjacent_acks(
+        &mut self,
+        forbidden: &[bool],
+        acks: &mut std::collections::HashSet<(PlGateId, PlGateId, u8)>,
+    ) {
+        let adjacent: Vec<(PlGateId, PlGateId, u8)> = self
+            .arcs
+            .iter()
+            .filter(|a| {
+                a.kind == PlArcKind::Data
+                    && (forbidden[a.src.index()] || forbidden[a.dst.index()])
+            })
+            .map(|a| (a.src, a.dst, a.init_tokens))
+            .collect();
+        for (src, dst, m) in adjacent {
+            self.add_ack_unique(dst, src, 1 - m, acks);
+        }
+    }
+
+    fn add_ack_unique(
+        &mut self,
+        src: PlGateId,
+        dst: PlGateId,
+        tokens: u8,
+        acks: &mut std::collections::HashSet<(PlGateId, PlGateId, u8)>,
+    ) {
+        if acks.insert((src, dst, tokens)) {
+            self.add_control_arc(src, dst, PlArcKind::Ack, tokens);
+        }
+    }
+}
+
+/// Number of set bits of `mask` strictly below position `pos`.
+fn count_below(mask: VarSet, pos: usize) -> u32 {
+    (mask & (((1u16 << pos) - 1) as u8)).count_ones()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::marked::{check_liveness, check_safety};
+    use pl_boolfn::TruthTable;
+    use pl_netlist::Netlist;
+
+    /// A 4-bit ripple-carry adder at LUT level: sum/carry cells chained so
+    /// carry arrives late — the paper's canonical EE beneficiary.
+    fn ripple_adder(bits: usize) -> Netlist {
+        let mut n = Netlist::new("rca");
+        let a: Vec<_> = (0..bits).map(|i| n.add_input(format!("a{i}"))).collect();
+        let b: Vec<_> = (0..bits).map(|i| n.add_input(format!("b{i}"))).collect();
+        let mut carry = n.add_const(false);
+        for i in 0..bits {
+            let sum_t = TruthTable::from_fn(3, |m| m.count_ones() % 2 == 1);
+            let cry_t = TruthTable::from_fn(3, |m| m.count_ones() >= 2);
+            let s = n.add_lut(sum_t, vec![a[i], b[i], carry]).unwrap();
+            let c = n.add_lut(cry_t, vec![a[i], b[i], carry]).unwrap();
+            n.set_output(format!("s{i}"), s);
+            carry = c;
+        }
+        n.set_output("cout", carry);
+        n
+    }
+
+    #[test]
+    fn adder_gets_ee_pairs_on_carry_chain() {
+        let pl = PlNetlist::from_sync(&ripple_adder(4)).unwrap();
+        let before = pl.num_logic_gates();
+        let report = pl.with_early_evaluation(&EeOptions::default());
+        // Carry cells past the first depend on a late carry — they all pair.
+        assert!(!report.pairs().is_empty(), "ripple carries must trigger EE");
+        assert!(report.examined() >= report.pairs().len());
+        assert_eq!(report.logic_gates_before(), before);
+        // Trigger gates added on top of the original gates.
+        assert_eq!(
+            report.netlist().num_logic_gates(),
+            before + report.pairs().len()
+        );
+        assert_eq!(report.netlist().num_ee_pairs(), report.pairs().len());
+    }
+
+    #[test]
+    fn transformed_graph_stays_live_and_safe() {
+        let pl = PlNetlist::from_sync(&ripple_adder(3)).unwrap();
+        let report = pl.with_early_evaluation(&EeOptions::default());
+        check_liveness(report.netlist()).unwrap();
+        check_safety(report.netlist()).unwrap();
+    }
+
+    #[test]
+    fn threshold_trades_area() {
+        let pl = PlNetlist::from_sync(&ripple_adder(6)).unwrap();
+        let all = pl.clone().with_early_evaluation(&EeOptions::default());
+        let picky = pl.clone().with_early_evaluation(&EeOptions {
+            cost_threshold: 1.75,
+            ..EeOptions::default()
+        });
+        let none = pl.with_early_evaluation(&EeOptions {
+            cost_threshold: f64::INFINITY,
+            ..EeOptions::default()
+        });
+        assert!(picky.pairs().len() <= all.pairs().len());
+        assert_eq!(none.pairs().len(), 0);
+        assert!(none.area_increase() == 0.0);
+        assert!(all.area_increase() > 0.0);
+    }
+
+    #[test]
+    fn triggers_read_the_masters_fast_sources() {
+        let pl = PlNetlist::from_sync(&ripple_adder(2)).unwrap();
+        let report = pl.with_early_evaluation(&EeOptions::default());
+        for pair in report.pairs() {
+            let nl = report.netlist();
+            let trig = nl.gate(pair.trigger);
+            let master = nl.gate(pair.master);
+            // Each trigger pin reads the same source as the master's pin.
+            for (k, &pin) in master.ee().unwrap().subset_pins.iter().enumerate() {
+                let m_src = master
+                    .data_in()
+                    .iter()
+                    .map(|&a| nl.arc(a))
+                    .find(|a| a.dst_pin() == Some(pin))
+                    .unwrap()
+                    .src();
+                let t_src = trig
+                    .data_in()
+                    .iter()
+                    .map(|&a| nl.arc(a))
+                    .find(|a| a.dst_pin() == Some(k as u8))
+                    .unwrap()
+                    .src();
+                assert_eq!(m_src, t_src);
+            }
+            // efire arc present and typed.
+            let ee = master.ee().unwrap();
+            assert_eq!(nl.arc(ee.efire_arc).kind(), PlArcKind::Efire);
+            assert_eq!(nl.arc(ee.efire_arc).src(), pair.trigger);
+            assert_eq!(nl.arc(ee.efire_arc).dst(), pair.master);
+        }
+    }
+
+    #[test]
+    fn no_speedup_no_pairs_for_balanced_gates() {
+        // Single layer of AND gates fed directly by PIs: all arrivals equal,
+        // so require_speedup suppresses every pair.
+        let mut n = Netlist::new("flat");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let c = n.add_input("c");
+        let t = TruthTable::from_fn(3, |m| m == 7);
+        let g = n.add_lut(t, vec![a, b, c]).unwrap();
+        n.set_output("y", g);
+        let pl = PlNetlist::from_sync(&n).unwrap();
+        let report = pl.with_early_evaluation(&EeOptions::default());
+        assert!(report.pairs().is_empty());
+        // Disabling the speedup requirement lets coverage-only pairs form.
+        let pl2 = PlNetlist::from_sync(&n).unwrap();
+        let relaxed = pl2.with_early_evaluation(&EeOptions {
+            require_speedup: false,
+            ..EeOptions::default()
+        });
+        assert!(!relaxed.pairs().is_empty());
+    }
+
+    #[test]
+    fn registers_are_not_masters() {
+        let mut n = Netlist::new("reg");
+        let d = n.add_dff(false);
+        let inv = n.add_not(d).unwrap();
+        n.set_dff_input(d, inv).unwrap();
+        n.set_output("q", d);
+        let pl = PlNetlist::from_sync(&n).unwrap();
+        let report = pl.with_early_evaluation(&EeOptions::default());
+        assert_eq!(report.pairs().len(), 0);
+        // Only the inverter was examined.
+        assert_eq!(report.examined(), 1);
+    }
+
+    #[test]
+    fn count_below_examples() {
+        assert_eq!(count_below(0b1011, 0), 0);
+        assert_eq!(count_below(0b1011, 1), 1);
+        assert_eq!(count_below(0b1011, 3), 2);
+    }
+}

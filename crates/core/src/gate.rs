@@ -1,0 +1,291 @@
+//! Phased-logic gates and arcs.
+//!
+//! A [`PlGate`] models the cell of the paper's Figure 1: a LUT4 function
+//! block guarded by input-phase completion detection (Muller C-element) with
+//! LEDR output latches. At the abstraction level of this crate, the gate is
+//! a marked-graph *transition* and every signal/feedback wire is a
+//! [`PlArc`] (a marked-graph *place* holding 0 or 1 tokens).
+
+use std::fmt;
+
+use pl_boolfn::TruthTable;
+
+/// Identifier of a gate inside one [`crate::PlNetlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PlGateId(pub(crate) u32);
+
+impl PlGateId {
+    /// Raw index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds an id from a raw index.
+    #[must_use]
+    pub fn from_index(i: usize) -> Self {
+        PlGateId(i as u32)
+    }
+}
+
+impl fmt::Display for PlGateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// Identifier of an arc inside one [`crate::PlNetlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PlArcId(pub(crate) u32);
+
+impl PlArcId {
+    /// Raw index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds an id from a raw index.
+    #[must_use]
+    pub fn from_index(i: usize) -> Self {
+        PlArcId(i as u32)
+    }
+}
+
+impl fmt::Display for PlArcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+/// What a phased-logic gate computes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlGateKind {
+    /// Environment source: injects primary-input tokens.
+    Input {
+        /// Port name.
+        name: String,
+    },
+    /// Environment sink: consumes primary-output tokens.
+    Output {
+        /// Port name.
+        name: String,
+    },
+    /// A LUT compute gate (the paper's PL gate, Figure 1).
+    Compute {
+        /// Function over the gate's data pins (pin `i` ⇔ table variable `i`).
+        table: TruthTable,
+    },
+    /// A register gate: the direct mapping of a D flip-flop. Behaves as an
+    /// identity compute gate whose output arc carries an *initial token*
+    /// with the power-on value.
+    Register {
+        /// Power-on token value.
+        init: bool,
+    },
+    /// A tied-off constant. Constant pins are excluded from the token game:
+    /// consumers treat them as always ready with a fixed value.
+    Constant {
+        /// The constant value.
+        value: bool,
+    },
+}
+
+/// One phased-logic gate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlGate {
+    pub(crate) kind: PlGateKind,
+    pub(crate) name: Option<String>,
+    /// Data fanin arcs in pin order (parallel to the LUT variables).
+    pub(crate) data_in: Vec<PlArcId>,
+    /// Acknowledge (and early-fire) fanin arcs.
+    pub(crate) control_in: Vec<PlArcId>,
+    /// All fanout arcs (data and control) leaving this gate.
+    pub(crate) out: Vec<PlArcId>,
+    /// Constant values for pins tied off to constants (`None` = live pin).
+    pub(crate) const_pins: Vec<Option<bool>>,
+    /// Early-evaluation pairing, if this gate is an EE master.
+    pub(crate) ee: Option<EeControl>,
+}
+
+/// Early-evaluation wiring attached to a master gate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EeControl {
+    /// The paired trigger gate.
+    pub trigger: PlGateId,
+    /// The efire arc (trigger → master).
+    pub efire_arc: PlArcId,
+    /// Pins of the master covered by the trigger's support set.
+    pub subset_pins: Vec<u8>,
+    /// The trigger function, projected onto the subset pins
+    /// (variable `k` ⇔ `subset_pins[k]`).
+    pub trigger_table: TruthTable,
+}
+
+impl PlGate {
+    /// The gate's kind.
+    #[must_use]
+    pub fn kind(&self) -> &PlGateKind {
+        &self.kind
+    }
+
+    /// Optional debug name.
+    #[must_use]
+    pub fn name(&self) -> Option<&str> {
+        self.name.as_deref()
+    }
+
+    /// Data fanin arcs in pin order.
+    #[must_use]
+    pub fn data_in(&self) -> &[PlArcId] {
+        &self.data_in
+    }
+
+    /// Acknowledge / early-fire fanin arcs.
+    #[must_use]
+    pub fn control_in(&self) -> &[PlArcId] {
+        &self.control_in
+    }
+
+    /// All fanout arcs.
+    #[must_use]
+    pub fn out_arcs(&self) -> &[PlArcId] {
+        &self.out
+    }
+
+    /// Constant tie-off value of pin `pin`, if any.
+    #[must_use]
+    pub fn const_pin(&self, pin: usize) -> Option<bool> {
+        self.const_pins.get(pin).copied().flatten()
+    }
+
+    /// The early-evaluation control block, if this gate is an EE master.
+    #[must_use]
+    pub fn ee(&self) -> Option<&EeControl> {
+        self.ee.as_ref()
+    }
+
+    /// Whether this is a compute or register gate (the units counted as
+    /// "PL gates" in the paper's Table 3).
+    #[must_use]
+    pub fn is_logic(&self) -> bool {
+        matches!(self.kind, PlGateKind::Compute { .. } | PlGateKind::Register { .. })
+    }
+
+    /// The LUT table for compute gates; identity for registers.
+    #[must_use]
+    pub fn table(&self) -> Option<TruthTable> {
+        match &self.kind {
+            PlGateKind::Compute { table } => Some(*table),
+            PlGateKind::Register { .. } => Some(TruthTable::from_bits(1, 0b10)),
+            _ => None,
+        }
+    }
+}
+
+/// The kind of a marked-graph arc.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlArcKind {
+    /// A data (LEDR signal) arc; carries values.
+    Data,
+    /// An acknowledge / feedback arc (the paper's `fi`/`fo` signals).
+    Ack,
+    /// The early-fire arc of an EE pair (trigger → master).
+    Efire,
+}
+
+/// One marked-graph arc (place) between two gates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlArc {
+    pub(crate) src: PlGateId,
+    pub(crate) dst: PlGateId,
+    pub(crate) kind: PlArcKind,
+    /// Tokens present at reset (0 or 1 — the mapping never marks an arc twice).
+    pub(crate) init_tokens: u8,
+    /// Initial token value for data arcs carrying a reset token.
+    pub(crate) init_value: bool,
+    /// Destination pin for data arcs (LUT variable index).
+    pub(crate) dst_pin: Option<u8>,
+}
+
+impl PlArc {
+    /// Producer gate.
+    #[must_use]
+    pub fn src(&self) -> PlGateId {
+        self.src
+    }
+
+    /// Consumer gate.
+    #[must_use]
+    pub fn dst(&self) -> PlGateId {
+        self.dst
+    }
+
+    /// Arc kind.
+    #[must_use]
+    pub fn kind(&self) -> PlArcKind {
+        self.kind
+    }
+
+    /// Tokens at reset.
+    #[must_use]
+    pub fn init_tokens(&self) -> u8 {
+        self.init_tokens
+    }
+
+    /// Value of the reset token (data arcs only).
+    #[must_use]
+    pub fn init_value(&self) -> bool {
+        self.init_value
+    }
+
+    /// Destination LUT pin for data arcs.
+    #[must_use]
+    pub fn dst_pin(&self) -> Option<u8> {
+        self.dst_pin
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_display() {
+        assert_eq!(PlGateId::from_index(3).to_string(), "g3");
+        assert_eq!(PlArcId::from_index(9).to_string(), "a9");
+    }
+
+    #[test]
+    fn register_table_is_identity() {
+        let g = PlGate {
+            kind: PlGateKind::Register { init: true },
+            name: None,
+            data_in: vec![],
+            control_in: vec![],
+            out: vec![],
+            const_pins: vec![],
+            ee: None,
+        };
+        let t = g.table().unwrap();
+        assert_eq!(t.num_vars(), 1);
+        assert!(!t.eval(0));
+        assert!(t.eval(1));
+        assert!(g.is_logic());
+    }
+
+    #[test]
+    fn io_gates_are_not_logic() {
+        let g = PlGate {
+            kind: PlGateKind::Input { name: "a".into() },
+            name: None,
+            data_in: vec![],
+            control_in: vec![],
+            out: vec![],
+            const_pins: vec![],
+            ee: None,
+        };
+        assert!(!g.is_logic());
+        assert!(g.table().is_none());
+    }
+}

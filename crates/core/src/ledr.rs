@@ -1,0 +1,191 @@
+//! Level-Encoded Dual-Rail (LEDR) signal encoding.
+//!
+//! A LEDR signal carries its logic value on the `v` rail and a *timing* bit
+//! on the `t` rail; the **phase** of the signal is `v ⊕ t`. Each new data
+//! token toggles the phase (even → odd → even …) while exactly one rail
+//! changes per token, giving a two-phase, transition-signalling protocol
+//! with no return-to-zero spacer (Dean/Williams/Dill 1991; paper §2).
+
+use std::fmt;
+use std::ops::Not;
+
+/// The phase of a token or gate: even (`p = 0`) or odd (`p = 1`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Phase {
+    /// Phase bit 0.
+    #[default]
+    Even,
+    /// Phase bit 1.
+    Odd,
+}
+
+impl Phase {
+    /// The phase as the paper's `p = v ⊕ t` bit.
+    #[must_use]
+    pub fn bit(self) -> bool {
+        matches!(self, Phase::Odd)
+    }
+
+    /// Builds a phase from its bit.
+    #[must_use]
+    pub fn from_bit(bit: bool) -> Self {
+        if bit {
+            Phase::Odd
+        } else {
+            Phase::Even
+        }
+    }
+
+    /// The opposite phase.
+    #[must_use]
+    pub fn toggled(self) -> Self {
+        match self {
+            Phase::Even => Phase::Odd,
+            Phase::Odd => Phase::Even,
+        }
+    }
+}
+
+impl Not for Phase {
+    type Output = Phase;
+    fn not(self) -> Phase {
+        self.toggled()
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Phase::Even => write!(f, "even"),
+            Phase::Odd => write!(f, "odd"),
+        }
+    }
+}
+
+/// One LEDR-encoded signal: value rail `v` and timing rail `t`.
+///
+/// # Example
+///
+/// ```
+/// use pl_core::{LedrSignal, Phase};
+///
+/// let s = LedrSignal::with_phase(true, Phase::Even);
+/// let s2 = s.next_token(false); // transmit a new value
+/// assert_eq!(s2.phase(), Phase::Odd);
+/// assert_eq!(s2.value(), false);
+/// // exactly one rail toggled
+/// let flips = u8::from(s.v() != s2.v()) + u8::from(s.t() != s2.t());
+/// assert_eq!(flips, 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct LedrSignal {
+    v: bool,
+    t: bool,
+}
+
+impl LedrSignal {
+    /// Builds a signal from raw rails.
+    #[must_use]
+    pub fn new(v: bool, t: bool) -> Self {
+        Self { v, t }
+    }
+
+    /// Builds a signal carrying `value` at the given `phase`
+    /// (choosing `t = v ⊕ p`).
+    #[must_use]
+    pub fn with_phase(value: bool, phase: Phase) -> Self {
+        Self { v: value, t: value ^ phase.bit() }
+    }
+
+    /// The value rail (the logic value, as in a single-rail system).
+    #[must_use]
+    pub fn v(self) -> bool {
+        self.v
+    }
+
+    /// The timing rail.
+    #[must_use]
+    pub fn t(self) -> bool {
+        self.t
+    }
+
+    /// The logic value carried by the token.
+    #[must_use]
+    pub fn value(self) -> bool {
+        self.v
+    }
+
+    /// The phase `p = v ⊕ t`.
+    #[must_use]
+    pub fn phase(self) -> Phase {
+        Phase::from_bit(self.v ^ self.t)
+    }
+
+    /// Encodes the next data token carrying `value`: the phase toggles and
+    /// exactly one rail changes.
+    #[must_use]
+    pub fn next_token(self, value: bool) -> Self {
+        Self::with_phase(value, self.phase().toggled())
+    }
+}
+
+impl fmt::Display for LedrSignal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}@{}",
+            u8::from(self.v),
+            self.phase()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_is_v_xor_t() {
+        assert_eq!(LedrSignal::new(false, false).phase(), Phase::Even);
+        assert_eq!(LedrSignal::new(true, true).phase(), Phase::Even);
+        assert_eq!(LedrSignal::new(true, false).phase(), Phase::Odd);
+        assert_eq!(LedrSignal::new(false, true).phase(), Phase::Odd);
+    }
+
+    #[test]
+    fn with_phase_sets_both() {
+        for &value in &[false, true] {
+            for &phase in &[Phase::Even, Phase::Odd] {
+                let s = LedrSignal::with_phase(value, phase);
+                assert_eq!(s.value(), value);
+                assert_eq!(s.phase(), phase);
+            }
+        }
+    }
+
+    #[test]
+    fn next_token_toggles_phase_and_moves_one_rail() {
+        let mut s = LedrSignal::with_phase(false, Phase::Even);
+        let values = [true, true, false, true, false, false, true];
+        for &v in &values {
+            let n = s.next_token(v);
+            assert_eq!(n.value(), v);
+            assert_eq!(n.phase(), s.phase().toggled());
+            let flips = u8::from(s.v() != n.v()) + u8::from(s.t() != n.t());
+            assert_eq!(flips, 1, "LEDR moves exactly one rail per token");
+            s = n;
+        }
+    }
+
+    #[test]
+    fn phase_not_operator() {
+        assert_eq!(!Phase::Even, Phase::Odd);
+        assert_eq!(!!Phase::Odd, Phase::Odd);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Phase::Even.to_string(), "even");
+        assert_eq!(LedrSignal::new(true, false).to_string(), "1@odd");
+    }
+}

@@ -1,0 +1,75 @@
+//! Phased logic with generalized early evaluation — the primary contribution
+//! of *"Generalized Early Evaluation in Self-Timed Circuits"* (Thornton,
+//! Fazel, Reese, Traver — DATE 2002).
+//!
+//! # Background
+//!
+//! **Phased Logic (PL)** maps a synchronous LUT4+DFF netlist one-to-one onto
+//! a clockless, delay-insensitive network. Data travels as
+//! [LEDR-encoded](ledr) dual-rail tokens whose *phase* alternates even/odd
+//! with every new value; a PL gate fires when all of its inputs carry tokens
+//! of the phase it is waiting for, latches its LUT4 output, and toggles its
+//! own phase (a Muller C-element implements the rendezvous — Figure 1 of the
+//! paper). The resulting token game is a **marked graph** which must be
+//! *live* (every signal on a directed circuit; every circuit marked) and
+//! *safe* (at most one token per arc) — see [`marked`].
+//!
+//! # Early evaluation
+//!
+//! [`ee`] implements the paper's contribution: for every master LUT4
+//! function, [`trigger`] exhaustively searches the 14 support subsets of ≤3
+//! inputs for a *trigger function* that fires (evaluates to 1) exactly when
+//! the subset's values force the master's output. Candidates are ranked by
+//! the paper's Equation 1,
+//!
+//! ```text
+//! Cost = %Coverage × (Mmax / Tmax)
+//! ```
+//!
+//! and the winning trigger becomes a paired *trigger PL gate* that lets the
+//! master fire before its slow inputs arrive (Figure 2), at the price of one
+//! extra Muller C-element on the master's normal firing path.
+//!
+//! # Flow position
+//!
+//! `pl-core` consumes LUT4 netlists produced by `pl-techmap` (via
+//! [`netlist::PlNetlist::from_sync`]) and feeds `pl-sim`, whose
+//! discrete-event simulator measures the latency improvements reported in
+//! the paper's Table 3.
+//!
+//! # Example
+//!
+//! Reproduce the paper's Table 1: the carry-out of a full adder has a
+//! trigger `a·b + a'·b'` on subset `{a, b}` with 50 % coverage.
+//!
+//! ```
+//! use pl_boolfn::TruthTable;
+//! use pl_core::trigger::search_triggers;
+//!
+//! let carry = TruthTable::from_fn(3, |m| {
+//!     let (a, b, c) = (m & 1 != 0, m & 2 != 0, m & 4 != 0);
+//!     (c && (a || b)) || (a && b)
+//! });
+//! // arrivals: a, b early (level 1); carry-in c late (level 3)
+//! let cands = search_triggers(&carry, &[1, 1, 3]);
+//! let best = cands.first().expect("carry-out has a trigger");
+//! assert_eq!(best.support, 0b011);
+//! assert!((best.coverage - 0.5).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cell;
+pub mod ee;
+mod error;
+pub mod gate;
+pub mod ledr;
+pub mod marked;
+pub mod netlist;
+pub mod trigger;
+
+pub use error::PlError;
+pub use gate::{PlArc, PlArcId, PlArcKind, PlGate, PlGateId, PlGateKind};
+pub use ledr::{LedrSignal, Phase};
+pub use netlist::PlNetlist;

@@ -1,0 +1,312 @@
+//! Trigger-function search and the paper's cost function (Equation 1).
+//!
+//! For a master LUT4 function `f`, a *trigger* over a support subset `S` of
+//! the master's inputs fires (evaluates to 1) exactly on the assignments to
+//! `S` that force `f`'s output regardless of the remaining inputs. Each
+//! time the trigger is 1, the master "can go ahead and evaluate even if
+//! \[the other inputs have\] not arrived since \[their\] value is a don't care
+//! in these cases" (paper §3, Table 1).
+//!
+//! The search is exhaustive over all support subsets of three or fewer
+//! variables — for a full LUT4, the paper's "14 possible support sets".
+//! Candidates are ranked by
+//!
+//! ```text
+//! Cost = %Coverage × (Mmax / Tmax)                       (Equation 1)
+//! ```
+//!
+//! where `%Coverage` is the fraction of the master's minterms (ON and OFF)
+//! forced by the subset, and `Mmax`/`Tmax` are the worst-case arrival times
+//! of the master's/trigger's input signals in PL-gate levels.
+
+use pl_boolfn::{support_subsets, CubeList, TruthTable, VarSet};
+
+/// One candidate trigger function for a master gate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TriggerCandidate {
+    /// The support subset, as a bit mask over the master's pins.
+    pub support: VarSet,
+    /// The trigger function over the subset variables (variable `k` of this
+    /// table is the `k`-th lowest set bit of `support`).
+    pub table: TruthTable,
+    /// Fraction of master minterms (both ON and OFF) covered, in `[0, 1]`.
+    pub coverage: f64,
+    /// Worst-case arrival level among the master's support inputs.
+    pub m_max: u32,
+    /// Worst-case arrival level among the trigger's (subset) inputs.
+    pub t_max: u32,
+}
+
+impl TriggerCandidate {
+    /// The paper's Equation 1: `%Coverage × Mmax / Tmax`.
+    ///
+    /// Arrival levels of zero are clamped to one so that signals arriving
+    /// straight from primary inputs (level 0) do not divide by zero; the
+    /// ratio still rewards triggers whose inputs arrive earlier than the
+    /// master's slowest input.
+    #[must_use]
+    pub fn cost(&self) -> f64 {
+        self.coverage * f64::from(self.m_max.max(1)) / f64::from(self.t_max.max(1))
+    }
+
+    /// Whether this trigger can produce a speedup at all: some input of the
+    /// master arrives strictly later than every trigger input.
+    #[must_use]
+    pub fn offers_speedup(&self) -> bool {
+        self.t_max < self.m_max
+    }
+}
+
+/// Searches all support subsets of ≤ `3` variables of `master`'s true
+/// support for trigger candidates, returning them sorted by descending
+/// [`TriggerCandidate::cost`] (ties: larger coverage, then smaller subset).
+///
+/// `arrivals[i]` is the arrival level of master pin `i` (see
+/// [`crate::PlNetlist::pin_arrivals`]). Subsets equal to the full true
+/// support are excluded — triggering on *all* inputs is ordinary firing.
+///
+/// # Panics
+///
+/// Panics if `arrivals` is shorter than the master's variable count.
+#[must_use]
+pub fn search_triggers(master: &TruthTable, arrivals: &[u32]) -> Vec<TriggerCandidate> {
+    assert!(
+        arrivals.len() >= master.num_vars(),
+        "need an arrival level per master pin"
+    );
+    let support = master.support();
+    let support_size = support.count_ones();
+    if support_size < 2 {
+        return Vec::new();
+    }
+    let m_max = (0..master.num_vars())
+        .filter(|&v| support & (1 << v) != 0)
+        .map(|v| arrivals[v])
+        .max()
+        .unwrap_or(0);
+    let total = f64::from(1u32 << support_size);
+
+    let mut out = Vec::new();
+    for subset in support_subsets(support, 3) {
+        if subset == support {
+            continue; // proper subsets only
+        }
+        let k = subset.count_ones();
+        let mut trig_bits = 0u64;
+        let mut forced = 0u32;
+        for asg in 0..(1u32 << k) {
+            if master.forced_value(subset, asg).is_some() {
+                trig_bits |= 1 << asg;
+                forced += 1;
+            }
+        }
+        if forced == 0 {
+            continue;
+        }
+        // Each forced assignment covers all minterms of the non-subset
+        // support variables.
+        let covered = u64::from(forced) << (support_size - k);
+        let coverage = covered as f64 / total;
+        let t_max = (0..master.num_vars())
+            .filter(|&v| subset & (1 << v) != 0)
+            .map(|v| arrivals[v])
+            .max()
+            .unwrap_or(0);
+        out.push(TriggerCandidate {
+            support: subset,
+            table: TruthTable::from_bits(k as usize, trig_bits),
+            coverage,
+            m_max,
+            t_max,
+        });
+    }
+    out.sort_by(|a, b| {
+        b.cost()
+            .partial_cmp(&a.cost())
+            .expect("costs are finite")
+            .then(b.coverage.partial_cmp(&a.coverage).expect("finite"))
+            .then(a.support.count_ones().cmp(&b.support.count_ones()))
+            .then(a.support.cmp(&b.support))
+    });
+    out
+}
+
+/// The best candidate (by cost) that actually offers a speedup, if any.
+#[must_use]
+pub fn best_trigger(master: &TruthTable, arrivals: &[u32]) -> Option<TriggerCandidate> {
+    search_triggers(master, arrivals)
+        .into_iter()
+        .find(TriggerCandidate::offers_speedup)
+}
+
+/// Cube-list trigger derivation — the paper's Table 2 procedure.
+///
+/// Given ON/OFF covers of the master, the candidate trigger cover for
+/// `subset` consists of every cube (from either cover) whose literals all
+/// lie within the subset; the returned count is the number of master
+/// minterms those cubes cover (ON and OFF combined).
+///
+/// This is the historical formulation; [`search_triggers`] computes the
+/// same ON-set exactly from the truth table (the cube method can undercount
+/// when the supplied covers split a forced region across cubes — the tests
+/// cross-check both).
+#[must_use]
+pub fn trigger_cover_from_cubes(
+    f_on: &CubeList,
+    f_off: &CubeList,
+    subset: VarSet,
+) -> (CubeList, u64) {
+    let mut cover = CubeList::new(f_on.width());
+    let on_sub = f_on.restricted_to_support(subset);
+    let off_sub = f_off.restricted_to_support(subset);
+    let covered = on_sub.count_covered() + off_sub.count_covered();
+    cover.extend(on_sub);
+    cover.extend(off_sub);
+    (cover, covered)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pl_boolfn::isop;
+
+    /// The paper's running example: full-adder carry-out `c(a+b) + ab`
+    /// with variable order a=0, b=1, c=2.
+    fn carry_out() -> TruthTable {
+        TruthTable::from_fn(3, |m| {
+            let (a, b, c) = (m & 1 != 0, m & 2 != 0, m & 4 != 0);
+            (c && (a || b)) || (a && b)
+        })
+    }
+
+    #[test]
+    fn paper_table1_trigger_on_ab() {
+        // Table 1: trigger a·b + a'·b' over {a,b}; coverage 4/8 = 50 %.
+        let cands = search_triggers(&carry_out(), &[1, 1, 3]);
+        let ab = cands.iter().find(|c| c.support == 0b011).expect("subset {a,b} searched");
+        // trigger(a,b) = 1 iff a == b
+        assert_eq!(ab.table, TruthTable::from_fn(2, |m| (m & 1 != 0) == (m & 2 != 0)));
+        assert!((ab.coverage - 0.5).abs() < 1e-12);
+        // Trigger truth column of Table 1: 1,1,0,0,0,0,1,1 over (a,b,c).
+        for m in 0..8u32 {
+            let (a, b) = (m & 1, (m >> 1) & 1);
+            let expect = a == b;
+            assert_eq!(ab.table.eval(a | (b << 1)), expect, "minterm {m}");
+        }
+    }
+
+    #[test]
+    fn paper_table1_best_choice_is_ab() {
+        // With the carry-in arriving latest (the adder case), {a,b} must win.
+        let best = best_trigger(&carry_out(), &[1, 1, 3]).expect("carry has a trigger");
+        assert_eq!(best.support, 0b011);
+        assert_eq!(best.m_max, 3);
+        assert_eq!(best.t_max, 1);
+        assert!((best.cost() - 0.5 * 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_table2_cube_coverage() {
+        // Table 2: master ON = {11-, 1-1, -11}, OFF = {00-, 010, 100};
+        // subset {a,b} keeps cubes 11- and 00-, covering 2+2 = 4 minterms.
+        let f_on = CubeList::parse(&["11-", "1-1", "-11"]).unwrap();
+        let f_off = CubeList::parse(&["00-", "010", "100"]).unwrap();
+        let (cover, covered) = trigger_cover_from_cubes(&f_on, &f_off, 0b011);
+        assert_eq!(covered, 4);
+        let cubes: Vec<String> = cover.iter().map(|c| c.to_string()).collect();
+        assert_eq!(cubes, vec!["11-", "00-"]);
+        // f_trig = {00-, 11-} == a'b' + ab, matching Table 1's trigger.
+        let tt = cover.to_truth_table();
+        assert_eq!(tt, TruthTable::from_fn(3, |m| (m & 1 != 0) == (m & 2 != 0)));
+    }
+
+    #[test]
+    fn cube_method_agrees_with_exact_on_paper_example() {
+        let f = carry_out();
+        let f_on = isop(&f, &f);
+        let neg = !f;
+        let f_off = isop(&neg, &neg);
+        let (_, covered) = trigger_cover_from_cubes(&f_on, &f_off, 0b011);
+        let cands = search_triggers(&f, &[0, 0, 0]);
+        let exact = cands.iter().find(|c| c.support == 0b011).unwrap();
+        assert_eq!(covered as f64 / 8.0, exact.coverage);
+    }
+
+    #[test]
+    fn all_14_subsets_searched_for_lut4() {
+        // A 4-var function with full support: xor4 has no trigger (no
+        // subset forces it), majority-like functions do.
+        let xor4 = TruthTable::from_fn(4, |m| m.count_ones() % 2 == 1);
+        assert!(search_triggers(&xor4, &[1, 1, 1, 1]).is_empty());
+
+        let maj_ish = TruthTable::from_fn(4, |m| m.count_ones() >= 2);
+        let cands = search_triggers(&maj_ish, &[1, 1, 1, 1]);
+        // every candidate's support is a proper subset of 4 vars, ≤ 3 wide
+        for c in &cands {
+            assert!(c.support.count_ones() <= 3);
+            assert_ne!(c.support, 0b1111);
+            assert!(c.coverage > 0.0 && c.coverage < 1.0);
+        }
+        // subsets of 2+ ones can force majority-of-4 (e.g. two ones + two
+        // more inputs can't flip below threshold when 3 are set)
+        assert!(!cands.is_empty());
+    }
+
+    #[test]
+    fn trigger_soundness_sampled() {
+        // For every candidate: trigger=1 on an assignment ⇒ master forced.
+        let mut x: u64 = 0x1234_5678_9ABC_DEF0;
+        for _ in 0..100 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let master = TruthTable::from_bits(4, x & 0xFFFF);
+            for cand in search_triggers(&master, &[1, 2, 3, 4]) {
+                let k = cand.support.count_ones();
+                for asg in 0..(1u32 << k) {
+                    if cand.table.eval(asg) {
+                        assert!(
+                            master.forced_value(cand.support, asg).is_some(),
+                            "unsound trigger for master {master:?} subset {:#b}",
+                            cand.support
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cost_weighs_arrival_ratio() {
+        // Same function, but now a and b are the LATE inputs: the {a,b}
+        // trigger loses its appeal vs subsets containing c.
+        let f = carry_out();
+        let slow_ab = search_triggers(&f, &[5, 5, 1]);
+        let ab = slow_ab.iter().find(|c| c.support == 0b011).unwrap();
+        assert_eq!(ab.t_max, 5);
+        assert!(!ab.offers_speedup());
+        assert!(best_trigger(&f, &[5, 5, 1]).is_none() || ab.support != 0b011);
+    }
+
+    #[test]
+    fn zero_arrival_cost_is_clamped() {
+        let f = carry_out();
+        let cands = search_triggers(&f, &[0, 0, 0]);
+        for c in &cands {
+            assert!(c.cost().is_finite());
+        }
+    }
+
+    #[test]
+    fn constant_and_single_var_masters_have_no_triggers() {
+        assert!(search_triggers(&TruthTable::zero(4), &[1; 4]).is_empty());
+        assert!(search_triggers(&TruthTable::var(4, 2), &[1; 4]).is_empty());
+    }
+
+    #[test]
+    fn candidates_sorted_by_cost() {
+        let f = carry_out();
+        let cands = search_triggers(&f, &[1, 2, 4]);
+        for w in cands.windows(2) {
+            assert!(w[0].cost() >= w[1].cost());
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! b01 — FSM that compares serial flows.
+
+use pl_rtl::Module;
+
+/// Builds b01: a small Moore machine watching two serial bit streams.
+///
+/// `outp` reports whether the streams have agreed on every bit of the
+/// current 4-bit frame; `overflw` pulses when the mismatch counter
+/// saturates. A synchronous `reset` returns the machine to its initial
+/// state, as in the original benchmark.
+#[must_use]
+pub fn b01() -> Module {
+    let mut m = Module::new("b01");
+    let line1 = m.input_bit("line1");
+    let line2 = m.input_bit("line2");
+    let reset = m.input_bit("reset");
+
+    // Frame position (2 bits) and per-frame agreement flag.
+    let pos = m.reg_word("pos", 2, 0);
+    let agree = m.reg_bit("agree", true);
+    // Saturating mismatch counter across frames.
+    let miss = m.reg_word("miss", 3, 0);
+
+    let eq = m.xnor2(line1, line2);
+    let pos_next = m.inc(&pos.q());
+    let frame_end = m.eq_const(&pos.q(), 3);
+
+    // agree accumulates equality within the frame, reloading at frame end.
+    let agree_acc = m.and2(agree.q().bit(0), eq);
+    let agree_next_bit = m.mux(frame_end, agree_acc, eq);
+    let agree_next = pl_rtl::Word::from_bit(agree_next_bit);
+
+    // Mismatch counter bumps at each disagreeing frame end, saturating at 7.
+    let at_max = m.eq_const(&miss.q(), 7);
+    let miss_inc = m.inc(&miss.q());
+    let hold = miss.q();
+    let bumped = m.mux_w(at_max, &miss_inc, &hold);
+    let frame_bad = {
+        let na = m.not(agree_acc);
+        m.and2(frame_end, na)
+    };
+    let miss_next = m.mux_w(frame_bad, &hold, &bumped);
+
+    m.next_with_reset(&pos, reset, &pos_next);
+    m.next_with_reset(&agree, reset, &agree_next);
+    m.next_with_reset(&miss, reset, &miss_next);
+
+    let outp = m.and2(agree.q().bit(0), eq);
+    m.output_bit("outp", outp);
+    m.output_bit("overflw", at_max);
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pl_netlist::eval::Evaluator;
+
+    #[test]
+    fn equal_streams_keep_outp_high_and_never_overflow() {
+        let m = b01();
+        let n = m.elaborate().unwrap();
+        let mut sim = Evaluator::new(&n).unwrap();
+        // reset pulse
+        sim.step(&[false, false, true]).unwrap();
+        for i in 0..32 {
+            let bit = i % 3 == 0;
+            let out = sim.step(&[bit, bit, false]).unwrap();
+            assert!(out[0], "outp should stay high at step {i}");
+            assert!(!out[1], "no overflow on equal streams");
+        }
+    }
+
+    #[test]
+    fn diverging_streams_eventually_overflow() {
+        let m = b01();
+        let n = m.elaborate().unwrap();
+        let mut sim = Evaluator::new(&n).unwrap();
+        sim.step(&[false, false, true]).unwrap();
+        let mut overflowed = false;
+        for _ in 0..64 {
+            let out = sim.step(&[true, false, false]).unwrap();
+            assert!(!out[0], "disagreeing bits force outp low");
+            overflowed |= out[1];
+        }
+        assert!(overflowed, "persistent mismatch must saturate the counter");
+    }
+
+    #[test]
+    fn reset_clears_the_overflow() {
+        let m = b01();
+        let n = m.elaborate().unwrap();
+        let mut sim = Evaluator::new(&n).unwrap();
+        for _ in 0..64 {
+            sim.step(&[true, false, false]).unwrap();
+        }
+        assert!(sim.step(&[true, false, false]).unwrap()[1]);
+        sim.step(&[false, false, true]).unwrap(); // reset
+        assert!(!sim.step(&[false, false, false]).unwrap()[1]);
+    }
+
+    #[test]
+    fn stays_small_like_the_original() {
+        let n = b01().elaborate().unwrap();
+        let gates = n.num_luts() + n.dffs().len();
+        assert!(gates < 120, "b01 is a tiny FSM, got {gates} gates");
+    }
+}

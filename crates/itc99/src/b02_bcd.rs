@@ -1,0 +1,90 @@
+//! b02 — FSM that recognizes BCD numbers.
+
+use pl_rtl::Module;
+
+/// Builds b02: a serial BCD recognizer, the smallest circuit of the suite.
+///
+/// Bits of a nibble arrive MSB-first on `linea`; after the fourth bit the
+/// machine asserts `u` for one cycle iff the nibble's value is 0–9 (a valid
+/// binary-coded-decimal digit). An MSB-first nibble is invalid exactly when
+/// it starts `1` and its second bit is `1` or its third bit is `1`
+/// (values 10–15), which keeps the recognizer a handful of states — the
+/// original b02 synthesizes to only a few gates.
+#[must_use]
+pub fn b02() -> Module {
+    let mut m = Module::new("b02");
+    let linea = m.input_bit("linea");
+    let reset = m.input_bit("reset");
+
+    let pos = m.reg_word("pos", 2, 0);
+    let msb = m.reg_bit("msb", false);
+    let bad = m.reg_bit("bad", false);
+
+    let pos_next = m.inc(&pos.q());
+    let first = m.eq_const(&pos.q(), 0);
+    let last = m.eq_const(&pos.q(), 3);
+
+    // Track the nibble's MSB and whether a set MSB was followed by another
+    // set bit in positions 1/2 (value ≥ 10).
+    let msb_next_bit = m.mux(first, msb.q().bit(0), linea);
+    let in_middle = {
+        let p1 = m.eq_const(&pos.q(), 1);
+        let p2 = m.eq_const(&pos.q(), 2);
+        m.or2(p1, p2)
+    };
+    let offending = {
+        let t = m.and2(msb.q().bit(0), linea);
+        m.and2(t, in_middle)
+    };
+    let bad_acc = m.or2(bad.q().bit(0), offending);
+    let zero = m.const_bit(false);
+    let bad_next_bit = m.mux(first, bad_acc, zero);
+
+    let msb_w = pl_rtl::Word::from_bit(msb_next_bit);
+    let bad_w = pl_rtl::Word::from_bit(bad_next_bit);
+    m.next_with_reset(&pos, reset, &pos_next);
+    m.next_with_reset(&msb, reset, &msb_w);
+    m.next_with_reset(&bad, reset, &bad_w);
+
+    let ok = {
+        let nb = m.not(bad_acc);
+        m.and2(last, nb)
+    };
+    m.output_bit("u", ok);
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pl_netlist::eval::Evaluator;
+
+    /// Feeds a nibble MSB-first; returns `u` as observed on the last bit.
+    fn recognize(sim: &mut Evaluator, nibble: u8) -> bool {
+        let mut u = false;
+        for i in (0..4).rev() {
+            let bit = (nibble >> i) & 1 == 1;
+            let out = sim.step(&[bit, false]).unwrap();
+            u = out[0];
+        }
+        u
+    }
+
+    #[test]
+    fn recognizes_exactly_bcd_digits() {
+        let n = b02().elaborate().unwrap();
+        let mut sim = Evaluator::new(&n).unwrap();
+        sim.step(&[false, true]).unwrap(); // reset
+        for v in 0..16u8 {
+            let got = recognize(&mut sim, v);
+            assert_eq!(got, v <= 9, "nibble {v:#06b}");
+        }
+    }
+
+    #[test]
+    fn is_the_smallest_benchmark() {
+        let n = b02().elaborate().unwrap();
+        let gates = n.num_luts() + n.dffs().len();
+        assert!(gates < 60, "b02 must stay tiny, got {gates}");
+    }
+}

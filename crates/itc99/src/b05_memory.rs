@@ -1,0 +1,116 @@
+//! b05 — elaborate the contents of a memory.
+
+use pl_rtl::Module;
+
+/// Builds b05: scans a 32-word constant memory, accumulating statistics.
+///
+/// A free-running address counter walks a ROM; the datapath accumulates the
+/// running sum, tracks the maximum element and remembers its address, and
+/// flags when the current word exceeds a programmable threshold `thresh`.
+/// This mirrors the original benchmark's "elaborate contents of memory"
+/// loop (ROM + adder + comparators), which the paper found EE-friendly
+/// (+10 % speedup) thanks to its arithmetic content.
+#[must_use]
+pub fn b05() -> Module {
+    const AW: usize = 5; // 32 words
+    const DW: usize = 8;
+    let mut m = Module::new("b05");
+    let thresh = m.input_word("thresh", DW);
+    let run = m.input_bit("run");
+    let reset = m.input_bit("reset");
+
+    // A fixed pseudo-random content table (the original uses a constant
+    // memory initialized by the testbench).
+    let contents: Vec<u64> = (0..32u64)
+        .map(|i| (i.wrapping_mul(37).wrapping_add(11) ^ (i << 3)) & 0xFF)
+        .collect();
+
+    let addr = m.reg_word("addr", AW, 0);
+    let sum = m.reg_word("sum", DW + AW, 0); // wide enough for 32×255
+    let best = m.reg_word("best", DW, 0);
+    let best_addr = m.reg_word("best_addr", AW, 0);
+
+    let word = m.rom(&addr.q(), DW, &contents);
+
+    let addr_next = m.inc(&addr.q());
+    let word_wide = m.resize(&word, DW + AW);
+    let sum_next = m.add(&sum.q(), &word_wide);
+
+    let is_new_best = m.gt_u(&word, &best.q());
+    let best_next = m.mux_w(is_new_best, &best.q(), &word);
+    let ba_next = m.mux_w(is_new_best, &best_addr.q(), &addr.q());
+
+    m.next_when_with_reset(&addr, reset, run, &addr_next);
+    m.next_when_with_reset(&sum, reset, run, &sum_next);
+    m.next_when_with_reset(&best, reset, run, &best_next);
+    m.next_when_with_reset(&best_addr, reset, run, &ba_next);
+
+    let over = m.gt_u(&word, &thresh);
+    m.output_word("sum", &sum.q());
+    m.output_word("best", &best.q());
+    m.output_word("best_addr", &best_addr.q());
+    m.output_bit("over_thresh", over);
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pl_netlist::eval::Evaluator;
+
+    const AW: usize = 5;
+    const DW: usize = 8;
+
+    fn contents() -> Vec<u64> {
+        (0..32u64).map(|i| (i.wrapping_mul(37).wrapping_add(11) ^ (i << 3)) & 0xFF).collect()
+    }
+
+    fn step(sim: &mut Evaluator, thresh: u64, run: bool, reset: bool) -> Vec<bool> {
+        let mut ins: Vec<bool> = (0..DW).map(|i| (thresh >> i) & 1 == 1).collect();
+        ins.push(run);
+        ins.push(reset);
+        sim.step(&ins).unwrap()
+    }
+
+    fn field(out: &[bool], lo: usize, w: usize) -> u64 {
+        (0..w).map(|i| u64::from(out[lo + i]) << i).sum()
+    }
+
+    #[test]
+    fn full_scan_matches_software_model() {
+        let n = b05().elaborate().unwrap();
+        let mut sim = Evaluator::new(&n).unwrap();
+        step(&mut sim, 0, false, true);
+        for _ in 0..32 {
+            step(&mut sim, 0, true, false);
+        }
+        let out = step(&mut sim, 0, false, false);
+        let c = contents();
+        let want_sum: u64 = c.iter().sum();
+        let want_best = *c.iter().max().unwrap();
+        let want_ba = c.iter().position(|&x| x == want_best).unwrap() as u64;
+        assert_eq!(field(&out, 0, DW + AW), want_sum);
+        assert_eq!(field(&out, DW + AW, DW), want_best);
+        assert_eq!(field(&out, DW + AW + DW, AW), want_ba);
+    }
+
+    #[test]
+    fn threshold_flag_is_combinational_on_current_word() {
+        let n = b05().elaborate().unwrap();
+        let mut sim = Evaluator::new(&n).unwrap();
+        step(&mut sim, 0, false, true);
+        let c = contents();
+        // addr stays 0 while run=0: word = c[0]
+        let out = step(&mut sim, c[0] - 1, false, false);
+        assert!(out[DW + AW + DW + AW], "word {} > {}", c[0], c[0] - 1);
+        let out = step(&mut sim, c[0], false, false);
+        assert!(!out[DW + AW + DW + AW]);
+    }
+
+    #[test]
+    fn has_memory_scale() {
+        let n = b05().elaborate().unwrap();
+        let gates = n.num_luts() + n.dffs().len();
+        assert!(gates > 150, "b05 embeds a 32-word ROM, got {gates}");
+    }
+}

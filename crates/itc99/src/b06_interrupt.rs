@@ -1,0 +1,107 @@
+//! b06 — interrupt handler.
+
+use pl_rtl::Module;
+
+/// Builds b06: a tiny interrupt-acknowledge FSM.
+///
+/// Two interrupt lines compete: `cont_eql` (equal-priority round) and a
+/// normal request `rqst`. The handler walks a four-state loop — idle,
+/// acknowledge, service, release — raising `ackout` during acknowledge and
+/// `busy` until release. Like the original, it is one of the smallest
+/// circuits of the suite and purely control-dominated (the paper measured a
+/// slight EE *slowdown* here).
+#[must_use]
+pub fn b06() -> Module {
+    let mut m = Module::new("b06");
+    let rqst = m.input_bit("rqst");
+    let cont_eql = m.input_bit("cont_eql");
+    let reset = m.input_bit("reset");
+
+    // states: 0 idle, 1 ack, 2 service, 3 release
+    let state = m.reg_word("state", 2, 0);
+    let s_idle = m.eq_const(&state.q(), 0);
+    let s_ack = m.eq_const(&state.q(), 1);
+    let s_srv = m.eq_const(&state.q(), 2);
+    let s_rel = m.eq_const(&state.q(), 3);
+
+    let any_irq = m.or2(rqst, cont_eql);
+    let k_idle = m.const_word(2, 0);
+    let k_ack = m.const_word(2, 1);
+    let k_srv = m.const_word(2, 2);
+    let k_rel = m.const_word(2, 3);
+
+    // idle -> ack on request; ack -> service; service -> release when the
+    // request drops; release -> idle.
+    let from_idle = m.mux_w(any_irq, &k_idle, &k_ack);
+    let req_gone = m.not(any_irq);
+    let from_srv = m.mux_w(req_gone, &k_srv, &k_rel);
+    let next = m.select(
+        &k_idle,
+        &[
+            (s_idle, from_idle),
+            (s_ack, k_srv.clone()),
+            (s_srv, from_srv),
+            (s_rel, k_idle.clone()),
+        ],
+    );
+    m.next_with_reset(&state, reset, &next);
+
+    m.output_bit("ackout", s_ack);
+    let busy = {
+        let t = m.or2(s_ack, s_srv);
+        m.or2(t, s_rel)
+    };
+    m.output_bit("busy", busy);
+    // priority indicator: equal-priority line during service
+    let eq_round = m.and2(s_srv, cont_eql);
+    m.output_bit("cont_eql_srv", eq_round);
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pl_netlist::eval::Evaluator;
+
+    fn step(sim: &mut Evaluator, rqst: bool, cont: bool, reset: bool) -> (bool, bool) {
+        let out = sim.step(&[rqst, cont, reset]).unwrap();
+        (out[0], out[1])
+    }
+
+    #[test]
+    fn walks_the_handshake() {
+        let n = b06().elaborate().unwrap();
+        let mut sim = Evaluator::new(&n).unwrap();
+        step(&mut sim, false, false, true); // reset -> idle
+        let (ack, busy) = step(&mut sim, true, false, false); // observes idle
+        assert!(!ack && !busy);
+        let (ack, busy) = step(&mut sim, true, false, false); // now in ack
+        assert!(ack && busy);
+        let (ack, busy) = step(&mut sim, true, false, false); // service
+        assert!(!ack && busy);
+        let (_, busy) = step(&mut sim, false, false, false); // still service, req dropped
+        assert!(busy);
+        let (_, busy) = step(&mut sim, false, false, false); // release
+        assert!(busy);
+        let (ack, busy) = step(&mut sim, false, false, false); // idle again
+        assert!(!ack && !busy);
+    }
+
+    #[test]
+    fn idle_without_requests() {
+        let n = b06().elaborate().unwrap();
+        let mut sim = Evaluator::new(&n).unwrap();
+        step(&mut sim, false, false, true);
+        for _ in 0..8 {
+            let (ack, busy) = step(&mut sim, false, false, false);
+            assert!(!ack && !busy);
+        }
+    }
+
+    #[test]
+    fn tiny_like_the_original() {
+        let n = b06().elaborate().unwrap();
+        let gates = n.num_luts() + n.dffs().len();
+        assert!(gates < 60, "b06 is the paper's 10-gate circuit, got {gates}");
+    }
+}

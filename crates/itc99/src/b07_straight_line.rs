@@ -1,0 +1,114 @@
+//! b07 — count points on a straight line.
+
+use pl_rtl::Module;
+
+/// Builds b07: counts how many streamed points fall on the line `y = x + c`.
+///
+/// Each valid cycle presents a point `(x, y)`; the datapath forms `x + c`
+/// with a ripple adder and compares it against `y`, incrementing the hit
+/// counter on a match and tracking the largest deviation otherwise. This
+/// gives the adder/comparator mix that made the original b07 one of the
+/// paper's best EE performers (+23 %).
+#[must_use]
+pub fn b07() -> Module {
+    const W: usize = 8;
+    let mut m = Module::new("b07");
+    let x = m.input_word("x", W);
+    let y = m.input_word("y", W);
+    let c = m.input_word("c", W);
+    let valid = m.input_bit("valid");
+    let reset = m.input_bit("reset");
+
+    let hits = m.reg_word("hits", W, 0);
+    let seen = m.reg_word("seen", W, 0);
+    let worst = m.reg_word("worst", W, 0);
+
+    let expect = m.add(&x, &c);
+    let on_line = m.eq_w(&expect, &y);
+
+    // |y - expect|
+    let d_ab = m.sub(&y, &expect);
+    let d_ba = m.sub(&expect, &y);
+    let y_ge = m.ge_u(&y, &expect);
+    let dev = m.mux_w(y_ge, &d_ba, &d_ab);
+    let bigger = m.gt_u(&dev, &worst.q());
+    let worst_upd = m.mux_w(bigger, &worst.q(), &dev);
+    let worst_next = m.mux_w(on_line, &worst_upd, &worst.q());
+
+    let hits_inc = m.inc(&hits.q());
+    let hits_next = m.mux_w(on_line, &hits.q(), &hits_inc);
+    let seen_next = m.inc(&seen.q());
+
+    m.next_when_with_reset(&hits, reset, valid, &hits_next);
+    m.next_when_with_reset(&seen, reset, valid, &seen_next);
+    m.next_when_with_reset(&worst, reset, valid, &worst_next);
+
+    m.output_word("hits", &hits.q());
+    m.output_word("seen", &seen.q());
+    m.output_word("worst", &worst.q());
+    m.output_bit("on_line", on_line);
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pl_netlist::eval::Evaluator;
+
+    const W: usize = 8;
+
+    fn step(sim: &mut Evaluator, x: u64, y: u64, c: u64, valid: bool, reset: bool) -> Vec<bool> {
+        let mut ins: Vec<bool> = Vec::new();
+        for v in [x, y, c] {
+            ins.extend((0..W).map(|i| (v >> i) & 1 == 1));
+        }
+        ins.push(valid);
+        ins.push(reset);
+        sim.step(&ins).unwrap()
+    }
+
+    fn field(out: &[bool], lo: usize) -> u64 {
+        (0..W).map(|i| u64::from(out[lo + i]) << i).sum()
+    }
+
+    #[test]
+    fn counts_points_on_the_line() {
+        let n = b07().elaborate().unwrap();
+        let mut sim = Evaluator::new(&n).unwrap();
+        step(&mut sim, 0, 0, 0, false, true);
+        let c = 7u64;
+        let pts = [(1u64, 8u64), (2, 9), (3, 11), (4, 11), (5, 12), (6, 99)];
+        let mut want_hits = 0;
+        for &(x, y) in &pts {
+            step(&mut sim, x, y, c, true, false);
+            if (x + c) & 0xFF == y {
+                want_hits += 1;
+            }
+        }
+        let out = step(&mut sim, 0, 0, c, false, false);
+        assert_eq!(field(&out, 0), want_hits);
+        assert_eq!(field(&out, W), pts.len() as u64);
+    }
+
+    #[test]
+    fn worst_deviation_tracked() {
+        let n = b07().elaborate().unwrap();
+        let mut sim = Evaluator::new(&n).unwrap();
+        step(&mut sim, 0, 0, 0, false, true);
+        step(&mut sim, 10, 15, 0, true, false); // dev 5
+        step(&mut sim, 10, 12, 0, true, false); // dev 2 (not worse)
+        step(&mut sim, 10, 30, 0, true, false); // dev 20
+        let out = step(&mut sim, 0, 0, 0, false, false);
+        assert_eq!(field(&out, 2 * W), 20);
+    }
+
+    #[test]
+    fn on_line_is_combinational() {
+        let n = b07().elaborate().unwrap();
+        let mut sim = Evaluator::new(&n).unwrap();
+        let out = step(&mut sim, 5, 12, 7, false, false);
+        assert!(out[3 * W]);
+        let out = step(&mut sim, 5, 13, 7, false, false);
+        assert!(!out[3 * W]);
+    }
+}

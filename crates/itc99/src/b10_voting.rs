@@ -1,0 +1,126 @@
+//! b10 — voting system.
+
+use pl_rtl::Module;
+
+/// Builds b10: a weighted voting machine.
+///
+/// Four voters submit ballots (`vote0..vote3`) with configurable 2-bit
+/// weights packed in `weights`. Each polling cycle accumulates yes/no
+/// tallies; `decision` reports the current leader and `quorum` whether the
+/// total weight seen reaches eight — the control/datapath mix of the
+/// original voting benchmark.
+#[must_use]
+pub fn b10() -> Module {
+    const CW: usize = 6;
+    let mut m = Module::new("b10");
+    let votes: Vec<_> = (0..4).map(|i| m.input_bit(format!("vote{i}"))).collect();
+    let weights = m.input_word("weights", 8); // four 2-bit weights
+    let poll = m.input_bit("poll");
+    let reset = m.input_bit("reset");
+
+    let yes = m.reg_word("yes", CW, 0);
+    let no = m.reg_word("no", CW, 0);
+
+    // Sum the weights of yes / no voters this cycle.
+    let mut yes_sum = m.const_word(CW, 0);
+    let mut no_sum = m.const_word(CW, 0);
+    for (i, &v) in votes.iter().enumerate() {
+        let w = weights.slice(2 * i, 2 * i + 2);
+        let w_ext = m.resize(&w, CW);
+        let zero = m.const_word(CW, 0);
+        let yes_part = m.mux_w(v, &zero, &w_ext);
+        let no_part = m.mux_w(v, &w_ext, &zero);
+        yes_sum = m.add(&yes_sum, &yes_part);
+        no_sum = m.add(&no_sum, &no_part);
+    }
+
+    let yes_next = m.add(&yes.q(), &yes_sum);
+    let no_next = m.add(&no.q(), &no_sum);
+    m.next_when_with_reset(&yes, reset, poll, &yes_next);
+    m.next_when_with_reset(&no, reset, poll, &no_next);
+
+    let decision = m.gt_u(&yes.q(), &no.q());
+    let total = m.add(&yes.q(), &no.q());
+    let eight = m.const_word(CW, 8);
+    let quorum = m.ge_u(&total, &eight);
+    let margin = {
+        let d_yes = m.sub(&yes.q(), &no.q());
+        let d_no = m.sub(&no.q(), &yes.q());
+        m.mux_w(decision, &d_no, &d_yes)
+    };
+
+    m.output_bit("decision", decision);
+    m.output_bit("quorum", quorum);
+    m.output_word("margin", &margin);
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pl_netlist::eval::Evaluator;
+
+    const CW: usize = 6;
+
+    fn step(
+        sim: &mut Evaluator,
+        votes: [bool; 4],
+        weights: u64,
+        poll: bool,
+        reset: bool,
+    ) -> (bool, bool, u64) {
+        let mut ins = votes.to_vec();
+        ins.extend((0..8).map(|i| (weights >> i) & 1 == 1));
+        ins.push(poll);
+        ins.push(reset);
+        let out = sim.step(&ins).unwrap();
+        let margin: u64 = (0..CW).map(|i| u64::from(out[2 + i]) << i).sum();
+        (out[0], out[1], margin)
+    }
+
+    #[test]
+    fn weighted_majority_wins() {
+        let n = b10().elaborate().unwrap();
+        let mut sim = Evaluator::new(&n).unwrap();
+        // weights: voter0=3, voter1=1, voter2=1, voter3=1 (packed LSB first)
+        let w = 0b01_01_01_11;
+        step(&mut sim, [false; 4], w, false, true);
+        // voter0 yes, others no: 3 vs 3 -> tie, decision false
+        step(&mut sim, [true, false, false, false], w, true, false);
+        let (d, _, margin) = step(&mut sim, [false; 4], w, false, false);
+        assert!(!d);
+        assert_eq!(margin, 0);
+        // another round: voters 0 and 1 yes -> 4 vs 2 cumulative 7 vs 5
+        step(&mut sim, [true, true, false, false], w, true, false);
+        let (d, q, margin) = step(&mut sim, [false; 4], w, false, false);
+        assert!(d);
+        assert!(q, "12 total weight >= 8");
+        assert_eq!(margin, 2);
+    }
+
+    #[test]
+    fn quorum_needs_weight() {
+        let n = b10().elaborate().unwrap();
+        let mut sim = Evaluator::new(&n).unwrap();
+        let w = 0b01_01_01_01; // all weight 1
+        step(&mut sim, [false; 4], w, false, true);
+        step(&mut sim, [true, true, true, true], w, true, false);
+        let (_, q, _) = step(&mut sim, [false; 4], w, false, false);
+        assert!(!q, "4 < 8");
+        step(&mut sim, [true, true, true, true], w, true, false);
+        let (_, q, _) = step(&mut sim, [false; 4], w, false, false);
+        assert!(q, "8 >= 8");
+    }
+
+    #[test]
+    fn poll_gate_holds_tallies() {
+        let n = b10().elaborate().unwrap();
+        let mut sim = Evaluator::new(&n).unwrap();
+        let w = 0b11_11_11_11;
+        step(&mut sim, [false; 4], w, false, true);
+        step(&mut sim, [true; 4], w, false, false); // poll low: ignored
+        let (_, q, margin) = step(&mut sim, [false; 4], w, false, false);
+        assert!(!q);
+        assert_eq!(margin, 0);
+    }
+}

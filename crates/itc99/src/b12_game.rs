@@ -1,0 +1,230 @@
+//! b12 — 1-player game (guess a sequence).
+
+use pl_rtl::Module;
+
+/// Builds b12: a Simon-style "guess the sequence" game machine.
+///
+/// The machine generates a pseudo-random target sequence with an LFSR,
+/// plays it back from a pattern ROM, accepts the player's 2-bit guesses,
+/// keeps score with saturating counters, and walks a game FSM
+/// (idle → play → listen → score). The original b12 is the largest
+/// non-processor circuit of the suite; this version's ROM + LFSR + FSM +
+/// score datapath reproduces that relative weight.
+#[must_use]
+pub fn b12() -> Module {
+    let mut m = Module::new("b12");
+    let start = m.input_bit("start");
+    let guess = m.input_word("guess", 2);
+    let guess_valid = m.input_bit("guess_valid");
+    let reset = m.input_bit("reset");
+
+    // Game FSM: 0 idle, 1 play, 2 listen, 3 score.
+    let state = m.reg_word("state", 2, 0);
+    // 16-bit LFSR (x^16 + x^15 + x^13 + x^4 + 1) seeds the round.
+    let lfsr = m.reg_word("lfsr", 16, 0xACE1);
+    // Playback position within the 16-step round.
+    let pos = m.reg_word("pos", 4, 0);
+    // Score: correct guesses (saturating), best score, lives, rounds played.
+    let score = m.reg_word("score", 8, 0);
+    let best_score = m.reg_word("best_score", 8, 0);
+    let rounds = m.reg_word("rounds", 6, 0);
+    let lives = m.reg_word("lives", 3, 5);
+    // Player history: last 8 guesses, used to spice up the note index.
+    let history = m.reg_word("history", 16, 0);
+
+    let s_idle = m.eq_const(&state.q(), 0);
+    let s_play = m.eq_const(&state.q(), 1);
+    let s_listen = m.eq_const(&state.q(), 2);
+    let s_score = m.eq_const(&state.q(), 3);
+
+    // LFSR next.
+    let fb = {
+        let t1 = m.xor2(lfsr.q().bit(15), lfsr.q().bit(14));
+        let t2 = m.xor2(lfsr.q().bit(12), lfsr.q().bit(3));
+        m.xor2(t1, t2)
+    };
+    let lfsr_next = {
+        let hi = lfsr.q().slice(0, 15);
+        pl_rtl::Word::from_bit(fb).concat(&hi)
+    };
+
+    // Pattern ROM: 32 two-bit notes, indexed by pos XOR lfsr/history bits.
+    let rom_data: Vec<u64> = vec![
+        0, 1, 2, 3, 2, 1, 0, 3, 1, 1, 2, 0, 3, 3, 0, 2, 2, 0, 1, 3, 0, 2, 3, 1, 3, 0, 2, 1,
+        1, 2, 3, 0,
+    ];
+    let idx = {
+        let low = lfsr.q().slice(0, 5);
+        let pos5 = m.resize(&pos.q(), 5);
+        m.xor_w(&pos5, &low)
+    };
+    let note = m.rom(&idx, 2, &rom_data);
+
+    let pos_next = m.inc(&pos.q());
+    let round_end = m.eq_const(&pos.q(), 15);
+
+    // Guess checking while listening.
+    let hit = m.eq_w(&guess, &note);
+    let miss = m.not(hit);
+    let sc_inc = m.inc(&score.q());
+    let sc_max = m.eq_const(&score.q(), 255);
+    let sc_bump = m.mux_w(sc_max, &sc_inc, &score.q());
+    let take_hit = {
+        let t = m.and2(s_listen, guess_valid);
+        m.and2(t, hit)
+    };
+    let score_next = m.mux_w(take_hit, &score.q(), &sc_bump);
+
+    let lv_dec = m.dec(&lives.q());
+    let lv_zero = m.eq_const(&lives.q(), 0);
+    let lv_dead = m.mux_w(lv_zero, &lv_dec, &lives.q());
+    let take_miss = {
+        let t = m.and2(s_listen, guess_valid);
+        m.and2(t, miss)
+    };
+    let lives_next = m.mux_w(take_miss, &lives.q(), &lv_dead);
+
+    // FSM transitions.
+    let k_idle = m.const_word(2, 0);
+    let k_play = m.const_word(2, 1);
+    let k_listen = m.const_word(2, 2);
+    let k_score = m.const_word(2, 3);
+    let idle_next = m.mux_w(start, &k_idle, &k_play);
+    let play_next = m.mux_w(round_end, &k_play, &k_listen);
+    // The last (16th) guess of the round moves to the score state.
+    let last_guess = m.and2(round_end, guess_valid);
+    let listen_next = m.mux_w(last_guess, &k_listen, &k_score);
+    let game_over = m.eq_const(&lives.q(), 0);
+    let score_next_state = m.mux_w(game_over, &k_play, &k_idle);
+    let state_next = m.select(
+        &k_idle,
+        &[
+            (s_idle, idle_next),
+            (s_play, play_next),
+            (s_listen, listen_next),
+            (s_score, score_next_state),
+        ],
+    );
+
+    // Position advances through playback freely, but in the listen phase it
+    // waits for the player's guess (the presented note stays stable).
+    let listening_step = m.and2(s_listen, guess_valid);
+    let advancing = m.or2(s_play, listening_step);
+    let zero4 = m.const_word(4, 0);
+    let moving = m.or2(s_play, s_listen);
+    let pos_held = m.mux_w(advancing, &pos.q(), &pos_next);
+    let pos_upd = m.mux_w(moving, &zero4, &pos_held);
+
+    // LFSR advances every idle cycle (free-running randomness).
+    let lfsr_upd = m.mux_w(s_idle, &lfsr.q(), &lfsr_next);
+
+    // Guess history shifts on every accepted guess.
+    let hist_shifted = {
+        let lo = history.q().slice(0, 14);
+        guess.concat(&lo)
+    };
+    let hist_next = m.mux_w(listening_step, &history.q(), &hist_shifted);
+
+    // Round accounting: on entering score state, remember the best score
+    // and bump the round counter.
+    let entering_score = {
+        let t = m.and2(s_listen, round_end);
+        m.and2(t, guess_valid)
+    };
+    let new_best = m.gt_u(&score.q(), &best_score.q());
+    let best_cand = m.mux_w(new_best, &best_score.q(), &score.q());
+    let best_next = m.mux_w(entering_score, &best_score.q(), &best_cand);
+    let rounds_inc = m.inc(&rounds.q());
+    let rounds_next = m.mux_w(entering_score, &rounds.q(), &rounds_inc);
+
+    m.next_with_reset(&state, reset, &state_next);
+    m.next_with_reset(&lfsr, reset, &lfsr_upd);
+    m.next_with_reset(&pos, reset, &pos_upd);
+    m.next_with_reset(&score, reset, &score_next);
+    m.next_with_reset(&best_score, reset, &best_next);
+    m.next_with_reset(&rounds, reset, &rounds_next);
+    m.next_with_reset(&lives, reset, &lives_next);
+    m.next_with_reset(&history, reset, &hist_next);
+
+    m.output_word("note", &note);
+    m.output_word("score", &score.q());
+    m.output_word("lives", &lives.q());
+    m.output_bit("playing", s_play);
+    m.output_bit("game_over", game_over);
+    m.output_word("best_score", &best_score.q());
+    m.output_word("rounds", &rounds.q());
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pl_netlist::eval::Evaluator;
+
+    fn step(
+        sim: &mut Evaluator,
+        start: bool,
+        guess: u64,
+        gv: bool,
+        reset: bool,
+    ) -> Vec<bool> {
+        let mut ins = vec![start];
+        ins.extend((0..2).map(|i| (guess >> i) & 1 == 1));
+        ins.push(gv);
+        ins.push(reset);
+        sim.step(&ins).unwrap()
+    }
+
+    fn score(out: &[bool]) -> u64 {
+        (0..8).map(|i| u64::from(out[2 + i]) << i).sum()
+    }
+    fn lives(out: &[bool]) -> u64 {
+        (0..3).map(|i| u64::from(out[10 + i]) << i).sum()
+    }
+
+    #[test]
+    fn starts_and_plays_a_round() {
+        let n = b12().elaborate().unwrap();
+        let mut sim = Evaluator::new(&n).unwrap();
+        step(&mut sim, false, 0, false, true);
+        step(&mut sim, true, 0, false, false); // idle -> play
+        let out = step(&mut sim, false, 0, false, false);
+        assert!(out[13], "machine should report playing");
+        // play runs 16 positions then listens
+        for _ in 0..16 {
+            step(&mut sim, false, 0, false, false);
+        }
+        let out = step(&mut sim, false, 0, false, false);
+        assert!(!out[13], "round playback must end");
+    }
+
+    #[test]
+    fn correct_guesses_raise_score_wrong_cost_lives() {
+        let n = b12().elaborate().unwrap();
+        let mut sim = Evaluator::new(&n).unwrap();
+        step(&mut sim, false, 0, false, true);
+        step(&mut sim, true, 0, false, false);
+        for _ in 0..17 {
+            step(&mut sim, false, 0, false, false); // finish playback
+        }
+        // Now listening. The presented note holds steady until a guess is
+        // accepted, so we can read it one cycle and echo it the next.
+        let out = step(&mut sim, false, 0, false, false);
+        let note: u64 = u64::from(out[0]) | (u64::from(out[1]) << 1);
+        step(&mut sim, false, note, true, false); // hit
+        let out = step(&mut sim, false, 0, false, false);
+        assert_eq!(score(&out), 1);
+        let note: u64 = u64::from(out[0]) | (u64::from(out[1]) << 1);
+        step(&mut sim, false, note ^ 3, true, false); // miss
+        let out = step(&mut sim, false, 0, false, false);
+        assert_eq!(lives(&out), 4);
+        assert_eq!(score(&out), 1, "a miss must not change the score");
+    }
+
+    #[test]
+    fn larger_than_the_small_fsms() {
+        let n = b12().elaborate().unwrap();
+        let gates = n.num_luts() + n.dffs().len();
+        assert!(gates > 250, "b12 is the big non-CPU circuit, got {gates}");
+    }
+}

@@ -1,0 +1,255 @@
+//! Structural analyses: topological order, logic levels, fanout, statistics.
+//!
+//! Logic levels are the arrival-time estimate of the DATE 2002 paper: "the
+//! arrival times are assumed to be equivalent to the maximum path length in
+//! terms of PL gates from the primary circuit inputs" (§3). At the
+//! synchronous-netlist stage the sources are primary inputs, constants and
+//! flip-flop outputs.
+
+use std::collections::VecDeque;
+
+use crate::error::NetlistError;
+use crate::graph::{Netlist, NodeId};
+use crate::node::NodeKind;
+
+/// Topological order of the *combinational* dependency graph.
+///
+/// Flip-flop outputs act as sources (their `d` edge is sequential, not
+/// combinational). The returned order contains every node exactly once.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::CombinationalLoop`] if LUT dependencies cycle
+/// (impossible via the public construction API, but checked defensively).
+pub fn comb_topo_order(netlist: &Netlist) -> Result<Vec<NodeId>, NetlistError> {
+    let n = netlist.len();
+    let mut indegree = vec![0usize; n];
+    let mut fanout: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (id, node) in netlist.iter() {
+        if let NodeKind::Lut { inputs, .. } = node.kind() {
+            for &src in inputs {
+                fanout[src.index()].push(id.index());
+                indegree[id.index()] += 1;
+            }
+        }
+    }
+    let mut queue: VecDeque<usize> =
+        (0..n).filter(|&i| indegree[i] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(i) = queue.pop_front() {
+        order.push(NodeId::from_index(i));
+        for &dst in &fanout[i] {
+            indegree[dst] -= 1;
+            if indegree[dst] == 0 {
+                queue.push_back(dst);
+            }
+        }
+    }
+    if order.len() != n {
+        let stuck = (0..n)
+            .find(|&i| indegree[i] > 0)
+            .map(NodeId::from_index)
+            .expect("some node must be stuck in a loop");
+        return Err(NetlistError::CombinationalLoop(stuck));
+    }
+    Ok(order)
+}
+
+/// Logic level of every node, indexed by [`NodeId::index`].
+///
+/// Sources (inputs, constants, flip-flops) are level 0; a LUT is
+/// `1 + max(level of fanins)`.
+///
+/// # Errors
+///
+/// Propagates [`comb_topo_order`] errors.
+pub fn levels(netlist: &Netlist) -> Result<Vec<u32>, NetlistError> {
+    let order = comb_topo_order(netlist)?;
+    let mut level = vec![0u32; netlist.len()];
+    for id in order {
+        if let NodeKind::Lut { inputs, .. } = netlist.node(id).kind() {
+            level[id.index()] =
+                1 + inputs.iter().map(|i| level[i.index()]).max().unwrap_or(0);
+        }
+    }
+    Ok(level)
+}
+
+/// Maximum combinational depth (in LUT levels) of the netlist.
+///
+/// # Errors
+///
+/// Propagates [`comb_topo_order`] errors.
+pub fn depth(netlist: &Netlist) -> Result<u32, NetlistError> {
+    Ok(levels(netlist)?.into_iter().max().unwrap_or(0))
+}
+
+/// Fanout lists: for each node, the nodes reading it (combinationally or via
+/// a flip-flop `d` pin), indexed by [`NodeId::index`].
+#[must_use]
+pub fn fanouts(netlist: &Netlist) -> Vec<Vec<NodeId>> {
+    let mut fo: Vec<Vec<NodeId>> = vec![Vec::new(); netlist.len()];
+    for (id, node) in netlist.iter() {
+        for src in node.fanins() {
+            fo[src.index()].push(id);
+        }
+    }
+    fo
+}
+
+/// Summary statistics of a netlist.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Stats {
+    /// Primary inputs.
+    pub num_inputs: usize,
+    /// Named primary outputs.
+    pub num_outputs: usize,
+    /// LUT nodes.
+    pub num_luts: usize,
+    /// Flip-flops.
+    pub num_dffs: usize,
+    /// Constant drivers.
+    pub num_consts: usize,
+    /// Maximum LUT depth.
+    pub depth: u32,
+    /// Histogram of LUT arities, indexed by arity (0..=6).
+    pub lut_arity_histogram: [usize; 7],
+}
+
+impl Stats {
+    /// Total gate count the paper reports as "PL Gates": LUTs + flip-flops
+    /// (each becomes one PL gate after mapping).
+    #[must_use]
+    pub fn pl_gate_count(&self) -> usize {
+        self.num_luts + self.num_dffs
+    }
+}
+
+impl std::fmt::Display for Stats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} PI, {} PO, {} LUT, {} DFF, depth {}",
+            self.num_inputs, self.num_outputs, self.num_luts, self.num_dffs, self.depth
+        )
+    }
+}
+
+/// Computes summary statistics.
+///
+/// # Errors
+///
+/// Propagates [`comb_topo_order`] errors (depth computation).
+pub fn stats(netlist: &Netlist) -> Result<Stats, NetlistError> {
+    let mut s = Stats {
+        num_inputs: netlist.inputs().len(),
+        num_outputs: netlist.outputs().len(),
+        num_dffs: netlist.dffs().len(),
+        depth: depth(netlist)?,
+        ..Stats::default()
+    };
+    for (_, node) in netlist.iter() {
+        match node.kind() {
+            NodeKind::Lut { inputs, .. } => {
+                s.num_luts += 1;
+                s.lut_arity_histogram[inputs.len()] += 1;
+            }
+            NodeKind::Const { .. } => s.num_consts += 1,
+            _ => {}
+        }
+    }
+    Ok(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(n_luts: usize) -> Netlist {
+        let mut n = Netlist::new("chain");
+        let a = n.add_input("a");
+        let mut cur = a;
+        for _ in 0..n_luts {
+            cur = n.add_not(cur).unwrap();
+        }
+        n.set_output("y", cur);
+        n
+    }
+
+    #[test]
+    fn topo_order_is_complete_and_sorted() {
+        let n = chain(5);
+        let order = comb_topo_order(&n).unwrap();
+        assert_eq!(order.len(), n.len());
+        let pos: Vec<usize> = {
+            let mut p = vec![0; n.len()];
+            for (rank, id) in order.iter().enumerate() {
+                p[id.index()] = rank;
+            }
+            p
+        };
+        for (id, node) in n.iter() {
+            if let NodeKind::Lut { inputs, .. } = node.kind() {
+                for src in inputs {
+                    assert!(pos[src.index()] < pos[id.index()]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn levels_of_chain() {
+        let n = chain(4);
+        let lv = levels(&n).unwrap();
+        assert_eq!(depth(&n).unwrap(), 4);
+        // input is level 0, successive inverters 1..4
+        assert_eq!(lv[0], 0);
+        assert_eq!(lv[4], 4);
+    }
+
+    #[test]
+    fn dff_is_level_zero_source() {
+        let mut n = Netlist::new("seq");
+        let d = n.add_dff(false);
+        let inv = n.add_not(d).unwrap();
+        n.set_dff_input(d, inv).unwrap();
+        n.set_output("q", d);
+        let lv = levels(&n).unwrap();
+        assert_eq!(lv[d.index()], 0);
+        assert_eq!(lv[inv.index()], 1);
+    }
+
+    #[test]
+    fn fanout_lists() {
+        let mut n = Netlist::new("fan");
+        let a = n.add_input("a");
+        let x = n.add_not(a).unwrap();
+        let y = n.add_not(a).unwrap();
+        let d = n.add_dff(false);
+        n.set_dff_input(d, a).unwrap();
+        n.set_output("x", x);
+        n.set_output("y", y);
+        let fo = fanouts(&n);
+        assert_eq!(fo[a.index()], vec![x, y, d]);
+        assert!(fo[x.index()].is_empty());
+    }
+
+    #[test]
+    fn stats_counts() {
+        let mut n = Netlist::new("stats");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let g = n.add_and2(a, b).unwrap();
+        let d = n.add_dff(true);
+        n.set_dff_input(d, g).unwrap();
+        n.set_output("q", d);
+        let s = stats(&n).unwrap();
+        assert_eq!(s.num_inputs, 2);
+        assert_eq!(s.num_luts, 1);
+        assert_eq!(s.num_dffs, 1);
+        assert_eq!(s.pl_gate_count(), 2);
+        assert_eq!(s.lut_arity_histogram[2], 1);
+        assert_eq!(s.depth, 1);
+        assert!(s.to_string().contains("1 LUT"));
+    }
+}

@@ -1,0 +1,384 @@
+//! BLIF-style text serialization of netlists.
+//!
+//! The Berkeley Logic Interchange Format is the lingua franca of academic
+//! logic-synthesis tools; supporting it makes the flow inspectable with
+//! standard viewers and allows round-trip testing. Only the structural
+//! subset needed here is implemented: `.model`, `.inputs`, `.outputs`,
+//! `.names` (ON-set or OFF-set covers) and `.latch`.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use pl_boolfn::{isop, Cube, Polarity, TruthTable};
+
+use crate::error::NetlistError;
+use crate::graph::{Netlist, NodeId};
+use crate::node::NodeKind;
+
+/// Serializes a netlist to BLIF text.
+///
+/// Node signals are named `n<i>`, primary inputs keep their port names, and
+/// each primary output becomes a buffer onto its port name.
+///
+/// # Errors
+///
+/// Fails if the netlist does not validate.
+pub fn to_blif(netlist: &Netlist) -> Result<String, NetlistError> {
+    netlist.validate()?;
+    let mut out = String::new();
+    let sig = |id: NodeId| -> String {
+        match netlist.node(id).kind() {
+            NodeKind::Input { name } => name.clone(),
+            _ => format!("n{}", id.index()),
+        }
+    };
+    writeln!(out, ".model {}", netlist.name()).expect("string write");
+    let input_names: Vec<String> = netlist.inputs().iter().map(|&i| sig(i)).collect();
+    writeln!(out, ".inputs {}", input_names.join(" ")).expect("string write");
+    let output_names: Vec<String> =
+        netlist.outputs().iter().map(|(n, _)| n.clone()).collect();
+    writeln!(out, ".outputs {}", output_names.join(" ")).expect("string write");
+
+    for &ff in netlist.dffs() {
+        if let NodeKind::Dff { d: Some(src), init } = netlist.node(ff).kind() {
+            writeln!(out, ".latch {} {} {}", sig(*src), sig(ff), u8::from(*init))
+                .expect("string write");
+        }
+    }
+    for (id, node) in netlist.iter() {
+        match node.kind() {
+            NodeKind::Const { value } => {
+                writeln!(out, ".names {}", sig(id)).expect("string write");
+                if *value {
+                    writeln!(out, "1").expect("string write");
+                }
+            }
+            NodeKind::Lut { table, inputs } => {
+                let names: Vec<String> = inputs.iter().map(|&i| sig(i)).collect();
+                writeln!(out, ".names {} {}", names.join(" "), sig(id)).expect("string write");
+                for cube in &isop(table, table) {
+                    let mut pat = String::new();
+                    for v in 0..table.num_vars() {
+                        pat.push(match cube.literal(v) {
+                            Polarity::Positive => '1',
+                            Polarity::Negative => '0',
+                            Polarity::DontCare => '-',
+                        });
+                    }
+                    writeln!(out, "{pat} 1").expect("string write");
+                }
+            }
+            _ => {}
+        }
+    }
+    for (name, id) in netlist.outputs() {
+        let driver = sig(*id);
+        if driver != *name {
+            writeln!(out, ".names {driver} {name}").expect("string write");
+            writeln!(out, "1 1").expect("string write");
+        }
+    }
+    writeln!(out, ".end").expect("string write");
+    Ok(out)
+}
+
+/// Parses BLIF text into a [`Netlist`].
+///
+/// # Errors
+///
+/// Returns [`NetlistError::BlifParse`] with a line number for malformed
+/// input, plus ordinary construction errors for over-wide LUTs.
+pub fn from_blif(text: &str) -> Result<Netlist, NetlistError> {
+    #[derive(Debug)]
+    struct NamesDef {
+        line: usize,
+        inputs: Vec<String>,
+        output: String,
+        on_cubes: Vec<String>,
+        off_cubes: Vec<String>,
+    }
+    let err = |line: usize, message: &str| NetlistError::BlifParse {
+        line,
+        message: message.to_string(),
+    };
+
+    let mut model = String::from("top");
+    let mut inputs: Vec<String> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+    let mut latches: Vec<(usize, String, String, bool)> = Vec::new();
+    let mut names: Vec<NamesDef> = Vec::new();
+
+    let mut current: Option<NamesDef> = None;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let trimmed = raw.split('#').next().unwrap_or("").trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let toks: Vec<&str> = trimmed.split_whitespace().collect();
+        if trimmed.starts_with('.') {
+            if let Some(def) = current.take() {
+                names.push(def);
+            }
+            match toks[0] {
+                ".model" => {
+                    model = toks.get(1).unwrap_or(&"top").to_string();
+                }
+                ".inputs" => inputs.extend(toks[1..].iter().map(|s| s.to_string())),
+                ".outputs" => outputs.extend(toks[1..].iter().map(|s| s.to_string())),
+                ".latch" => {
+                    // .latch <input> <output> [<type> <control>] [<init>]
+                    if toks.len() < 3 {
+                        return Err(err(line, "latch needs input and output"));
+                    }
+                    let init_tok = match toks.len() {
+                        3 => "0",
+                        4 => toks[3],
+                        6 => toks[5],
+                        _ => return Err(err(line, "unsupported latch form")),
+                    };
+                    let init = match init_tok {
+                        "0" => false,
+                        "1" => true,
+                        "2" | "3" => false, // don't-care / unknown -> reset to 0
+                        _ => return Err(err(line, "bad latch init value")),
+                    };
+                    latches.push((line, toks[1].to_string(), toks[2].to_string(), init));
+                }
+                ".names" => {
+                    if toks.len() < 2 {
+                        return Err(err(line, "names needs at least an output"));
+                    }
+                    current = Some(NamesDef {
+                        line,
+                        inputs: toks[1..toks.len() - 1].iter().map(|s| s.to_string()).collect(),
+                        output: toks[toks.len() - 1].to_string(),
+                        on_cubes: Vec::new(),
+                        off_cubes: Vec::new(),
+                    });
+                }
+                ".end" => break,
+                other => return Err(err(line, &format!("unsupported directive {other}"))),
+            }
+        } else {
+            let def = current
+                .as_mut()
+                .ok_or_else(|| err(line, "cover line outside .names"))?;
+            let (pattern, value) = if def.inputs.is_empty() {
+                (String::new(), toks[0])
+            } else {
+                if toks.len() != 2 {
+                    return Err(err(line, "cover line needs pattern and value"));
+                }
+                (toks[0].to_string(), toks[1])
+            };
+            if pattern.len() != def.inputs.len() {
+                return Err(err(line, "pattern width mismatch"));
+            }
+            if let Some(bad) = pattern.chars().find(|c| !matches!(c, '0' | '1' | '-')) {
+                return Err(err(line, &format!("bad cover character '{bad}'")));
+            }
+            match value {
+                "1" => def.on_cubes.push(pattern),
+                "0" => def.off_cubes.push(pattern),
+                _ => return Err(err(line, "cover value must be 0 or 1")),
+            }
+        }
+    }
+    if let Some(def) = current.take() {
+        names.push(def);
+    }
+
+    // Build the netlist. Signals: inputs, latch outputs, then .names outputs
+    // in dependency order.
+    let mut n = Netlist::new(model);
+    let mut sig: HashMap<String, NodeId> = HashMap::new();
+    for name in &inputs {
+        sig.insert(name.clone(), n.add_input(name.clone()));
+    }
+    for (line, _, q, init) in &latches {
+        if sig.contains_key(q) {
+            return Err(err(*line, "latch output redefines a signal"));
+        }
+        sig.insert(q.clone(), n.add_dff(*init));
+    }
+    // Topological creation of .names definitions.
+    let mut remaining: Vec<NamesDef> = names;
+    while !remaining.is_empty() {
+        let ready: Vec<usize> = remaining
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.inputs.iter().all(|i| sig.contains_key(i)))
+            .map(|(i, _)| i)
+            .collect();
+        if ready.is_empty() {
+            let d = &remaining[0];
+            return Err(err(
+                d.line,
+                "unresolvable .names dependencies (combinational loop or undefined signal)",
+            ));
+        }
+        // Remove in reverse index order to keep indices valid.
+        for &idx in ready.iter().rev() {
+            let def = remaining.swap_remove(idx);
+            let width = def.inputs.len();
+            if width > 6 {
+                return Err(NetlistError::LutTooWide { arity: width, max: 6 });
+            }
+            if !def.on_cubes.is_empty() && !def.off_cubes.is_empty() {
+                return Err(err(def.line, "mixed ON and OFF cover"));
+            }
+            let mut table = TruthTable::zero(width);
+            let (cubes, invert) = if def.off_cubes.is_empty() {
+                (&def.on_cubes, false)
+            } else {
+                (&def.off_cubes, true)
+            };
+            for pat in cubes {
+                let mut cube = Cube::universal(width);
+                for (v, ch) in pat.chars().enumerate() {
+                    cube = match ch {
+                        '1' => cube.with_literal(v, Polarity::Positive),
+                        '0' => cube.with_literal(v, Polarity::Negative),
+                        '-' => cube,
+                        _ => return Err(err(def.line, "bad cover character")),
+                    };
+                }
+                table = table | cube.to_truth_table();
+            }
+            if invert {
+                table = !table;
+            }
+            let node = if width == 0 {
+                n.add_const(table.eval(0))
+            } else {
+                let fanins: Vec<NodeId> =
+                    def.inputs.iter().map(|i| sig[i]).collect();
+                n.add_lut(table, fanins)?
+            };
+            if sig.insert(def.output.clone(), node).is_some() {
+                return Err(err(def.line, "signal defined twice"));
+            }
+        }
+    }
+    for (line, d, q, _) in &latches {
+        let src = *sig
+            .get(d)
+            .ok_or_else(|| err(*line, "latch input signal undefined"))?;
+        n.set_dff_input(sig[q], src)?;
+    }
+    for name in &outputs {
+        let id = *sig
+            .get(name)
+            .ok_or_else(|| err(0, &format!("output signal '{name}' undefined")))?;
+        n.set_output(name.clone(), id);
+    }
+    n.validate()?;
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::Evaluator;
+
+    fn roundtrip_behaviour(n: &Netlist, vectors: &[Vec<bool>]) {
+        let text = to_blif(n).unwrap();
+        let back = from_blif(&text).unwrap();
+        let mut a = Evaluator::new(n).unwrap();
+        let mut b = Evaluator::new(&back).unwrap();
+        for v in vectors {
+            assert_eq!(a.step(v).unwrap(), b.step(v).unwrap(), "vector {v:?}\n{text}");
+        }
+    }
+
+    #[test]
+    fn combinational_roundtrip() {
+        let mut n = Netlist::new("comb");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let c = n.add_input("c");
+        let ab = n.add_and2(a, b).unwrap();
+        let f = n.add_xor2(ab, c).unwrap();
+        n.set_output("f", f);
+        let vecs: Vec<Vec<bool>> =
+            (0..8).map(|m| (0..3).map(|i| m & (1 << i) != 0).collect()).collect();
+        roundtrip_behaviour(&n, &vecs);
+    }
+
+    #[test]
+    fn sequential_roundtrip() {
+        let mut n = Netlist::new("seq");
+        let d = n.add_dff(true);
+        let x = n.add_input("x");
+        let g = n.add_xor2(d, x).unwrap();
+        n.set_dff_input(d, g).unwrap();
+        n.set_output("q", d);
+        let vecs: Vec<Vec<bool>> =
+            vec![vec![true], vec![false], vec![true], vec![true], vec![false]];
+        roundtrip_behaviour(&n, &vecs);
+    }
+
+    #[test]
+    fn constants_roundtrip() {
+        let mut n = Netlist::new("konst");
+        let one = n.add_const(true);
+        let zero = n.add_const(false);
+        let x = n.add_input("x");
+        let g1 = n.add_and2(x, one).unwrap();
+        let g2 = n.add_or2(g1, zero).unwrap();
+        n.set_output("y", g2);
+        roundtrip_behaviour(&n, &[vec![true], vec![false]]);
+    }
+
+    #[test]
+    fn parse_off_set_cover() {
+        let text = "\
+.model offset
+.inputs a b
+.outputs y
+.names a b y
+00 0
+.end
+";
+        let n = from_blif(text).unwrap();
+        let mut sim = Evaluator::new(&n).unwrap();
+        // y = NOT(a'b') = a | b
+        assert_eq!(sim.step(&[false, false]).unwrap(), vec![false]);
+        assert_eq!(sim.step(&[true, false]).unwrap(), vec![true]);
+    }
+
+    #[test]
+    fn parse_reports_line_numbers() {
+        let text = ".model x\n.inputs a\n.outputs y\n.names a y\n2 1\n.end\n";
+        match from_blif(text) {
+            Err(NetlistError::BlifParse { line, .. }) => assert_eq!(line, 5),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_rejects_undefined_output() {
+        let text = ".model x\n.inputs a\n.outputs nope\n.end\n";
+        assert!(matches!(from_blif(text), Err(NetlistError::BlifParse { .. })));
+    }
+
+    #[test]
+    fn names_out_of_order_are_resolved() {
+        // g is defined after h although h reads g.
+        let text = "\
+.model order
+.inputs a
+.outputs y
+.names g y
+1 1
+.names a g
+0 1
+.end
+";
+        let n = from_blif(text).unwrap();
+        let mut sim = Evaluator::new(&n).unwrap();
+        assert_eq!(sim.step(&[false]).unwrap(), vec![true]);
+        assert_eq!(sim.step(&[true]).unwrap(), vec![false]);
+    }
+}

@@ -1,0 +1,104 @@
+//! Error type for netlist construction and analysis.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::graph::NodeId;
+
+/// Errors produced while building or analyzing a [`crate::Netlist`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A node id referenced a node that does not exist.
+    UnknownNode(NodeId),
+    /// A LUT was created whose truth-table arity differs from its fanin count.
+    ArityMismatch {
+        /// Variables in the supplied truth table.
+        table_vars: usize,
+        /// Number of fanin nodes supplied.
+        fanins: usize,
+    },
+    /// A LUT exceeded the maximum supported arity.
+    LutTooWide {
+        /// Requested arity.
+        arity: usize,
+        /// Supported maximum.
+        max: usize,
+    },
+    /// `set_dff_input` was called on a node that is not a flip-flop.
+    NotADff(NodeId),
+    /// A flip-flop was left without a driver.
+    UndrivenDff(NodeId),
+    /// The combinational part of the netlist contains a cycle through this node.
+    CombinationalLoop(NodeId),
+    /// A primary output references a missing node.
+    DanglingOutput {
+        /// Output port name.
+        name: String,
+        /// The missing node.
+        node: NodeId,
+    },
+    /// Wrong number of primary-input values supplied to the evaluator.
+    InputArityMismatch {
+        /// Values supplied.
+        got: usize,
+        /// Primary inputs expected.
+        expected: usize,
+    },
+    /// A BLIF file could not be parsed.
+    BlifParse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::UnknownNode(id) => write!(f, "unknown node {id}"),
+            NetlistError::ArityMismatch { table_vars, fanins } => write!(
+                f,
+                "truth table has {table_vars} variables but {fanins} fanins were supplied"
+            ),
+            NetlistError::LutTooWide { arity, max } => {
+                write!(f, "lut arity {arity} exceeds supported maximum {max}")
+            }
+            NetlistError::NotADff(id) => write!(f, "node {id} is not a flip-flop"),
+            NetlistError::UndrivenDff(id) => write!(f, "flip-flop {id} has no driver"),
+            NetlistError::CombinationalLoop(id) => {
+                write!(f, "combinational loop through node {id}")
+            }
+            NetlistError::DanglingOutput { name, node } => {
+                write!(f, "output '{name}' references missing node {node}")
+            }
+            NetlistError::InputArityMismatch { got, expected } => {
+                write!(f, "expected {expected} primary-input values, got {got}")
+            }
+            NetlistError::BlifParse { line, message } => {
+                write!(f, "blif parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = NetlistError::ArityMismatch { table_vars: 3, fanins: 2 };
+        assert!(e.to_string().contains('3'));
+        assert!(e.to_string().contains('2'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<NetlistError>();
+    }
+}

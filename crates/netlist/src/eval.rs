@@ -1,0 +1,233 @@
+//! Cycle-accurate reference evaluator for synchronous netlists.
+//!
+//! [`Evaluator`] simulates a [`Netlist`] exactly as a clocked circuit: each
+//! [`Evaluator::step`] presents one primary-input vector, evaluates the
+//! combinational logic, samples the primary outputs, and then clocks every
+//! flip-flop. The phased-logic simulator in `pl-sim` is verified against
+//! this evaluator — PL mapping and early evaluation must never change the
+//! produced output stream, only its timing.
+
+use crate::analyze::comb_topo_order;
+use crate::error::NetlistError;
+use crate::graph::{Netlist, NodeId};
+use crate::node::NodeKind;
+
+/// Cycle-based simulator of a [`Netlist`].
+///
+/// # Example
+///
+/// ```
+/// use pl_netlist::{eval::Evaluator, Netlist};
+///
+/// let mut n = Netlist::new("andgate");
+/// let a = n.add_input("a");
+/// let b = n.add_input("b");
+/// let g = n.add_and2(a, b)?;
+/// n.set_output("y", g);
+/// let mut sim = Evaluator::new(&n)?;
+/// assert_eq!(sim.step(&[true, true])?, vec![true]);
+/// assert_eq!(sim.step(&[true, false])?, vec![false]);
+/// # Ok::<(), pl_netlist::NetlistError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Evaluator<'a> {
+    netlist: &'a Netlist,
+    order: Vec<NodeId>,
+    /// Current value of every node's output.
+    values: Vec<bool>,
+    /// Current flip-flop contents, parallel to `netlist.dffs()`.
+    state: Vec<bool>,
+    cycles: u64,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Prepares an evaluator; flip-flops take their declared initial values.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the netlist does not validate.
+    pub fn new(netlist: &'a Netlist) -> Result<Self, NetlistError> {
+        netlist.validate()?;
+        let order = comb_topo_order(netlist)?;
+        let state = netlist
+            .dffs()
+            .iter()
+            .map(|&d| match netlist.node(d).kind() {
+                NodeKind::Dff { init, .. } => *init,
+                _ => unreachable!("dffs() only lists flip-flops"),
+            })
+            .collect();
+        Ok(Self { netlist, order, values: vec![false; netlist.len()], state, cycles: 0 })
+    }
+
+    /// Number of clock cycles executed so far.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Current flip-flop contents (parallel to `netlist.dffs()`).
+    #[must_use]
+    pub fn state(&self) -> &[bool] {
+        &self.state
+    }
+
+    /// Overwrites the flip-flop contents (for checkpoint/rollback tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state.len()` differs from the flip-flop count.
+    pub fn set_state(&mut self, state: &[bool]) {
+        assert_eq!(state.len(), self.state.len(), "state width mismatch");
+        self.state.copy_from_slice(state);
+    }
+
+    /// Runs one clock cycle: applies `inputs` (in primary-input declaration
+    /// order), returns the primary outputs (in output declaration order),
+    /// then updates every flip-flop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InputArityMismatch`] for a wrong-size vector.
+    pub fn step(&mut self, inputs: &[bool]) -> Result<Vec<bool>, NetlistError> {
+        let outputs = self.eval_outputs(inputs)?;
+        // Clock edge: sample D pins computed by eval_outputs.
+        let next: Vec<bool> = self
+            .netlist
+            .dffs()
+            .iter()
+            .map(|&d| match self.netlist.node(d).kind() {
+                NodeKind::Dff { d: Some(src), .. } => self.values[src.index()],
+                _ => unreachable!("validated netlist has driven flip-flops"),
+            })
+            .collect();
+        self.state = next;
+        self.cycles += 1;
+        Ok(outputs)
+    }
+
+    /// Evaluates the combinational logic for `inputs` *without* clocking the
+    /// flip-flops (Mealy-style output inspection).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InputArityMismatch`] for a wrong-size vector.
+    pub fn eval_outputs(&mut self, inputs: &[bool]) -> Result<Vec<bool>, NetlistError> {
+        let pis = self.netlist.inputs();
+        if inputs.len() != pis.len() {
+            return Err(NetlistError::InputArityMismatch {
+                got: inputs.len(),
+                expected: pis.len(),
+            });
+        }
+        for (&pi, &v) in pis.iter().zip(inputs) {
+            self.values[pi.index()] = v;
+        }
+        for (k, &dff) in self.netlist.dffs().iter().enumerate() {
+            self.values[dff.index()] = self.state[k];
+        }
+        for &id in &self.order {
+            match self.netlist.node(id).kind() {
+                NodeKind::Const { value } => self.values[id.index()] = *value,
+                NodeKind::Lut { table, inputs } => {
+                    let mut m = 0u32;
+                    for (i, src) in inputs.iter().enumerate() {
+                        if self.values[src.index()] {
+                            m |= 1 << i;
+                        }
+                    }
+                    self.values[id.index()] = table.eval(m);
+                }
+                NodeKind::Input { .. } | NodeKind::Dff { .. } => {}
+            }
+        }
+        Ok(self
+            .netlist
+            .outputs()
+            .iter()
+            .map(|(_, id)| self.values[id.index()])
+            .collect())
+    }
+
+    /// The most recently computed value of an arbitrary node.
+    #[must_use]
+    pub fn value(&self, id: NodeId) -> bool {
+        self.values[id.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_bit_counter_counts() {
+        // q0 toggles every cycle; q1 toggles when q0 was 1.
+        let mut n = Netlist::new("count2");
+        let q0 = n.add_dff(false);
+        let q1 = n.add_dff(false);
+        let n0 = n.add_not(q0).unwrap();
+        let t1 = n.add_xor2(q1, q0).unwrap();
+        n.set_dff_input(q0, n0).unwrap();
+        n.set_dff_input(q1, t1).unwrap();
+        n.set_output("q0", q0);
+        n.set_output("q1", q1);
+        let mut sim = Evaluator::new(&n).unwrap();
+        let mut seq = Vec::new();
+        for _ in 0..5 {
+            let o = sim.step(&[]).unwrap();
+            seq.push((u8::from(o[1]) << 1) | u8::from(o[0]));
+        }
+        assert_eq!(seq, vec![0, 1, 2, 3, 0]);
+        assert_eq!(sim.cycles(), 5);
+    }
+
+    #[test]
+    fn wrong_input_arity_is_reported() {
+        let mut n = Netlist::new("pi");
+        let _ = n.add_input("a");
+        let mut sim = Evaluator::new(&n).unwrap();
+        assert!(matches!(
+            sim.step(&[]),
+            Err(NetlistError::InputArityMismatch { got: 0, expected: 1 })
+        ));
+    }
+
+    #[test]
+    fn constants_drive_logic() {
+        let mut n = Netlist::new("const");
+        let one = n.add_const(true);
+        let a = n.add_input("a");
+        let g = n.add_and2(one, a).unwrap();
+        n.set_output("y", g);
+        let mut sim = Evaluator::new(&n).unwrap();
+        assert_eq!(sim.step(&[true]).unwrap(), vec![true]);
+        assert_eq!(sim.step(&[false]).unwrap(), vec![false]);
+    }
+
+    #[test]
+    fn eval_outputs_does_not_clock() {
+        let mut n = Netlist::new("hold");
+        let a = n.add_input("a");
+        let d = n.add_dff(false);
+        n.set_dff_input(d, a).unwrap();
+        n.set_output("q", d);
+        let mut sim = Evaluator::new(&n).unwrap();
+        assert_eq!(sim.eval_outputs(&[true]).unwrap(), vec![false]);
+        assert_eq!(sim.eval_outputs(&[true]).unwrap(), vec![false]); // unchanged
+        assert_eq!(sim.step(&[true]).unwrap(), vec![false]);
+        assert_eq!(sim.eval_outputs(&[false]).unwrap(), vec![true]); // clocked once
+    }
+
+    #[test]
+    fn set_state_overrides() {
+        let mut n = Netlist::new("s");
+        let d = n.add_dff(false);
+        let i = n.add_not(d).unwrap();
+        n.set_dff_input(d, i).unwrap();
+        n.set_output("q", d);
+        let mut sim = Evaluator::new(&n).unwrap();
+        sim.set_state(&[true]);
+        assert_eq!(sim.step(&[]).unwrap(), vec![true]);
+    }
+}

@@ -1,0 +1,131 @@
+//! Netlist node types.
+
+use pl_boolfn::TruthTable;
+
+use crate::graph::NodeId;
+
+/// Maximum LUT arity the IR accepts.
+///
+/// The technology mapper targets LUT4 (the paper's PL gate), but the IR
+/// tolerates up to 6 fanins so that mapping intermediates can be expressed.
+pub const MAX_LUT_ARITY: usize = 6;
+
+/// The kind of a netlist node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeKind {
+    /// A primary input with a port name.
+    Input {
+        /// Port name.
+        name: String,
+    },
+    /// A constant driver.
+    Const {
+        /// The constant value.
+        value: bool,
+    },
+    /// A combinational look-up table.
+    Lut {
+        /// The function computed over `inputs` (variable `i` of the table is
+        /// `inputs[i]`).
+        table: TruthTable,
+        /// Fanin nodes.
+        inputs: Vec<NodeId>,
+    },
+    /// A D flip-flop.
+    Dff {
+        /// The data input, if connected yet.
+        d: Option<NodeId>,
+        /// Power-on / reset value.
+        init: bool,
+    },
+}
+
+/// A netlist node: its kind plus an optional debug name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Node {
+    pub(crate) kind: NodeKind,
+    pub(crate) name: Option<String>,
+}
+
+impl Node {
+    /// The node's kind.
+    #[must_use]
+    pub fn kind(&self) -> &NodeKind {
+        &self.kind
+    }
+
+    /// Optional debug name attached to the node.
+    #[must_use]
+    pub fn name(&self) -> Option<&str> {
+        self.name.as_deref()
+    }
+
+    /// Whether this node is a primary input.
+    #[must_use]
+    pub fn is_input(&self) -> bool {
+        matches!(self.kind, NodeKind::Input { .. })
+    }
+
+    /// Whether this node is a constant.
+    #[must_use]
+    pub fn is_const(&self) -> bool {
+        matches!(self.kind, NodeKind::Const { .. })
+    }
+
+    /// Whether this node is a LUT.
+    #[must_use]
+    pub fn is_lut(&self) -> bool {
+        matches!(self.kind, NodeKind::Lut { .. })
+    }
+
+    /// Whether this node is a flip-flop.
+    #[must_use]
+    pub fn is_dff(&self) -> bool {
+        matches!(self.kind, NodeKind::Dff { .. })
+    }
+
+    /// The combinational fanins of the node (empty for inputs/constants;
+    /// the `d` pin for a connected flip-flop).
+    #[must_use]
+    pub fn fanins(&self) -> Vec<NodeId> {
+        match &self.kind {
+            NodeKind::Input { .. } | NodeKind::Const { .. } => Vec::new(),
+            NodeKind::Lut { inputs, .. } => inputs.clone(),
+            NodeKind::Dff { d, .. } => d.iter().copied().collect(),
+        }
+    }
+
+    /// The LUT truth table, if this is a LUT.
+    #[must_use]
+    pub fn lut_table(&self) -> Option<&TruthTable> {
+        match &self.kind {
+            NodeKind::Lut { table, .. } => Some(table),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_predicates() {
+        let n = Node { kind: NodeKind::Const { value: true }, name: None };
+        assert!(n.is_const());
+        assert!(!n.is_lut());
+        assert!(n.fanins().is_empty());
+        assert!(n.lut_table().is_none());
+    }
+
+    #[test]
+    fn dff_fanins_reflect_connection() {
+        let unconnected = Node { kind: NodeKind::Dff { d: None, init: false }, name: None };
+        assert!(unconnected.fanins().is_empty());
+        let connected = Node {
+            kind: NodeKind::Dff { d: Some(NodeId::from_index(3)), init: false },
+            name: None,
+        };
+        assert_eq!(connected.fanins(), vec![NodeId::from_index(3)]);
+    }
+}

@@ -1,0 +1,392 @@
+//! Netlist cleanup passes: dead-node elimination, constant propagation and
+//! structural hashing.
+//!
+//! These mirror the light cleanup a synthesis tool performs before
+//! technology mapping. All passes preserve sequential behaviour (verified by
+//! the equivalence property tests in `tests/`).
+
+use std::collections::HashMap;
+
+use pl_boolfn::TruthTable;
+
+use crate::error::NetlistError;
+use crate::graph::{Netlist, NodeId};
+use crate::node::NodeKind;
+
+/// Result of a cleanup pass: the rewritten netlist plus how many nodes the
+/// pass removed or merged.
+#[derive(Debug, Clone)]
+pub struct PassResult {
+    /// The rewritten netlist.
+    pub netlist: Netlist,
+    /// Nodes eliminated by the pass.
+    pub removed: usize,
+}
+
+/// Removes nodes that no primary output or flip-flop transitively reads.
+///
+/// # Errors
+///
+/// Propagates validation errors from the input netlist.
+pub fn dead_node_elimination(netlist: &Netlist) -> Result<PassResult, NetlistError> {
+    netlist.validate()?;
+    let mut live = vec![false; netlist.len()];
+    let mut stack: Vec<NodeId> = Vec::new();
+    for (_, id) in netlist.outputs() {
+        stack.push(*id);
+    }
+    // Flip-flops are roots too only if they are themselves live; but their
+    // d-pin cone must be kept for any live flip-flop. Start from outputs and
+    // walk through both combinational and sequential edges.
+    while let Some(id) = stack.pop() {
+        if live[id.index()] {
+            continue;
+        }
+        live[id.index()] = true;
+        for src in netlist.node(id).fanins() {
+            stack.push(src);
+        }
+    }
+    // Primary inputs always survive (they are part of the interface).
+    for &pi in netlist.inputs() {
+        live[pi.index()] = true;
+    }
+    rebuild(netlist, |id| live[id.index()], |_id, kind| kind.clone())
+}
+
+/// Folds LUTs whose inputs include constants, re-expressing them over the
+/// remaining live inputs; LUTs that become constant turn into constant
+/// drivers.
+///
+/// # Errors
+///
+/// Propagates validation errors from the input netlist.
+pub fn constant_propagation(netlist: &Netlist) -> Result<PassResult, NetlistError> {
+    netlist.validate()?;
+    // Iteratively compute which nodes are known constants.
+    let order = crate::analyze::comb_topo_order(netlist)?;
+    let mut konst: Vec<Option<bool>> = vec![None; netlist.len()];
+    for &id in &order {
+        match netlist.node(id).kind() {
+            NodeKind::Const { value } => konst[id.index()] = Some(*value),
+            NodeKind::Lut { table, inputs } => {
+                let mut t = *table;
+                let mut vars: u8 = 0;
+                let mut asg: u32 = 0;
+                for (i, src) in inputs.iter().enumerate() {
+                    if let Some(v) = konst[src.index()] {
+                        vars |= 1 << i;
+                        if v {
+                            asg |= 1 << i;
+                        }
+                    }
+                }
+                if vars != 0 {
+                    t = t.restrict(vars, compact_assignment(vars, asg));
+                }
+                if t.is_zero() {
+                    konst[id.index()] = Some(false);
+                } else if t.is_ones() {
+                    konst[id.index()] = Some(true);
+                }
+            }
+            _ => {}
+        }
+    }
+    rebuild(
+        netlist,
+        |_| true,
+        |id, kind| {
+            if let Some(v) = konst[id.index()] {
+                if matches!(kind, NodeKind::Lut { .. }) {
+                    return NodeKind::Const { value: v };
+                }
+            }
+            if let NodeKind::Lut { table, inputs } = kind {
+                // Shrink away constant fanins.
+                let mut kept: Vec<NodeId> = Vec::new();
+                let mut vars: u8 = 0;
+                let mut asg: u32 = 0;
+                for (i, src) in inputs.iter().enumerate() {
+                    match konst[src.index()] {
+                        Some(v) => {
+                            vars |= 1 << i;
+                            if v {
+                                asg |= 1 << i;
+                            }
+                        }
+                        None => kept.push(*src),
+                    }
+                }
+                if vars == 0 {
+                    return kind.clone();
+                }
+                let reduced = table
+                    .restrict(vars, compact_assignment(vars, asg))
+                    .project(!vars & ((1 << inputs.len()) - 1) as u8);
+                NodeKind::Lut { table: reduced, inputs: kept }
+            } else {
+                kind.clone()
+            }
+        },
+    )
+}
+
+/// Merges structurally identical LUTs (same table, same fanin list) and
+/// identical constants.
+///
+/// # Errors
+///
+/// Propagates validation errors from the input netlist.
+pub fn structural_hash(netlist: &Netlist) -> Result<PassResult, NetlistError> {
+    netlist.validate()?;
+    let order = crate::analyze::comb_topo_order(netlist)?;
+
+    let mut out = Netlist::new(netlist.name());
+    let mut map: Vec<Option<NodeId>> = vec![None; netlist.len()];
+    let mut lut_cache: HashMap<(TruthTable, Vec<NodeId>), NodeId> = HashMap::new();
+    let mut const_cache: HashMap<bool, NodeId> = HashMap::new();
+
+    // Pass 1: create inputs and flip-flop shells in declaration order.
+    for &pi in netlist.inputs() {
+        if let NodeKind::Input { name } = netlist.node(pi).kind() {
+            map[pi.index()] = Some(out.add_input(name.clone()));
+        }
+    }
+    for &ff in netlist.dffs() {
+        if let NodeKind::Dff { init, .. } = netlist.node(ff).kind() {
+            map[ff.index()] = Some(out.add_dff(*init));
+        }
+    }
+    // Pass 2: create LUTs/constants in topological order with hashing.
+    let mut removed = 0usize;
+    for &id in &order {
+        match netlist.node(id).kind() {
+            NodeKind::Const { value } => {
+                let new = *const_cache.entry(*value).or_insert_with(|| out.add_const(*value));
+                if map[id.index()].is_none() {
+                    map[id.index()] = Some(new);
+                }
+            }
+            NodeKind::Lut { table, inputs } => {
+                let mapped: Vec<NodeId> = inputs
+                    .iter()
+                    .map(|i| map[i.index()].expect("topo order maps fanins first"))
+                    .collect();
+                let key = (*table, mapped.clone());
+                if let Some(&existing) = lut_cache.get(&key) {
+                    map[id.index()] = Some(existing);
+                    removed += 1;
+                } else {
+                    let new = out
+                        .add_lut(*table, mapped)
+                        .expect("rebuilt lut preserves validated arity");
+                    lut_cache.insert(key, new);
+                    map[id.index()] = Some(new);
+                }
+            }
+            _ => {}
+        }
+    }
+    // Pass 3: connect flip-flops and outputs.
+    for &ff in netlist.dffs() {
+        if let NodeKind::Dff { d: Some(src), .. } = netlist.node(ff).kind() {
+            let new_ff = map[ff.index()].expect("flip-flop was mapped");
+            let new_src = map[src.index()].expect("driver was mapped");
+            out.set_dff_input(new_ff, new_src)?;
+        }
+    }
+    for (name, id) in netlist.outputs() {
+        out.set_output(name.clone(), map[id.index()].expect("output driver mapped"));
+    }
+    // Count duplicate constants as removed too.
+    let const_total = netlist.iter().filter(|(_, n)| n.is_const()).count();
+    removed += const_total.saturating_sub(const_cache.len());
+    Ok(PassResult { netlist: out, removed })
+}
+
+/// Runs constant propagation, structural hashing and dead-node elimination
+/// to a fixed point (bounded by a small iteration cap).
+///
+/// # Errors
+///
+/// Propagates errors from the individual passes.
+pub fn cleanup(netlist: &Netlist) -> Result<Netlist, NetlistError> {
+    let mut cur = netlist.clone();
+    for _ in 0..8 {
+        let a = constant_propagation(&cur)?;
+        let b = structural_hash(&a.netlist)?;
+        let c = dead_node_elimination(&b.netlist)?;
+        let changed = a.removed + b.removed + c.removed > 0 || c.netlist.len() != cur.len();
+        cur = c.netlist;
+        if !changed {
+            break;
+        }
+    }
+    Ok(cur)
+}
+
+/// Rebuilds a netlist keeping nodes selected by `keep`, transforming kinds
+/// via `rewrite`.
+fn rebuild(
+    netlist: &Netlist,
+    keep: impl Fn(NodeId) -> bool,
+    rewrite: impl Fn(NodeId, &NodeKind) -> NodeKind,
+) -> Result<PassResult, NetlistError> {
+    let order = crate::analyze::comb_topo_order(netlist)?;
+    let mut out = Netlist::new(netlist.name());
+    let mut map: Vec<Option<NodeId>> = vec![None; netlist.len()];
+
+    for &pi in netlist.inputs() {
+        if let NodeKind::Input { name } = netlist.node(pi).kind() {
+            map[pi.index()] = Some(out.add_input(name.clone()));
+        }
+    }
+    for &ff in netlist.dffs() {
+        if keep(ff) {
+            if let NodeKind::Dff { init, .. } = netlist.node(ff).kind() {
+                map[ff.index()] = Some(out.add_dff(*init));
+            }
+        }
+    }
+    let mut removed = 0usize;
+    for &id in &order {
+        if map[id.index()].is_some() {
+            continue;
+        }
+        if !keep(id) {
+            removed += 1;
+            continue;
+        }
+        let kind = rewrite(id, netlist.node(id).kind());
+        let new = match kind {
+            NodeKind::Const { value } => out.add_const(value),
+            NodeKind::Lut { table, inputs } => {
+                let mapped: Vec<NodeId> = inputs
+                    .iter()
+                    .map(|i| map[i.index()].expect("fanin of kept node must be kept"))
+                    .collect();
+                out.add_lut(table, mapped)?
+            }
+            NodeKind::Input { .. } | NodeKind::Dff { .. } => continue,
+        };
+        map[id.index()] = Some(new);
+    }
+    for &ff in netlist.dffs() {
+        if !keep(ff) {
+            continue;
+        }
+        if let NodeKind::Dff { d: Some(src), .. } = netlist.node(ff).kind() {
+            let new_ff = map[ff.index()].expect("kept flip-flop mapped");
+            let new_src =
+                map[src.index()].ok_or(NetlistError::UnknownNode(*src))?;
+            out.set_dff_input(new_ff, new_src)?;
+        }
+    }
+    for (name, id) in netlist.outputs() {
+        let mapped = map[id.index()].ok_or(NetlistError::UnknownNode(*id))?;
+        out.set_output(name.clone(), mapped);
+    }
+    Ok(PassResult { netlist: out, removed })
+}
+
+/// Compacts a full-width assignment into the low bits expected by
+/// [`TruthTable::restrict`] (bit *k* = value of the *k*-th set variable).
+fn compact_assignment(vars: u8, full_assignment: u32) -> u32 {
+    let mut out = 0u32;
+    let mut k = 0;
+    for v in 0..8 {
+        if vars & (1 << v) != 0 {
+            if (full_assignment >> v) & 1 == 1 {
+                out |= 1 << k;
+            }
+            k += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::Evaluator;
+
+    fn outputs_over(n: &Netlist, vectors: &[Vec<bool>]) -> Vec<Vec<bool>> {
+        let mut sim = Evaluator::new(n).unwrap();
+        vectors.iter().map(|v| sim.step(v).unwrap()).collect()
+    }
+
+    #[test]
+    fn dce_removes_unreferenced_logic() {
+        let mut n = Netlist::new("dce");
+        let a = n.add_input("a");
+        let used = n.add_not(a).unwrap();
+        let _dead1 = n.add_and2(a, used).unwrap();
+        let _dead2 = n.add_or2(a, used).unwrap();
+        n.set_output("y", used);
+        let r = dead_node_elimination(&n).unwrap();
+        assert_eq!(r.removed, 2);
+        assert_eq!(r.netlist.num_luts(), 1);
+        // behaviour preserved
+        let vecs: Vec<Vec<bool>> = vec![vec![false], vec![true]];
+        assert_eq!(outputs_over(&n, &vecs), outputs_over(&r.netlist, &vecs));
+    }
+
+    #[test]
+    fn const_prop_folds_through_and() {
+        let mut n = Netlist::new("cp");
+        let a = n.add_input("a");
+        let zero = n.add_const(false);
+        let g = n.add_and2(a, zero).unwrap(); // == 0
+        let h = n.add_or2(g, a).unwrap(); // == a
+        n.set_output("y", h);
+        let folded = cleanup(&n).unwrap();
+        // The OR collapses to a buffer of `a` (1-input LUT) or the output may
+        // directly reference a; either way no 2-input gates survive.
+        let vecs: Vec<Vec<bool>> = vec![vec![false], vec![true]];
+        assert_eq!(outputs_over(&n, &vecs), outputs_over(&folded, &vecs));
+        assert!(folded.iter().all(|(_, node)| match node.kind() {
+            NodeKind::Lut { inputs, .. } => inputs.len() <= 1,
+            _ => true,
+        }));
+    }
+
+    #[test]
+    fn strash_merges_duplicates() {
+        let mut n = Netlist::new("sh");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let g1 = n.add_and2(a, b).unwrap();
+        let g2 = n.add_and2(a, b).unwrap();
+        let o = n.add_xor2(g1, g2).unwrap(); // always 0 after merging
+        n.set_output("y", o);
+        let r = structural_hash(&n).unwrap();
+        assert_eq!(r.removed, 1);
+        let vecs: Vec<Vec<bool>> =
+            (0..4).map(|m| vec![m & 1 != 0, m & 2 != 0]).collect();
+        assert_eq!(outputs_over(&n, &vecs), outputs_over(&r.netlist, &vecs));
+    }
+
+    #[test]
+    fn cleanup_preserves_sequential_behaviour() {
+        // Counter with some dead logic and a constant-fed gate.
+        let mut n = Netlist::new("mix");
+        let q = n.add_dff(false);
+        let one = n.add_const(true);
+        let nq = n.add_xor2(q, one).unwrap(); // == !q
+        n.set_dff_input(q, nq).unwrap();
+        let _dead = n.add_and2(q, nq).unwrap();
+        n.set_output("q", q);
+        let cleaned = cleanup(&n).unwrap();
+        let vecs: Vec<Vec<bool>> = vec![vec![]; 6];
+        assert_eq!(outputs_over(&n, &vecs), outputs_over(&cleaned, &vecs));
+        assert!(cleaned.len() < n.len());
+    }
+
+    #[test]
+    fn compact_assignment_examples() {
+        assert_eq!(compact_assignment(0b0101, 0b0100), 0b10);
+        assert_eq!(compact_assignment(0b0011, 0b0011), 0b11);
+        assert_eq!(compact_assignment(0b1000, 0b1000), 0b1);
+    }
+}

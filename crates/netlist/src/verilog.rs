@@ -1,0 +1,217 @@
+//! Structural Verilog export.
+//!
+//! Emits a synthesizable gate-level module: LUTs become `assign`
+//! expressions in sum-of-products form (via ISOP), flip-flops become a
+//! clocked `always` block with a synchronous reset to their initial
+//! values. This is the hand-off format for users who want to push the
+//! mapped netlist through a conventional FPGA flow.
+
+use std::fmt::Write as _;
+
+use pl_boolfn::{isop, Polarity};
+
+use crate::error::NetlistError;
+use crate::graph::{Netlist, NodeId};
+use crate::node::NodeKind;
+
+/// Serializes a netlist as a structural Verilog module.
+///
+/// The module gets `clk` and `rst` ports in addition to the netlist's
+/// primary inputs and outputs; `rst` loads every flip-flop's declared
+/// initial value.
+///
+/// # Errors
+///
+/// Fails if the netlist does not validate.
+pub fn to_verilog(netlist: &Netlist) -> Result<String, NetlistError> {
+    netlist.validate()?;
+    let mut s = String::new();
+    let sig = |id: NodeId| -> String {
+        match netlist.node(id).kind() {
+            NodeKind::Input { name } => sanitize(name),
+            _ => format!("n{}", id.index()),
+        }
+    };
+
+    let inputs: Vec<String> = netlist.inputs().iter().map(|&i| sig(i)).collect();
+    let outputs: Vec<String> =
+        netlist.outputs().iter().map(|(n, _)| sanitize(n)).collect();
+    let mut ports = vec!["clk".to_string(), "rst".to_string()];
+    ports.extend(inputs.iter().cloned());
+    ports.extend(outputs.iter().cloned());
+
+    writeln!(s, "module {} (", sanitize(netlist.name())).expect("write");
+    writeln!(s, "  {}", ports.join(",\n  ")).expect("write");
+    writeln!(s, ");").expect("write");
+    writeln!(s, "  input clk, rst;").expect("write");
+    for i in &inputs {
+        writeln!(s, "  input {i};").expect("write");
+    }
+    for o in &outputs {
+        writeln!(s, "  output {o};").expect("write");
+    }
+    for (id, node) in netlist.iter() {
+        match node.kind() {
+            NodeKind::Lut { .. } | NodeKind::Const { .. } => {
+                writeln!(s, "  wire {};", sig(id)).expect("write");
+            }
+            NodeKind::Dff { .. } => {
+                writeln!(s, "  reg {};", sig(id)).expect("write");
+            }
+            NodeKind::Input { .. } => {}
+        }
+    }
+    writeln!(s).expect("write");
+
+    // Combinational assigns.
+    for (id, node) in netlist.iter() {
+        match node.kind() {
+            NodeKind::Const { value } => {
+                writeln!(s, "  assign {} = 1'b{};", sig(id), u8::from(*value))
+                    .expect("write");
+            }
+            NodeKind::Lut { table, inputs } => {
+                let expr = if table.is_zero() {
+                    "1'b0".to_string()
+                } else if table.is_ones() {
+                    "1'b1".to_string()
+                } else {
+                    let cover = isop(table, table);
+                    let terms: Vec<String> = cover
+                        .iter()
+                        .map(|cube| {
+                            let lits: Vec<String> = (0..table.num_vars())
+                                .filter_map(|v| match cube.literal(v) {
+                                    Polarity::Positive => Some(sig(inputs[v])),
+                                    Polarity::Negative => {
+                                        Some(format!("~{}", sig(inputs[v])))
+                                    }
+                                    Polarity::DontCare => None,
+                                })
+                                .collect();
+                            if lits.is_empty() {
+                                "1'b1".to_string()
+                            } else {
+                                lits.join(" & ")
+                            }
+                        })
+                        .collect();
+                    terms.join(" | ")
+                };
+                writeln!(s, "  assign {} = {expr};", sig(id)).expect("write");
+            }
+            _ => {}
+        }
+    }
+
+    // Sequential block.
+    if !netlist.dffs().is_empty() {
+        writeln!(s, "\n  always @(posedge clk) begin").expect("write");
+        writeln!(s, "    if (rst) begin").expect("write");
+        for &ff in netlist.dffs() {
+            if let NodeKind::Dff { init, .. } = netlist.node(ff).kind() {
+                writeln!(s, "      {} <= 1'b{};", sig(ff), u8::from(*init)).expect("write");
+            }
+        }
+        writeln!(s, "    end else begin").expect("write");
+        for &ff in netlist.dffs() {
+            if let NodeKind::Dff { d: Some(src), .. } = netlist.node(ff).kind() {
+                writeln!(s, "      {} <= {};", sig(ff), sig(*src)).expect("write");
+            }
+        }
+        writeln!(s, "    end").expect("write");
+        writeln!(s, "  end").expect("write");
+    }
+
+    // Output connections.
+    writeln!(s).expect("write");
+    for (name, id) in netlist.outputs() {
+        let driver = sig(*id);
+        let port = sanitize(name);
+        if driver != port {
+            writeln!(s, "  assign {port} = {driver};").expect("write");
+        }
+    }
+    writeln!(s, "endmodule").expect("write");
+    Ok(s)
+}
+
+/// Replaces characters Verilog identifiers cannot carry.
+fn sanitize(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pl_boolfn::TruthTable;
+
+    fn demo() -> Netlist {
+        let mut n = Netlist::new("demo");
+        let a = n.add_input("a");
+        let b = n.add_input("b[0]");
+        let g = n.add_and2(a, b).unwrap();
+        let x = n.add_xor2(g, a).unwrap();
+        let d = n.add_dff(true);
+        n.set_dff_input(d, x).unwrap();
+        let k = n.add_const(false);
+        let o = n.add_or2(d, k).unwrap();
+        n.set_output("y", o);
+        n
+    }
+
+    #[test]
+    fn emits_module_with_all_sections() {
+        let v = to_verilog(&demo()).unwrap();
+        assert!(v.contains("module demo ("));
+        assert!(v.contains("input a;"));
+        assert!(v.contains("input b_0_;"), "bus bit names are sanitized: {v}");
+        assert!(v.contains("output y;"));
+        assert!(v.contains("always @(posedge clk)"));
+        assert!(v.contains("<= 1'b1;"), "reset loads the init value");
+        assert!(v.contains("endmodule"));
+    }
+
+    #[test]
+    fn lut_expressions_are_sop() {
+        let mut n = Netlist::new("sop");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let c = n.add_input("c");
+        let maj = TruthTable::from_fn(3, |m| m.count_ones() >= 2);
+        let g = n.add_lut(maj, vec![a, b, c]).unwrap();
+        n.set_output("y", g);
+        let v = to_verilog(&n).unwrap();
+        // majority = ab + ac + bc in some order
+        let assign = v.lines().find(|l| l.contains("assign n3")).unwrap();
+        assert_eq!(assign.matches('|').count(), 2, "{assign}");
+        assert_eq!(assign.matches('&').count(), 3, "{assign}");
+    }
+
+    #[test]
+    fn constants_and_trivial_tables() {
+        let mut n = Netlist::new("konst");
+        let a = n.add_input("a");
+        let zero = n.add_lut(TruthTable::zero(1), vec![a]).unwrap();
+        let one = n.add_lut(TruthTable::ones(1), vec![a]).unwrap();
+        n.set_output("z", zero);
+        n.set_output("o", one);
+        let v = to_verilog(&n).unwrap();
+        assert!(v.contains("= 1'b0;"));
+        assert!(v.contains("= 1'b1;"));
+    }
+
+    #[test]
+    fn sanitize_rules() {
+        assert_eq!(sanitize("x[3]"), "x_3_");
+        assert_eq!(sanitize("3state"), "_3state");
+        assert_eq!(sanitize("ok_name"), "ok_name");
+    }
+}

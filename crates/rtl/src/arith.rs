@@ -1,0 +1,383 @@
+//! Arithmetic, comparison and selection operators.
+//!
+//! Adders are ripple-carry — exactly the structure whose carry chains give
+//! early evaluation its classic win (paper §3: "for addition circuits this
+//! case is particularly advantageous since carry-in signals are the latest
+//! in arriving").
+
+use crate::builder::Module;
+use crate::types::{Bit, Word};
+
+impl Module {
+    /// Full ripple-carry addition: returns `(sum, carry_out)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn add_carry(&mut self, a: &Word, b: &Word, carry_in: Bit) -> (Word, Bit) {
+        assert_eq!(a.width(), b.width(), "add width mismatch");
+        let mut carry = carry_in;
+        let mut bits = Vec::with_capacity(a.width());
+        for (&x, &y) in a.bits.iter().zip(&b.bits) {
+            let xy = self.xor2(x, y);
+            bits.push(self.xor2(xy, carry));
+            // carry-out = xy ? carry : x   (majority via mux saves a gate)
+            carry = self.mux(xy, x, carry);
+        }
+        (Word { bits }, carry)
+    }
+
+    /// Modular addition (`width` bits, carry discarded).
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn add(&mut self, a: &Word, b: &Word) -> Word {
+        let zero = self.const_bit(false);
+        self.add_carry(a, b, zero).0
+    }
+
+    /// Modular subtraction `a - b` (two's complement).
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn sub(&mut self, a: &Word, b: &Word) -> Word {
+        self.sub_borrow(a, b).0
+    }
+
+    /// Subtraction returning `(difference, no_borrow)`.
+    ///
+    /// `no_borrow` is the adder carry-out of `a + !b + 1`; it is high iff
+    /// `a >= b` (unsigned).
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn sub_borrow(&mut self, a: &Word, b: &Word) -> (Word, Bit) {
+        let nb = self.not_w(b);
+        let one = self.const_bit(true);
+        self.add_carry(a, &nb, one)
+    }
+
+    /// Increment by one.
+    pub fn inc(&mut self, a: &Word) -> Word {
+        let one_w = self.const_word(a.width(), u64::from(a.width() > 0));
+        self.add(a, &one_w)
+    }
+
+    /// Decrement by one.
+    pub fn dec(&mut self, a: &Word) -> Word {
+        let one_w = self.const_word(a.width(), u64::from(a.width() > 0));
+        self.sub(a, &one_w)
+    }
+
+    /// Equality of equal-width words.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn eq_w(&mut self, a: &Word, b: &Word) -> Bit {
+        assert_eq!(a.width(), b.width(), "eq_w width mismatch");
+        let pairs: Vec<Bit> =
+            a.bits.iter().zip(&b.bits).map(|(&x, &y)| self.xnor2(x, y)).collect();
+        self.and_all(&pairs)
+    }
+
+    /// Inequality of equal-width words.
+    pub fn ne_w(&mut self, a: &Word, b: &Word) -> Bit {
+        let e = self.eq_w(a, b);
+        self.not(e)
+    }
+
+    /// Equality against a constant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` does not fit in the word width.
+    pub fn eq_const(&mut self, a: &Word, k: u64) -> Bit {
+        assert!(
+            a.width() >= 64 || k < (1u64 << a.width()),
+            "constant {k} does not fit in {} bits",
+            a.width()
+        );
+        let lits: Vec<Bit> = a
+            .bits
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| if (k >> i) & 1 == 1 { b } else { self.not(b) })
+            .collect();
+        self.and_all(&lits)
+    }
+
+    /// Unsigned `a < b`.
+    pub fn lt_u(&mut self, a: &Word, b: &Word) -> Bit {
+        let (_, no_borrow) = self.sub_borrow(a, b);
+        self.not(no_borrow)
+    }
+
+    /// Unsigned `a >= b`.
+    pub fn ge_u(&mut self, a: &Word, b: &Word) -> Bit {
+        self.sub_borrow(a, b).1
+    }
+
+    /// Unsigned `a > b`.
+    pub fn gt_u(&mut self, a: &Word, b: &Word) -> Bit {
+        self.lt_u(b, a)
+    }
+
+    /// Unsigned `a <= b`.
+    pub fn le_u(&mut self, a: &Word, b: &Word) -> Bit {
+        self.ge_u(b, a)
+    }
+
+    /// Unsigned minimum.
+    pub fn min_u(&mut self, a: &Word, b: &Word) -> Word {
+        let a_lt = self.lt_u(a, b);
+        self.mux_w(a_lt, b, a)
+    }
+
+    /// Unsigned maximum.
+    pub fn max_u(&mut self, a: &Word, b: &Word) -> Word {
+        let a_lt = self.lt_u(a, b);
+        self.mux_w(a_lt, a, b)
+    }
+
+    /// Priority selector: returns `default`, overridden by the *first* arm
+    /// whose condition is high.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any arm width differs from the default's width.
+    pub fn select(&mut self, default: &Word, arms: &[(Bit, Word)]) -> Word {
+        let mut out = default.clone();
+        for (cond, value) in arms.iter().rev() {
+            assert_eq!(value.width(), default.width(), "select arm width mismatch");
+            out = self.mux_w(*cond, &out, value);
+        }
+        out
+    }
+
+    /// Read-only memory: returns `contents[addr]`, or 0 beyond the end.
+    ///
+    /// Built as a balanced multiplexer tree over constant words — the
+    /// structure a synthesis tool infers for a VHDL constant array (used by
+    /// the memory/cipher/processor ITC99 benchmarks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any entry does not fit in `width` bits.
+    pub fn rom(&mut self, addr: &Word, width: usize, contents: &[u64]) -> Word {
+        assert!(addr.width() <= 16, "rom address too wide");
+        // Pad to the full address space so out-of-range reads return 0.
+        let leaves: Vec<Word> = (0..(1usize << addr.width()))
+            .map(|i| self.const_word(width, contents.get(i).copied().unwrap_or(0)))
+            .collect();
+        self.mux_tree(addr, 0, &leaves, width)
+    }
+
+    fn mux_tree(&mut self, addr: &Word, level: usize, leaves: &[Word], width: usize) -> Word {
+        if leaves.is_empty() {
+            return self.const_word(width, 0);
+        }
+        if leaves.len() == 1 || level >= addr.width() {
+            return leaves[0].clone();
+        }
+        // Split on the *low* address bit: even indices vs odd indices.
+        let evens: Vec<Word> = leaves.iter().step_by(2).cloned().collect();
+        let odds: Vec<Word> = leaves.iter().skip(1).step_by(2).cloned().collect();
+        let lo = self.mux_tree(addr, level + 1, &evens, width);
+        let hi = self.mux_tree(addr, level + 1, &odds, width);
+        self.mux_w(addr.bit(level), &lo, &hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pl_netlist::eval::Evaluator;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    const W: usize = 8;
+
+    /// Builds a module computing `f(a, b)` and returns a closure evaluating
+    /// it on concrete u64 values.
+    fn harness(
+        f: impl Fn(&mut Module, &Word, &Word) -> Word,
+    ) -> impl FnMut(u64, u64) -> u64 {
+        let mut m = Module::new("h");
+        let a = m.input_word("a", W);
+        let b = m.input_word("b", W);
+        let y = f(&mut m, &a, &b);
+        m.output_word("y", &y);
+        let n = m.elaborate_raw().unwrap();
+        move |av, bv| {
+            let mut sim = Evaluator::new(&n).unwrap();
+            let ins: Vec<bool> = (0..W)
+                .map(|i| (av >> i) & 1 == 1)
+                .chain((0..W).map(|i| (bv >> i) & 1 == 1))
+                .collect();
+            let out = sim.step(&ins).unwrap();
+            out.iter().enumerate().map(|(i, &b)| u64::from(b) << i).sum()
+        }
+    }
+
+    fn bit_harness(
+        f: impl Fn(&mut Module, &Word, &Word) -> Bit,
+    ) -> impl FnMut(u64, u64) -> bool {
+        let mut g = harness(move |m, a, b| {
+            let bit = f(m, a, b);
+            Word::from_bit(bit)
+        });
+        move |a, b| g(a, b) == 1
+    }
+
+    #[test]
+    fn add_matches_u64() {
+        let mut f = harness(|m, a, b| m.add(a, b));
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..64 {
+            let (a, b) = (rng.gen_range(0..256), rng.gen_range(0..256));
+            assert_eq!(f(a, b), (a + b) & 0xFF, "a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn sub_matches_u64() {
+        let mut f = harness(|m, a, b| m.sub(a, b));
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..64 {
+            let (a, b) = (rng.gen_range(0..256), rng.gen_range(0..256));
+            assert_eq!(f(a, b), a.wrapping_sub(b) & 0xFF);
+        }
+    }
+
+    #[test]
+    fn inc_dec() {
+        let mut fi = harness(|m, a, _| m.inc(a));
+        let mut fd = harness(|m, a, _| m.dec(a));
+        assert_eq!(fi(255, 0), 0);
+        assert_eq!(fi(41, 0), 42);
+        assert_eq!(fd(0, 0), 255);
+        assert_eq!(fd(42, 0), 41);
+    }
+
+    #[test]
+    fn comparisons_match_u64() {
+        let mut lt = bit_harness(|m, a, b| m.lt_u(a, b));
+        let mut ge = bit_harness(|m, a, b| m.ge_u(a, b));
+        let mut gt = bit_harness(|m, a, b| m.gt_u(a, b));
+        let mut le = bit_harness(|m, a, b| m.le_u(a, b));
+        let mut eq = bit_harness(|m, a, b| m.eq_w(a, b));
+        let mut ne = bit_harness(|m, a, b| m.ne_w(a, b));
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..64 {
+            let (a, b) = (rng.gen_range(0..256), rng.gen_range(0..256));
+            assert_eq!(lt(a, b), a < b, "lt a={a} b={b}");
+            assert_eq!(ge(a, b), a >= b);
+            assert_eq!(gt(a, b), a > b);
+            assert_eq!(le(a, b), a <= b);
+            assert_eq!(eq(a, b), a == b);
+            assert_eq!(ne(a, b), a != b);
+        }
+        assert!(eq(77, 77));
+        assert!(!lt(77, 77));
+        assert!(ge(77, 77));
+    }
+
+    #[test]
+    fn min_max() {
+        let mut mn = harness(|m, a, b| m.min_u(a, b));
+        let mut mx = harness(|m, a, b| m.max_u(a, b));
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..32 {
+            let (a, b) = (rng.gen_range(0..256), rng.gen_range(0..256));
+            assert_eq!(mn(a, b), a.min(b));
+            assert_eq!(mx(a, b), a.max(b));
+        }
+    }
+
+    #[test]
+    fn eq_const_works() {
+        let mut f = bit_harness(|m, a, _| m.eq_const(a, 0xA5));
+        assert!(f(0xA5, 0));
+        assert!(!f(0xA4, 0));
+        assert!(!f(0x25, 0));
+    }
+
+    #[test]
+    fn select_priority() {
+        let mut m = Module::new("sel");
+        let c0 = m.input_bit("c0");
+        let c1 = m.input_bit("c1");
+        let d = m.const_word(4, 0);
+        let v0 = m.const_word(4, 5);
+        let v1 = m.const_word(4, 9);
+        let y = m.select(&d, &[(c0, v0), (c1, v1)]);
+        m.output_word("y", &y);
+        let n = m.elaborate_raw().unwrap();
+        let mut sim = Evaluator::new(&n).unwrap();
+        let val = |out: Vec<bool>| -> u64 {
+            out.iter().enumerate().map(|(i, &b)| u64::from(b) << i).sum()
+        };
+        assert_eq!(val(sim.step(&[false, false]).unwrap()), 0);
+        assert_eq!(val(sim.step(&[false, true]).unwrap()), 9);
+        assert_eq!(val(sim.step(&[true, false]).unwrap()), 5);
+        // first arm wins when both fire
+        assert_eq!(val(sim.step(&[true, true]).unwrap()), 5);
+    }
+
+    #[test]
+    fn rom_lookup() {
+        let contents = [3u64, 1, 4, 1, 5, 9, 2, 6];
+        let mut m = Module::new("rom");
+        let addr = m.input_word("addr", 3);
+        let data = m.rom(&addr, 4, &contents);
+        m.output_word("d", &data);
+        let n = m.elaborate_raw().unwrap();
+        let mut sim = Evaluator::new(&n).unwrap();
+        for (i, &want) in contents.iter().enumerate() {
+            let ins: Vec<bool> = (0..3).map(|k| (i >> k) & 1 == 1).collect();
+            let out = sim.step(&ins).unwrap();
+            let got: u64 = out.iter().enumerate().map(|(k, &b)| u64::from(b) << k).sum();
+            assert_eq!(got, want, "addr={i}");
+        }
+    }
+
+    #[test]
+    fn rom_out_of_range_reads_zero() {
+        let mut m = Module::new("rom0");
+        let addr = m.input_word("addr", 2);
+        let data = m.rom(&addr, 4, &[7, 8]); // entries 2,3 undefined -> 0
+        m.output_word("d", &data);
+        let n = m.elaborate_raw().unwrap();
+        let mut sim = Evaluator::new(&n).unwrap();
+        let read = |sim: &mut Evaluator, a: usize| -> u64 {
+            let ins: Vec<bool> = (0..2).map(|k| (a >> k) & 1 == 1).collect();
+            let out = sim.step(&ins).unwrap();
+            out.iter().enumerate().map(|(k, &b)| u64::from(b) << k).sum()
+        };
+        assert_eq!(read(&mut sim, 0), 7);
+        assert_eq!(read(&mut sim, 1), 8);
+        assert_eq!(read(&mut sim, 2), 0);
+        assert_eq!(read(&mut sim, 3), 0);
+    }
+
+    #[test]
+    fn carry_out_is_exposed() {
+        let mut m = Module::new("cout");
+        let a = m.input_word("a", 4);
+        let b = m.input_word("b", 4);
+        let cin = m.const_bit(false);
+        let (_, cout) = m.add_carry(&a, &b, cin);
+        m.output_bit("cout", cout);
+        let n = m.elaborate_raw().unwrap();
+        let mut sim = Evaluator::new(&n).unwrap();
+        let mk = |a: u32, b: u32| -> Vec<bool> {
+            (0..4).map(|i| (a >> i) & 1 == 1).chain((0..4).map(|i| (b >> i) & 1 == 1)).collect()
+        };
+        assert_eq!(sim.step(&mk(8, 8)).unwrap(), vec![true]);
+        assert_eq!(sim.step(&mk(7, 8)).unwrap(), vec![false]);
+    }
+}

@@ -1,0 +1,465 @@
+//! The [`Module`] builder: ports, constants and combinational logic.
+
+use std::collections::HashMap;
+
+use pl_boolfn::TruthTable;
+use pl_netlist::{Netlist, NodeId};
+
+use crate::error::RtlError;
+use crate::types::{Bit, Word};
+
+/// Builder for one synchronous design.
+///
+/// See the [crate-level documentation](crate) for an example. All
+/// combinational helpers create gates eagerly inside an internal
+/// [`Netlist`]; [`Module::elaborate`] performs validation and cleanup.
+///
+/// # Panics
+///
+/// Word-level operations panic on operand width mismatches — these indicate
+/// bugs in the circuit generator, not runtime conditions.
+#[derive(Debug, Clone)]
+pub struct Module {
+    pub(crate) netlist: Netlist,
+    pub(crate) const_cache: HashMap<bool, NodeId>,
+    pub(crate) unconnected_regs: Vec<String>,
+}
+
+impl Module {
+    /// Creates an empty module with the given design name.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            netlist: Netlist::new(name),
+            const_cache: HashMap::new(),
+            unconnected_regs: Vec::new(),
+        }
+    }
+
+    /// The design name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        self.netlist.name()
+    }
+
+    /// Read-only view of the netlist built so far.
+    #[must_use]
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// Validates the design and returns a cleaned-up netlist
+    /// (constant propagation, structural hashing, dead-node elimination).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtlError::UnconnectedReg`] if a register was declared but
+    /// never driven, or wraps netlist validation failures.
+    pub fn elaborate(&self) -> Result<Netlist, RtlError> {
+        if let Some(name) = self.unconnected_regs.first() {
+            return Err(RtlError::UnconnectedReg { name: name.clone() });
+        }
+        self.netlist.validate()?;
+        let cleaned = pl_netlist::opt::cleanup(&self.netlist)?;
+        Ok(cleaned)
+    }
+
+    /// Validates and returns the raw (uncleaned) netlist, keeping every
+    /// intermediate gate — useful for debugging generators.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Module::elaborate`].
+    pub fn elaborate_raw(&self) -> Result<Netlist, RtlError> {
+        if let Some(name) = self.unconnected_regs.first() {
+            return Err(RtlError::UnconnectedReg { name: name.clone() });
+        }
+        self.netlist.validate()?;
+        Ok(self.netlist.clone())
+    }
+
+    // ---- ports --------------------------------------------------------
+
+    /// Declares a single-bit primary input.
+    pub fn input_bit(&mut self, name: impl Into<String>) -> Bit {
+        Bit(self.netlist.add_input(name))
+    }
+
+    /// Declares a `width`-bit primary input; bit `i` is named `name[i]`.
+    pub fn input_word(&mut self, name: impl AsRef<str>, width: usize) -> Word {
+        let name = name.as_ref();
+        let bits = (0..width).map(|i| self.input_bit(format!("{name}[{i}]"))).collect();
+        Word { bits }
+    }
+
+    /// Declares a single-bit primary output.
+    pub fn output_bit(&mut self, name: impl Into<String>, bit: Bit) {
+        self.netlist.set_output(name, bit.0);
+    }
+
+    /// Declares a `width`-bit primary output; bit `i` is named `name[i]`.
+    pub fn output_word(&mut self, name: impl AsRef<str>, word: &Word) {
+        let name = name.as_ref();
+        for (i, b) in word.bits.iter().enumerate() {
+            self.netlist.set_output(format!("{name}[{i}]"), b.0);
+        }
+    }
+
+    // ---- constants ----------------------------------------------------
+
+    /// A constant bit (deduplicated per module).
+    pub fn const_bit(&mut self, value: bool) -> Bit {
+        if let Some(&id) = self.const_cache.get(&value) {
+            return Bit(id);
+        }
+        let id = self.netlist.add_const(value);
+        self.const_cache.insert(value, id);
+        Bit(id)
+    }
+
+    /// A constant word holding the low `width` bits of `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` does not fit in `width` bits.
+    pub fn const_word(&mut self, width: usize, value: u64) -> Word {
+        assert!(
+            width >= 64 || value < (1u64 << width),
+            "constant {value} does not fit in {width} bits"
+        );
+        let bits = (0..width).map(|i| self.const_bit((value >> i) & 1 == 1)).collect();
+        Word { bits }
+    }
+
+    // ---- single-bit logic ----------------------------------------------
+
+    /// Logical NOT.
+    pub fn not(&mut self, a: Bit) -> Bit {
+        self.lut1(0b01, a)
+    }
+
+    /// 2-input AND.
+    pub fn and2(&mut self, a: Bit, b: Bit) -> Bit {
+        self.lut2(0b1000, a, b)
+    }
+
+    /// 2-input OR.
+    pub fn or2(&mut self, a: Bit, b: Bit) -> Bit {
+        self.lut2(0b1110, a, b)
+    }
+
+    /// 2-input XOR.
+    pub fn xor2(&mut self, a: Bit, b: Bit) -> Bit {
+        self.lut2(0b0110, a, b)
+    }
+
+    /// 2-input NAND.
+    pub fn nand2(&mut self, a: Bit, b: Bit) -> Bit {
+        self.lut2(0b0111, a, b)
+    }
+
+    /// 2-input NOR.
+    pub fn nor2(&mut self, a: Bit, b: Bit) -> Bit {
+        self.lut2(0b0001, a, b)
+    }
+
+    /// 2-input XNOR (equivalence).
+    pub fn xnor2(&mut self, a: Bit, b: Bit) -> Bit {
+        self.lut2(0b1001, a, b)
+    }
+
+    /// `a AND NOT b`.
+    pub fn andn(&mut self, a: Bit, b: Bit) -> Bit {
+        self.lut2(0b0010, a, b)
+    }
+
+    /// N-ary AND over a slice (balanced tree; empty slice is constant 1).
+    pub fn and_all(&mut self, bits: &[Bit]) -> Bit {
+        self.tree(bits, true, Self::and2)
+    }
+
+    /// N-ary OR over a slice (balanced tree; empty slice is constant 0).
+    pub fn or_all(&mut self, bits: &[Bit]) -> Bit {
+        self.tree(bits, false, Self::or2)
+    }
+
+    /// N-ary XOR over a slice (balanced tree; empty slice is constant 0).
+    pub fn xor_all(&mut self, bits: &[Bit]) -> Bit {
+        self.tree(bits, false, Self::xor2)
+    }
+
+    /// 2:1 multiplexer: `if s { b } else { a }`.
+    pub fn mux(&mut self, s: Bit, a: Bit, b: Bit) -> Bit {
+        Bit(self
+            .netlist
+            .add_mux2(s.0, a.0, b.0)
+            .expect("mux operands exist in this module"))
+    }
+
+    // ---- word-level bitwise --------------------------------------------
+
+    /// Bitwise NOT of a word.
+    pub fn not_w(&mut self, a: &Word) -> Word {
+        Word { bits: a.bits.iter().map(|&b| self.not(b)).collect() }
+    }
+
+    /// Bitwise AND of equal-width words.
+    pub fn and_w(&mut self, a: &Word, b: &Word) -> Word {
+        self.zip(a, b, "and_w", Self::and2)
+    }
+
+    /// Bitwise OR of equal-width words.
+    pub fn or_w(&mut self, a: &Word, b: &Word) -> Word {
+        self.zip(a, b, "or_w", Self::or2)
+    }
+
+    /// Bitwise XOR of equal-width words.
+    pub fn xor_w(&mut self, a: &Word, b: &Word) -> Word {
+        self.zip(a, b, "xor_w", Self::xor2)
+    }
+
+    /// Word multiplexer: `if s { b } else { a }` per bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn mux_w(&mut self, s: Bit, a: &Word, b: &Word) -> Word {
+        assert_eq!(a.width(), b.width(), "mux_w width mismatch");
+        Word {
+            bits: a
+                .bits
+                .iter()
+                .zip(&b.bits)
+                .map(|(&x, &y)| self.mux(s, x, y))
+                .collect(),
+        }
+    }
+
+    /// AND-reduction of a word.
+    pub fn and_reduce(&mut self, a: &Word) -> Bit {
+        let bits = a.bits.clone();
+        self.and_all(&bits)
+    }
+
+    /// OR-reduction of a word.
+    pub fn or_reduce(&mut self, a: &Word) -> Bit {
+        let bits = a.bits.clone();
+        self.or_all(&bits)
+    }
+
+    /// XOR-reduction (parity) of a word.
+    pub fn xor_reduce(&mut self, a: &Word) -> Bit {
+        let bits = a.bits.clone();
+        self.xor_all(&bits)
+    }
+
+    /// Zero-extends (or truncates) a word to `width` bits.
+    pub fn resize(&mut self, a: &Word, width: usize) -> Word {
+        let mut bits = a.bits.clone();
+        if bits.len() > width {
+            bits.truncate(width);
+        } else {
+            let zero = self.const_bit(false);
+            bits.resize(width, zero);
+        }
+        Word { bits }
+    }
+
+    /// Left shift by a constant amount (zero fill, same width).
+    pub fn shl_const(&mut self, a: &Word, amount: usize) -> Word {
+        let zero = self.const_bit(false);
+        let mut bits = vec![zero; amount.min(a.width())];
+        bits.extend_from_slice(&a.bits[..a.width() - bits.len()]);
+        Word { bits }
+    }
+
+    /// Logical right shift by a constant amount (zero fill, same width).
+    pub fn shr_const(&mut self, a: &Word, amount: usize) -> Word {
+        let zero = self.const_bit(false);
+        let k = amount.min(a.width());
+        let mut bits: Vec<Bit> = a.bits[k..].to_vec();
+        bits.resize(a.width(), zero);
+        Word { bits }
+    }
+
+    /// Rotates a word left by a constant amount.
+    pub fn rotl_const(&mut self, a: &Word, amount: usize) -> Word {
+        if a.is_empty() {
+            return a.clone();
+        }
+        let k = amount % a.width();
+        let mut bits = a.bits[a.width() - k..].to_vec();
+        bits.extend_from_slice(&a.bits[..a.width() - k]);
+        Word { bits }
+    }
+
+    // ---- internal helpers ----------------------------------------------
+
+    pub(crate) fn lut1(&mut self, table: u64, a: Bit) -> Bit {
+        Bit(self
+            .netlist
+            .add_lut(TruthTable::from_bits(1, table), vec![a.0])
+            .expect("1-input lut arity is correct"))
+    }
+
+    pub(crate) fn lut2(&mut self, table: u64, a: Bit, b: Bit) -> Bit {
+        Bit(self
+            .netlist
+            .add_lut(TruthTable::from_bits(2, table), vec![a.0, b.0])
+            .expect("2-input lut arity is correct"))
+    }
+
+    fn zip(&mut self, a: &Word, b: &Word, op: &str, f: impl Fn(&mut Self, Bit, Bit) -> Bit) -> Word {
+        assert_eq!(a.width(), b.width(), "{op} width mismatch");
+        Word {
+            bits: a.bits.iter().zip(&b.bits).map(|(&x, &y)| f(self, x, y)).collect(),
+        }
+    }
+
+    fn tree(&mut self, bits: &[Bit], empty: bool, f: impl Fn(&mut Self, Bit, Bit) -> Bit + Copy) -> Bit {
+        match bits.len() {
+            0 => self.const_bit(empty),
+            1 => bits[0],
+            _ => {
+                let (lo, hi) = bits.split_at(bits.len() / 2);
+                let l = self.tree(lo, empty, f);
+                let r = self.tree(hi, empty, f);
+                f(self, l, r)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pl_netlist::eval::Evaluator;
+
+    /// Evaluates a 2-input bit function for all input pairs.
+    fn truth2(f: impl Fn(&mut Module, Bit, Bit) -> Bit) -> Vec<bool> {
+        let mut m = Module::new("t");
+        let a = m.input_bit("a");
+        let b = m.input_bit("b");
+        let y = f(&mut m, a, b);
+        m.output_bit("y", y);
+        let n = m.elaborate_raw().unwrap();
+        let mut sim = Evaluator::new(&n).unwrap();
+        (0..4)
+            .map(|i| sim.step(&[i & 1 != 0, i & 2 != 0]).unwrap()[0])
+            .collect()
+    }
+
+    #[test]
+    fn gate_truth_tables() {
+        assert_eq!(truth2(Module::and2), vec![false, false, false, true]);
+        assert_eq!(truth2(Module::or2), vec![false, true, true, true]);
+        assert_eq!(truth2(Module::xor2), vec![false, true, true, false]);
+        assert_eq!(truth2(Module::nand2), vec![true, true, true, false]);
+        assert_eq!(truth2(Module::nor2), vec![true, false, false, false]);
+        assert_eq!(truth2(Module::xnor2), vec![true, false, false, true]);
+        assert_eq!(truth2(Module::andn), vec![false, true, false, false]);
+    }
+
+    #[test]
+    fn n_ary_trees() {
+        let mut m = Module::new("t");
+        let w = m.input_word("x", 5);
+        let a = m.and_reduce(&w);
+        let o = m.or_reduce(&w);
+        let x = m.xor_reduce(&w);
+        m.output_bit("and", a);
+        m.output_bit("or", o);
+        m.output_bit("xor", x);
+        let n = m.elaborate_raw().unwrap();
+        let mut sim = Evaluator::new(&n).unwrap();
+        for v in 0..32u32 {
+            let ins: Vec<bool> = (0..5).map(|i| v & (1 << i) != 0).collect();
+            let out = sim.step(&ins).unwrap();
+            assert_eq!(out[0], v == 31);
+            assert_eq!(out[1], v != 0);
+            assert_eq!(out[2], v.count_ones() % 2 == 1);
+        }
+    }
+
+    #[test]
+    fn mux_and_mux_w() {
+        let mut m = Module::new("t");
+        let s = m.input_bit("s");
+        let a = m.input_word("a", 2);
+        let b = m.input_word("b", 2);
+        let y = m.mux_w(s, &a, &b);
+        m.output_word("y", &y);
+        let n = m.elaborate_raw().unwrap();
+        let mut sim = Evaluator::new(&n).unwrap();
+        // input order: s, a[0], a[1], b[0], b[1]
+        let out = sim.step(&[false, true, false, false, true]).unwrap();
+        assert_eq!(out, vec![true, false]); // selects a = 01
+        let out = sim.step(&[true, true, false, false, true]).unwrap();
+        assert_eq!(out, vec![false, true]); // selects b = 10
+    }
+
+    #[test]
+    fn const_words() {
+        let mut m = Module::new("t");
+        let k = m.const_word(4, 0b1010);
+        m.output_word("k", &k);
+        let n = m.elaborate_raw().unwrap();
+        let mut sim = Evaluator::new(&n).unwrap();
+        assert_eq!(sim.step(&[]).unwrap(), vec![false, true, false, true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_const_panics() {
+        let mut m = Module::new("t");
+        let _ = m.const_word(2, 7);
+    }
+
+    #[test]
+    fn shifts_and_rotate() {
+        let mut m = Module::new("t");
+        let a = m.input_word("a", 4);
+        let l = m.shl_const(&a, 1);
+        let r = m.shr_const(&a, 2);
+        let rot = m.rotl_const(&a, 1);
+        m.output_word("l", &l);
+        m.output_word("r", &r);
+        m.output_word("rot", &rot);
+        let n = m.elaborate_raw().unwrap();
+        let mut sim = Evaluator::new(&n).unwrap();
+        // a = 0b0110
+        let out = sim.step(&[false, true, true, false]).unwrap();
+        let l_val: u8 = (0..4).map(|i| u8::from(out[i]) << i).sum();
+        let r_val: u8 = (0..4).map(|i| u8::from(out[4 + i]) << i).sum();
+        let rot_val: u8 = (0..4).map(|i| u8::from(out[8 + i]) << i).sum();
+        assert_eq!(l_val, 0b1100);
+        assert_eq!(r_val, 0b0001);
+        assert_eq!(rot_val, 0b1100);
+    }
+
+    #[test]
+    fn resize_extends_and_truncates() {
+        let mut m = Module::new("t");
+        let a = m.input_word("a", 2);
+        let big = m.resize(&a, 4);
+        let small = m.resize(&a, 1);
+        m.output_word("big", &big);
+        m.output_word("small", &small);
+        let n = m.elaborate_raw().unwrap();
+        let mut sim = Evaluator::new(&n).unwrap();
+        let out = sim.step(&[true, true]).unwrap();
+        assert_eq!(out, vec![true, true, false, false, true]);
+    }
+
+    #[test]
+    fn elaborate_cleans_up() {
+        let mut m = Module::new("t");
+        let a = m.input_bit("a");
+        let k = m.const_bit(true);
+        let g = m.and2(a, k); // folds to a buffer of a
+        m.output_bit("y", g);
+        let n = m.elaborate().unwrap();
+        let raw = m.elaborate_raw().unwrap();
+        assert!(n.len() <= raw.len());
+    }
+}

@@ -1,0 +1,63 @@
+//! Error type for RTL elaboration.
+
+use std::error::Error;
+use std::fmt;
+
+use pl_netlist::NetlistError;
+
+/// Errors produced by [`crate::Module::elaborate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RtlError {
+    /// A register was declared but its next-state input never connected.
+    UnconnectedReg {
+        /// The register name given at declaration.
+        name: String,
+    },
+    /// The underlying netlist failed validation or rewriting.
+    Netlist(NetlistError),
+}
+
+impl fmt::Display for RtlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RtlError::UnconnectedReg { name } => {
+                write!(f, "register '{name}' was declared but never connected")
+            }
+            RtlError::Netlist(e) => write!(f, "netlist error: {e}"),
+        }
+    }
+}
+
+impl Error for RtlError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RtlError::Netlist(e) => Some(e),
+            RtlError::UnconnectedReg { .. } => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<NetlistError> for RtlError {
+    fn from(e: NetlistError) -> Self {
+        RtlError::Netlist(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_register() {
+        let e = RtlError::UnconnectedReg { name: "state".into() };
+        assert!(e.to_string().contains("state"));
+    }
+
+    #[test]
+    fn source_chains() {
+        let e = RtlError::Netlist(NetlistError::UnknownNode(pl_netlist::NodeId::from_index(1)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,47 @@
+//! Word-level RTL builder that elaborates to gate-level netlists.
+//!
+//! The DATE 2002 early-evaluation paper synthesizes ITC99 RTL VHDL with a
+//! commercial tool before mapping to phased logic. This crate plays that
+//! front-end role: circuits are described with a small builder DSL
+//! ([`Module`]) over single-bit [`Bit`]s and little-endian [`Word`]s, and
+//! elaborate into [`pl_netlist::Netlist`] gates (INV/AND/OR/XOR/MUX built
+//! from 1–3-input LUTs) ready for LUT4 technology mapping.
+//!
+//! Design style notes:
+//!
+//! * combinational operators create gates eagerly; width mismatches panic
+//!   with a message naming the operation (a generator bug, not a runtime
+//!   condition);
+//! * registers ([`Reg`]) are declared first and connected later with
+//!   [`Module::next`] / [`Module::next_when`], permitting state feedback;
+//! * [`Module::elaborate`] validates and returns the cleaned netlist.
+//!
+//! # Example
+//!
+//! ```
+//! use pl_rtl::Module;
+//!
+//! // 4-bit accumulator with synchronous enable
+//! let mut m = Module::new("acc");
+//! let en = m.input_bit("en");
+//! let x = m.input_word("x", 4);
+//! let acc = m.reg_word("acc", 4, 0);
+//! let sum = m.add(&acc.q(), &x);
+//! m.next_when(&acc, en, &sum);
+//! m.output_word("acc", &acc.q());
+//! let netlist = m.elaborate().unwrap();
+//! assert!(netlist.dffs().len() == 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod arith;
+mod builder;
+mod error;
+mod seq;
+mod types;
+
+pub use builder::Module;
+pub use error::RtlError;
+pub use types::{Bit, Reg, Word};

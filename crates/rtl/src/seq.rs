@@ -1,0 +1,180 @@
+//! Sequential elements: register declaration and connection.
+
+use crate::builder::Module;
+use crate::types::{Bit, Reg, Word};
+
+impl Module {
+    /// Declares a single-bit register with the given power-on value.
+    ///
+    /// The register must later be connected exactly once with
+    /// [`Module::next`] (or one of its variants).
+    pub fn reg_bit(&mut self, name: impl Into<String>, init: bool) -> Reg {
+        self.reg_word(name, 1, u64::from(init))
+    }
+
+    /// Declares a `width`-bit register bank with the given power-on value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `init` does not fit in `width` bits.
+    pub fn reg_word(&mut self, name: impl Into<String>, width: usize, init: u64) -> Reg {
+        let name = name.into();
+        assert!(
+            width >= 64 || init < (1u64 << width),
+            "register '{name}': init {init} does not fit in {width} bits"
+        );
+        let dffs: Vec<_> = (0..width).map(|i| self.netlist.add_dff((init >> i) & 1 == 1)).collect();
+        for (i, &d) in dffs.iter().enumerate() {
+            self.netlist
+                .set_name(d, format!("{name}[{i}]"))
+                .expect("fresh dff id is valid");
+        }
+        let q = Word { bits: dffs.iter().map(|&d| Bit(d)).collect() };
+        self.unconnected_regs.push(name.clone());
+        Reg { name, dffs, q, init }
+    }
+
+    /// Connects the next-state input of `reg` to `value` unconditionally.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch or if the register was already connected.
+    pub fn next(&mut self, reg: &Reg, value: &Word) {
+        assert_eq!(
+            value.width(),
+            reg.width(),
+            "register '{}': next-value width mismatch",
+            reg.name
+        );
+        self.mark_connected(reg);
+        for (&dff, &src) in reg.dffs.iter().zip(&value.bits) {
+            self.netlist
+                .set_dff_input(dff, src.0)
+                .expect("register pins exist in this module");
+        }
+    }
+
+    /// Connects `reg` to load `value` when `enable` is high, else hold.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch or double connection.
+    pub fn next_when(&mut self, reg: &Reg, enable: Bit, value: &Word) {
+        let held = self.mux_w(enable, &reg.q(), value);
+        self.next(reg, &held);
+    }
+
+    /// Connects `reg` with a synchronous reset: on `reset` the register
+    /// reloads its power-on value, otherwise it takes `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch or double connection.
+    pub fn next_with_reset(&mut self, reg: &Reg, reset: Bit, value: &Word) {
+        let init = self.const_word(reg.width(), reg.init);
+        let d = self.mux_w(reset, value, &init);
+        self.next(reg, &d);
+    }
+
+    /// Combines [`Module::next_when`] and [`Module::next_with_reset`]:
+    /// reset has priority, then enable, else hold.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch or double connection.
+    pub fn next_when_with_reset(&mut self, reg: &Reg, reset: Bit, enable: Bit, value: &Word) {
+        let loaded = self.mux_w(enable, &reg.q(), value);
+        let init = self.const_word(reg.width(), reg.init);
+        let d = self.mux_w(reset, &loaded, &init);
+        self.next(reg, &d);
+    }
+
+    fn mark_connected(&mut self, reg: &Reg) {
+        match self.unconnected_regs.iter().position(|n| n == &reg.name) {
+            Some(i) => {
+                self.unconnected_regs.swap_remove(i);
+            }
+            None => panic!("register '{}' connected twice", reg.name),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RtlError;
+    use pl_netlist::eval::Evaluator;
+
+    fn word_val(bits: &[bool]) -> u64 {
+        bits.iter().enumerate().map(|(i, &b)| u64::from(b) << i).sum()
+    }
+
+    #[test]
+    fn unconditional_register_delays_by_one() {
+        let mut m = Module::new("dly");
+        let x = m.input_word("x", 2);
+        let r = m.reg_word("r", 2, 0b10);
+        m.next(&r, &x);
+        m.output_word("q", &r.q());
+        let n = m.elaborate_raw().unwrap();
+        let mut sim = Evaluator::new(&n).unwrap();
+        assert_eq!(word_val(&sim.step(&[true, true]).unwrap()), 0b10); // init
+        assert_eq!(word_val(&sim.step(&[false, false]).unwrap()), 0b11);
+        assert_eq!(word_val(&sim.step(&[false, false]).unwrap()), 0b00);
+    }
+
+    #[test]
+    fn enable_holds_value() {
+        let mut m = Module::new("en");
+        let en = m.input_bit("en");
+        let x = m.input_word("x", 2);
+        let r = m.reg_word("r", 2, 0);
+        m.next_when(&r, en, &x);
+        m.output_word("q", &r.q());
+        let n = m.elaborate_raw().unwrap();
+        let mut sim = Evaluator::new(&n).unwrap();
+        // cycle 1: en=1 load 3; cycle 2: en=0 hold; cycle 3 observe
+        sim.step(&[true, true, true]).unwrap();
+        let o = sim.step(&[false, false, false]).unwrap();
+        assert_eq!(word_val(&o), 3);
+        let o = sim.step(&[false, false, false]).unwrap();
+        assert_eq!(word_val(&o), 3);
+    }
+
+    #[test]
+    fn sync_reset_reloads_init() {
+        let mut m = Module::new("rst");
+        let rst = m.input_bit("rst");
+        let r = m.reg_word("cnt", 3, 5);
+        let one = m.const_word(3, 1);
+        let inc = m.add(&r.q(), &one);
+        m.next_with_reset(&r, rst, &inc);
+        m.output_word("q", &r.q());
+        let n = m.elaborate_raw().unwrap();
+        let mut sim = Evaluator::new(&n).unwrap();
+        assert_eq!(word_val(&sim.step(&[false]).unwrap()), 5);
+        assert_eq!(word_val(&sim.step(&[true]).unwrap()), 6); // reset takes effect next cycle
+        assert_eq!(word_val(&sim.step(&[false]).unwrap()), 5);
+        assert_eq!(word_val(&sim.step(&[false]).unwrap()), 6);
+    }
+
+    #[test]
+    fn unconnected_register_is_reported() {
+        let mut m = Module::new("bad");
+        let _ = m.reg_word("ghost", 2, 0);
+        match m.elaborate() {
+            Err(RtlError::UnconnectedReg { name }) => assert_eq!(name, "ghost"),
+            other => panic!("expected UnconnectedReg, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "connected twice")]
+    fn double_connection_panics() {
+        let mut m = Module::new("bad");
+        let r = m.reg_word("r", 1, 0);
+        let q = r.q();
+        m.next(&r, &q);
+        m.next(&r, &q);
+    }
+}

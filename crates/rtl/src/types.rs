@@ -1,0 +1,190 @@
+//! Value types of the RTL DSL: [`Bit`], [`Word`] and [`Reg`].
+
+use pl_netlist::NodeId;
+
+/// A single-bit signal inside a [`crate::Module`].
+///
+/// `Bit`s are cheap copyable handles onto netlist nodes; they are only
+/// meaningful within the module that created them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Bit(pub(crate) NodeId);
+
+impl Bit {
+    /// The underlying netlist node.
+    #[must_use]
+    pub fn node(self) -> NodeId {
+        self.0
+    }
+}
+
+/// A little-endian multi-bit signal (bit 0 is the least significant).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Word {
+    pub(crate) bits: Vec<Bit>,
+}
+
+impl Word {
+    /// Builds a word from individual bits (LSB first).
+    #[must_use]
+    pub fn from_bits(bits: Vec<Bit>) -> Self {
+        Self { bits }
+    }
+
+    /// Width in bits.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Whether the word has zero width.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// The `i`-th bit (LSB = 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= width`.
+    #[must_use]
+    pub fn bit(&self, i: usize) -> Bit {
+        self.bits[i]
+    }
+
+    /// The most significant bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty word.
+    #[must_use]
+    pub fn msb(&self) -> Bit {
+        *self.bits.last().expect("msb of empty word")
+    }
+
+    /// The least significant bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty word.
+    #[must_use]
+    pub fn lsb(&self) -> Bit {
+        *self.bits.first().expect("lsb of empty word")
+    }
+
+    /// All bits, LSB first.
+    #[must_use]
+    pub fn bits(&self) -> &[Bit] {
+        &self.bits
+    }
+
+    /// The sub-word `[lo, hi)` (LSB-based, half-open).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or inverted.
+    #[must_use]
+    pub fn slice(&self, lo: usize, hi: usize) -> Word {
+        assert!(lo <= hi && hi <= self.width(), "slice [{lo},{hi}) out of bounds");
+        Word { bits: self.bits[lo..hi].to_vec() }
+    }
+
+    /// Concatenates `self` (low part) with `high`.
+    #[must_use]
+    pub fn concat(&self, high: &Word) -> Word {
+        let mut bits = self.bits.clone();
+        bits.extend_from_slice(&high.bits);
+        Word { bits }
+    }
+
+    /// A single-bit word from a bit.
+    #[must_use]
+    pub fn from_bit(bit: Bit) -> Word {
+        Word { bits: vec![bit] }
+    }
+}
+
+impl From<Bit> for Word {
+    fn from(b: Bit) -> Word {
+        Word::from_bit(b)
+    }
+}
+
+/// A bank of flip-flops declared with [`crate::Module::reg_word`].
+///
+/// The register's current value is read with [`Reg::q`]; its next value is
+/// connected exactly once with [`crate::Module::next`] or
+/// [`crate::Module::next_when`].
+#[derive(Debug, Clone)]
+pub struct Reg {
+    pub(crate) name: String,
+    pub(crate) dffs: Vec<NodeId>,
+    pub(crate) q: Word,
+    pub(crate) init: u64,
+}
+
+impl Reg {
+    /// The register's output word (flip-flop Q pins).
+    #[must_use]
+    pub fn q(&self) -> Word {
+        self.q.clone()
+    }
+
+    /// Register width in bits.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.dffs.len()
+    }
+
+    /// Declared name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Power-on value.
+    #[must_use]
+    pub fn init(&self) -> u64 {
+        self.init
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(ids: &[usize]) -> Word {
+        Word::from_bits(ids.iter().map(|&i| Bit(NodeId::from_index(i))).collect())
+    }
+
+    #[test]
+    fn slice_and_concat() {
+        let a = w(&[0, 1, 2, 3]);
+        let lo = a.slice(0, 2);
+        let hi = a.slice(2, 4);
+        assert_eq!(lo.width(), 2);
+        assert_eq!(lo.concat(&hi), a);
+    }
+
+    #[test]
+    fn msb_lsb() {
+        let a = w(&[5, 6, 7]);
+        assert_eq!(a.lsb(), Bit(NodeId::from_index(5)));
+        assert_eq!(a.msb(), Bit(NodeId::from_index(7)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn bad_slice_panics() {
+        let a = w(&[0, 1]);
+        let _ = a.slice(1, 3);
+    }
+
+    #[test]
+    fn word_from_bit() {
+        let b = Bit(NodeId::from_index(9));
+        let word: Word = b.into();
+        assert_eq!(word.width(), 1);
+        assert_eq!(word.bit(0), b);
+    }
+}

@@ -1,0 +1,98 @@
+//! Component delay model.
+
+/// Per-component delays (nanoseconds) of the PL cell of the paper's
+/// Figure 1, plus the early-evaluation overhead of Figure 2.
+///
+/// The defaults are nominal FPGA-cell figures chosen so that one gate
+/// "firing" costs 2.4 ns; absolute values are testbed-specific (the paper
+/// used a custom cell library) — relative comparisons are what matter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DelayModel {
+    /// Muller C-element rendezvous (input-phase completion detection).
+    pub c_element: f64,
+    /// LUT4 function evaluation.
+    pub lut: f64,
+    /// LEDR output latch.
+    pub latch: f64,
+    /// Interconnect delay per arc.
+    pub wire: f64,
+    /// Extra delay an EE master pays on **every** firing for its additional
+    /// Muller C-element pair (the cause of the paper's occasional slowdowns:
+    /// "some benchmarks suffered a slight degradation … because a
+    /// master/trigger pair requires the use of an additional Muller-C
+    /// element", §4).
+    pub ee_overhead: f64,
+}
+
+impl Default for DelayModel {
+    fn default() -> Self {
+        Self { c_element: 0.6, lut: 1.4, latch: 0.4, wire: 0.3, ee_overhead: 0.7 }
+    }
+}
+
+impl DelayModel {
+    /// Full firing latency of an ordinary PL gate:
+    /// C-element + LUT + output latch.
+    #[must_use]
+    pub fn gate_delay(&self) -> f64 {
+        self.c_element + self.lut + self.latch
+    }
+
+    /// Firing latency of an EE master on its normal (all-inputs) path.
+    #[must_use]
+    pub fn ee_master_delay(&self) -> f64 {
+        self.gate_delay() + self.ee_overhead
+    }
+
+    /// Latency from the efire token's arrival to early output production:
+    /// the subset inputs already sit at the LUT, so only the EE C-element
+    /// and the output latch remain.
+    #[must_use]
+    pub fn ee_early_delay(&self) -> f64 {
+        self.ee_overhead + self.latch
+    }
+
+    /// A zero-delay model — useful for functional-only simulation.
+    #[must_use]
+    pub fn zero() -> Self {
+        Self { c_element: 0.0, lut: 0.0, latch: 0.0, wire: 0.0, ee_overhead: 0.0 }
+    }
+
+    /// Scales every component by `factor` (e.g. to model a slower process).
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> Self {
+        Self {
+            c_element: self.c_element * factor,
+            lut: self.lut * factor,
+            latch: self.latch * factor,
+            wire: self.wire * factor,
+            ee_overhead: self.ee_overhead * factor,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_gate_delay_is_sum() {
+        let d = DelayModel::default();
+        assert!((d.gate_delay() - 2.4).abs() < 1e-12);
+        assert!(d.ee_master_delay() > d.gate_delay());
+        assert!(d.ee_early_delay() < d.gate_delay());
+    }
+
+    #[test]
+    fn scaling() {
+        let d = DelayModel::default().scaled(2.0);
+        assert!((d.gate_delay() - 4.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_model() {
+        let d = DelayModel::zero();
+        assert_eq!(d.gate_delay(), 0.0);
+        assert_eq!(d.ee_early_delay(), 0.0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Simulation error type.
+
+use std::error::Error;
+use std::fmt;
+
+use pl_core::{PlArcId, PlError, PlGateId};
+
+/// Errors produced by the discrete-event simulator.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// Wrong number of primary-input values supplied for a vector.
+    InputArityMismatch {
+        /// Values supplied.
+        got: usize,
+        /// Input ports expected.
+        expected: usize,
+    },
+    /// The token game stalled before every output produced its token — a
+    /// liveness failure at run time.
+    Deadlock {
+        /// Simulation time at which no further event was schedulable.
+        at_time: f64,
+        /// Output ports still waiting for a token.
+        missing_outputs: Vec<String>,
+    },
+    /// A second token was delivered onto an occupied arc — a safety
+    /// violation (the marked graph was not safe).
+    SafetyViolation {
+        /// The over-full arc.
+        arc: PlArcId,
+        /// The gate that produced the extra token.
+        producer: PlGateId,
+    },
+    /// An early-evaluation master was fired early although its known pins
+    /// do not force the output — an unsound trigger.
+    UnsoundTrigger {
+        /// The offending master gate.
+        master: PlGateId,
+    },
+    /// The netlist failed its structural (liveness) pre-check.
+    Structural(PlError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InputArityMismatch { got, expected } => {
+                write!(f, "expected {expected} input values, got {got}")
+            }
+            SimError::Deadlock { at_time, missing_outputs } => {
+                write!(
+                    f,
+                    "deadlock at t={at_time}: outputs {} never produced a token",
+                    missing_outputs.join(", ")
+                )
+            }
+            SimError::SafetyViolation { arc, producer } => {
+                write!(f, "safety violation: gate {producer} double-marked arc {arc}")
+            }
+            SimError::UnsoundTrigger { master } => {
+                write!(f, "unsound trigger fired master {master} without a forced output")
+            }
+            SimError::Structural(e) => write!(f, "structural check failed: {e}"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Structural(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<PlError> for SimError {
+    fn from(e: PlError) -> Self {
+        SimError::Structural(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_ports() {
+        let e = SimError::Deadlock { at_time: 4.2, missing_outputs: vec!["y".into()] };
+        assert!(e.to_string().contains('y'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<SimError>();
+    }
+}

@@ -1,0 +1,54 @@
+//! Discrete-event simulation of phased-logic netlists.
+//!
+//! This crate measures what the paper's Table 3 reports: "the average delay
+//! time between the presence of a stable input vector and a stable output
+//! word" (§4), for phased-logic netlists with and without early evaluation.
+//!
+//! * [`PlSimulator`] plays the marked-graph token game event-by-event under
+//!   a configurable [`DelayModel`] (Muller C-element, LUT4, latches, wires,
+//!   and the EE overhead C-element). Early-evaluation masters follow the
+//!   paper's Figure 2 semantics: when the paired trigger fires with value 1
+//!   the master produces its output before its slow inputs arrive, then
+//!   performs the token cleanup when they do. Safety (an arc never holds
+//!   two tokens) is asserted dynamically on every delivery.
+//! * [`SyncSimulator`] is the cycle-accurate synchronous reference; the
+//!   [`verify_equivalence`] helper proves that PL mapping and early
+//!   evaluation change *timing only*, never values.
+//! * [`LatencyStats`] aggregates per-vector latencies into the numbers the
+//!   benchmark harness prints.
+//!
+//! # Example
+//!
+//! ```
+//! use pl_core::PlNetlist;
+//! use pl_netlist::Netlist;
+//! use pl_sim::{DelayModel, PlSimulator};
+//!
+//! let mut n = Netlist::new("andgate");
+//! let a = n.add_input("a");
+//! let b = n.add_input("b");
+//! let g = n.add_and2(a, b)?;
+//! n.set_output("y", g);
+//! let pl = PlNetlist::from_sync(&n)?;
+//! let mut sim = PlSimulator::new(&pl, DelayModel::default())?;
+//! let out = sim.run_vector(&[true, true])?;
+//! assert_eq!(out.outputs, vec![true]);
+//! assert!(out.latency > 0.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod delay;
+mod engine;
+mod error;
+mod stats;
+mod sync;
+pub mod trace;
+
+pub use delay::DelayModel;
+pub use engine::{PlSimulator, StreamOutcome, VectorOutcome};
+pub use error::SimError;
+pub use stats::{measure_latency, LatencyStats};
+pub use sync::{verify_equivalence, Mismatch, SyncSimulator};

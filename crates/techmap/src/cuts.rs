@@ -1,0 +1,299 @@
+//! Priority k-feasible cut enumeration.
+//!
+//! A *cut* of node `n` is a set of nodes (leaves) such that every path from
+//! a source to `n` passes through a leaf; it is *k-feasible* when it has at
+//! most `k` leaves. Every k-feasible cut corresponds to a candidate LUT-k
+//! implementation of the cone rooted at `n`. Cut sets are pruned to a small
+//! priority list per node, ordered by (depth, size) — the standard
+//! heuristic of depth-oriented FPGA mappers.
+
+use pl_netlist::{Netlist, NetlistError, NodeId, NodeKind};
+
+/// One k-feasible cut: sorted leaf list plus cached cost metrics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cut {
+    /// Sorted leaf nodes (≤ k of them).
+    pub leaves: Vec<NodeId>,
+    /// Depth of the mapping rooted at this cut (levels of chosen LUTs).
+    pub depth: u32,
+    /// Heuristic area-flow estimate (scaled ×1000).
+    pub area_flow: u64,
+}
+
+impl Cut {
+    fn signature(&self) -> u64 {
+        // A cheap subset filter: OR of hashed leaf bits.
+        self.leaves
+            .iter()
+            .fold(0u64, |acc, l| acc | (1u64 << (l.index() % 64)))
+    }
+
+    /// Whether `self`'s leaves are a subset of `other`'s.
+    #[must_use]
+    pub fn dominates(&self, other: &Cut) -> bool {
+        self.leaves.len() <= other.leaves.len()
+            && self.leaves.iter().all(|l| other.leaves.binary_search(l).is_ok())
+    }
+}
+
+/// Cut sets for every node plus the chosen (best) cut per node.
+#[derive(Debug, Clone)]
+pub struct CutDatabase {
+    /// `cuts[i]` is the priority cut list of node `i` (best first).
+    pub cuts: Vec<Vec<Cut>>,
+    /// Arrival level of each node under the best-cut mapping.
+    pub depth: Vec<u32>,
+}
+
+/// Parameters for cut enumeration.
+#[derive(Debug, Clone)]
+pub struct CutOptions {
+    /// Maximum leaves per cut (the LUT arity, 2..=6).
+    pub k: usize,
+    /// Priority-list length per node.
+    pub max_cuts: usize,
+}
+
+impl Default for CutOptions {
+    fn default() -> Self {
+        Self { k: 4, max_cuts: 8 }
+    }
+}
+
+/// Enumerates priority cuts for every node of a ≤2-input netlist.
+///
+/// Sources (inputs, constants, flip-flop outputs) have only their trivial
+/// cut at depth 0. For LUT nodes, fanin cut lists are merged pairwise; the
+/// trivial cut `{n}` is always kept as a fallback.
+///
+/// # Errors
+///
+/// Propagates topological-ordering errors.
+///
+/// # Panics
+///
+/// Panics if `opts.k < 2` (no merging possible).
+pub fn enumerate(netlist: &Netlist, opts: &CutOptions) -> Result<CutDatabase, NetlistError> {
+    assert!(opts.k >= 2, "cut size must be at least 2");
+    let order = pl_netlist::analyze::comb_topo_order(netlist)?;
+    let n = netlist.len();
+    let mut db = CutDatabase { cuts: vec![Vec::new(); n], depth: vec![0; n] };
+    // Fanout counts for area-flow normalization.
+    let fanouts = pl_netlist::analyze::fanouts(netlist);
+
+    for &id in &order {
+        let i = id.index();
+        match netlist.node(id).kind() {
+            NodeKind::Lut { inputs, .. } => {
+                let mut candidates: Vec<Cut> = Vec::new();
+                let fanin_cutlists: Vec<&[Cut]> =
+                    inputs.iter().map(|f| db.cuts[f.index()].as_slice()).collect();
+                merge_fanins(&fanin_cutlists, opts.k, &mut candidates);
+                // Finalize costs: depth = 1 + max leaf depth; area-flow =
+                // (1000 + Σ leaf flow/fanout) approximation.
+                for c in &mut candidates {
+                    c.depth =
+                        1 + c.leaves.iter().map(|l| db.depth[l.index()]).max().unwrap_or(0);
+                    c.area_flow = 1000
+                        + c.leaves
+                            .iter()
+                            .map(|l| {
+                                let fo = fanouts[l.index()].len().max(1) as u64;
+                                leaf_flow(&db, l.index()) / fo
+                            })
+                            .sum::<u64>();
+                }
+                // The trivial cut (the node itself as a leaf) is only useful
+                // for *fanouts* of this node, not for implementing it; store
+                // it last so selection prefers real cuts.
+                sort_and_prune(&mut candidates, opts.max_cuts);
+                let best_depth = candidates.first().map_or(0, |c| c.depth);
+                db.depth[i] = best_depth;
+                let trivial =
+                    Cut { leaves: vec![id], depth: best_depth, area_flow: 1000 };
+                candidates.push(trivial);
+                db.cuts[i] = candidates;
+            }
+            _ => {
+                // Sources: trivial cut only.
+                db.cuts[i] = vec![Cut { leaves: vec![id], depth: 0, area_flow: 0 }];
+                db.depth[i] = 0;
+            }
+        }
+    }
+    Ok(db)
+}
+
+/// Area-flow of the best cut of a node (0 for sources).
+fn leaf_flow(db: &CutDatabase, idx: usize) -> u64 {
+    db.cuts[idx].first().map_or(0, |c| c.area_flow)
+}
+
+/// Merges the cut lists of up to two fanins into candidate cuts.
+fn merge_fanins(fanins: &[&[Cut]], k: usize, out: &mut Vec<Cut>) {
+    match fanins.len() {
+        0 => {}
+        1 => {
+            for c in fanins[0] {
+                out.push(Cut { leaves: c.leaves.clone(), depth: 0, area_flow: 0 });
+            }
+        }
+        2 => {
+            for a in fanins[0] {
+                for b in fanins[1] {
+                    if let Some(leaves) = union_leaves(&a.leaves, &b.leaves, k) {
+                        out.push(Cut { leaves, depth: 0, area_flow: 0 });
+                    }
+                }
+            }
+        }
+        _ => {
+            // Fold pairwise for hypothetical >2-input nodes.
+            let mut acc: Vec<Cut> =
+                fanins[0].iter().map(|c| Cut { leaves: c.leaves.clone(), depth: 0, area_flow: 0 }).collect();
+            for rest in &fanins[1..] {
+                let mut next = Vec::new();
+                for a in &acc {
+                    for b in *rest {
+                        if let Some(leaves) = union_leaves(&a.leaves, &b.leaves, k) {
+                            next.push(Cut { leaves, depth: 0, area_flow: 0 });
+                        }
+                    }
+                }
+                acc = next;
+            }
+            out.extend(acc);
+        }
+    }
+}
+
+/// Sorted-union of two leaf lists, `None` if it exceeds `k`.
+fn union_leaves(a: &[NodeId], b: &[NodeId], k: usize) -> Option<Vec<NodeId>> {
+    let mut out = Vec::with_capacity(k);
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() || j < b.len() {
+        let next = if j >= b.len() || (i < a.len() && a[i] <= b[j]) {
+            let v = a[i];
+            if j < b.len() && b[j] == v {
+                j += 1;
+            }
+            i += 1;
+            v
+        } else {
+            let v = b[j];
+            j += 1;
+            v
+        };
+        if out.len() == k {
+            return None;
+        }
+        out.push(next);
+    }
+    Some(out)
+}
+
+/// Sorts by (depth, area_flow, size), removes duplicates and dominated
+/// cuts, truncates to `max`.
+fn sort_and_prune(cuts: &mut Vec<Cut>, max: usize) {
+    cuts.sort_by(|a, b| {
+        a.depth
+            .cmp(&b.depth)
+            .then(a.area_flow.cmp(&b.area_flow))
+            .then(a.leaves.len().cmp(&b.leaves.len()))
+            .then(a.leaves.cmp(&b.leaves))
+    });
+    cuts.dedup_by(|a, b| a.leaves == b.leaves);
+    // Remove dominated cuts (superset with worse-or-equal rank later in list).
+    let mut kept: Vec<Cut> = Vec::with_capacity(cuts.len().min(max));
+    'outer: for c in cuts.drain(..) {
+        for k in &kept {
+            if k.signature() & c.signature() == k.signature() && k.dominates(&c) {
+                continue 'outer;
+            }
+        }
+        kept.push(c);
+        if kept.len() == max {
+            break;
+        }
+    }
+    *cuts = kept;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pl_netlist::Netlist;
+
+    fn and_chain(len: usize) -> (Netlist, Vec<NodeId>) {
+        let mut n = Netlist::new("chain");
+        let mut ids = Vec::new();
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let mut cur = n.add_and2(a, b).unwrap();
+        ids.push(cur);
+        for i in 0..len {
+            let x = n.add_input(format!("x{i}"));
+            cur = n.add_and2(cur, x).unwrap();
+            ids.push(cur);
+        }
+        n.set_output("y", cur);
+        (n, ids)
+    }
+
+    #[test]
+    fn chain_depth_shrinks_with_k4() {
+        // 7-input AND chain: 6 two-input gates, depth 6 unmapped.
+        let (n, ids) = and_chain(5);
+        let db = enumerate(&n, &CutOptions::default()).unwrap();
+        let root = *ids.last().unwrap();
+        // With k=4, depth should be ceil(log_4-ish) = 2 levels.
+        assert_eq!(db.depth[root.index()], 2);
+    }
+
+    #[test]
+    fn sources_have_trivial_cut() {
+        let (n, _) = and_chain(2);
+        let db = enumerate(&n, &CutOptions::default()).unwrap();
+        for &pi in n.inputs() {
+            assert_eq!(db.cuts[pi.index()].len(), 1);
+            assert_eq!(db.cuts[pi.index()][0].leaves, vec![pi]);
+            assert_eq!(db.depth[pi.index()], 0);
+        }
+    }
+
+    #[test]
+    fn cut_leaves_never_exceed_k() {
+        let (n, _) = and_chain(8);
+        for k in 2..=6 {
+            let db = enumerate(&n, &CutOptions { k, max_cuts: 8 }).unwrap();
+            for cl in &db.cuts {
+                for c in cl {
+                    assert!(c.leaves.len() <= k);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn union_respects_limit() {
+        let a = vec![NodeId::from_index(1), NodeId::from_index(2)];
+        let b = vec![NodeId::from_index(3), NodeId::from_index(4)];
+        assert!(union_leaves(&a, &b, 4).is_some());
+        assert!(union_leaves(&a, &b, 3).is_none());
+        let shared = vec![NodeId::from_index(2), NodeId::from_index(3)];
+        assert_eq!(union_leaves(&a, &shared, 3).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn dominated_cuts_are_pruned() {
+        let small = Cut { leaves: vec![NodeId::from_index(1)], depth: 1, area_flow: 0 };
+        let big = Cut {
+            leaves: vec![NodeId::from_index(1), NodeId::from_index(2)],
+            depth: 1,
+            area_flow: 5,
+        };
+        let mut cuts = vec![big.clone(), small.clone()];
+        sort_and_prune(&mut cuts, 8);
+        assert_eq!(cuts, vec![small]);
+    }
+}

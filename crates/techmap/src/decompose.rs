@@ -1,0 +1,187 @@
+//! Shannon decomposition of wide LUTs into 1–2-input gates.
+
+use pl_boolfn::TruthTable;
+use pl_netlist::{Netlist, NetlistError, NodeId, NodeKind};
+
+/// Rewrites the netlist so every LUT has at most two inputs.
+///
+/// LUTs of three or more inputs are recursively Shannon-expanded on their
+/// highest support variable: `f = x'·f₀ + x·f₁`. Vacuous variables are
+/// dropped first, so the expansion always terminates.
+///
+/// # Errors
+///
+/// Propagates netlist validation/construction errors.
+pub fn to_two_input(netlist: &Netlist) -> Result<Netlist, NetlistError> {
+    netlist.validate()?;
+    let order = pl_netlist::analyze::comb_topo_order(netlist)?;
+    let mut out = Netlist::new(netlist.name());
+    let mut map: Vec<Option<NodeId>> = vec![None; netlist.len()];
+
+    for &pi in netlist.inputs() {
+        if let NodeKind::Input { name } = netlist.node(pi).kind() {
+            map[pi.index()] = Some(out.add_input(name.clone()));
+        }
+    }
+    for &ff in netlist.dffs() {
+        if let NodeKind::Dff { init, .. } = netlist.node(ff).kind() {
+            map[ff.index()] = Some(out.add_dff(*init));
+        }
+    }
+    for &id in &order {
+        match netlist.node(id).kind() {
+            NodeKind::Const { value } => {
+                map[id.index()] = Some(out.add_const(*value));
+            }
+            NodeKind::Lut { table, inputs } => {
+                let fanins: Vec<NodeId> = inputs
+                    .iter()
+                    .map(|i| map[i.index()].expect("topo order maps fanins first"))
+                    .collect();
+                map[id.index()] = Some(emit(&mut out, *table, &fanins)?);
+            }
+            _ => {}
+        }
+    }
+    for &ff in netlist.dffs() {
+        if let NodeKind::Dff { d: Some(src), .. } = netlist.node(ff).kind() {
+            out.set_dff_input(
+                map[ff.index()].expect("flip-flop mapped"),
+                map[src.index()].expect("driver mapped"),
+            )?;
+        }
+    }
+    for (name, id) in netlist.outputs() {
+        out.set_output(name.clone(), map[id.index()].expect("output driver mapped"));
+    }
+    Ok(out)
+}
+
+/// Emits `table` over `fanins` as a tree of ≤2-input LUTs, returning the
+/// root node.
+fn emit(out: &mut Netlist, table: TruthTable, fanins: &[NodeId]) -> Result<NodeId, NetlistError> {
+    // Strip vacuous variables first.
+    let support = table.support();
+    if (support.count_ones() as usize) < fanins.len() {
+        let kept: Vec<NodeId> = fanins
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| support & (1 << i) != 0)
+            .map(|(_, &n)| n)
+            .collect();
+        let reduced = table.project(support);
+        return emit(out, reduced, &kept);
+    }
+    if table.is_zero() {
+        return Ok(out.add_const(false));
+    }
+    if table.is_ones() {
+        return Ok(out.add_const(true));
+    }
+    if fanins.len() <= 2 {
+        return out.add_lut(table, fanins.to_vec());
+    }
+    // Shannon on the highest variable: f = x'·f0 + x·f1.
+    let var = fanins.len() - 1;
+    let x = fanins[var];
+    let rest = &fanins[..var];
+    let f0 = emit(out, table.cofactor0(var).project(low_mask(var)), rest)?;
+    let f1 = emit(out, table.cofactor1(var).project(low_mask(var)), rest)?;
+    // t0 = f0 & !x   (table over (f0, x): minterm f0=1,x=0)
+    let t0 = out.add_lut(TruthTable::from_bits(2, 0b0010), vec![f0, x])?;
+    // t1 = f1 & x
+    let t1 = out.add_lut(TruthTable::from_bits(2, 0b1000), vec![f1, x])?;
+    out.add_lut(TruthTable::from_bits(2, 0b1110), vec![t0, t1])
+}
+
+fn low_mask(n: usize) -> u8 {
+    ((1u16 << n) - 1) as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pl_netlist::eval::Evaluator;
+
+    fn equivalent(a: &Netlist, b: &Netlist, num_inputs: usize, cycles: usize) {
+        let mut sa = Evaluator::new(a).unwrap();
+        let mut sb = Evaluator::new(b).unwrap();
+        let mut x: u64 = 0xDEAD_BEEF_CAFE_1234;
+        for _ in 0..cycles {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let ins: Vec<bool> = (0..num_inputs).map(|i| (x >> i) & 1 == 1).collect();
+            assert_eq!(sa.step(&ins).unwrap(), sb.step(&ins).unwrap());
+        }
+    }
+
+    #[test]
+    fn wide_luts_become_narrow() {
+        let mut n = Netlist::new("wide");
+        let ins: Vec<NodeId> = (0..5).map(|i| n.add_input(format!("x{i}"))).collect();
+        // 5-input majority
+        let maj5 = TruthTable::from_fn(5, |m| m.count_ones() >= 3);
+        let g = n.add_lut(maj5, ins).unwrap();
+        n.set_output("y", g);
+        let d = to_two_input(&n).unwrap();
+        assert!(d.iter().all(|(_, node)| match node.kind() {
+            NodeKind::Lut { inputs, .. } => inputs.len() <= 2,
+            _ => true,
+        }));
+        equivalent(&n, &d, 5, 64);
+    }
+
+    #[test]
+    fn mux_decomposes_correctly() {
+        let mut n = Netlist::new("mux");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let s = n.add_input("s");
+        let m = n.add_mux2(s, a, b).unwrap();
+        n.set_output("m", m);
+        let d = to_two_input(&n).unwrap();
+        equivalent(&n, &d, 3, 16);
+    }
+
+    #[test]
+    fn vacuous_vars_are_dropped() {
+        let mut n = Netlist::new("vac");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let c = n.add_input("c");
+        // 3-input table that only depends on a
+        let t = TruthTable::var(3, 0);
+        let g = n.add_lut(t, vec![a, b, c]).unwrap();
+        n.set_output("y", g);
+        let d = to_two_input(&n).unwrap();
+        // now a single 1-input LUT (buffer)
+        assert!(d.num_luts() <= 1);
+        equivalent(&n, &d, 3, 16);
+    }
+
+    #[test]
+    fn sequential_designs_survive() {
+        let mut n = Netlist::new("seq");
+        let x = n.add_input("x");
+        let q = n.add_dff(false);
+        let wide = TruthTable::from_fn(3, |m| m.count_ones() % 2 == 1);
+        let g = n.add_lut(wide, vec![x, q, x]).unwrap();
+        n.set_dff_input(q, g).unwrap();
+        n.set_output("q", q);
+        let d = to_two_input(&n).unwrap();
+        equivalent(&n, &d, 1, 32);
+    }
+
+    #[test]
+    fn constant_tables_become_consts() {
+        let mut n = Netlist::new("konst");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let c = n.add_input("c");
+        let t = TruthTable::ones(3);
+        let g = n.add_lut(t, vec![a, b, c]).unwrap();
+        n.set_output("y", g);
+        let d = to_two_input(&n).unwrap();
+        assert_eq!(d.num_luts(), 0);
+        equivalent(&n, &d, 3, 8);
+    }
+}

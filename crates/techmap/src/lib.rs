@@ -1,0 +1,43 @@
+//! Cut-based LUT technology mapping for the phased-logic flow.
+//!
+//! The DATE 2002 paper's phased-logic gate is built around a 4-input LUT
+//! ("since all PL gates in the current implementation depend only on 4 input
+//! signals", §3). This crate converts an arbitrary gate-level
+//! [`pl_netlist::Netlist`] into an equivalent network of LUTs of at most a
+//! configurable arity (default 4):
+//!
+//! 1. [`decompose::to_two_input`] Shannon-decomposes every wider LUT into
+//!    1–2-input gates, giving the mapper freedom to rediscover good cones;
+//! 2. [`cuts`] enumerates priority *k-feasible cuts* per node;
+//! 3. [`map_to_lut4`] runs depth-oriented cut selection with area-flow
+//!    tie-breaking and extracts the mapped cover, computing each cone's
+//!    truth table.
+//!
+//! Mapped netlists are functionally equivalent to their source (verified by
+//! randomized equivalence tests) and are the input to `pl-core`'s
+//! synchronous→phased-logic mapping.
+//!
+//! # Example
+//!
+//! ```
+//! use pl_rtl::Module;
+//! use pl_techmap::{map_to_lut4, MapOptions};
+//!
+//! let mut m = Module::new("add4");
+//! let a = m.input_word("a", 4);
+//! let b = m.input_word("b", 4);
+//! let s = m.add(&a, &b);
+//! m.output_word("s", &s);
+//! let gates = m.elaborate().unwrap();
+//! let mapped = map_to_lut4(&gates, &MapOptions::default()).unwrap();
+//! assert!(mapped.iter().all(|(_, n)| n.lut_table().map_or(true, |t| t.num_vars() <= 4)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cuts;
+pub mod decompose;
+mod mapper;
+
+pub use mapper::{map_to_lut4, map_with_report, MapOptions, MapReport};

@@ -1,0 +1,333 @@
+//! Depth-oriented LUT cover extraction.
+
+use std::collections::HashMap;
+
+use pl_boolfn::TruthTable;
+use pl_netlist::{Netlist, NetlistError, NodeId, NodeKind};
+
+use crate::cuts::{enumerate, CutOptions};
+use crate::decompose::to_two_input;
+
+/// Options controlling [`map_to_lut4`].
+#[derive(Debug, Clone)]
+pub struct MapOptions {
+    /// Target LUT arity (2..=6; the paper's PL gate uses 4).
+    pub lut_size: usize,
+    /// Priority-cut list length per node (more = better area, slower).
+    pub max_cuts: usize,
+    /// Run the netlist cleanup passes on the mapped result.
+    pub cleanup: bool,
+}
+
+impl Default for MapOptions {
+    fn default() -> Self {
+        Self { lut_size: 4, max_cuts: 8, cleanup: true }
+    }
+}
+
+/// Outcome of a mapping run.
+#[derive(Debug, Clone)]
+pub struct MapReport {
+    /// The mapped netlist (every LUT has ≤ `lut_size` inputs).
+    pub netlist: Netlist,
+    /// LUT count before mapping (after 2-input decomposition).
+    pub luts_before: usize,
+    /// LUT count after mapping.
+    pub luts_after: usize,
+    /// Combinational depth after mapping.
+    pub depth: u32,
+}
+
+/// Maps a netlist onto LUTs of at most `opts.lut_size` inputs.
+///
+/// The input may contain LUTs of any arity up to the IR maximum; it is
+/// first decomposed to 2-input gates, then covered with depth-optimal
+/// priority cuts (area-flow tie-breaking).
+///
+/// # Errors
+///
+/// Propagates netlist validation errors.
+///
+/// # Panics
+///
+/// Panics if `opts.lut_size` is outside `2..=6`.
+pub fn map_to_lut4(netlist: &Netlist, opts: &MapOptions) -> Result<Netlist, NetlistError> {
+    Ok(map_with_report(netlist, opts)?.netlist)
+}
+
+/// Like [`map_to_lut4`] but also returns mapping statistics.
+///
+/// # Errors
+///
+/// Propagates netlist validation errors.
+///
+/// # Panics
+///
+/// Panics if `opts.lut_size` is outside `2..=6`.
+pub fn map_with_report(netlist: &Netlist, opts: &MapOptions) -> Result<MapReport, NetlistError> {
+    assert!(
+        (2..=6).contains(&opts.lut_size),
+        "lut size {} outside supported range 2..=6",
+        opts.lut_size
+    );
+    let two = to_two_input(netlist)?;
+    let db = enumerate(&two, &CutOptions { k: opts.lut_size, max_cuts: opts.max_cuts })?;
+
+    let mut out = Netlist::new(two.name());
+    let mut map: Vec<Option<NodeId>> = vec![None; two.len()];
+
+    // Sources first.
+    for &pi in two.inputs() {
+        if let NodeKind::Input { name } = two.node(pi).kind() {
+            map[pi.index()] = Some(out.add_input(name.clone()));
+        }
+    }
+    for &ff in two.dffs() {
+        if let NodeKind::Dff { init, .. } = two.node(ff).kind() {
+            map[ff.index()] = Some(out.add_dff(*init));
+        }
+    }
+
+    // Roots: primary-output drivers and flip-flop data pins.
+    let mut worklist: Vec<NodeId> = Vec::new();
+    for (_, id) in two.outputs() {
+        worklist.push(*id);
+    }
+    for &ff in two.dffs() {
+        if let NodeKind::Dff { d: Some(src), .. } = two.node(ff).kind() {
+            worklist.push(*src);
+        }
+    }
+
+    // Demand-driven cover extraction. A node is realized with its best
+    // non-trivial cut; the cut leaves become new demands.
+    while let Some(id) = worklist.pop() {
+        if map[id.index()].is_some() {
+            continue;
+        }
+        match two.node(id).kind() {
+            NodeKind::Const { value } => {
+                map[id.index()] = Some(out.add_const(*value));
+            }
+            NodeKind::Lut { .. } => {
+                let cut = db.cuts[id.index()]
+                    .iter()
+                    .find(|c| c.leaves != vec![id])
+                    .expect("lut nodes have at least one real cut");
+                let leaves = cut.leaves.clone();
+                if leaves.iter().all(|l| map[l.index()].is_some()) {
+                    let table = cone_truth_table(&two, id, &leaves);
+                    let fanins: Vec<NodeId> = leaves
+                        .iter()
+                        .map(|l| map[l.index()].expect("checked above"))
+                        .collect();
+                    // Constant or single-input cones degenerate gracefully.
+                    let node = out.add_lut(table, fanins)?;
+                    map[id.index()] = Some(node);
+                } else {
+                    worklist.push(id);
+                    for l in &leaves {
+                        if map[l.index()].is_none() {
+                            worklist.push(*l);
+                        }
+                    }
+                }
+            }
+            NodeKind::Input { .. } | NodeKind::Dff { .. } => {
+                unreachable!("sources were pre-mapped")
+            }
+        }
+    }
+
+    for &ff in two.dffs() {
+        if let NodeKind::Dff { d: Some(src), .. } = two.node(ff).kind() {
+            out.set_dff_input(
+                map[ff.index()].expect("flip-flop mapped"),
+                map[src.index()].expect("root demand was mapped"),
+            )?;
+        }
+    }
+    for (name, id) in two.outputs() {
+        out.set_output(name.clone(), map[id.index()].expect("root demand was mapped"));
+    }
+
+    let final_netlist = if opts.cleanup { pl_netlist::opt::cleanup(&out)? } else { out };
+    let depth = pl_netlist::analyze::depth(&final_netlist)?;
+    Ok(MapReport {
+        luts_before: two.num_luts(),
+        luts_after: final_netlist.num_luts(),
+        depth,
+        netlist: final_netlist,
+    })
+}
+
+/// Computes the truth table of the cone rooted at `root` with the given
+/// leaves, by composing node tables bottom-up.
+fn cone_truth_table(netlist: &Netlist, root: NodeId, leaves: &[NodeId]) -> TruthTable {
+    let k = leaves.len();
+    let mut memo: HashMap<NodeId, TruthTable> = HashMap::new();
+    for (i, &l) in leaves.iter().enumerate() {
+        memo.insert(l, TruthTable::var(k, i));
+    }
+    build_tt(netlist, root, k, &mut memo)
+}
+
+fn build_tt(
+    netlist: &Netlist,
+    node: NodeId,
+    k: usize,
+    memo: &mut HashMap<NodeId, TruthTable>,
+) -> TruthTable {
+    if let Some(t) = memo.get(&node) {
+        return *t;
+    }
+    let t = match netlist.node(node).kind() {
+        NodeKind::Const { value } => {
+            if *value {
+                TruthTable::ones(k)
+            } else {
+                TruthTable::zero(k)
+            }
+        }
+        NodeKind::Lut { table, inputs } => {
+            let fanin_tts: Vec<TruthTable> =
+                inputs.iter().map(|&f| build_tt(netlist, f, k, memo)).collect();
+            table.compose(k, &fanin_tts)
+        }
+        NodeKind::Input { .. } | NodeKind::Dff { .. } => {
+            unreachable!("cone traversal must stop at cut leaves (node {node})")
+        }
+    };
+    memo.insert(node, t);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pl_netlist::eval::Evaluator;
+    use pl_rtl::Module;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn assert_equivalent(a: &Netlist, b: &Netlist, cycles: usize, seed: u64) {
+        assert_eq!(a.inputs().len(), b.inputs().len());
+        let mut sa = Evaluator::new(a).unwrap();
+        let mut sb = Evaluator::new(b).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for c in 0..cycles {
+            let ins: Vec<bool> = (0..a.inputs().len()).map(|_| rng.gen()).collect();
+            assert_eq!(
+                sa.step(&ins).unwrap(),
+                sb.step(&ins).unwrap(),
+                "cycle {c} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn maps_adder_and_preserves_function() {
+        let mut m = Module::new("add8");
+        let a = m.input_word("a", 8);
+        let b = m.input_word("b", 8);
+        let s = m.add(&a, &b);
+        m.output_word("s", &s);
+        let gates = m.elaborate().unwrap();
+        let report = map_with_report(&gates, &MapOptions::default()).unwrap();
+        assert!(report.luts_after <= report.luts_before);
+        assert_equivalent(&gates, &report.netlist, 128, 11);
+        // every LUT is ≤4 inputs
+        for (_, node) in report.netlist.iter() {
+            if let Some(t) = node.lut_table() {
+                assert!(t.num_vars() <= 4);
+            }
+        }
+    }
+
+    #[test]
+    fn maps_sequential_accumulator() {
+        let mut m = Module::new("acc");
+        let en = m.input_bit("en");
+        let x = m.input_word("x", 6);
+        let acc = m.reg_word("acc", 6, 0);
+        let sum = m.add(&acc.q(), &x);
+        m.next_when(&acc, en, &sum);
+        m.output_word("acc", &acc.q());
+        let gates = m.elaborate().unwrap();
+        let mapped = map_to_lut4(&gates, &MapOptions::default()).unwrap();
+        assert_equivalent(&gates, &mapped, 200, 12);
+    }
+
+    #[test]
+    fn depth_improves_over_two_input_form() {
+        let mut m = Module::new("wide_and");
+        let x = m.input_word("x", 16);
+        let y = m.and_reduce(&x);
+        m.output_bit("y", y);
+        let gates = m.elaborate().unwrap();
+        let two = to_two_input(&gates).unwrap();
+        let report = map_with_report(&gates, &MapOptions::default()).unwrap();
+        let depth2 = pl_netlist::analyze::depth(&two).unwrap();
+        assert!(report.depth < depth2, "mapping should reduce depth ({} vs {depth2})", report.depth);
+        assert_eq!(report.depth, 2); // 16-input AND in 2 LUT4 levels
+    }
+
+    #[test]
+    fn lut6_target_works_too() {
+        let mut m = Module::new("parity");
+        let x = m.input_word("x", 12);
+        let y = m.xor_reduce(&x);
+        m.output_bit("y", y);
+        let gates = m.elaborate().unwrap();
+        let opts = MapOptions { lut_size: 6, ..MapOptions::default() };
+        let mapped = map_to_lut4(&gates, &opts).unwrap();
+        assert_equivalent(&gates, &mapped, 64, 13);
+        assert_eq!(pl_netlist::analyze::depth(&mapped).unwrap(), 2);
+    }
+
+    #[test]
+    fn cone_truth_table_simple() {
+        let mut n = Netlist::new("cone");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let c = n.add_input("c");
+        let ab = n.add_and2(a, b).unwrap();
+        let f = n.add_or2(ab, c).unwrap();
+        let tt = cone_truth_table(&n, f, &[a, b, c]);
+        let want = TruthTable::from_fn(3, |m| {
+            ((m & 1 != 0) && (m & 2 != 0)) || (m & 4 != 0)
+        });
+        assert_eq!(tt, want);
+    }
+
+    #[test]
+    fn output_driven_by_input_maps() {
+        let mut m = Module::new("wire");
+        let a = m.input_bit("a");
+        m.output_bit("y", a);
+        let gates = m.elaborate().unwrap();
+        let mapped = map_to_lut4(&gates, &MapOptions::default()).unwrap();
+        assert_equivalent(&gates, &mapped, 4, 14);
+    }
+
+    #[test]
+    fn random_logic_equivalence_sweep() {
+        // A mixed comb/seq design exercising muxes, compares, xors.
+        let mut m = Module::new("mix");
+        let a = m.input_word("a", 5);
+        let b = m.input_word("b", 5);
+        let s = m.input_bit("s");
+        let r = m.reg_word("r", 5, 3);
+        let sum = m.add(&a, &r.q());
+        let diff = m.sub(&b, &a);
+        let sel = m.mux_w(s, &sum, &diff);
+        let lt = m.lt_u(&a, &b);
+        let nxt = m.mux_w(lt, &sel, &b);
+        m.next(&r, &nxt);
+        m.output_word("r", &r.q());
+        m.output_bit("lt", lt);
+        let gates = m.elaborate().unwrap();
+        let mapped = map_to_lut4(&gates, &MapOptions::default()).unwrap();
+        assert_equivalent(&gates, &mapped, 300, 15);
+    }
+}

@@ -1,0 +1,44 @@
+//! Run one ITC99 benchmark through the complete reproduction flow and
+//! print its Table 3 row plus flow diagnostics.
+//!
+//! ```text
+//! cargo run --release --example itc99_flow [bXX] [vectors]
+//! ```
+
+use pl_bench::{format_table3, run_flow, FlowOptions};
+use pl_core::PlNetlist;
+use pl_techmap::{map_with_report, MapOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let id = std::env::args().nth(1).unwrap_or_else(|| "b07".to_string());
+    let vectors: usize =
+        std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(100);
+    let bench = pl_itc99::by_id(&id)
+        .ok_or_else(|| format!("unknown benchmark '{id}' (use b01..b15)"))?;
+
+    println!("{} — {}\n", bench.id, bench.description);
+
+    // Stage-by-stage diagnostics.
+    let module = (bench.build)();
+    let gates = module.elaborate()?;
+    println!("RTL:       {}", pl_netlist::analyze::stats(&gates)?);
+    let report = map_with_report(&gates, &MapOptions::default())?;
+    println!(
+        "LUT4 map:  {} LUTs (from {}), depth {}",
+        report.luts_after, report.luts_before, report.depth
+    );
+    let pl = PlNetlist::from_sync(&report.netlist)?;
+    println!(
+        "PL map:    {} PL gates, {} arcs ({} feedbacks)",
+        pl.num_logic_gates(),
+        pl.arcs().len(),
+        pl.num_ack_arcs()
+    );
+    pl_core::marked::check_liveness(&pl)?;
+    println!("checks:    liveness ok");
+
+    // The Table 3 row.
+    let row = run_flow(&bench, &FlowOptions { vectors, ..FlowOptions::default() })?;
+    println!("\n{}", format_table3(&[row]));
+    Ok(())
+}

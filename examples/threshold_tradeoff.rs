@@ -1,0 +1,49 @@
+//! The paper's §4 observation: "thresholding the cost function allows for
+//! a tradeoff in area versus delay of a PL circuit". This example sweeps
+//! the Equation-1 cost threshold on one benchmark and prints the frontier.
+//!
+//! ```text
+//! cargo run --release --example threshold_tradeoff [bXX]
+//! ```
+
+use pl_bench::{run_flow, FlowOptions};
+use pl_core::ee::EeOptions;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let id = std::env::args().nth(1).unwrap_or_else(|| "b04".to_string());
+    let bench = pl_itc99::by_id(&id)
+        .ok_or_else(|| format!("unknown benchmark '{id}' (use b01..b15)"))?;
+    println!(
+        "area/delay trade-off for {} — {}\n",
+        bench.id, bench.description
+    );
+    println!(
+        "{:>10} | {:>8} {:>7} | {:>12} {:>8}",
+        "threshold", "EE pairs", "%area", "avg delay ns", "%delay"
+    );
+    println!("{}", "-".repeat(56));
+
+    let mut baseline = None;
+    for t in [f64::INFINITY, 3.0, 2.0, 1.5, 1.0, 0.75, 0.5, 0.25, 0.0] {
+        let opts = FlowOptions {
+            vectors: 100,
+            verify: false,
+            ee: EeOptions { cost_threshold: t, ..EeOptions::default() },
+            ..FlowOptions::default()
+        };
+        let row = run_flow(&bench, &opts)?;
+        let base = *baseline.get_or_insert(row.delay_ee);
+        let label = if t.is_infinite() { "no EE".to_string() } else { format!("{t:.2}") };
+        println!(
+            "{label:>10} | {:>8} {:>6.0}% | {:>12.1} {:>7.1}%",
+            row.ee_gates,
+            row.area_increase_pct(),
+            row.delay_ee,
+            100.0 * (base - row.delay_ee) / base,
+        );
+    }
+    println!(
+        "\nLower thresholds implement more trigger pairs: more area, more speedup."
+    );
+    Ok(())
+}

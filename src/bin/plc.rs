@@ -1,0 +1,150 @@
+//! `plc` — phased-logic compiler/driver CLI.
+//!
+//! A downstream-user tool wrapping the whole reproduction flow:
+//!
+//! ```text
+//! plc flow   <file.blif | bXX>        run BLIF or an ITC99 id through the
+//!                                     full EE flow and print statistics
+//! plc ee     <file.blif | bXX>        list every master/trigger pair with
+//!                                     its Equation-1 ingredients
+//! plc vcd    <file.blif | bXX> <out>  simulate 8 random vectors and write
+//!                                     a VCD token waveform
+//! plc verilog <file.blif | bXX>       print the LUT4-mapped netlist as
+//!                                     structural Verilog
+//! ```
+
+use std::process::ExitCode;
+
+use phased_logic_ee::prelude::*;
+use pl_netlist::Netlist;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("flow") => with_design(&args, 2, |name, mapped| cmd_flow(name, &mapped)),
+        Some("ee") => with_design(&args, 2, |name, mapped| cmd_ee(name, &mapped)),
+        Some("vcd") => with_design(&args, 3, |_name, mapped| {
+            cmd_vcd(&mapped, args.get(2).expect("arity checked"))
+        }),
+        Some("verilog") => with_design(&args, 2, |_, mapped| {
+            let v = pl_netlist::verilog::to_verilog(&mapped)?;
+            print!("{v}");
+            Ok(())
+        }),
+        _ => {
+            eprintln!(
+                "usage: plc <flow|ee|verilog> <file.blif|bXX>\n       plc vcd <file.blif|bXX> <out.vcd>"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("plc: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Loads a design by BLIF path or ITC99 id, LUT4-maps it, and hands it on.
+fn with_design(
+    args: &[String],
+    min_args: usize,
+    f: impl FnOnce(String, Netlist) -> Result<(), Box<dyn std::error::Error>>,
+) -> Result<(), Box<dyn std::error::Error>> {
+    if args.len() < min_args {
+        return Err("missing design argument (BLIF path or b01..b15)".into());
+    }
+    let spec = &args[1];
+    let gates = if let Some(bench) = pl_itc99::by_id(spec) {
+        (bench.build)().elaborate()?
+    } else {
+        let text = std::fs::read_to_string(spec)
+            .map_err(|e| format!("cannot read '{spec}': {e}"))?;
+        pl_netlist::blif::from_blif(&text)?
+    };
+    let mapped = map_to_lut4(&gates, &MapOptions::default())?;
+    f(spec.clone(), mapped)
+}
+
+fn cmd_flow(name: String, mapped: &Netlist) -> Result<(), Box<dyn std::error::Error>> {
+    let stats = pl_netlist::analyze::stats(mapped)?;
+    println!("design {name}: {stats}");
+    let plain = PlNetlist::from_sync(mapped)?;
+    pl_core::marked::check_liveness(&plain)?;
+    println!(
+        "phased logic: {} gates, {} arcs ({} feedbacks) — live",
+        plain.num_logic_gates(),
+        plain.arcs().len(),
+        plain.num_ack_arcs()
+    );
+    let report = PlNetlist::from_sync(mapped)?.with_early_evaluation(&EeOptions::default());
+    println!(
+        "early evaluation: {} pairs / {} compute gates (+{:.0}% area)",
+        report.pairs().len(),
+        report.examined(),
+        report.area_increase() * 100.0
+    );
+    let delays = DelayModel::default();
+    let (a, base) = pl_sim::measure_latency(&plain, &delays, 100, 1)?;
+    let (b, fast) = pl_sim::measure_latency(report.netlist(), &delays, 100, 1)?;
+    if a != b {
+        return Err("EE changed functional results (bug!)".into());
+    }
+    println!("latency without EE: {base}");
+    println!("latency with EE:    {fast}");
+    if base.mean() > 0.0 {
+        println!(
+            "delay decrease: {:.1}%",
+            100.0 * (base.mean() - fast.mean()) / base.mean()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_ee(name: String, mapped: &Netlist) -> Result<(), Box<dyn std::error::Error>> {
+    let report = PlNetlist::from_sync(mapped)?.with_early_evaluation(&EeOptions::default());
+    println!(
+        "design {name}: {} master/trigger pairs (of {} compute gates)",
+        report.pairs().len(),
+        report.examined()
+    );
+    println!(
+        "{:>8} {:>8} {:>8} {:>9} {:>5} {:>5} {:>7}",
+        "master", "trigger", "pins", "coverage", "Mmax", "Tmax", "cost"
+    );
+    for p in report.pairs() {
+        println!(
+            "{:>8} {:>8} {:>8} {:>8.0}% {:>5} {:>5} {:>7.2}",
+            p.master.to_string(),
+            p.trigger.to_string(),
+            format!("{:#06b}", p.candidate.support),
+            p.candidate.coverage * 100.0,
+            p.candidate.m_max,
+            p.candidate.t_max,
+            p.cost()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_vcd(mapped: &Netlist, out_path: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let pl = PlNetlist::from_sync(mapped)?;
+    let mut sim = PlSimulator::new(&pl, DelayModel::default())?;
+    sim.enable_tracing();
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    for _ in 0..8 {
+        let v: Vec<bool> = (0..pl.input_gates().len()).map(|_| rng.gen()).collect();
+        sim.run_vector(&v)?;
+    }
+    let vcd = pl_sim::trace::to_vcd(&pl, sim.trace(), mapped.name());
+    std::fs::write(out_path, &vcd)?;
+    println!(
+        "wrote {out_path}: {} signal changes over {:.1} ns",
+        sim.trace().len(),
+        sim.time()
+    );
+    Ok(())
+}

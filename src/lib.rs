@@ -1,0 +1,66 @@
+//! # phased-logic-ee
+//!
+//! Facade crate for the reproduction of *"Generalized Early Evaluation in
+//! Self-Timed Circuits"* (Thornton, Fazel, Reese, Traver — DATE 2002).
+//!
+//! Phased Logic (PL) maps a synchronous LUT4+DFF netlist onto a
+//! delay-insensitive, clockless network of self-timed gates exchanging
+//! LEDR-encoded tokens. The paper's contribution — implemented in
+//! `pl_core::ee` — is a *generalized early evaluation* synthesis
+//! optimization: each PL gate is paired with a *trigger* gate computing a
+//! subfunction over fast-arriving inputs, letting the master fire before its
+//! slow inputs arrive whenever the subfunction forces the output.
+//!
+//! The workspace layers, bottom-up:
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`boolfn`] | truth tables, cube lists, ISOP, support-subset enumeration |
+//! | [`netlist`] | gate-level IR (LUTs, DFFs, primary IO) |
+//! | [`rtl`] | word-level RTL builder that elaborates to gates |
+//! | [`techmap`] | cut-based LUT4 technology mapper |
+//! | [`core`] | LEDR, PL gates, marked graphs, **early evaluation** |
+//! | [`sim`] | discrete-event token simulator + sync reference simulator |
+//! | [`itc99`] | re-implemented ITC99 benchmark circuits b01–b15 |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use phased_logic_ee::prelude::*;
+//!
+//! // 1. Describe a circuit at RTL.
+//! let mut m = RtlModule::new("demo");
+//! let a = m.input_word("a", 4);
+//! let b = m.input_word("b", 4);
+//! let sum = m.add(&a, &b);
+//! m.output_word("sum", &sum);
+//!
+//! // 2. Elaborate + map to LUT4s.
+//! let gates = m.elaborate().expect("elaboration");
+//! let mapped = map_to_lut4(&gates, &MapOptions::default()).expect("mapping");
+//!
+//! // 3. Map to phased logic and add early evaluation.
+//! let pl = PlNetlist::from_sync(&mapped).expect("PL mapping");
+//! let report = pl.clone().with_early_evaluation(&EeOptions::default());
+//! assert!(report.pairs().len() <= pl.num_compute_gates());
+//! ```
+
+pub use pl_bench as bench;
+pub use pl_boolfn as boolfn;
+pub use pl_core as core;
+pub use pl_itc99 as itc99;
+pub use pl_netlist as netlist;
+pub use pl_rtl as rtl;
+pub use pl_sim as sim;
+pub use pl_techmap as techmap;
+
+/// Convenience re-exports of the most frequently used items.
+pub mod prelude {
+    pub use pl_boolfn::{Cube, CubeList, TruthTable};
+    pub use pl_core::ee::{EeOptions, EeReport};
+    pub use pl_core::netlist::PlNetlist;
+    pub use pl_netlist::Netlist;
+    pub use pl_rtl::Module as RtlModule;
+    pub use pl_sim::{DelayModel, LatencyStats, PlSimulator, SyncSimulator};
+    pub use pl_techmap::{map_to_lut4, MapOptions};
+}

@@ -1,0 +1,141 @@
+//! End-to-end integration tests: RTL → LUT4 mapping → phased logic → early
+//! evaluation → simulation, with functional equivalence and marked-graph
+//! invariants checked at every stage.
+
+use phased_logic_ee::prelude::*;
+use pl_core::marked::{check_liveness, check_safety};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_vectors(n_inputs: usize, count: usize, seed: u64) -> Vec<Vec<bool>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count).map(|_| (0..n_inputs).map(|_| rng.gen()).collect()).collect()
+}
+
+/// Runs the full flow for one ITC99 benchmark and checks every invariant.
+fn flow_checks(id: &str, vectors: usize) {
+    let bench = pl_itc99::by_id(id).expect("benchmark exists");
+    let gates = (bench.build)().elaborate().expect("elaborates");
+    let mapped = map_to_lut4(&gates, &MapOptions::default()).expect("maps");
+
+    // Mapping preserved behaviour.
+    let vecs = random_vectors(mapped.inputs().len(), vectors, 0xF10);
+    {
+        let mut a = SyncSimulator::new(&gates).expect("raw validates");
+        let mut b = SyncSimulator::new(&mapped).expect("mapped validates");
+        for v in &vecs {
+            assert_eq!(a.step(v).unwrap(), b.step(v).unwrap(), "{id}: mapping changed function");
+        }
+    }
+
+    // PL mapping: live, safe, equivalent.
+    let pl = PlNetlist::from_sync(&mapped).expect("PL maps");
+    check_liveness(&pl).unwrap_or_else(|e| panic!("{id}: liveness: {e}"));
+    check_safety(&pl).unwrap_or_else(|e| panic!("{id}: safety: {e}"));
+    let delays = DelayModel::default();
+    pl_sim::verify_equivalence(&mapped, &pl, &delays, &vecs)
+        .expect("simulation runs")
+        .unwrap_or_else(|m| panic!("{id}: PL diverged: {m}"));
+
+    // EE: live, safe, still equivalent.
+    let report = PlNetlist::from_sync(&mapped)
+        .expect("PL maps")
+        .with_early_evaluation(&EeOptions::default());
+    check_liveness(report.netlist()).unwrap_or_else(|e| panic!("{id}: EE liveness: {e}"));
+    check_safety(report.netlist()).unwrap_or_else(|e| panic!("{id}: EE safety: {e}"));
+    pl_sim::verify_equivalence(&mapped, report.netlist(), &delays, &vecs)
+        .expect("simulation runs")
+        .unwrap_or_else(|m| panic!("{id}: EE diverged: {m}"));
+}
+
+#[test]
+fn b01_full_flow() {
+    flow_checks("b01", 60);
+}
+
+#[test]
+fn b02_full_flow() {
+    flow_checks("b02", 60);
+}
+
+#[test]
+fn b03_full_flow() {
+    flow_checks("b03", 40);
+}
+
+#[test]
+fn b06_full_flow() {
+    flow_checks("b06", 60);
+}
+
+#[test]
+fn b09_full_flow() {
+    flow_checks("b09", 40);
+}
+
+#[test]
+fn b13_full_flow() {
+    flow_checks("b13", 30);
+}
+
+#[test]
+fn b04_datapath_full_flow() {
+    flow_checks("b04", 25);
+}
+
+#[test]
+fn b11_cipher_full_flow() {
+    flow_checks("b11", 25);
+}
+
+/// The whole suite elaborates, maps and converts to live phased logic.
+#[test]
+fn entire_suite_reaches_phased_logic() {
+    for bench in pl_itc99::catalog() {
+        let gates = (bench.build)().elaborate().expect("elaborates");
+        let mapped = map_to_lut4(&gates, &MapOptions::default()).expect("maps");
+        let pl = PlNetlist::from_sync(&mapped).expect("PL maps");
+        check_liveness(&pl).unwrap_or_else(|e| panic!("{}: {e}", bench.id));
+        assert!(pl.num_logic_gates() > 0);
+    }
+}
+
+/// EE reports are internally consistent across the suite.
+#[test]
+fn ee_reports_are_consistent() {
+    for bench in pl_itc99::catalog().into_iter().take(13) {
+        let gates = (bench.build)().elaborate().expect("elaborates");
+        let mapped = map_to_lut4(&gates, &MapOptions::default()).expect("maps");
+        let before = PlNetlist::from_sync(&mapped).expect("PL maps");
+        let logic_before = before.num_logic_gates();
+        let report = before.with_early_evaluation(&EeOptions::default());
+        assert_eq!(
+            report.netlist().num_logic_gates(),
+            logic_before + report.pairs().len(),
+            "{}: every pair adds exactly one trigger gate",
+            bench.id
+        );
+        assert_eq!(report.netlist().num_ee_pairs(), report.pairs().len());
+        assert!(report.examined() <= logic_before);
+        for pair in report.pairs() {
+            assert!(pair.candidate.coverage > 0.0);
+            assert!(pair.candidate.offers_speedup());
+        }
+    }
+}
+
+/// Thresholding is monotone: higher thresholds never add pairs.
+#[test]
+fn threshold_monotonicity() {
+    let bench = pl_itc99::by_id("b04").unwrap();
+    let gates = (bench.build)().elaborate().unwrap();
+    let mapped = map_to_lut4(&gates, &MapOptions::default()).unwrap();
+    let mut last = usize::MAX;
+    for t in [0.0, 0.5, 1.0, 2.0, 4.0] {
+        let report = PlNetlist::from_sync(&mapped)
+            .unwrap()
+            .with_early_evaluation(&EeOptions { cost_threshold: t, ..EeOptions::default() });
+        assert!(report.pairs().len() <= last, "threshold {t} added pairs");
+        last = report.pairs().len();
+    }
+}

@@ -1,0 +1,140 @@
+//! Exact reproductions of the paper's worked examples: Table 1, Table 2 and
+//! Equation 1, plus the structural claims of §2–3.
+
+use pl_boolfn::{isop, support_subsets, CubeList, TruthTable};
+use pl_core::trigger::{best_trigger, search_triggers, trigger_cover_from_cubes};
+use pl_core::{LedrSignal, Phase};
+
+/// Full-adder carry-out, the paper's running example (a=var0, b=var1,
+/// c=var2 = carry-in).
+fn carry_out() -> TruthTable {
+    TruthTable::from_fn(3, |m| {
+        let (a, b, c) = (m & 1 != 0, m & 2 != 0, m & 4 != 0);
+        (c && (a || b)) || (a && b)
+    })
+}
+
+#[test]
+fn table1_master_column() {
+    // Paper Table 1, master column for rows abc = 000..111 (a is MSB).
+    let expected = [0, 0, 0, 1, 0, 1, 1, 1];
+    let f = carry_out();
+    for (row, &want) in expected.iter().enumerate() {
+        let (a, b, c) = (row >> 2 & 1, row >> 1 & 1, row & 1);
+        let idx = (a | (b << 1) | (c << 2)) as u32;
+        assert_eq!(u8::from(f.eval(idx)), want, "row abc={a}{b}{c}");
+    }
+}
+
+#[test]
+fn table1_trigger_column() {
+    // Paper Table 1, trigger column: 1,1,0,0,0,0,1,1 (= ab + a'b').
+    let expected = [1, 1, 0, 0, 0, 0, 1, 1];
+    let cands = search_triggers(&carry_out(), &[1, 1, 3]);
+    let trig = cands.iter().find(|c| c.support == 0b011).expect("subset {a,b}");
+    for (row, &want) in expected.iter().enumerate() {
+        let (a, b) = (row >> 2 & 1, row >> 1 & 1);
+        let idx = (a | (b << 1)) as u32;
+        assert_eq!(u8::from(trig.table.eval(idx)), want, "row {row}");
+    }
+    // "an overall coverage of 4/8 = 50% is computed"
+    assert!((trig.coverage - 0.5).abs() < 1e-12);
+}
+
+#[test]
+fn table2_cube_list_procedure() {
+    // The paper's cube lists for the carry function.
+    let f_on = CubeList::parse(&["11-", "1-1", "-11"]).unwrap();
+    let f_off = CubeList::parse(&["00-", "010", "100"]).unwrap();
+    // Verify they really are covers of the master's ON/OFF sets.
+    let f = carry_out();
+    assert_eq!(f_on.to_truth_table(), f);
+    assert_eq!(f_off.to_truth_table(), !f);
+    // "Since 2 cubes depend only upon master inputs a and b and each of
+    //  those two cubes covers [2] of the 8 possible outputs ... a coverage
+    //  of 50% is computed for the trigger function f_trig = ab + a'b'."
+    let (cover, covered) = trigger_cover_from_cubes(&f_on, &f_off, 0b011);
+    assert_eq!(covered, 4);
+    assert_eq!(covered as f64 / 8.0, 0.5);
+    // "f_ON_trig = {00-, 11-}"
+    let mut cubes: Vec<String> = cover.iter().map(|c| c.to_string()).collect();
+    cubes.sort();
+    assert_eq!(cubes, vec!["00-", "11-"]);
+}
+
+#[test]
+fn table2_per_cube_coverage_column() {
+    // Paper Table 2's coverage column: 00- → 2, 010 → 0, 100 → 0,
+    // 11- → 2, 1-1 → 0, -11 → 0.
+    let rows =
+        [("00-", 2u64), ("010", 0), ("100", 0), ("11-", 2), ("1-1", 0), ("-11", 0)];
+    for (cube_str, want) in rows {
+        let cube = pl_boolfn::Cube::parse(cube_str).unwrap();
+        let contributes = cube.support_within(0b011);
+        let got = if contributes { cube.covered_count() } else { 0 };
+        assert_eq!(got, want, "cube {cube_str}");
+    }
+}
+
+#[test]
+fn equation1_cost() {
+    // Cost = %Coverage × Mmax / Tmax. With the carry-in at level 3 and
+    // a, b at level 1: cost({a,b}) = 0.5 × 3/1 = 1.5.
+    let best = best_trigger(&carry_out(), &[1, 1, 3]).expect("adder has a trigger");
+    assert_eq!(best.support, 0b011);
+    assert!((best.cost() - 1.5).abs() < 1e-12);
+    // Flipping the arrivals makes {a,b} unattractive (cost weighting works:
+    // "a large coverage ... may depend on slowly arriving signals").
+    let cands = search_triggers(&carry_out(), &[4, 4, 1]);
+    let ab = cands.iter().find(|c| c.support == 0b011).unwrap();
+    let bc = cands.iter().find(|c| c.support == 0b110);
+    assert!(!ab.offers_speedup());
+    if let Some(bc) = bc {
+        assert!(bc.t_max <= ab.t_max || bc.cost() <= ab.cost());
+    }
+}
+
+#[test]
+fn fourteen_support_sets() {
+    // "We search over all 14 possible support sets of 3 or fewer variables"
+    assert_eq!(support_subsets(0b1111, 3).count(), 14);
+}
+
+#[test]
+fn ledr_phase_alternation() {
+    // §2: "Each data token has a phase that is either even or odd" and the
+    // phase is p = v ⊕ t.
+    let mut s = LedrSignal::with_phase(false, Phase::Even);
+    for i in 0..10 {
+        let v = i % 3 == 0;
+        let next = s.next_token(v);
+        assert_eq!(next.phase(), s.phase().toggled());
+        assert_eq!(next.value(), v);
+        assert_eq!(next.phase().bit(), next.v() ^ next.t());
+        s = next;
+    }
+}
+
+#[test]
+fn isop_reproduces_paper_on_set() {
+    // Our ISOP of the carry function matches the paper's f_ON cover
+    // {11-, 1-1, -11} up to cube ordering.
+    let f = carry_out();
+    let mut got: Vec<String> = isop(&f, &f).iter().map(|c| c.to_string()).collect();
+    got.sort();
+    assert_eq!(got, vec!["-11", "1-1", "11-"]);
+}
+
+#[test]
+fn trigger_is_sound_and_complete_for_the_carry() {
+    // trigger=1 exactly when the {a,b} assignment forces the master —
+    // completeness distinguishes the exact method from cube filtering.
+    let f = carry_out();
+    let cands = search_triggers(&f, &[1, 1, 3]);
+    let trig = cands.iter().find(|c| c.support == 0b011).unwrap();
+    for ab in 0..4u32 {
+        let fires = trig.table.eval(ab);
+        let forced = f.forced_value(0b011, ab).is_some();
+        assert_eq!(fires, forced, "assignment ab={ab:02b}");
+    }
+}
