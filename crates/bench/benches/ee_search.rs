@@ -1,10 +1,12 @@
 //! Criterion bench: cost of the paper's exhaustive trigger search
-//! (14 support subsets per LUT4) and of the whole EE transformation.
+//! (14 support subsets per LUT4) and of the whole EE transformation —
+//! word-parallel + memoized search against the retained per-assignment
+//! baseline (the speedup recorded in `BENCH_ee_search.json`).
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use pl_boolfn::TruthTable;
 use pl_core::ee::EeOptions;
-use pl_core::trigger::search_triggers;
+use pl_core::trigger::{search_triggers, search_triggers_baseline, TriggerCache};
 use pl_core::PlNetlist;
 use pl_techmap::{map_to_lut4, MapOptions};
 
@@ -12,7 +14,9 @@ fn random_masters(count: usize) -> Vec<TruthTable> {
     let mut x: u64 = 0x5EED_CAFE;
     (0..count)
         .map(|_| {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             TruthTable::from_bits(4, x & 0xFFFF)
         })
         .collect()
@@ -26,6 +30,40 @@ fn bench_trigger_search(c: &mut Criterion) {
             let mut found = 0usize;
             for m in &masters {
                 found += search_triggers(std::hint::black_box(m), &arrivals).len();
+            }
+            std::hint::black_box(found)
+        })
+    });
+    c.bench_function("trigger_search_256_lut4_masters_baseline", |b| {
+        b.iter(|| {
+            let mut found = 0usize;
+            for m in &masters {
+                found += search_triggers_baseline(std::hint::black_box(m), &arrivals).len();
+            }
+            std::hint::black_box(found)
+        })
+    });
+}
+
+/// The netlist-shaped search stream (per compute gate, with the LUT-class
+/// repetition real designs exhibit) — where the memo cache applies.
+fn bench_trigger_search_netlist_workload(c: &mut Criterion) {
+    let workload = pl_bench::trigger_search_workload(&["b14"]);
+    c.bench_function("trigger_search_b14_workload_memoized", |b| {
+        b.iter(|| {
+            let mut cache = TriggerCache::new();
+            let mut found = 0usize;
+            for (t, arr) in &workload {
+                found += cache.search(std::hint::black_box(t), arr).len();
+            }
+            std::hint::black_box(found)
+        })
+    });
+    c.bench_function("trigger_search_b14_workload_baseline", |b| {
+        b.iter(|| {
+            let mut found = 0usize;
+            for (t, arr) in &workload {
+                found += search_triggers_baseline(std::hint::black_box(t), arr).len();
             }
             std::hint::black_box(found)
         })
@@ -61,5 +99,11 @@ fn bench_pl_mapping(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_trigger_search, bench_ee_transform, bench_pl_mapping);
+criterion_group!(
+    benches,
+    bench_trigger_search,
+    bench_trigger_search_netlist_workload,
+    bench_ee_transform,
+    bench_pl_mapping
+);
 criterion_main!(benches);

@@ -1,32 +1,19 @@
 //! Criterion bench: discrete-event simulator throughput with and without
-//! early evaluation (the cost of regenerating one Table 3 cell).
+//! early evaluation (the cost of regenerating one Table 3 cell), plus the
+//! integer-tick engine against the retained pre-refactor baseline
+//! (`pl_sim::reference`) on streamed workloads — the speedup recorded in
+//! `BENCH_sim.json` by the `bench_report` binary.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use pl_core::ee::EeOptions;
-use pl_core::PlNetlist;
-use pl_sim::{measure_latency, DelayModel};
-use pl_techmap::{map_to_lut4, MapOptions};
-
-fn prepared(id: &str) -> (PlNetlist, PlNetlist) {
-    let bench = pl_itc99::by_id(id).expect("benchmark exists");
-    let gates = (bench.build)().elaborate().expect("elaborates");
-    let mapped = map_to_lut4(&gates, &MapOptions::default()).expect("maps");
-    let plain = PlNetlist::from_sync(&mapped).expect("PL maps");
-    let ee = PlNetlist::from_sync(&mapped)
-        .expect("PL maps")
-        .with_early_evaluation(&EeOptions::default())
-        .into_netlist();
-    (plain, ee)
-}
+use pl_sim::{measure_latency, DelayModel, PlSimulator, ReferenceSimulator};
 
 fn bench_simulation(c: &mut Criterion) {
     for id in ["b01", "b04", "b09"] {
-        let (plain, ee) = prepared(id);
+        let (plain, ee) = pl_bench::prepared_netlists(id);
         let delays = DelayModel::default();
         c.bench_function(&format!("simulate_{id}_plain_20vec"), |b| {
             b.iter(|| {
-                let (out, stats) =
-                    measure_latency(&plain, &delays, 20, 7).expect("simulates");
+                let (out, stats) = measure_latency(&plain, &delays, 20, 7).expect("simulates");
                 std::hint::black_box((out.len(), stats.mean()))
             })
         });
@@ -39,5 +26,29 @@ fn bench_simulation(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_simulation);
+/// Engine-vs-baseline: the ≥2× claim of the integer-tick rewrite, on the
+/// same streamed workload `bench_report` uses (scaled down for Criterion).
+fn bench_engine_vs_reference(c: &mut Criterion) {
+    for id in ["b04", "b14"] {
+        let (_, ee) = pl_bench::prepared_netlists(id);
+        let vecs = pl_bench::lcg_vectors(ee.input_gates().len(), 40, 0x5EED_0001);
+        let delays = DelayModel::default();
+        c.bench_function(&format!("stream_{id}_reference_40vec"), |b| {
+            b.iter(|| {
+                let mut sim = ReferenceSimulator::new(&ee, delays.clone()).expect("live");
+                let out = sim.run_stream(&vecs).expect("simulates");
+                std::hint::black_box(out.outputs.len())
+            })
+        });
+        c.bench_function(&format!("stream_{id}_engine_40vec"), |b| {
+            b.iter(|| {
+                let mut sim = PlSimulator::new(&ee, delays.clone()).expect("live");
+                let out = sim.run_stream(&vecs).expect("simulates");
+                std::hint::black_box(out.outputs.len())
+            })
+        });
+    }
+}
+
+criterion_group!(benches, bench_simulation, bench_engine_vs_reference);
 criterion_main!(benches);

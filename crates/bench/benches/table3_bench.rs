@@ -11,7 +11,11 @@ fn bench_rows(c: &mut Criterion) {
     group.sample_size(10);
     for id in ["b01", "b02", "b06", "b09"] {
         let bench = pl_itc99::by_id(id).expect("benchmark exists");
-        let opts = FlowOptions { vectors: 25, verify: false, ..FlowOptions::default() };
+        let opts = FlowOptions {
+            vectors: 25,
+            verify: false,
+            ..FlowOptions::default()
+        };
         group.bench_function(id, |b| {
             b.iter(|| {
                 let row = run_flow(&bench, &opts).expect("flow succeeds");

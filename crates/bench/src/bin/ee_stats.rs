@@ -14,13 +14,22 @@ use pl_techmap::{map_to_lut4, MapOptions};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let ids: Vec<String> = if args.is_empty() {
-        pl_itc99::catalog().iter().map(|b| b.id.to_string()).collect()
+        pl_itc99::catalog()
+            .iter()
+            .map(|b| b.id.to_string())
+            .collect()
     } else {
         args
     };
     println!(
         "{:<5} {:>6} {:>6} | {:>22} | {:>17} | {:>14} | {:>10}",
-        "bench", "gates", "pairs", "support size 1/2/3", "coverage lo/md/hi", "gap min/avg/max", "cost med"
+        "bench",
+        "gates",
+        "pairs",
+        "support size 1/2/3",
+        "coverage lo/md/hi",
+        "gap min/avg/max",
+        "cost med"
     );
     println!("{}", "-".repeat(98));
     for id in ids {

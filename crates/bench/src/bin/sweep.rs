@@ -24,7 +24,10 @@ fn main() {
     while i < args.len() {
         match args[i].as_str() {
             "--bench" => {
-                bench_id = args.get(i + 1).unwrap_or_else(|| usage("--bench needs an id")).clone();
+                bench_id = args
+                    .get(i + 1)
+                    .unwrap_or_else(|| usage("--bench needs an id"))
+                    .clone();
                 i += 2;
             }
             "--vectors" => {
@@ -49,7 +52,10 @@ fn main() {
         usage(&format!("unknown benchmark {bench_id}"));
     };
     println!("# threshold sweep for {} — {}", bench.id, bench.description);
-    println!("{:>9} {:>9} {:>8} {:>12} {:>8}", "threshold", "ee_pairs", "%area", "avg_delay_ns", "%delay");
+    println!(
+        "{:>9} {:>9} {:>8} {:>12} {:>8}",
+        "threshold", "ee_pairs", "%area", "avg_delay_ns", "%delay"
+    );
 
     // Baseline delay comes from the threshold=∞ run (no EE at all).
     let mut base_delay = None;
@@ -57,7 +63,10 @@ fn main() {
         let opts = FlowOptions {
             vectors,
             seed,
-            ee: EeOptions { cost_threshold: t, ..EeOptions::default() },
+            ee: EeOptions {
+                cost_threshold: t,
+                ..EeOptions::default()
+            },
             verify: false,
             ..FlowOptions::default()
         };
@@ -67,7 +76,11 @@ fn main() {
                 if t.is_infinite() {
                     println!(
                         "{:>9} {:>9} {:>7.0}% {:>12.1} {:>7.1}%",
-                        "inf", r.ee_gates, r.area_increase_pct(), r.delay_ee, 0.0
+                        "inf",
+                        r.ee_gates,
+                        r.area_increase_pct(),
+                        r.delay_ee,
+                        0.0
                     );
                 } else {
                     let decrease = 100.0 * (base - r.delay_ee) / base;

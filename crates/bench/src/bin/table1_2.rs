@@ -61,6 +61,9 @@ fn main() {
         }
     }
     let (cover, covered) = trigger_cover_from_cubes(&f_on, &f_off, subset);
-    println!("\n  f_trig = {cover}   covering {covered}/8 minterms = {:.0}%", covered as f64 / 8.0 * 100.0);
+    println!(
+        "\n  f_trig = {cover}   covering {covered}/8 minterms = {:.0}%",
+        covered as f64 / 8.0 * 100.0
+    );
     println!("  (paper: f_ON_trig = {{00-, 11-}}, coverage 50%)");
 }

@@ -34,7 +34,10 @@ fn main() {
                     .get(i + 1)
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage("--threshold needs a number"));
-                opts.ee = EeOptions { cost_threshold: t, ..EeOptions::default() };
+                opts.ee = EeOptions {
+                    cost_threshold: t,
+                    ..EeOptions::default()
+                };
                 i += 2;
             }
             "--only" => {
@@ -55,9 +58,7 @@ fn main() {
         }
     }
 
-    println!(
-        "Table 3 — Experimental Results Comparing the Use of EE in PL Synthesis"
-    );
+    println!("Table 3 — Experimental Results Comparing the Use of EE in PL Synthesis");
     println!(
         "({} random vectors per circuit, seed {:#x}, cost threshold {})\n",
         opts.vectors, opts.seed, opts.ee.cost_threshold

@@ -162,20 +162,19 @@ pub fn run_flow(bench: &Benchmark, opts: &FlowOptions) -> Result<FlowResult, Flo
     let ee_gates = report.pairs().len();
     let ee_netlist = report.into_netlist();
 
-    let (out_plain, stats_plain) =
-        measure_latency(&plain, &opts.delays, opts.vectors, opts.seed)?;
-    let (out_ee, stats_ee) =
-        measure_latency(&ee_netlist, &opts.delays, opts.vectors, opts.seed)?;
+    let (out_plain, stats_plain) = measure_latency(&plain, &opts.delays, opts.vectors, opts.seed)?;
+    let (out_ee, stats_ee) = measure_latency(&ee_netlist, &opts.delays, opts.vectors, opts.seed)?;
     if out_plain != out_ee {
-        return Err(FlowError::Mismatch { context: format!("{} (EE vs plain)", bench.id) });
+        return Err(FlowError::Mismatch {
+            context: format!("{} (EE vs plain)", bench.id),
+        });
     }
     if opts.verify {
         let mut sync = pl_sim::SyncSimulator::new(&mapped).map_err(FlowError::Netlist)?;
         use rand::{Rng, SeedableRng};
         let mut rng = rand::rngs::StdRng::seed_from_u64(opts.seed);
         for (i, pl_out) in out_plain.iter().enumerate() {
-            let v: Vec<bool> =
-                (0..mapped.inputs().len()).map(|_| rng.gen()).collect();
+            let v: Vec<bool> = (0..mapped.inputs().len()).map(|_| rng.gen()).collect();
             let sync_out = sync.step(&v).map_err(FlowError::Netlist)?;
             if &sync_out != pl_out {
                 return Err(FlowError::Mismatch {
@@ -196,13 +195,106 @@ pub fn run_flow(bench: &Benchmark, opts: &FlowOptions) -> Result<FlowResult, Flo
     })
 }
 
+/// Minimal deterministic LCG (Knuth MMIX constants) shared by the
+/// Criterion benches, the `bench_report` binary, and the
+/// engine-equivalence suite, so every harness drives the same streams
+/// from the same seeds without a dev-dependency.
+#[derive(Debug, Clone)]
+pub struct Lcg(u64);
+
+impl Lcg {
+    /// Seeds the generator.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self(seed)
+    }
+
+    /// Next 64 pseudo-random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0
+    }
+
+    /// A pseudo-random bool (top bit).
+    pub fn next_bool(&mut self) -> bool {
+        self.next_u64() >> 63 == 1
+    }
+
+    /// A pseudo-random index below `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0)");
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// Deterministic random input vectors from [`Lcg`].
+#[must_use]
+pub fn lcg_vectors(n_inputs: usize, count: usize, seed: u64) -> Vec<Vec<bool>> {
+    let mut rng = Lcg::new(seed);
+    (0..count)
+        .map(|_| (0..n_inputs).map(|_| rng.next_bool()).collect())
+        .collect()
+}
+
+/// Builds one benchmark's phased-logic netlists (plain, with-EE).
+///
+/// # Panics
+///
+/// Panics on unknown ids or flow failures (bench harness context).
+#[must_use]
+pub fn prepared_netlists(id: &str) -> (PlNetlist, PlNetlist) {
+    let bench = pl_itc99::by_id(id).expect("benchmark exists");
+    let gates = (bench.build)().elaborate().expect("elaborates");
+    let mapped = pl_techmap::map_to_lut4(&gates, &MapOptions::default()).expect("maps");
+    let plain = PlNetlist::from_sync(&mapped).expect("PL maps");
+    let ee = PlNetlist::from_sync(&mapped)
+        .expect("PL maps")
+        .with_early_evaluation(&EeOptions::default())
+        .into_netlist();
+    (plain, ee)
+}
+
+/// The per-compute-gate trigger-search stream `with_early_evaluation`
+/// issues for the given benchmarks — the netlist-shaped workload measured
+/// by both the `ee_search` Criterion bench and `bench_report` (one
+/// definition so both report the same metric).
+///
+/// # Panics
+///
+/// Panics on unknown ids or flow failures (bench harness context).
+#[must_use]
+pub fn trigger_search_workload(ids: &[&str]) -> Vec<(pl_boolfn::TruthTable, Vec<u32>)> {
+    let mut workload = Vec::new();
+    for id in ids {
+        let (plain, _) = prepared_netlists(id);
+        let levels = plain.arrival_levels();
+        for (idx, gate) in plain.gates().iter().enumerate() {
+            if let pl_core::PlGateKind::Compute { table } = gate.kind() {
+                let arr = plain.pin_arrivals(pl_core::PlGateId::from_index(idx), &levels);
+                workload.push((*table, arr));
+            }
+        }
+    }
+    workload
+}
+
 /// Runs the whole suite (b01–b15) — the paper's Table 3.
 ///
 /// # Errors
 ///
 /// Stops at the first failing benchmark.
 pub fn table3(opts: &FlowOptions) -> Result<Vec<FlowResult>, FlowError> {
-    pl_itc99::catalog().iter().map(|b| run_flow(b, opts)).collect()
+    pl_itc99::catalog()
+        .iter()
+        .map(|b| run_flow(b, opts))
+        .collect()
 }
 
 /// Formats results in the paper's Table 3 column layout.
@@ -255,7 +347,10 @@ mod tests {
     #[test]
     fn flow_runs_small_benchmark_end_to_end() {
         let bench = pl_itc99::by_id("b02").unwrap();
-        let opts = FlowOptions { vectors: 20, ..FlowOptions::default() };
+        let opts = FlowOptions {
+            vectors: 20,
+            ..FlowOptions::default()
+        };
         let r = run_flow(&bench, &opts).unwrap();
         assert!(r.pl_gates > 0);
         assert!(r.delay_no_ee > 0.0);

@@ -59,8 +59,15 @@ impl Cube {
     /// Panics if `width > MAX_CUBE_VARS`.
     #[must_use]
     pub fn universal(width: usize) -> Self {
-        assert!(width <= MAX_CUBE_VARS, "cube width limited to {MAX_CUBE_VARS}");
-        Self { pos: 0, neg: 0, width: width as u8 }
+        assert!(
+            width <= MAX_CUBE_VARS,
+            "cube width limited to {MAX_CUBE_VARS}"
+        );
+        Self {
+            pos: 0,
+            neg: 0,
+            width: width as u8,
+        }
     }
 
     /// The cube matching the single minterm `m`.
@@ -91,7 +98,10 @@ impl Cube {
     /// contains characters other than `0`, `1`, `-`.
     pub fn parse(s: &str) -> Result<Self, BoolFnError> {
         if s.len() > MAX_CUBE_VARS {
-            return Err(BoolFnError::LiteralOutOfRange { var: s.len(), width: MAX_CUBE_VARS });
+            return Err(BoolFnError::LiteralOutOfRange {
+                var: s.len(),
+                width: MAX_CUBE_VARS,
+            });
         }
         let mut c = Cube::universal(s.len());
         for (i, ch) in s.chars().enumerate() {
@@ -99,7 +109,12 @@ impl Cube {
                 '1' => c.with_literal(i, Polarity::Positive),
                 '0' => c.with_literal(i, Polarity::Negative),
                 '-' => c,
-                _ => return Err(BoolFnError::LiteralOutOfRange { var: i, width: s.len() }),
+                _ => {
+                    return Err(BoolFnError::LiteralOutOfRange {
+                        var: i,
+                        width: s.len(),
+                    })
+                }
             };
         }
         Ok(c)
@@ -209,7 +224,11 @@ impl Cube {
         if pos & neg != 0 {
             None
         } else {
-            Some(Cube { pos, neg, width: self.width })
+            Some(Cube {
+                pos,
+                neg,
+                width: self.width,
+            })
         }
     }
 
@@ -274,7 +293,10 @@ impl CubeList {
     #[must_use]
     pub fn new(width: usize) -> Self {
         assert!(width <= MAX_CUBE_VARS);
-        Self { cubes: Vec::new(), width: width as u8 }
+        Self {
+            cubes: Vec::new(),
+            width: width as u8,
+        }
     }
 
     /// Parses a list of paper-style cube strings (all the same width).
@@ -353,7 +375,9 @@ impl CubeList {
         if self.width() <= MAX_VARS {
             u64::from(self.to_truth_table().count_ones())
         } else {
-            (0..(1u32 << self.width())).filter(|&m| self.covers(m)).count() as u64
+            (0..(1u32 << self.width()))
+                .filter(|&m| self.covers(m))
+                .count() as u64
         }
     }
 
@@ -509,10 +533,16 @@ mod tests {
         let on = CubeList::parse(&["11-", "1-1", "-11"]).unwrap();
         let off = CubeList::parse(&["00-", "010", "100"]).unwrap();
         let s_ab: VarSet = 0b011;
-        let on_in: Vec<String> =
-            on.restricted_to_support(s_ab).iter().map(Cube::to_string).collect();
-        let off_in: Vec<String> =
-            off.restricted_to_support(s_ab).iter().map(Cube::to_string).collect();
+        let on_in: Vec<String> = on
+            .restricted_to_support(s_ab)
+            .iter()
+            .map(Cube::to_string)
+            .collect();
+        let off_in: Vec<String> = off
+            .restricted_to_support(s_ab)
+            .iter()
+            .map(Cube::to_string)
+            .collect();
         assert_eq!(on_in, vec!["11-"]);
         assert_eq!(off_in, vec!["00-"]);
         // Each contributes 2 covered minterms -> total coverage 4 of 8 = 50%.

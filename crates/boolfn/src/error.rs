@@ -27,7 +27,10 @@ impl fmt::Display for BoolFnError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             BoolFnError::TooManyVars { requested, max } => {
-                write!(f, "requested {requested} variables but at most {max} are supported")
+                write!(
+                    f,
+                    "requested {requested} variables but at most {max} are supported"
+                )
             }
             BoolFnError::LiteralOutOfRange { var, width } => {
                 write!(f, "literal index {var} out of range for cube width {width}")
@@ -44,7 +47,10 @@ mod tests {
 
     #[test]
     fn display_is_lowercase_and_nonempty() {
-        let e = BoolFnError::TooManyVars { requested: 9, max: 6 };
+        let e = BoolFnError::TooManyVars {
+            requested: 9,
+            max: 6,
+        };
         let s = e.to_string();
         assert!(s.starts_with("requested"));
         let e = BoolFnError::LiteralOutOfRange { var: 20, width: 16 };

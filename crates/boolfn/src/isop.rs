@@ -34,10 +34,7 @@ use crate::truth::TruthTable;
 #[must_use]
 pub fn isop(lower: &TruthTable, upper: &TruthTable) -> CubeList {
     assert_eq!(lower.num_vars(), upper.num_vars(), "isop arity mismatch");
-    assert!(
-        (*lower & !*upper).is_zero(),
-        "isop requires lower ⊆ upper"
-    );
+    assert!((*lower & !*upper).is_zero(), "isop requires lower ⊆ upper");
     let (cover, realized) = isop_rec(*lower, *upper, lower.num_vars());
     debug_assert!((*lower & !realized).is_zero(), "isop lost ON minterms");
     debug_assert!((realized & !*upper).is_zero(), "isop covered OFF minterms");
@@ -197,7 +194,9 @@ mod tests {
         // Deterministic pseudo-random sample of 4-var functions.
         let mut x: u64 = 0x9E37_79B9_7F4A_7C15;
         for _ in 0..200 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let t = TruthTable::from_bits(4, x & 0xFFFF);
             assert_eq!(exact(&t).to_truth_table(), t);
         }

@@ -63,7 +63,12 @@ impl Iterator for SupportSubsets {
 pub fn support_subsets(vars: VarSet, max_size: u32) -> SupportSubsets {
     let vs: Vec<u8> = (0..8).filter(|&v| vars & (1 << v) != 0).collect();
     let limit = 1u32 << vs.len();
-    SupportSubsets { vars: vs, max_size, selector: 0, limit }
+    SupportSubsets {
+        vars: vs,
+        max_size,
+        selector: 0,
+        limit,
+    }
 }
 
 #[cfg(test)]

@@ -122,7 +122,10 @@ impl TruthTable {
     /// Panics if `var >= num_vars`.
     #[must_use]
     pub fn var(num_vars: usize, var: usize) -> Self {
-        assert!(var < num_vars, "variable {var} out of range for {num_vars}-var table");
+        assert!(
+            var < num_vars,
+            "variable {var} out of range for {num_vars}-var table"
+        );
         Self::from_bits(num_vars, VAR_PATTERN[var])
     }
 
@@ -329,7 +332,9 @@ impl TruthTable {
     /// Panics if the function depends on a variable outside `vars`.
     #[must_use]
     pub fn project(&self, vars: VarSet) -> Self {
-        let kept: Vec<usize> = (0..self.num_vars()).filter(|v| vars & (1 << v) != 0).collect();
+        let kept: Vec<usize> = (0..self.num_vars())
+            .filter(|v| vars & (1 << v) != 0)
+            .collect();
         for v in 0..self.num_vars() {
             if vars & (1 << v) == 0 {
                 assert!(
@@ -360,7 +365,11 @@ impl TruthTable {
     pub fn compose(&self, num_vars: usize, inputs: &[TruthTable]) -> Self {
         assert_eq!(inputs.len(), self.num_vars(), "compose arity mismatch");
         for t in inputs {
-            assert_eq!(t.num_vars(), num_vars, "compose input variable-count mismatch");
+            assert_eq!(
+                t.num_vars(),
+                num_vars,
+                "compose input variable-count mismatch"
+            );
         }
         TruthTable::from_fn(num_vars, |m| {
             let mut idx = 0u32;

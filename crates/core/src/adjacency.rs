@@ -1,0 +1,431 @@
+//! Flat (CSR-style) adjacency and pin-map layer over a [`PlNetlist`].
+//!
+//! [`PlNetlist`] stores arcs per gate as `Vec<PlArcId>`s that are convenient
+//! to build incrementally but slow to consult inside a hot simulation loop:
+//! finding "the arc on pin 2" is a linear scan, and the per-gate `Vec`s
+//! scatter across the heap. [`PlAdjacency`] freezes a netlist's topology
+//! into contiguous arrays sliced per gate:
+//!
+//! * data-in arcs **indexed by pin** ([`PlAdjacency::pin_arc`] — `O(1)`
+//!   pin→arc lookup, `NO_ARC` for constant-tied pins),
+//! * control-in arcs,
+//! * out-arcs **split** into value-carrying (data + efire) and acknowledge
+//!   lists, so a producer walks exactly the arcs it must mark,
+//! * per-gate readiness masks ([`PlAdjacency::data_full_mask`],
+//!   [`PlAdjacency::subset_mask`]) for bitset-based firing checks, and
+//! * the folded constant-pin contribution to the LUT minterm index.
+//!
+//! The simulator (`pl-sim`) builds one `PlAdjacency` per netlist at
+//! construction and never scans or allocates to find an arc afterwards.
+
+use crate::gate::{PlArcKind, PlGateKind};
+use crate::netlist::PlNetlist;
+
+/// Sentinel for "no arc drives this pin" (the pin is constant-tied).
+pub const NO_ARC: u32 = u32::MAX;
+
+/// Frozen flat adjacency of one [`PlNetlist`] (see the module docs).
+///
+/// All arrays are indexed by raw gate/arc indices; slices of the per-gate
+/// CSR arrays are obtained through the accessor methods.
+#[derive(Debug, Clone)]
+pub struct PlAdjacency {
+    n_gates: usize,
+    // CSR: value-carrying out-arcs (data + efire), then ack out-arcs.
+    out_val_off: Vec<u32>,
+    out_val: Vec<u32>,
+    out_ack_off: Vec<u32>,
+    out_ack: Vec<u32>,
+    // CSR pin map: per gate, one entry per pin; NO_ARC for const pins.
+    pin_off: Vec<u32>,
+    pin_arc: Vec<u32>,
+    // Per-arc destination pin (`u8::MAX` for control arcs) and source/dst.
+    arc_src: Vec<u32>,
+    arc_dst: Vec<u32>,
+    arc_dst_pin: Vec<u8>,
+    arc_kind: Vec<PlArcKind>,
+    // Per-gate readiness masks over pin bits.
+    data_full_mask: Vec<u8>,
+    subset_mask: Vec<u8>,
+    // Constant-pin folding: OR these bits into the LUT minterm index.
+    const_value_bits: Vec<u8>,
+    const_pin_mask: Vec<u8>,
+    // CSR: acknowledge in-arcs per gate (efire excluded).
+    ack_in_off: Vec<u32>,
+    ack_in: Vec<u32>,
+    // Efire in-arc per gate (EE masters only), else NO_ARC.
+    efire_arc: Vec<u32>,
+    // LUT bits per gate (registers get the identity table); 0 for IO gates.
+    eval_bits: Vec<u64>,
+    // Compact per-gate dispatch class (avoids touching the fat PlGate
+    // structs — and their String payloads — in the simulator's hot loop).
+    gate_class: Vec<GateClass>,
+    // Output-port slot per gate (index into `PlNetlist::output_gates`),
+    // NO_ARC for non-outputs.
+    output_slot: Vec<u32>,
+}
+
+/// Compact firing-rule class of a gate (a cache-friendly projection of
+/// [`PlGateKind`] for the simulator's dispatch loop).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum GateClass {
+    /// Tied-off constant: never fires.
+    Constant,
+    /// Environment source.
+    Input,
+    /// Environment sink.
+    Output,
+    /// Compute or register gate (LUT semantics; EE-ness is signalled by
+    /// [`PlAdjacency::efire_arc`]).
+    Logic,
+}
+
+impl PlAdjacency {
+    /// Freezes `pl`'s topology. Cost is `O(gates + arcs)`.
+    #[must_use]
+    pub fn new(pl: &PlNetlist) -> Self {
+        let n = pl.gates().len();
+        let arcs = pl.arcs();
+
+        let mut adj = Self {
+            n_gates: n,
+            out_val_off: vec![0; n + 1],
+            out_val: Vec::new(),
+            out_ack_off: vec![0; n + 1],
+            out_ack: Vec::new(),
+            pin_off: vec![0; n + 1],
+            pin_arc: Vec::new(),
+            arc_src: arcs.iter().map(|a| a.src().index() as u32).collect(),
+            arc_dst: arcs.iter().map(|a| a.dst().index() as u32).collect(),
+            arc_dst_pin: arcs
+                .iter()
+                .map(|a| a.dst_pin().unwrap_or(u8::MAX))
+                .collect(),
+            arc_kind: arcs.iter().map(crate::gate::PlArc::kind).collect(),
+            data_full_mask: vec![0; n],
+            subset_mask: vec![0; n],
+            const_value_bits: vec![0; n],
+            const_pin_mask: vec![0; n],
+            ack_in_off: vec![0; n + 1],
+            ack_in: Vec::new(),
+            efire_arc: vec![NO_ARC; n],
+            eval_bits: vec![0; n],
+            gate_class: pl
+                .gates()
+                .iter()
+                .map(|g| match g.kind() {
+                    PlGateKind::Constant { .. } => GateClass::Constant,
+                    PlGateKind::Input { .. } => GateClass::Input,
+                    PlGateKind::Output { .. } => GateClass::Output,
+                    PlGateKind::Compute { .. } | PlGateKind::Register { .. } => GateClass::Logic,
+                })
+                .collect(),
+            output_slot: vec![NO_ARC; n],
+        };
+        for (slot, (_, og)) in pl.output_gates().iter().enumerate() {
+            adj.output_slot[og.index()] = slot as u32;
+        }
+
+        // Counting pass for the CSR offsets.
+        for a in arcs {
+            let src = a.src().index();
+            if matches!(a.kind(), PlArcKind::Data | PlArcKind::Efire) {
+                adj.out_val_off[src + 1] += 1;
+            } else {
+                adj.out_ack_off[src + 1] += 1;
+            }
+            if a.kind() == PlArcKind::Ack {
+                adj.ack_in_off[a.dst().index() + 1] += 1;
+            }
+        }
+        for i in 0..n {
+            adj.out_val_off[i + 1] += adj.out_val_off[i];
+            adj.out_ack_off[i + 1] += adj.out_ack_off[i];
+            adj.ack_in_off[i + 1] += adj.ack_in_off[i];
+            adj.pin_off[i + 1] = adj.pin_off[i] + pl.gates()[i].const_pins().len() as u32;
+        }
+        adj.out_val = vec![0; adj.out_val_off[n] as usize];
+        adj.out_ack = vec![0; adj.out_ack_off[n] as usize];
+        adj.ack_in = vec![0; adj.ack_in_off[n] as usize];
+        adj.pin_arc = vec![NO_ARC; adj.pin_off[n] as usize];
+
+        // Filling pass. Arc ids ascend within each gate's slice, keeping
+        // production order identical to the `Vec<PlArcId>` representation.
+        let mut val_cursor: Vec<u32> = adj.out_val_off[..n].to_vec();
+        let mut ack_cursor: Vec<u32> = adj.out_ack_off[..n].to_vec();
+        let mut ack_in_cursor: Vec<u32> = adj.ack_in_off[..n].to_vec();
+        for (i, a) in arcs.iter().enumerate() {
+            let src = a.src().index();
+            if matches!(a.kind(), PlArcKind::Data | PlArcKind::Efire) {
+                adj.out_val[val_cursor[src] as usize] = i as u32;
+                val_cursor[src] += 1;
+            } else {
+                adj.out_ack[ack_cursor[src] as usize] = i as u32;
+                ack_cursor[src] += 1;
+            }
+            let dst = a.dst().index();
+            match a.kind() {
+                PlArcKind::Data => {
+                    let pin = a.dst_pin().expect("data arcs carry a pin");
+                    let slot = adj.pin_off[dst] + u32::from(pin);
+                    debug_assert_eq!(
+                        adj.pin_arc[slot as usize], NO_ARC,
+                        "two data arcs drive gate {dst} pin {pin}"
+                    );
+                    adj.pin_arc[slot as usize] = i as u32;
+                    adj.data_full_mask[dst] |= 1 << pin;
+                }
+                PlArcKind::Ack => {
+                    adj.ack_in[ack_in_cursor[dst] as usize] = i as u32;
+                    ack_in_cursor[dst] += 1;
+                }
+                PlArcKind::Efire => {}
+            }
+        }
+
+        for (i, gate) in pl.gates().iter().enumerate() {
+            for (pin, cv) in gate.const_pins().iter().enumerate() {
+                if let Some(v) = cv {
+                    adj.const_pin_mask[i] |= 1 << pin;
+                    if *v {
+                        adj.const_value_bits[i] |= 1 << pin;
+                    }
+                }
+            }
+            if let Some(ee) = gate.ee() {
+                adj.efire_arc[i] = ee.efire_arc.index() as u32;
+                for &pin in &ee.subset_pins {
+                    adj.subset_mask[i] |= 1 << pin;
+                }
+            }
+            if let Some(table) = gate.table() {
+                adj.eval_bits[i] = table.bits();
+            }
+            debug_assert!(
+                !matches!(
+                    gate.kind(),
+                    PlGateKind::Compute { .. } | PlGateKind::Register { .. }
+                ) || gate.const_pins().len() <= 8,
+                "pin masks are u8-wide"
+            );
+        }
+        adj
+    }
+
+    /// Number of gates covered.
+    #[must_use]
+    pub fn num_gates(&self) -> usize {
+        self.n_gates
+    }
+
+    /// Value-carrying (data + efire) out-arc ids of gate `g`.
+    #[must_use]
+    pub fn out_value_arcs(&self, g: usize) -> &[u32] {
+        &self.out_val[self.out_val_off[g] as usize..self.out_val_off[g + 1] as usize]
+    }
+
+    /// Acknowledge out-arc ids of gate `g`.
+    #[must_use]
+    pub fn out_ack_arcs(&self, g: usize) -> &[u32] {
+        &self.out_ack[self.out_ack_off[g] as usize..self.out_ack_off[g + 1] as usize]
+    }
+
+    /// Per-pin driving arc of gate `g` ([`NO_ARC`] for constant pins).
+    #[must_use]
+    pub fn pin_arcs(&self, g: usize) -> &[u32] {
+        &self.pin_arc[self.pin_off[g] as usize..self.pin_off[g + 1] as usize]
+    }
+
+    /// The arc driving pin `pin` of gate `g`, or [`NO_ARC`].
+    #[must_use]
+    pub fn pin_arc(&self, g: usize, pin: u8) -> u32 {
+        self.pin_arc[self.pin_off[g] as usize + pin as usize]
+    }
+
+    /// Source gate index of arc `a`.
+    #[must_use]
+    pub fn arc_src(&self, a: usize) -> u32 {
+        self.arc_src[a]
+    }
+
+    /// Destination gate index of arc `a`.
+    #[must_use]
+    pub fn arc_dst(&self, a: usize) -> u32 {
+        self.arc_dst[a]
+    }
+
+    /// Destination pin of arc `a` (`u8::MAX` for control arcs).
+    #[must_use]
+    pub fn arc_dst_pin(&self, a: usize) -> u8 {
+        self.arc_dst_pin[a]
+    }
+
+    /// Kind of arc `a`.
+    #[must_use]
+    pub fn arc_kind(&self, a: usize) -> PlArcKind {
+        self.arc_kind[a]
+    }
+
+    /// Bit mask of gate `g`'s arc-driven pins (full data readiness).
+    #[must_use]
+    pub fn data_full_mask(&self, g: usize) -> u8 {
+        self.data_full_mask[g]
+    }
+
+    /// Bit mask of an EE master's trigger-subset pins (0 for non-masters).
+    #[must_use]
+    pub fn subset_mask(&self, g: usize) -> u8 {
+        self.subset_mask[g]
+    }
+
+    /// Constant-pin value bits of gate `g`, positioned at their pins.
+    #[must_use]
+    pub fn const_value_bits(&self, g: usize) -> u8 {
+        self.const_value_bits[g]
+    }
+
+    /// Bit mask of gate `g`'s constant-tied pins.
+    #[must_use]
+    pub fn const_pin_mask(&self, g: usize) -> u8 {
+        self.const_pin_mask[g]
+    }
+
+    /// Acknowledge in-arc ids of gate `g` (efire excluded).
+    #[must_use]
+    pub fn ack_in_arcs(&self, g: usize) -> &[u32] {
+        &self.ack_in[self.ack_in_off[g] as usize..self.ack_in_off[g + 1] as usize]
+    }
+
+    /// Number of acknowledge in-arcs of gate `g` (efire excluded).
+    #[must_use]
+    pub fn ack_in_count(&self, g: usize) -> u32 {
+        self.ack_in_off[g + 1] - self.ack_in_off[g]
+    }
+
+    /// The efire in-arc of EE master `g`, or [`NO_ARC`].
+    #[must_use]
+    pub fn efire_arc(&self, g: usize) -> u32 {
+        self.efire_arc[g]
+    }
+
+    /// Raw LUT bits of logic gate `g` (identity for registers, 0 for IO).
+    #[must_use]
+    pub fn eval_bits(&self, g: usize) -> u64 {
+        self.eval_bits[g]
+    }
+
+    /// Compact dispatch class of gate `g`.
+    #[must_use]
+    pub fn gate_class(&self, g: usize) -> GateClass {
+        self.gate_class[g]
+    }
+
+    /// Output-port slot of gate `g` (its index in
+    /// `PlNetlist::output_gates`), or [`NO_ARC`] for non-output gates.
+    #[must_use]
+    pub fn output_slot(&self, g: usize) -> u32 {
+        self.output_slot[g]
+    }
+}
+
+impl PlNetlist {
+    /// Freezes this netlist's topology into a [`PlAdjacency`].
+    #[must_use]
+    pub fn adjacency(&self) -> PlAdjacency {
+        PlAdjacency::new(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ee::EeOptions;
+    use pl_boolfn::TruthTable;
+    use pl_netlist::Netlist;
+
+    fn adder(bits: usize) -> PlNetlist {
+        let mut n = Netlist::new("rca");
+        let a: Vec<_> = (0..bits).map(|i| n.add_input(format!("a{i}"))).collect();
+        let b: Vec<_> = (0..bits).map(|i| n.add_input(format!("b{i}"))).collect();
+        let mut carry = n.add_const(false);
+        for i in 0..bits {
+            let sum_t = TruthTable::from_fn(3, |m| m.count_ones() % 2 == 1);
+            let cry_t = TruthTable::from_fn(3, |m| m.count_ones() >= 2);
+            let s = n.add_lut(sum_t, vec![a[i], b[i], carry]).unwrap();
+            let c = n.add_lut(cry_t, vec![a[i], b[i], carry]).unwrap();
+            n.set_output(format!("s{i}"), s);
+            carry = c;
+        }
+        n.set_output("cout", carry);
+        PlNetlist::from_sync(&n).unwrap()
+    }
+
+    /// The flat layer must agree arc-for-arc with the `Vec` representation.
+    #[test]
+    fn adjacency_matches_netlist_vectors() {
+        for pl in [
+            adder(4),
+            adder(4)
+                .with_early_evaluation(&EeOptions::default())
+                .into_netlist(),
+        ] {
+            let adj = pl.adjacency();
+            assert_eq!(adj.num_gates(), pl.gates().len());
+            for (g, gate) in pl.gates().iter().enumerate() {
+                let vals: Vec<u32> = gate
+                    .out_arcs()
+                    .iter()
+                    .filter(|a| matches!(pl.arc(**a).kind(), PlArcKind::Data | PlArcKind::Efire))
+                    .map(|a| a.index() as u32)
+                    .collect();
+                let acks: Vec<u32> = gate
+                    .out_arcs()
+                    .iter()
+                    .filter(|a| pl.arc(**a).kind() == PlArcKind::Ack)
+                    .map(|a| a.index() as u32)
+                    .collect();
+                assert_eq!(adj.out_value_arcs(g), vals.as_slice());
+                assert_eq!(adj.out_ack_arcs(g), acks.as_slice());
+                assert_eq!(
+                    adj.ack_in_count(g) as usize,
+                    gate.control_in()
+                        .iter()
+                        .filter(|a| pl.arc(**a).kind() == PlArcKind::Ack)
+                        .count()
+                );
+                // Pin map: every live pin's arc, every const pin NO_ARC.
+                for (pin, cv) in gate.const_pins().iter().enumerate() {
+                    let expected = gate
+                        .data_in()
+                        .iter()
+                        .find(|a| pl.arc(**a).dst_pin() == Some(pin as u8))
+                        .map(|a| a.index() as u32);
+                    match cv {
+                        Some(v) => {
+                            assert_eq!(adj.pin_arc(g, pin as u8), NO_ARC);
+                            assert_ne!(adj.const_pin_mask(g) & (1 << pin), 0);
+                            assert_eq!(adj.const_value_bits(g) & (1 << pin) != 0, *v);
+                        }
+                        None => {
+                            assert_eq!(Some(adj.pin_arc(g, pin as u8)), expected);
+                            assert_eq!(adj.data_full_mask(g) & (1 << pin), 1 << pin);
+                        }
+                    }
+                }
+                if let Some(ee) = gate.ee() {
+                    assert_eq!(adj.efire_arc(g), ee.efire_arc.index() as u32);
+                    for &p in &ee.subset_pins {
+                        assert_ne!(adj.subset_mask(g) & (1 << p), 0);
+                    }
+                } else {
+                    assert_eq!(adj.efire_arc(g), NO_ARC);
+                    assert_eq!(adj.subset_mask(g), 0);
+                }
+                if let Some(t) = gate.table() {
+                    assert_eq!(adj.eval_bits(g), t.bits());
+                }
+            }
+        }
+    }
+}

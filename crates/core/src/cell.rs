@@ -44,7 +44,10 @@ impl MullerC {
     #[must_use]
     pub fn new(arity: usize) -> Self {
         assert!(arity > 0, "C-element needs at least one input");
-        Self { arity, state: false }
+        Self {
+            arity,
+            state: false,
+        }
     }
 
     /// Creates a C-element with a chosen initial state.
@@ -286,11 +289,12 @@ mod tests {
         // structural firing rule against direct evaluation.
         let lut = TruthTable::from_bits(4, 0xCA35);
         let mut cell = PlCell::new(lut, false);
-        let mut sigs =
-            [LedrSignal::with_phase(false, Phase::Even); 4];
+        let mut sigs = [LedrSignal::with_phase(false, Phase::Even); 4];
         let mut x: u64 = 0xFEED;
         for _ in 0..50 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let mut minterm = 0u32;
             for (i, s) in sigs.iter_mut().enumerate() {
                 let v = (x >> (i * 7)) & 1 == 1;

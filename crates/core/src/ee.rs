@@ -17,7 +17,7 @@ use pl_boolfn::VarSet;
 
 use crate::gate::{EeControl, PlArcKind, PlGateId, PlGateKind};
 use crate::netlist::PlNetlist;
-use crate::trigger::{search_triggers, TriggerCandidate};
+use crate::trigger::{TriggerCache, TriggerCandidate};
 
 /// Options for the early-evaluation transformation.
 #[derive(Debug, Clone)]
@@ -34,7 +34,10 @@ pub struct EeOptions {
 
 impl Default for EeOptions {
     fn default() -> Self {
-        Self { cost_threshold: 0.0, require_speedup: true }
+        Self {
+            cost_threshold: 0.0,
+            require_speedup: true,
+        }
     }
 }
 
@@ -64,6 +67,8 @@ pub struct EeReport {
     pairs: Vec<EePair>,
     examined: usize,
     logic_gates_before: usize,
+    cache_hits: u64,
+    cache_misses: u64,
 }
 
 impl EeReport {
@@ -89,6 +94,20 @@ impl EeReport {
     #[must_use]
     pub fn examined(&self) -> usize {
         self.examined
+    }
+
+    /// Trigger searches answered by the per-netlist LUT-class memo cache
+    /// (see [`TriggerCache`]) — gates whose (function, arrival-signature)
+    /// class was already analyzed.
+    #[must_use]
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits
+    }
+
+    /// Trigger searches computed fresh (distinct LUT classes).
+    #[must_use]
+    pub fn cache_misses(&self) -> u64 {
+        self.cache_misses
     }
 
     /// Logic gate count before the transformation.
@@ -136,6 +155,9 @@ impl PlNetlist {
         let mut examined = 0usize;
 
         // Phase 1: candidate selection (independent of feedback arcs).
+        // Structurally identical gates (same LUT class, same arrival
+        // profile) share one memoized search.
+        let mut cache = TriggerCache::new();
         let mut selections: Vec<(PlGateId, TriggerCandidate)> = Vec::new();
         let gate_count = self.gates.len();
         for idx in 0..gate_count {
@@ -162,12 +184,13 @@ impl PlNetlist {
                 table.restrict(const_vars, const_asg)
             };
             let arrivals = self.pin_arrivals(master, &levels);
-            let Some(cand) = search_triggers(&effective, &arrivals)
-                .into_iter()
+            let Some(cand) = cache
+                .search(&effective, &arrivals)
+                .iter()
                 .find(|c| {
-                    (!opts.require_speedup || c.offers_speedup())
-                        && c.cost() >= opts.cost_threshold
+                    (!opts.require_speedup || c.offers_speedup()) && c.cost() >= opts.cost_threshold
                 })
+                .cloned()
             else {
                 continue;
             };
@@ -181,7 +204,11 @@ impl PlNetlist {
         let mut pairs = Vec::with_capacity(selections.len());
         for (master, cand) in selections {
             let trigger = self.implement_pair(master, &cand, &mut acks);
-            pairs.push(EePair { master, trigger, candidate: cand });
+            pairs.push(EePair {
+                master,
+                trigger,
+                candidate: cand,
+            });
         }
         let mut forbidden = vec![false; self.gates.len()];
         for pair in &pairs {
@@ -189,7 +216,14 @@ impl PlNetlist {
         }
         self.add_master_adjacent_acks(&forbidden, &mut acks);
         self.insert_feedback_arcs(&forbidden);
-        EeReport { netlist: self, pairs, examined, logic_gates_before }
+        EeReport {
+            netlist: self,
+            pairs,
+            examined,
+            logic_gates_before,
+            cache_hits: cache.hits(),
+            cache_misses: cache.misses(),
+        }
     }
 
     /// Wires one master/trigger pair (Figure 2) and returns the trigger id.
@@ -199,8 +233,7 @@ impl PlNetlist {
         cand: &TriggerCandidate,
         acks: &mut std::collections::HashSet<(PlGateId, PlGateId, u8)>,
     ) -> PlGateId {
-        let subset_pins: Vec<u8> =
-            (0..8u8).filter(|p| cand.support & (1 << p) != 0).collect();
+        let subset_pins: Vec<u8> = (0..8u8).filter(|p| cand.support & (1 << p) != 0).collect();
         // Locate the master's source arc for each subset pin.
         let sources: Vec<(PlGateId, u8, bool)> = subset_pins
             .iter()
@@ -255,8 +288,7 @@ impl PlNetlist {
             .arcs
             .iter()
             .filter(|a| {
-                a.kind == PlArcKind::Data
-                    && (forbidden[a.src.index()] || forbidden[a.dst.index()])
+                a.kind == PlArcKind::Data && (forbidden[a.src.index()] || forbidden[a.dst.index()])
             })
             .map(|a| (a.src, a.dst, a.init_tokens))
             .collect();

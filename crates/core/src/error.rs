@@ -40,7 +40,10 @@ impl fmt::Display for PlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PlError::LutTooWideForPl { arity } => {
-                write!(f, "lut arity {arity} exceeds the PL gate's 4 inputs (run techmap first)")
+                write!(
+                    f,
+                    "lut arity {arity} exceeds the PL gate's 4 inputs (run techmap first)"
+                )
             }
             PlError::ArcNotOnCircuit(a) => {
                 write!(f, "arc {a} is not part of any directed circuit (liveness)")
@@ -52,7 +55,10 @@ impl fmt::Display for PlError {
                 write!(f, "no one-token circuit through arc {a} (safety)")
             }
             PlError::MissingPinDriver { gate, pin } => {
-                write!(f, "gate {gate} pin {pin} has no driver and no constant tie-off")
+                write!(
+                    f,
+                    "gate {gate} pin {pin} has no driver and no constant tie-off"
+                )
             }
             PlError::Netlist(e) => write!(f, "netlist error: {e}"),
         }

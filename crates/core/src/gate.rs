@@ -159,6 +159,13 @@ impl PlGate {
         self.const_pins.get(pin).copied().flatten()
     }
 
+    /// All pins in order: `Some(v)` for constant tie-offs, `None` for pins
+    /// driven by a data arc. The length is the gate's pin count.
+    #[must_use]
+    pub fn const_pins(&self) -> &[Option<bool>] {
+        &self.const_pins
+    }
+
     /// The early-evaluation control block, if this gate is an EE master.
     #[must_use]
     pub fn ee(&self) -> Option<&EeControl> {
@@ -169,7 +176,10 @@ impl PlGate {
     /// "PL gates" in the paper's Table 3).
     #[must_use]
     pub fn is_logic(&self) -> bool {
-        matches!(self.kind, PlGateKind::Compute { .. } | PlGateKind::Register { .. })
+        matches!(
+            self.kind,
+            PlGateKind::Compute { .. } | PlGateKind::Register { .. }
+        )
     }
 
     /// The LUT table for compute gates; identity for registers.

@@ -94,7 +94,10 @@ impl LedrSignal {
     /// (choosing `t = v ⊕ p`).
     #[must_use]
     pub fn with_phase(value: bool, phase: Phase) -> Self {
-        Self { v: value, t: value ^ phase.bit() }
+        Self {
+            v: value,
+            t: value ^ phase.bit(),
+        }
     }
 
     /// The value rail (the logic value, as in a single-rail system).
@@ -131,12 +134,7 @@ impl LedrSignal {
 
 impl fmt::Display for LedrSignal {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}@{}",
-            u8::from(self.v),
-            self.phase()
-        )
+        write!(f, "{}@{}", u8::from(self.v), self.phase())
     }
 }
 

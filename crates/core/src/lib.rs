@@ -30,6 +30,20 @@
 //! master fire before its slow inputs arrive (Figure 2), at the price of one
 //! extra Muller C-element on the master's normal firing path.
 //!
+//! The search computes each subset's forced-value set **word-parallel** on
+//! the packed truth-table bits (AND/OR cofactor folds instead of
+//! per-assignment restriction), and [`trigger::TriggerCache`] memoizes
+//! whole searches per `(function, arrival-signature)` class so repeated
+//! LUT classes (carry chains, bit slices) are analyzed once per netlist.
+//!
+//! # Simulation support
+//!
+//! [`adjacency`] freezes a netlist into a flat CSR layer —
+//! per-gate pin-indexed data-in arcs, ack in-arcs, out-arcs split into
+//! value/ack lists, readiness bitmasks, folded constant pins — which is
+//! what `pl-sim`'s allocation-free engine consults instead of the
+//! construction-friendly `Vec`-per-gate representation here.
+//!
 //! # Flow position
 //!
 //! `pl-core` consumes LUT4 netlists produced by `pl-techmap` (via
@@ -60,6 +74,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adjacency;
 pub mod cell;
 pub mod ee;
 mod error;
@@ -69,6 +84,7 @@ pub mod marked;
 pub mod netlist;
 pub mod trigger;
 
+pub use adjacency::PlAdjacency;
 pub use error::PlError;
 pub use gate::{PlArc, PlArcId, PlArcKind, PlGate, PlGateId, PlGateKind};
 pub use ledr::{LedrSignal, Phase};

@@ -75,12 +75,7 @@ pub fn check_safety(pl: &PlNetlist) -> Result<(), PlError> {
 /// Breadth-first search for a path `from ⇝ to` whose arcs carry exactly
 /// `budget` tokens (budget ∈ {0, 1}). A zero-length path qualifies when
 /// `from == to` and `budget == 0`.
-fn path_with_exact_tokens(
-    succ: &[Vec<(usize, u8)>],
-    from: usize,
-    to: usize,
-    budget: u8,
-) -> bool {
+fn path_with_exact_tokens(succ: &[Vec<(usize, u8)>], from: usize, to: usize, budget: u8) -> bool {
     if from == to && budget == 0 {
         return true;
     }

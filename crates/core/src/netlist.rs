@@ -47,7 +47,9 @@ impl PlNetlist {
         for (_, node) in sync.iter() {
             if let NodeKind::Lut { inputs, .. } = node.kind() {
                 if inputs.len() > 4 {
-                    return Err(PlError::LutTooWideForPl { arity: inputs.len() });
+                    return Err(PlError::LutTooWideForPl {
+                        arity: inputs.len(),
+                    });
                 }
             }
         }
@@ -200,7 +202,10 @@ impl PlNetlist {
     /// Number of acknowledge arcs (feedback signals).
     #[must_use]
     pub fn num_ack_arcs(&self) -> usize {
-        self.arcs.iter().filter(|a| a.kind == PlArcKind::Ack).count()
+        self.arcs
+            .iter()
+            .filter(|a| a.kind == PlArcKind::Ack)
+            .count()
     }
 
     /// Checks that every logic/output gate pin is either tied to a constant
@@ -285,8 +290,11 @@ impl PlNetlist {
             let arc = &self.arcs[aid.index()];
             if let Some(pin) = arc.dst_pin {
                 // Register-sourced tokens are available immediately.
-                arr[pin as usize] =
-                    if arc.init_tokens > 0 { 0 } else { levels[arc.src.index()] };
+                arr[pin as usize] = if arc.init_tokens > 0 {
+                    0
+                } else {
+                    levels[arc.src.index()]
+                };
             }
         }
         arr
@@ -341,16 +349,16 @@ impl PlNetlist {
     /// Panics if `master` is not an EE master or the table arity differs
     /// from the trigger's.
     #[doc(hidden)]
-    pub fn inject_trigger_table(
-        &mut self,
-        master: PlGateId,
-        table: pl_boolfn::TruthTable,
-    ) {
+    pub fn inject_trigger_table(&mut self, master: PlGateId, table: pl_boolfn::TruthTable) {
         let ee = self.gates[master.index()]
             .ee
             .as_mut()
             .expect("fault target must be an EE master");
-        assert_eq!(table.num_vars(), ee.trigger_table.num_vars(), "trigger arity");
+        assert_eq!(
+            table.num_vars(),
+            ee.trigger_table.num_vars(),
+            "trigger arity"
+        );
         ee.trigger_table = table;
         let trigger = ee.trigger;
         match &mut self.gates[trigger.index()].kind {
@@ -460,7 +468,14 @@ impl PlNetlist {
     ) -> PlArcId {
         debug_assert_ne!(kind, PlArcKind::Data);
         let id = PlArcId::from_index(self.arcs.len());
-        self.arcs.push(PlArc { src, dst, kind, init_tokens, init_value: false, dst_pin: None });
+        self.arcs.push(PlArc {
+            src,
+            dst,
+            kind,
+            init_tokens,
+            init_value: false,
+            dst_pin: None,
+        });
         self.gates[src.index()].out.push(id);
         self.gates[dst.index()].control_in.push(id);
         id
@@ -530,10 +545,7 @@ impl PlNetlist {
         let mut succ1: Vec<Vec<usize>> = vec![Vec::new(); n];
         let mut indeg = vec![0usize; n];
         for a in &self.arcs {
-            if a.kind != PlArcKind::Data
-                || blocked(a.src.index())
-                || blocked(a.dst.index())
-            {
+            if a.kind != PlArcKind::Data || blocked(a.src.index()) || blocked(a.dst.index()) {
                 continue;
             }
             if a.init_tokens == 0 {
@@ -651,7 +663,9 @@ pub(crate) struct BitSet {
 
 impl BitSet {
     pub(crate) fn new(n: usize) -> Self {
-        Self { words: vec![0; n.div_ceil(64)] }
+        Self {
+            words: vec![0; n.div_ceil(64)],
+        }
     }
 
     pub(crate) fn insert(&mut self, i: usize) {

@@ -18,6 +18,31 @@
 //! where `%Coverage` is the fraction of the master's minterms (ON and OFF)
 //! forced by the subset, and `Mmax`/`Tmax` are the worst-case arrival times
 //! of the master's/trigger's input signals in PL-gate levels.
+//!
+//! # Word-parallel forced-value extraction
+//!
+//! [`search_triggers`] computes the forced-value set of every support
+//! subset **word-parallel** on the packed truth-table bits: the table is
+//! folded once per non-subset variable with an AND (resp. OR) across that
+//! variable's cofactor halves, after which bit `m₀` of the folded word
+//! answers "is the output forced to 1 (resp. 0) under the subset
+//! assignment whose minterm representative is `m₀`" — for *all* `2^k`
+//! assignments at once. That replaces `2^k` per-assignment
+//! `forced_value` calls (each a chain of cofactor masks) with `O(n)` word
+//! operations per subset. The historical per-assignment implementation is
+//! kept as [`search_triggers_baseline`] for differential tests and the
+//! `ee_search` benchmark.
+//!
+//! # Memoization
+//!
+//! Netlists repeat LUT classes heavily (every carry cell of an adder, every
+//! bit slice of a comparator…). [`TriggerCache`] memoizes full search
+//! results keyed by `(truth-table bits, arity, support-masked arrival
+//! signature)`, so `with_early_evaluation` analyzes each distinct
+//! (function, arrival-profile) class once per netlist instead of once per
+//! gate.
+
+use std::collections::HashMap;
 
 use pl_boolfn::{support_subsets, CubeList, TruthTable, VarSet};
 
@@ -79,6 +104,126 @@ pub fn search_triggers(master: &TruthTable, arrivals: &[u32]) -> Vec<TriggerCand
     if support_size < 2 {
         return Vec::new();
     }
+    // Positions of the support variables (stack array — no iterator or
+    // allocation in the enumeration).
+    let mut vars = [0u8; pl_boolfn::MAX_VARS];
+    let mut nsup = 0usize;
+    for v in 0..master.num_vars() {
+        if support & (1 << v) != 0 {
+            vars[nsup] = v as u8;
+            nsup += 1;
+        }
+    }
+    let m_max = (0..nsup)
+        .map(|i| arrivals[vars[i] as usize])
+        .max()
+        .unwrap_or(0);
+    // Reciprocal multiply: `total` is a power of two, so `x * inv_total`
+    // is bit-identical to `x / total` and cheaper in the hot loop.
+    let inv_total = 1.0 / f64::from(1u32 << support_size);
+
+    // 2^4-1 proper subsets of ≤3 vars is the LUT4 worst case (the paper's
+    // "14 possible support sets"); larger supports cap out below 42.
+    let mut out = Vec::with_capacity(14);
+    for sel in 1u32..(1 << nsup) {
+        let k = sel.count_ones();
+        if k > 3 || k == nsup as u32 {
+            continue; // ≤3 variables, proper subsets only
+        }
+        // Subset mask, scatter offsets and Tmax in one pass over `sel`.
+        let mut subset: VarSet = 0;
+        let mut offs = [0u32; 3];
+        let mut t_max = 0u32;
+        let mut j = 0usize;
+        for (i, &v) in vars.iter().enumerate().take(nsup) {
+            if sel & (1 << i) != 0 {
+                subset |= 1 << v;
+                offs[j] = 1 << v;
+                j += 1;
+                t_max = t_max.max(arrivals[v as usize]);
+            }
+        }
+        let trig_bits = forced_set(master, support, subset, &offs[..j]);
+        if trig_bits == 0 {
+            continue;
+        }
+        let forced = trig_bits.count_ones();
+        // Each forced assignment covers all minterms of the non-subset
+        // support variables.
+        let covered = u64::from(forced) << (support_size - k);
+        let coverage = covered as f64 * inv_total;
+        out.push(TriggerCandidate {
+            support: subset,
+            table: TruthTable::from_bits(k as usize, trig_bits),
+            coverage,
+            m_max,
+            t_max,
+        });
+    }
+    sort_candidates(&mut out);
+    out
+}
+
+/// Word-parallel forced-value set of one support subset: bit `asg` of the
+/// returned mask is 1 iff fixing the subset variables to assignment `asg`
+/// forces the master's output.
+///
+/// One AND-fold and one OR-fold per *support* variable outside the subset
+/// collapse that variable's cofactor halves; afterwards the bit at a
+/// subset assignment's minterm representative (non-subset variables = 0)
+/// holds "all minterms of this cofactor are 1" (AND-fold) / "any minterm
+/// is 1" (OR-fold). Forced ⇔ and-bit (forced to 1) or negated or-bit
+/// (forced to 0). Vacuous variables need no fold: both cofactor halves are
+/// equal, so the representative bit already answers for the whole class.
+///
+/// `offs[j]` must hold `1 << v` for the `j`-th lowest subset variable `v`
+/// (the caller computes these while building the subset mask).
+#[inline]
+fn forced_set(master: &TruthTable, support: VarSet, subset: VarSet, offs: &[u32]) -> u64 {
+    let mut and_t = master.bits();
+    let mut or_t = and_t;
+    let mut fold = support & !subset;
+    while fold != 0 {
+        let v = fold.trailing_zeros();
+        let s = 1u32 << v;
+        and_t &= and_t >> s;
+        or_t |= or_t >> s;
+        fold &= fold - 1;
+    }
+    // Walk the 2^k subset assignments; the representative minterm scatters
+    // the assignment bits onto the subset variable positions.
+    let mut trig_bits = 0u64;
+    for asg in 0..(1u32 << offs.len()) {
+        let mut m0 = 0u32;
+        for (bit, &off) in offs.iter().enumerate() {
+            if (asg >> bit) & 1 == 1 {
+                m0 |= off;
+            }
+        }
+        let forced1 = (and_t >> m0) & 1 == 1;
+        let forced0 = (or_t >> m0) & 1 == 0;
+        if forced1 || forced0 {
+            trig_bits |= 1 << asg;
+        }
+    }
+    trig_bits
+}
+
+/// The historical per-assignment trigger search, retained as the
+/// differential baseline for [`search_triggers`] (the `ee_search` bench
+/// and the equivalence suite compare both). Candidate ranking and results
+/// are identical; only the forced-set extraction differs.
+#[must_use]
+pub fn search_triggers_baseline(master: &TruthTable, arrivals: &[u32]) -> Vec<TriggerCandidate> {
+    assert!(
+        arrivals.len() >= master.num_vars(),
+        "need an arrival level per master pin"
+    );
+    let support = master.support();
+    let support_size = support.count_ones();
+    if support_size < 2 {
+        return Vec::new();
+    }
     let m_max = (0..master.num_vars())
         .filter(|&v| support & (1 << v) != 0)
         .map(|v| arrivals[v])
@@ -103,8 +248,6 @@ pub fn search_triggers(master: &TruthTable, arrivals: &[u32]) -> Vec<TriggerCand
         if forced == 0 {
             continue;
         }
-        // Each forced assignment covers all minterms of the non-subset
-        // support variables.
         let covered = u64::from(forced) << (support_size - k);
         let coverage = covered as f64 / total;
         let t_max = (0..master.num_vars())
@@ -120,6 +263,9 @@ pub fn search_triggers(master: &TruthTable, arrivals: &[u32]) -> Vec<TriggerCand
             t_max,
         });
     }
+    // The seed implementation's sort, kept verbatim (including the
+    // `partial_cmp(..).expect(..)` the rewrite replaces with `total_cmp`)
+    // so that baseline timings reflect the true pre-refactor cost.
     out.sort_by(|a, b| {
         b.cost()
             .partial_cmp(&a.cost())
@@ -129,6 +275,116 @@ pub fn search_triggers(master: &TruthTable, arrivals: &[u32]) -> Vec<TriggerCand
             .then(a.support.cmp(&b.support))
     });
     out
+}
+
+/// Deterministic candidate ranking: descending cost, then descending
+/// coverage, then smaller subsets, then ascending subset mask.
+///
+/// `f64::total_cmp` (not `partial_cmp(..).expect(..)`): costs are finite by
+/// construction today, but the ordering is load-bearing for candidate
+/// selection, and a NaN sneaking in through a future cost tweak must not
+/// panic mid-synthesis or destabilize the sort.
+fn sort_candidates(out: &mut [TriggerCandidate]) {
+    // Insertion sort over a cost cache: a LUT4 search yields ≤ 14
+    // candidates (≤ 41 for the 6-var tables the techmap probes), `std`
+    // sorts allocate, and recomputing `cost()` per comparison costs a
+    // division — at millions of searches per second both are measurable.
+    // The comparator is total (`support` is unique per candidate), so the
+    // result never depends on the upstream enumeration order.
+    debug_assert!(out.len() <= 48, "candidate lists are small by construction");
+    let mut costs = [0.0f64; 48];
+    for (i, c) in out.iter().enumerate() {
+        costs[i] = c.cost();
+    }
+    for i in 1..out.len() {
+        let mut j = i;
+        while j > 0 {
+            let (a, b) = (&out[j], &out[j - 1]);
+            let a_above = costs[j - 1]
+                .total_cmp(&costs[j])
+                .then(b.coverage.total_cmp(&a.coverage))
+                .then(a.support.count_ones().cmp(&b.support.count_ones()))
+                .then(a.support.cmp(&b.support))
+                .is_lt();
+            if !a_above {
+                break;
+            }
+            out.swap(j - 1, j);
+            costs.swap(j - 1, j);
+            j -= 1;
+        }
+    }
+}
+
+/// Memoization cache for [`search_triggers`], keyed by the master's packed
+/// truth-table bits, arity, and its **support-masked** arrival signature
+/// (arrivals of vacuous variables never influence the result, so they are
+/// normalized to 0 to maximize hit rate).
+///
+/// One cache serves one netlist transformation; hit statistics are exposed
+/// for perf tracking (`BENCH_ee_search.json`).
+#[derive(Debug, Clone, Default)]
+pub struct TriggerCache {
+    map: HashMap<(u64, u8, [u32; 6]), Vec<TriggerCandidate>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl TriggerCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Memoized [`search_triggers`]. The returned slice is owned by the
+    /// cache; clone candidates out as needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arrivals` is shorter than the master's variable count.
+    pub fn search(&mut self, master: &TruthTable, arrivals: &[u32]) -> &[TriggerCandidate] {
+        assert!(
+            arrivals.len() >= master.num_vars(),
+            "need an arrival level per master pin"
+        );
+        let support = master.support();
+        let mut sig = [0u32; 6];
+        for v in 0..master.num_vars() {
+            if support & (1 << v) != 0 {
+                sig[v] = arrivals[v];
+            }
+        }
+        let key = (master.bits(), master.num_vars() as u8, sig);
+        match self.map.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                self.hits += 1;
+                e.into_mut().as_slice()
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                self.misses += 1;
+                v.insert(search_triggers(master, arrivals)).as_slice()
+            }
+        }
+    }
+
+    /// Number of searches answered from the cache.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of searches computed fresh.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of distinct (function, arrival-signature) classes seen.
+    #[must_use]
+    pub fn classes(&self) -> usize {
+        self.map.len()
+    }
 }
 
 /// The best candidate (by cost) that actually offers a speedup, if any.
@@ -183,9 +439,15 @@ mod tests {
     fn paper_table1_trigger_on_ab() {
         // Table 1: trigger a·b + a'·b' over {a,b}; coverage 4/8 = 50 %.
         let cands = search_triggers(&carry_out(), &[1, 1, 3]);
-        let ab = cands.iter().find(|c| c.support == 0b011).expect("subset {a,b} searched");
+        let ab = cands
+            .iter()
+            .find(|c| c.support == 0b011)
+            .expect("subset {a,b} searched");
         // trigger(a,b) = 1 iff a == b
-        assert_eq!(ab.table, TruthTable::from_fn(2, |m| (m & 1 != 0) == (m & 2 != 0)));
+        assert_eq!(
+            ab.table,
+            TruthTable::from_fn(2, |m| (m & 1 != 0) == (m & 2 != 0))
+        );
         assert!((ab.coverage - 0.5).abs() < 1e-12);
         // Trigger truth column of Table 1: 1,1,0,0,0,0,1,1 over (a,b,c).
         for m in 0..8u32 {
@@ -257,7 +519,9 @@ mod tests {
         // For every candidate: trigger=1 on an assignment ⇒ master forced.
         let mut x: u64 = 0x1234_5678_9ABC_DEF0;
         for _ in 0..100 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let master = TruthTable::from_bits(4, x & 0xFFFF);
             for cand in search_triggers(&master, &[1, 2, 3, 4]) {
                 let k = cand.support.count_ones();
@@ -308,5 +572,75 @@ mod tests {
         for w in cands.windows(2) {
             assert!(w[0].cost() >= w[1].cost());
         }
+    }
+
+    /// The word-parallel search must agree candidate-for-candidate with the
+    /// per-assignment baseline on random tables of every supported arity.
+    #[test]
+    fn word_parallel_matches_baseline() {
+        let mut x: u64 = 0xD1FF_5EED_0BAD_F00D;
+        for arity in 2..=6usize {
+            let arrivals: Vec<u32> = (0..arity as u32).map(|v| (v * 7) % 5).collect();
+            for _ in 0..200 {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let master = TruthTable::from_bits(arity, x);
+                assert_eq!(
+                    search_triggers(&master, &arrivals),
+                    search_triggers_baseline(&master, &arrivals),
+                    "diverged for {master:?}"
+                );
+            }
+        }
+    }
+
+    /// The memo cache returns results identical to the direct search, and
+    /// actually hits on repeated LUT classes.
+    #[test]
+    fn cache_matches_direct_search_and_hits() {
+        let mut cache = TriggerCache::new();
+        let mut x: u64 = 0xCAC4E_u64;
+        let arrivals = [1u32, 2, 3, 4];
+        let mut tables = Vec::new();
+        for _ in 0..64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            tables.push(TruthTable::from_bits(4, x & 0xFFFF));
+        }
+        for t in &tables {
+            assert_eq!(
+                cache.search(t, &arrivals),
+                search_triggers(t, &arrivals).as_slice()
+            );
+        }
+        let misses_after_first_pass = cache.misses();
+        for t in &tables {
+            assert_eq!(
+                cache.search(t, &arrivals),
+                search_triggers(t, &arrivals).as_slice()
+            );
+        }
+        assert_eq!(
+            cache.misses(),
+            misses_after_first_pass,
+            "second pass must hit"
+        );
+        assert!(cache.hits() >= tables.len() as u64);
+        assert!(cache.classes() as u64 == misses_after_first_pass);
+    }
+
+    /// Arrivals of vacuous variables must not fragment the cache key.
+    #[test]
+    fn cache_normalizes_vacuous_arrivals() {
+        // f depends on {0, 2} only.
+        let f = TruthTable::var(4, 0) & TruthTable::var(4, 2);
+        let mut cache = TriggerCache::new();
+        let a = cache.search(&f, &[1, 9, 3, 9]).to_vec();
+        let b = cache.search(&f, &[1, 0, 3, 5]).to_vec();
+        assert_eq!(a, b);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
     }
 }

@@ -52,20 +52,18 @@ mod tests {
     use super::*;
     use pl_netlist::eval::Evaluator;
 
-    fn run(
-        sim: &mut Evaluator,
-        data: u64,
-        valid: bool,
-        reset: bool,
-    ) -> (u64, u64, u64, bool) {
+    fn run(sim: &mut Evaluator, data: u64, valid: bool, reset: bool) -> (u64, u64, u64, bool) {
         let mut ins: Vec<bool> = (0..B04_WIDTH).map(|i| (data >> i) & 1 == 1).collect();
         ins.push(valid);
         ins.push(reset);
         let out = sim.step(&ins).unwrap();
-        let word = |lo: usize| -> u64 {
-            (0..B04_WIDTH).map(|i| u64::from(out[lo + i]) << i).sum()
-        };
-        (word(0), word(B04_WIDTH), word(2 * B04_WIDTH), out[3 * B04_WIDTH])
+        let word = |lo: usize| -> u64 { (0..B04_WIDTH).map(|i| u64::from(out[lo + i]) << i).sum() };
+        (
+            word(0),
+            word(B04_WIDTH),
+            word(2 * B04_WIDTH),
+            out[3 * B04_WIDTH],
+        )
     }
 
     #[test]
@@ -104,7 +102,7 @@ mod tests {
         let mut sim = Evaluator::new(&n).unwrap();
         run(&mut sim, 0, false, true);
         run(&mut sim, 10, true, false); // rlast = 10
-        // Next sample 200: |200-10| = 190 > 127 -> delta on the same cycle
+                                        // Next sample 200: |200-10| = 190 > 127 -> delta on the same cycle
         let (_, _, _, delta) = run(&mut sim, 200, true, false);
         assert!(delta);
         let (_, _, _, delta) = run(&mut sim, 210, true, false);

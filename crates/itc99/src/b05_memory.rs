@@ -62,7 +62,9 @@ mod tests {
     const DW: usize = 8;
 
     fn contents() -> Vec<u64> {
-        (0..32u64).map(|i| (i.wrapping_mul(37).wrapping_add(11) ^ (i << 3)) & 0xFF).collect()
+        (0..32u64)
+            .map(|i| (i.wrapping_mul(37).wrapping_add(11) ^ (i << 3)) & 0xFF)
+            .collect()
     }
 
     fn step(sim: &mut Evaluator, thresh: u64, run: bool, reset: bool) -> Vec<bool> {

@@ -102,6 +102,9 @@ mod tests {
     fn tiny_like_the_original() {
         let n = b06().elaborate().unwrap();
         let gates = n.num_luts() + n.dffs().len();
-        assert!(gates < 60, "b06 is the paper's 10-gate circuit, got {gates}");
+        assert!(
+            gates < 60,
+            "b06 is the paper's 10-gate circuit, got {gates}"
+        );
     }
 }

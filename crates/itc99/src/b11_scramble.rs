@@ -112,7 +112,9 @@ mod tests {
         let mut phase = 0u64;
         let mut rng: u64 = 777;
         for _ in 0..64 {
-            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let x = (rng >> 20) & 0x3F;
             let (want_scr, want_key) = b11_model(x, key, phase, false, 0);
             step(&mut sim, x, 0, false, true, false);

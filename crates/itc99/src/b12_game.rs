@@ -50,8 +50,8 @@ pub fn b12() -> Module {
 
     // Pattern ROM: 32 two-bit notes, indexed by pos XOR lfsr/history bits.
     let rom_data: Vec<u64> = vec![
-        0, 1, 2, 3, 2, 1, 0, 3, 1, 1, 2, 0, 3, 3, 0, 2, 2, 0, 1, 3, 0, 2, 3, 1, 3, 0, 2, 1,
-        1, 2, 3, 0,
+        0, 1, 2, 3, 2, 1, 0, 3, 1, 1, 2, 0, 3, 3, 0, 2, 2, 0, 1, 3, 0, 2, 3, 1, 3, 0, 2, 1, 1, 2,
+        3, 0,
     ];
     let idx = {
         let low = lfsr.q().slice(0, 5);
@@ -161,13 +161,7 @@ mod tests {
     use super::*;
     use pl_netlist::eval::Evaluator;
 
-    fn step(
-        sim: &mut Evaluator,
-        start: bool,
-        guess: u64,
-        gv: bool,
-        reset: bool,
-    ) -> Vec<bool> {
+    fn step(sim: &mut Evaluator, start: bool, guess: u64, gv: bool, reset: bool) -> Vec<bool> {
         let mut ins = vec![start];
         ins.extend((0..2).map(|i| (guess >> i) & 1 == 1));
         ins.push(gv);

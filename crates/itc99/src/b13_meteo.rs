@@ -134,6 +134,9 @@ mod tests {
                 channels.push(out[3]); // channel at frame-load time
             }
         }
-        assert!(channels.windows(2).all(|w| w[0] != w[1]), "channels must alternate: {channels:?}");
+        assert!(
+            channels.windows(2).all(|w| w[0] != w[1]),
+            "channels must alternate: {channels:?}"
+        );
     }
 }

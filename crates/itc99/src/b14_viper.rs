@@ -25,7 +25,9 @@ pub fn b14_program() -> Vec<u64> {
     let mut x: u64 = 0xB14_CAFE;
     (0..(1u64 << B14_PCW))
         .map(|_| {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (x >> 24) & 0xFFFF
         })
         .collect()
@@ -48,7 +50,13 @@ pub struct B14State {
 
 impl Default for B14State {
     fn default() -> Self {
-        Self { regs: [0; B14_REGS], ram: [0; B14_RAM], pc: 0, b: false, out: 0 }
+        Self {
+            regs: [0; B14_REGS],
+            ram: [0; B14_RAM],
+            pc: 0,
+            b: false,
+            out: 0,
+        }
     }
 }
 
@@ -103,10 +111,12 @@ pub fn b14() -> Module {
     let pc = m.reg_word("pc", B14_PCW, 0);
     let bflag = m.reg_bit("bflag", false);
     let out = m.reg_word("out", B14_WIDTH, 0);
-    let regs: Vec<Reg> =
-        (0..B14_REGS).map(|i| m.reg_word(format!("r{i}"), B14_WIDTH, 0)).collect();
-    let ram: Vec<Reg> =
-        (0..B14_RAM).map(|i| m.reg_word(format!("mem{i}"), B14_WIDTH, 0)).collect();
+    let regs: Vec<Reg> = (0..B14_REGS)
+        .map(|i| m.reg_word(format!("r{i}"), B14_WIDTH, 0))
+        .collect();
+    let ram: Vec<Reg> = (0..B14_RAM)
+        .map(|i| m.reg_word(format!("mem{i}"), B14_WIDTH, 0))
+        .collect();
 
     // Fetch.
     let program = b14_program();
@@ -121,8 +131,11 @@ pub fn b14() -> Module {
     let rd_val = mux_by_index(&mut m, &rd, &regs.iter().map(Reg::q).collect::<Vec<_>>());
     let rs_val = mux_by_index(&mut m, &rs, &regs.iter().map(Reg::q).collect::<Vec<_>>());
     let ram_addr = imm.slice(0, 3);
-    let ram_val =
-        mux_by_index(&mut m, &ram_addr, &ram.iter().map(Reg::q).collect::<Vec<_>>());
+    let ram_val = mux_by_index(
+        &mut m,
+        &ram_addr,
+        &ram.iter().map(Reg::q).collect::<Vec<_>>(),
+    );
 
     // ALU.
     let add = m.add(&rd_val, &rs_val);
@@ -217,7 +230,9 @@ mod tests {
         ins.push(reset);
         let out = sim.step(&ins).unwrap();
         let o: u64 = (0..B14_WIDTH).map(|i| u64::from(out[i]) << i).sum();
-        let pc: u64 = (0..B14_PCW).map(|i| u64::from(out[B14_WIDTH + i]) << i).sum();
+        let pc: u64 = (0..B14_PCW)
+            .map(|i| u64::from(out[B14_WIDTH + i]) << i)
+            .sum();
         (o, pc, out[B14_WIDTH + B14_PCW])
     }
 

@@ -161,10 +161,12 @@ pub fn b15() -> Module {
     let cf = m.reg_bit("cf", false);
     let sf = m.reg_bit("sf", false);
     let out = m.reg_word("out", B15_WIDTH, 0);
-    let regs: Vec<Reg> =
-        (0..B15_REGS).map(|i| m.reg_word(format!("r{i}"), B15_WIDTH, 0)).collect();
-    let ram: Vec<Reg> =
-        (0..B15_RAM).map(|i| m.reg_word(format!("mem{i}"), B15_WIDTH, 0)).collect();
+    let regs: Vec<Reg> = (0..B15_REGS)
+        .map(|i| m.reg_word(format!("r{i}"), B15_WIDTH, 0))
+        .collect();
+    let ram: Vec<Reg> = (0..B15_RAM)
+        .map(|i| m.reg_word(format!("mem{i}"), B15_WIDTH, 0))
+        .collect();
 
     let program = b15_program();
     let instr = m.rom(&pc.q(), B15_WIDTH, &program);
@@ -257,8 +259,14 @@ pub fn b15() -> Module {
     // carry updates on ops 2,3,4,5,9,10
     let c_from_alu = {
         let mut v = m.const_bit(false);
-        for (k, c) in [(2usize, add_c), (3, adc_c), (4, sub_c), (5, sbb_c), (9, shr_c), (10, sub_c)]
-        {
+        for (k, c) in [
+            (2usize, add_c),
+            (3, adc_c),
+            (4, sub_c),
+            (5, sbb_c),
+            (9, shr_c),
+            (10, sub_c),
+        ] {
             let t = m.and2(is[k], c);
             v = m.or2(v, t);
         }
@@ -339,7 +347,9 @@ mod tests {
         ins.push(reset);
         let out = sim.step(&ins).unwrap();
         let o: u64 = (0..B15_WIDTH).map(|i| u64::from(out[i]) << i).sum();
-        let pc: u64 = (0..B15_PCW).map(|i| u64::from(out[B15_WIDTH + i]) << i).sum();
+        let pc: u64 = (0..B15_PCW)
+            .map(|i| u64::from(out[B15_WIDTH + i]) << i)
+            .sum();
         let base = B15_WIDTH + B15_PCW;
         (o, pc, out[base], out[base + 1], out[base + 2])
     }
@@ -358,7 +368,11 @@ mod tests {
             let (o, pc, z, c, s) = step(&mut sim, din, false);
             assert_eq!(pc, model.pc, "pc diverged at cycle {cycle}");
             assert_eq!(o, model.out, "out diverged at cycle {cycle}");
-            assert_eq!((z, c, s), (model.zf, model.cf, model.sf), "flags at {cycle}");
+            assert_eq!(
+                (z, c, s),
+                (model.zf, model.cf, model.sf),
+                "flags at {cycle}"
+            );
             model.step(&program, din);
         }
     }

@@ -86,21 +86,81 @@ impl std::fmt::Debug for Benchmark {
 #[must_use]
 pub fn catalog() -> Vec<Benchmark> {
     vec![
-        Benchmark { id: "b01", description: "FSM that compares serial flows", build: b01 },
-        Benchmark { id: "b02", description: "FSM that recognizes BCD numbers", build: b02 },
-        Benchmark { id: "b03", description: "Resource arbiter", build: b03 },
-        Benchmark { id: "b04", description: "Compute min and max", build: b04 },
-        Benchmark { id: "b05", description: "Elaborate contents of memory", build: b05 },
-        Benchmark { id: "b06", description: "Interrupt handler", build: b06 },
-        Benchmark { id: "b07", description: "Count points on a straight line", build: b07 },
-        Benchmark { id: "b08", description: "Find inclusions in sequences", build: b08 },
-        Benchmark { id: "b09", description: "Serial to serial converter", build: b09 },
-        Benchmark { id: "b10", description: "Voting system", build: b10 },
-        Benchmark { id: "b11", description: "Scramble string with a cipher", build: b11 },
-        Benchmark { id: "b12", description: "1-player game (guess a sequence)", build: b12 },
-        Benchmark { id: "b13", description: "Interface to meteo sensors", build: b13 },
-        Benchmark { id: "b14", description: "Viper processor (subset)", build: b14 },
-        Benchmark { id: "b15", description: "80386 processor (subset)", build: b15 },
+        Benchmark {
+            id: "b01",
+            description: "FSM that compares serial flows",
+            build: b01,
+        },
+        Benchmark {
+            id: "b02",
+            description: "FSM that recognizes BCD numbers",
+            build: b02,
+        },
+        Benchmark {
+            id: "b03",
+            description: "Resource arbiter",
+            build: b03,
+        },
+        Benchmark {
+            id: "b04",
+            description: "Compute min and max",
+            build: b04,
+        },
+        Benchmark {
+            id: "b05",
+            description: "Elaborate contents of memory",
+            build: b05,
+        },
+        Benchmark {
+            id: "b06",
+            description: "Interrupt handler",
+            build: b06,
+        },
+        Benchmark {
+            id: "b07",
+            description: "Count points on a straight line",
+            build: b07,
+        },
+        Benchmark {
+            id: "b08",
+            description: "Find inclusions in sequences",
+            build: b08,
+        },
+        Benchmark {
+            id: "b09",
+            description: "Serial to serial converter",
+            build: b09,
+        },
+        Benchmark {
+            id: "b10",
+            description: "Voting system",
+            build: b10,
+        },
+        Benchmark {
+            id: "b11",
+            description: "Scramble string with a cipher",
+            build: b11,
+        },
+        Benchmark {
+            id: "b12",
+            description: "1-player game (guess a sequence)",
+            build: b12,
+        },
+        Benchmark {
+            id: "b13",
+            description: "Interface to meteo sensors",
+            build: b13,
+        },
+        Benchmark {
+            id: "b14",
+            description: "Viper processor (subset)",
+            build: b14,
+        },
+        Benchmark {
+            id: "b15",
+            description: "80386 processor (subset)",
+            build: b15,
+        },
     ]
 }
 
@@ -127,14 +187,19 @@ mod tests {
     fn lookup_by_id() {
         assert!(by_id("b07").is_some());
         assert!(by_id("b99").is_none());
-        assert_eq!(by_id("b14").unwrap().description, "Viper processor (subset)");
+        assert_eq!(
+            by_id("b14").unwrap().description,
+            "Viper processor (subset)"
+        );
     }
 
     #[test]
     fn every_benchmark_elaborates() {
         for b in catalog() {
             let m = (b.build)();
-            let n = m.elaborate().unwrap_or_else(|e| panic!("{} failed: {e}", b.id));
+            let n = m
+                .elaborate()
+                .unwrap_or_else(|e| panic!("{} failed: {e}", b.id));
             assert!(!n.dffs().is_empty(), "{} should be sequential", b.id);
             assert!(!n.outputs().is_empty(), "{} needs outputs", b.id);
         }

@@ -33,8 +33,7 @@ pub fn comb_topo_order(netlist: &Netlist) -> Result<Vec<NodeId>, NetlistError> {
             }
         }
     }
-    let mut queue: VecDeque<usize> =
-        (0..n).filter(|&i| indegree[i] == 0).collect();
+    let mut queue: VecDeque<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
     let mut order = Vec::with_capacity(n);
     while let Some(i) = queue.pop_front() {
         order.push(NodeId::from_index(i));
@@ -68,8 +67,7 @@ pub fn levels(netlist: &Netlist) -> Result<Vec<u32>, NetlistError> {
     let mut level = vec![0u32; netlist.len()];
     for id in order {
         if let NodeKind::Lut { inputs, .. } = netlist.node(id).kind() {
-            level[id.index()] =
-                1 + inputs.iter().map(|i| level[i.index()]).max().unwrap_or(0);
+            level[id.index()] = 1 + inputs.iter().map(|i| level[i.index()]).max().unwrap_or(0);
         }
     }
     Ok(level)

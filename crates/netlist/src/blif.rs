@@ -35,8 +35,7 @@ pub fn to_blif(netlist: &Netlist) -> Result<String, NetlistError> {
     writeln!(out, ".model {}", netlist.name()).expect("string write");
     let input_names: Vec<String> = netlist.inputs().iter().map(|&i| sig(i)).collect();
     writeln!(out, ".inputs {}", input_names.join(" ")).expect("string write");
-    let output_names: Vec<String> =
-        netlist.outputs().iter().map(|(n, _)| n.clone()).collect();
+    let output_names: Vec<String> = netlist.outputs().iter().map(|(n, _)| n.clone()).collect();
     writeln!(out, ".outputs {}", output_names.join(" ")).expect("string write");
 
     for &ff in netlist.dffs() {
@@ -151,7 +150,10 @@ pub fn from_blif(text: &str) -> Result<Netlist, NetlistError> {
                     }
                     current = Some(NamesDef {
                         line,
-                        inputs: toks[1..toks.len() - 1].iter().map(|s| s.to_string()).collect(),
+                        inputs: toks[1..toks.len() - 1]
+                            .iter()
+                            .map(|s| s.to_string())
+                            .collect(),
                         output: toks[toks.len() - 1].to_string(),
                         on_cubes: Vec::new(),
                         off_cubes: Vec::new(),
@@ -223,7 +225,10 @@ pub fn from_blif(text: &str) -> Result<Netlist, NetlistError> {
             let def = remaining.swap_remove(idx);
             let width = def.inputs.len();
             if width > 6 {
-                return Err(NetlistError::LutTooWide { arity: width, max: 6 });
+                return Err(NetlistError::LutTooWide {
+                    arity: width,
+                    max: 6,
+                });
             }
             if !def.on_cubes.is_empty() && !def.off_cubes.is_empty() {
                 return Err(err(def.line, "mixed ON and OFF cover"));
@@ -252,8 +257,7 @@ pub fn from_blif(text: &str) -> Result<Netlist, NetlistError> {
             let node = if width == 0 {
                 n.add_const(table.eval(0))
             } else {
-                let fanins: Vec<NodeId> =
-                    def.inputs.iter().map(|i| sig[i]).collect();
+                let fanins: Vec<NodeId> = def.inputs.iter().map(|i| sig[i]).collect();
                 n.add_lut(table, fanins)?
             };
             if sig.insert(def.output.clone(), node).is_some() {
@@ -288,7 +292,11 @@ mod tests {
         let mut a = Evaluator::new(n).unwrap();
         let mut b = Evaluator::new(&back).unwrap();
         for v in vectors {
-            assert_eq!(a.step(v).unwrap(), b.step(v).unwrap(), "vector {v:?}\n{text}");
+            assert_eq!(
+                a.step(v).unwrap(),
+                b.step(v).unwrap(),
+                "vector {v:?}\n{text}"
+            );
         }
     }
 
@@ -301,8 +309,9 @@ mod tests {
         let ab = n.add_and2(a, b).unwrap();
         let f = n.add_xor2(ab, c).unwrap();
         n.set_output("f", f);
-        let vecs: Vec<Vec<bool>> =
-            (0..8).map(|m| (0..3).map(|i| m & (1 << i) != 0).collect()).collect();
+        let vecs: Vec<Vec<bool>> = (0..8)
+            .map(|m| (0..3).map(|i| m & (1 << i) != 0).collect())
+            .collect();
         roundtrip_behaviour(&n, &vecs);
     }
 
@@ -360,7 +369,10 @@ mod tests {
     #[test]
     fn parse_rejects_undefined_output() {
         let text = ".model x\n.inputs a\n.outputs nope\n.end\n";
-        assert!(matches!(from_blif(text), Err(NetlistError::BlifParse { .. })));
+        assert!(matches!(
+            from_blif(text),
+            Err(NetlistError::BlifParse { .. })
+        ));
     }
 
     #[test]

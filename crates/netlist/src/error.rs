@@ -91,7 +91,10 @@ mod tests {
 
     #[test]
     fn messages_are_informative() {
-        let e = NetlistError::ArityMismatch { table_vars: 3, fanins: 2 };
+        let e = NetlistError::ArityMismatch {
+            table_vars: 3,
+            fanins: 2,
+        };
         assert!(e.to_string().contains('3'));
         assert!(e.to_string().contains('2'));
     }

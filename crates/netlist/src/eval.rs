@@ -57,7 +57,13 @@ impl<'a> Evaluator<'a> {
                 _ => unreachable!("dffs() only lists flip-flops"),
             })
             .collect();
-        Ok(Self { netlist, order, values: vec![false; netlist.len()], state, cycles: 0 })
+        Ok(Self {
+            netlist,
+            order,
+            values: vec![false; netlist.len()],
+            state,
+            cycles: 0,
+        })
     }
 
     /// Number of clock cycles executed so far.
@@ -189,7 +195,10 @@ mod tests {
         let mut sim = Evaluator::new(&n).unwrap();
         assert!(matches!(
             sim.step(&[]),
-            Err(NetlistError::InputArityMismatch { got: 0, expected: 1 })
+            Err(NetlistError::InputArityMismatch {
+                got: 0,
+                expected: 1
+            })
         ));
     }
 

@@ -79,7 +79,10 @@ impl Netlist {
 
     /// Adds a constant driver.
     pub fn add_const(&mut self, value: bool) -> NodeId {
-        self.push(Node { kind: NodeKind::Const { value }, name: None })
+        self.push(Node {
+            kind: NodeKind::Const { value },
+            name: None,
+        })
     }
 
     /// Adds a LUT computing `table` over `inputs` (variable `i` ⇔
@@ -102,18 +105,27 @@ impl Netlist {
             });
         }
         if inputs.len() > MAX_LUT_ARITY {
-            return Err(NetlistError::LutTooWide { arity: inputs.len(), max: MAX_LUT_ARITY });
+            return Err(NetlistError::LutTooWide {
+                arity: inputs.len(),
+                max: MAX_LUT_ARITY,
+            });
         }
         for &i in &inputs {
             self.check(i)?;
         }
-        Ok(self.push(Node { kind: NodeKind::Lut { table, inputs }, name: None }))
+        Ok(self.push(Node {
+            kind: NodeKind::Lut { table, inputs },
+            name: None,
+        }))
     }
 
     /// Adds a flip-flop with the given initial value; its data input starts
     /// unconnected (see [`Netlist::set_dff_input`]).
     pub fn add_dff(&mut self, init: bool) -> NodeId {
-        let id = self.push(Node { kind: NodeKind::Dff { d: None, init }, name: None });
+        let id = self.push(Node {
+            kind: NodeKind::Dff { d: None, init },
+            name: None,
+        });
         self.dffs.push(id);
         id
     }
@@ -182,7 +194,10 @@ impl Netlist {
 
     /// Iterates over `(id, node)` pairs in creation order.
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, &Node)> {
-        self.nodes.iter().enumerate().map(|(i, n)| (NodeId::from_index(i), n))
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NodeId::from_index(i), n))
     }
 
     /// Primary inputs in declaration order.
@@ -223,7 +238,10 @@ impl Netlist {
         }
         for (name, id) in &self.outputs {
             if self.get(*id).is_none() {
-                return Err(NetlistError::DanglingOutput { name: name.clone(), node: *id });
+                return Err(NetlistError::DanglingOutput {
+                    name: name.clone(),
+                    node: *id,
+                });
             }
         }
         crate::analyze::comb_topo_order(self).map(|_| ())
@@ -288,12 +306,7 @@ impl Netlist {
     /// # Errors
     ///
     /// Propagates [`Netlist::add_lut`] errors.
-    pub fn add_mux2(
-        &mut self,
-        s: NodeId,
-        a: NodeId,
-        b: NodeId,
-    ) -> Result<NodeId, NetlistError> {
+    pub fn add_mux2(&mut self, s: NodeId, a: NodeId, b: NodeId) -> Result<NodeId, NetlistError> {
         let table = TruthTable::from_fn(3, |m| {
             let (a, b, s) = (m & 1 != 0, m & 2 != 0, m & 4 != 0);
             if s {
@@ -331,7 +344,10 @@ mod tests {
         let t3 = TruthTable::ones(3);
         assert_eq!(
             n.add_lut(t3, vec![a]),
-            Err(NetlistError::ArityMismatch { table_vars: 3, fanins: 1 })
+            Err(NetlistError::ArityMismatch {
+                table_vars: 3,
+                fanins: 1
+            })
         );
     }
 

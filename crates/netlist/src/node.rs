@@ -111,7 +111,10 @@ mod tests {
 
     #[test]
     fn kind_predicates() {
-        let n = Node { kind: NodeKind::Const { value: true }, name: None };
+        let n = Node {
+            kind: NodeKind::Const { value: true },
+            name: None,
+        };
         assert!(n.is_const());
         assert!(!n.is_lut());
         assert!(n.fanins().is_empty());
@@ -120,10 +123,19 @@ mod tests {
 
     #[test]
     fn dff_fanins_reflect_connection() {
-        let unconnected = Node { kind: NodeKind::Dff { d: None, init: false }, name: None };
+        let unconnected = Node {
+            kind: NodeKind::Dff {
+                d: None,
+                init: false,
+            },
+            name: None,
+        };
         assert!(unconnected.fanins().is_empty());
         let connected = Node {
-            kind: NodeKind::Dff { d: Some(NodeId::from_index(3)), init: false },
+            kind: NodeKind::Dff {
+                d: Some(NodeId::from_index(3)),
+                init: false,
+            },
             name: None,
         };
         assert_eq!(connected.fanins(), vec![NodeId::from_index(3)]);

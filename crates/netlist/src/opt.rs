@@ -124,7 +124,10 @@ pub fn constant_propagation(netlist: &Netlist) -> Result<PassResult, NetlistErro
                 let reduced = table
                     .restrict(vars, compact_assignment(vars, asg))
                     .project(!vars & ((1 << inputs.len()) - 1) as u8);
-                NodeKind::Lut { table: reduced, inputs: kept }
+                NodeKind::Lut {
+                    table: reduced,
+                    inputs: kept,
+                }
             } else {
                 kind.clone()
             }
@@ -163,7 +166,9 @@ pub fn structural_hash(netlist: &Netlist) -> Result<PassResult, NetlistError> {
     for &id in &order {
         match netlist.node(id).kind() {
             NodeKind::Const { value } => {
-                let new = *const_cache.entry(*value).or_insert_with(|| out.add_const(*value));
+                let new = *const_cache
+                    .entry(*value)
+                    .or_insert_with(|| out.add_const(*value));
                 if map[id.index()].is_none() {
                     map[id.index()] = Some(new);
                 }
@@ -202,7 +207,10 @@ pub fn structural_hash(netlist: &Netlist) -> Result<PassResult, NetlistError> {
     // Count duplicate constants as removed too.
     let const_total = netlist.iter().filter(|(_, n)| n.is_const()).count();
     removed += const_total.saturating_sub(const_cache.len());
-    Ok(PassResult { netlist: out, removed })
+    Ok(PassResult {
+        netlist: out,
+        removed,
+    })
 }
 
 /// Runs constant propagation, structural hashing and dead-node elimination
@@ -278,8 +286,7 @@ fn rebuild(
         }
         if let NodeKind::Dff { d: Some(src), .. } = netlist.node(ff).kind() {
             let new_ff = map[ff.index()].expect("kept flip-flop mapped");
-            let new_src =
-                map[src.index()].ok_or(NetlistError::UnknownNode(*src))?;
+            let new_src = map[src.index()].ok_or(NetlistError::UnknownNode(*src))?;
             out.set_dff_input(new_ff, new_src)?;
         }
     }
@@ -287,7 +294,10 @@ fn rebuild(
         let mapped = map[id.index()].ok_or(NetlistError::UnknownNode(*id))?;
         out.set_output(name.clone(), mapped);
     }
-    Ok(PassResult { netlist: out, removed })
+    Ok(PassResult {
+        netlist: out,
+        removed,
+    })
 }
 
 /// Compacts a full-width assignment into the low bits expected by
@@ -362,8 +372,7 @@ mod tests {
         n.set_output("y", o);
         let r = structural_hash(&n).unwrap();
         assert_eq!(r.removed, 1);
-        let vecs: Vec<Vec<bool>> =
-            (0..4).map(|m| vec![m & 1 != 0, m & 2 != 0]).collect();
+        let vecs: Vec<Vec<bool>> = (0..4).map(|m| vec![m & 1 != 0, m & 2 != 0]).collect();
         assert_eq!(outputs_over(&n, &vecs), outputs_over(&r.netlist, &vecs));
     }
 

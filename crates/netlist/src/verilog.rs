@@ -34,8 +34,7 @@ pub fn to_verilog(netlist: &Netlist) -> Result<String, NetlistError> {
     };
 
     let inputs: Vec<String> = netlist.inputs().iter().map(|&i| sig(i)).collect();
-    let outputs: Vec<String> =
-        netlist.outputs().iter().map(|(n, _)| sanitize(n)).collect();
+    let outputs: Vec<String> = netlist.outputs().iter().map(|(n, _)| sanitize(n)).collect();
     let mut ports = vec!["clk".to_string(), "rst".to_string()];
     ports.extend(inputs.iter().cloned());
     ports.extend(outputs.iter().cloned());
@@ -67,8 +66,7 @@ pub fn to_verilog(netlist: &Netlist) -> Result<String, NetlistError> {
     for (id, node) in netlist.iter() {
         match node.kind() {
             NodeKind::Const { value } => {
-                writeln!(s, "  assign {} = 1'b{};", sig(id), u8::from(*value))
-                    .expect("write");
+                writeln!(s, "  assign {} = 1'b{};", sig(id), u8::from(*value)).expect("write");
             }
             NodeKind::Lut { table, inputs } => {
                 let expr = if table.is_zero() {
@@ -83,9 +81,7 @@ pub fn to_verilog(netlist: &Netlist) -> Result<String, NetlistError> {
                             let lits: Vec<String> = (0..table.num_vars())
                                 .filter_map(|v| match cube.literal(v) {
                                     Polarity::Positive => Some(sig(inputs[v])),
-                                    Polarity::Negative => {
-                                        Some(format!("~{}", sig(inputs[v])))
-                                    }
+                                    Polarity::Negative => Some(format!("~{}", sig(inputs[v]))),
                                     Polarity::DontCare => None,
                                 })
                                 .collect();
@@ -140,7 +136,13 @@ pub fn to_verilog(netlist: &Netlist) -> Result<String, NetlistError> {
 fn sanitize(name: &str) -> String {
     let mut out: String = name
         .chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
         out.insert(0, '_');
@@ -172,7 +174,10 @@ mod tests {
         let v = to_verilog(&demo()).unwrap();
         assert!(v.contains("module demo ("));
         assert!(v.contains("input a;"));
-        assert!(v.contains("input b_0_;"), "bus bit names are sanitized: {v}");
+        assert!(
+            v.contains("input b_0_;"),
+            "bus bit names are sanitized: {v}"
+        );
         assert!(v.contains("output y;"));
         assert!(v.contains("always @(posedge clk)"));
         assert!(v.contains("<= 1'b1;"), "reset loads the init value");

@@ -18,7 +18,13 @@ fn arb_recipe() -> impl Strategy<Value = Recipe> {
     (
         1usize..5,
         0usize..4,
-        proptest::collection::vec((any::<u64>(), proptest::collection::vec(any::<usize>(), 1..5)), 1..20),
+        proptest::collection::vec(
+            (
+                any::<u64>(),
+                proptest::collection::vec(any::<usize>(), 1..5),
+            ),
+            1..20,
+        ),
         proptest::collection::vec(any::<bool>(), 0..3),
         1usize..5,
     )
@@ -48,10 +54,14 @@ fn build(r: &Recipe) -> Netlist {
         pool.push(n.add_lut(t, srcs).expect("arity matches"));
     }
     for (k, &d) in dffs.iter().enumerate() {
-        n.set_dff_input(d, pool[(k * 5 + 1) % pool.len()]).expect("valid");
+        n.set_dff_input(d, pool[(k * 5 + 1) % pool.len()])
+            .expect("valid");
     }
     for k in 0..r.num_outputs {
-        n.set_output(format!("o{k}"), pool[pool.len() - 1 - (k % pool.len().min(3))]);
+        n.set_output(
+            format!("o{k}"),
+            pool[pool.len() - 1 - (k % pool.len().min(3))],
+        );
     }
     n
 }

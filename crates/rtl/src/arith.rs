@@ -79,8 +79,12 @@ impl Module {
     /// Panics on width mismatch.
     pub fn eq_w(&mut self, a: &Word, b: &Word) -> Bit {
         assert_eq!(a.width(), b.width(), "eq_w width mismatch");
-        let pairs: Vec<Bit> =
-            a.bits.iter().zip(&b.bits).map(|(&x, &y)| self.xnor2(x, y)).collect();
+        let pairs: Vec<Bit> = a
+            .bits
+            .iter()
+            .zip(&b.bits)
+            .map(|(&x, &y)| self.xnor2(x, y))
+            .collect();
         self.and_all(&pairs)
     }
 
@@ -203,9 +207,7 @@ mod tests {
 
     /// Builds a module computing `f(a, b)` and returns a closure evaluating
     /// it on concrete u64 values.
-    fn harness(
-        f: impl Fn(&mut Module, &Word, &Word) -> Word,
-    ) -> impl FnMut(u64, u64) -> u64 {
+    fn harness(f: impl Fn(&mut Module, &Word, &Word) -> Word) -> impl FnMut(u64, u64) -> u64 {
         let mut m = Module::new("h");
         let a = m.input_word("a", W);
         let b = m.input_word("b", W);
@@ -219,13 +221,14 @@ mod tests {
                 .chain((0..W).map(|i| (bv >> i) & 1 == 1))
                 .collect();
             let out = sim.step(&ins).unwrap();
-            out.iter().enumerate().map(|(i, &b)| u64::from(b) << i).sum()
+            out.iter()
+                .enumerate()
+                .map(|(i, &b)| u64::from(b) << i)
+                .sum()
         }
     }
 
-    fn bit_harness(
-        f: impl Fn(&mut Module, &Word, &Word) -> Bit,
-    ) -> impl FnMut(u64, u64) -> bool {
+    fn bit_harness(f: impl Fn(&mut Module, &Word, &Word) -> Bit) -> impl FnMut(u64, u64) -> bool {
         let mut g = harness(move |m, a, b| {
             let bit = f(m, a, b);
             Word::from_bit(bit)
@@ -319,7 +322,10 @@ mod tests {
         let n = m.elaborate_raw().unwrap();
         let mut sim = Evaluator::new(&n).unwrap();
         let val = |out: Vec<bool>| -> u64 {
-            out.iter().enumerate().map(|(i, &b)| u64::from(b) << i).sum()
+            out.iter()
+                .enumerate()
+                .map(|(i, &b)| u64::from(b) << i)
+                .sum()
         };
         assert_eq!(val(sim.step(&[false, false]).unwrap()), 0);
         assert_eq!(val(sim.step(&[false, true]).unwrap()), 9);
@@ -340,7 +346,11 @@ mod tests {
         for (i, &want) in contents.iter().enumerate() {
             let ins: Vec<bool> = (0..3).map(|k| (i >> k) & 1 == 1).collect();
             let out = sim.step(&ins).unwrap();
-            let got: u64 = out.iter().enumerate().map(|(k, &b)| u64::from(b) << k).sum();
+            let got: u64 = out
+                .iter()
+                .enumerate()
+                .map(|(k, &b)| u64::from(b) << k)
+                .sum();
             assert_eq!(got, want, "addr={i}");
         }
     }
@@ -356,7 +366,10 @@ mod tests {
         let read = |sim: &mut Evaluator, a: usize| -> u64 {
             let ins: Vec<bool> = (0..2).map(|k| (a >> k) & 1 == 1).collect();
             let out = sim.step(&ins).unwrap();
-            out.iter().enumerate().map(|(k, &b)| u64::from(b) << k).sum()
+            out.iter()
+                .enumerate()
+                .map(|(k, &b)| u64::from(b) << k)
+                .sum()
         };
         assert_eq!(read(&mut sim, 0), 7);
         assert_eq!(read(&mut sim, 1), 8);
@@ -375,7 +388,10 @@ mod tests {
         let n = m.elaborate_raw().unwrap();
         let mut sim = Evaluator::new(&n).unwrap();
         let mk = |a: u32, b: u32| -> Vec<bool> {
-            (0..4).map(|i| (a >> i) & 1 == 1).chain((0..4).map(|i| (b >> i) & 1 == 1)).collect()
+            (0..4)
+                .map(|i| (a >> i) & 1 == 1)
+                .chain((0..4).map(|i| (b >> i) & 1 == 1))
+                .collect()
         };
         assert_eq!(sim.step(&mk(8, 8)).unwrap(), vec![true]);
         assert_eq!(sim.step(&mk(7, 8)).unwrap(), vec![false]);

@@ -88,7 +88,9 @@ impl Module {
     /// Declares a `width`-bit primary input; bit `i` is named `name[i]`.
     pub fn input_word(&mut self, name: impl AsRef<str>, width: usize) -> Word {
         let name = name.as_ref();
-        let bits = (0..width).map(|i| self.input_bit(format!("{name}[{i}]"))).collect();
+        let bits = (0..width)
+            .map(|i| self.input_bit(format!("{name}[{i}]")))
+            .collect();
         Word { bits }
     }
 
@@ -127,7 +129,9 @@ impl Module {
             width >= 64 || value < (1u64 << width),
             "constant {value} does not fit in {width} bits"
         );
-        let bits = (0..width).map(|i| self.const_bit((value >> i) & 1 == 1)).collect();
+        let bits = (0..width)
+            .map(|i| self.const_bit((value >> i) & 1 == 1))
+            .collect();
         Word { bits }
     }
 
@@ -200,7 +204,9 @@ impl Module {
 
     /// Bitwise NOT of a word.
     pub fn not_w(&mut self, a: &Word) -> Word {
-        Word { bits: a.bits.iter().map(|&b| self.not(b)).collect() }
+        Word {
+            bits: a.bits.iter().map(|&b| self.not(b)).collect(),
+        }
     }
 
     /// Bitwise AND of equal-width words.
@@ -309,14 +315,30 @@ impl Module {
             .expect("2-input lut arity is correct"))
     }
 
-    fn zip(&mut self, a: &Word, b: &Word, op: &str, f: impl Fn(&mut Self, Bit, Bit) -> Bit) -> Word {
+    fn zip(
+        &mut self,
+        a: &Word,
+        b: &Word,
+        op: &str,
+        f: impl Fn(&mut Self, Bit, Bit) -> Bit,
+    ) -> Word {
         assert_eq!(a.width(), b.width(), "{op} width mismatch");
         Word {
-            bits: a.bits.iter().zip(&b.bits).map(|(&x, &y)| f(self, x, y)).collect(),
+            bits: a
+                .bits
+                .iter()
+                .zip(&b.bits)
+                .map(|(&x, &y)| f(self, x, y))
+                .collect(),
         }
     }
 
-    fn tree(&mut self, bits: &[Bit], empty: bool, f: impl Fn(&mut Self, Bit, Bit) -> Bit + Copy) -> Bit {
+    fn tree(
+        &mut self,
+        bits: &[Bit],
+        empty: bool,
+        f: impl Fn(&mut Self, Bit, Bit) -> Bit + Copy,
+    ) -> Bit {
         match bits.len() {
             0 => self.const_bit(empty),
             1 => bits[0],

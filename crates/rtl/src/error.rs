@@ -51,7 +51,9 @@ mod tests {
 
     #[test]
     fn display_names_register() {
-        let e = RtlError::UnconnectedReg { name: "state".into() };
+        let e = RtlError::UnconnectedReg {
+            name: "state".into(),
+        };
         assert!(e.to_string().contains("state"));
     }
 

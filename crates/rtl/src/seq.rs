@@ -23,15 +23,24 @@ impl Module {
             width >= 64 || init < (1u64 << width),
             "register '{name}': init {init} does not fit in {width} bits"
         );
-        let dffs: Vec<_> = (0..width).map(|i| self.netlist.add_dff((init >> i) & 1 == 1)).collect();
+        let dffs: Vec<_> = (0..width)
+            .map(|i| self.netlist.add_dff((init >> i) & 1 == 1))
+            .collect();
         for (i, &d) in dffs.iter().enumerate() {
             self.netlist
                 .set_name(d, format!("{name}[{i}]"))
                 .expect("fresh dff id is valid");
         }
-        let q = Word { bits: dffs.iter().map(|&d| Bit(d)).collect() };
+        let q = Word {
+            bits: dffs.iter().map(|&d| Bit(d)).collect(),
+        };
         self.unconnected_regs.push(name.clone());
-        Reg { name, dffs, q, init }
+        Reg {
+            name,
+            dffs,
+            q,
+            init,
+        }
     }
 
     /// Connects the next-state input of `reg` to `value` unconditionally.
@@ -106,7 +115,10 @@ mod tests {
     use pl_netlist::eval::Evaluator;
 
     fn word_val(bits: &[bool]) -> u64 {
-        bits.iter().enumerate().map(|(i, &b)| u64::from(b) << i).sum()
+        bits.iter()
+            .enumerate()
+            .map(|(i, &b)| u64::from(b) << i)
+            .sum()
     }
 
     #[test]

@@ -85,8 +85,13 @@ impl Word {
     /// Panics if the range is out of bounds or inverted.
     #[must_use]
     pub fn slice(&self, lo: usize, hi: usize) -> Word {
-        assert!(lo <= hi && hi <= self.width(), "slice [{lo},{hi}) out of bounds");
-        Word { bits: self.bits[lo..hi].to_vec() }
+        assert!(
+            lo <= hi && hi <= self.width(),
+            "slice [{lo},{hi}) out of bounds"
+        );
+        Word {
+            bits: self.bits[lo..hi].to_vec(),
+        }
     }
 
     /// Concatenates `self` (low part) with `high`.

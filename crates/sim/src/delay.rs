@@ -1,4 +1,13 @@
-//! Component delay model.
+//! Component delay model and its integer-tick projection.
+//!
+//! The discrete-event engine keys its event queue on **integer femtosecond
+//! ticks** ([`TICKS_PER_NS`] per nanosecond) rather than `f64` nanoseconds:
+//! integer keys compare exactly (no `total_cmp` tie-break fragility, no
+//! accumulated rounding drift across long streams) and pack into the event
+//! queue's `(tick, seq)` ordering key. [`DelayModel::to_ticks`] quantizes a
+//! model once, up front; with the default resolution a femtosecond grid is
+//! six orders of magnitude below the smallest component delay, so the
+//! quantization error on any reported latency is ≤ 0.5 fs per event hop.
 
 /// Per-component delays (nanoseconds) of the PL cell of the paper's
 /// Figure 1, plus the early-evaluation overhead of Figure 2.
@@ -26,7 +35,13 @@ pub struct DelayModel {
 
 impl Default for DelayModel {
     fn default() -> Self {
-        Self { c_element: 0.6, lut: 1.4, latch: 0.4, wire: 0.3, ee_overhead: 0.7 }
+        Self {
+            c_element: 0.6,
+            lut: 1.4,
+            latch: 0.4,
+            wire: 0.3,
+            ee_overhead: 0.7,
+        }
     }
 }
 
@@ -55,7 +70,13 @@ impl DelayModel {
     /// A zero-delay model — useful for functional-only simulation.
     #[must_use]
     pub fn zero() -> Self {
-        Self { c_element: 0.0, lut: 0.0, latch: 0.0, wire: 0.0, ee_overhead: 0.0 }
+        Self {
+            c_element: 0.0,
+            lut: 0.0,
+            latch: 0.0,
+            wire: 0.0,
+            ee_overhead: 0.0,
+        }
     }
 
     /// Scales every component by `factor` (e.g. to model a slower process).
@@ -69,6 +90,70 @@ impl DelayModel {
             ee_overhead: self.ee_overhead * factor,
         }
     }
+
+    /// Quantizes the model onto the integer femtosecond grid the
+    /// discrete-event engine runs on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any component delay is negative or non-finite.
+    #[must_use]
+    pub fn to_ticks(&self) -> TickDelays {
+        TickDelays {
+            c_element: ns_to_ticks(self.c_element),
+            gate: ns_to_ticks(self.gate_delay()),
+            ee_master: ns_to_ticks(self.ee_master_delay()),
+            ee_early: ns_to_ticks(self.ee_early_delay()),
+            wire: ns_to_ticks(self.wire),
+        }
+    }
+}
+
+/// Event-queue ticks per nanosecond (1 tick = 1 fs).
+pub const TICKS_PER_NS: u64 = 1_000_000;
+
+/// Converts a nanosecond delay to integer ticks (round-to-nearest).
+///
+/// # Panics
+///
+/// Panics on negative or non-finite input, and on delays so large that
+/// accumulated tick arithmetic could overflow `u64` (≥ 2⁶² fs ≈ 53 days
+/// of simulated time per component delay) — the old `f64` engine would
+/// have degraded gracefully there, the integer clock must refuse loudly.
+#[must_use]
+pub fn ns_to_ticks(ns: f64) -> u64 {
+    assert!(
+        ns.is_finite() && ns >= 0.0,
+        "delays must be finite and non-negative, got {ns}"
+    );
+    let ticks = (ns * TICKS_PER_NS as f64).round();
+    assert!(
+        ticks < (1u64 << 62) as f64,
+        "delay {ns} ns overflows the femtosecond event clock"
+    );
+    ticks as u64
+}
+
+/// Converts integer ticks back to nanoseconds (for reporting).
+#[must_use]
+pub fn ticks_to_ns(ticks: u64) -> f64 {
+    ticks as f64 / TICKS_PER_NS as f64
+}
+
+/// A [`DelayModel`] quantized to integer femtosecond ticks, with the
+/// composite per-path delays the engine posts pre-added.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TickDelays {
+    /// Muller C-element rendezvous (output gates, EE cleanup).
+    pub c_element: u64,
+    /// Ordinary gate firing: C-element + LUT + latch.
+    pub gate: u64,
+    /// EE-master normal-path firing: gate + EE overhead.
+    pub ee_master: u64,
+    /// EE-master early-path firing: EE overhead + latch.
+    pub ee_early: u64,
+    /// Interconnect delay per arc.
+    pub wire: u64,
 }
 
 #[cfg(test)]
@@ -94,5 +179,27 @@ mod tests {
         let d = DelayModel::zero();
         assert_eq!(d.gate_delay(), 0.0);
         assert_eq!(d.ee_early_delay(), 0.0);
+    }
+
+    #[test]
+    fn tick_quantization_round_trips_default_model() {
+        let t = DelayModel::default().to_ticks();
+        assert_eq!(t.c_element, 600_000);
+        assert_eq!(t.gate, 2_400_000);
+        assert_eq!(t.ee_master, 3_100_000);
+        assert_eq!(t.ee_early, 1_100_000);
+        assert_eq!(t.wire, 300_000);
+        assert_eq!(ticks_to_ns(t.gate), 2.4);
+        assert_eq!(DelayModel::zero().to_ticks().gate, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_delay_rejected_at_quantization() {
+        let d = DelayModel {
+            wire: -1.0,
+            ..DelayModel::default()
+        };
+        let _ = d.to_ticks();
     }
 }

@@ -1,4 +1,4 @@
-//! The discrete-event marked-graph simulator.
+//! The discrete-event marked-graph simulator (integer-tick core).
 //!
 //! Gates are marked-graph transitions; arcs hold at most one token. A gate
 //! *fires* by consuming one token from every in-arc and producing one on
@@ -7,13 +7,38 @@
 //! says the output is forced) and *cleanup* (when the late tokens arrive),
 //! exactly as the extra Muller C-elements of the paper's Figure 2 do in
 //! hardware.
+//!
+//! # Engine architecture
+//!
+//! This is the allocation-free rewrite of the original engine (which is
+//! retained verbatim in [`crate::reference`] as a differential baseline):
+//!
+//! * **Integer time** — events are keyed on `u64` femtosecond ticks
+//!   ([`crate::delay::TICKS_PER_NS`]) quantized once from the [`DelayModel`]
+//!   via [`DelayModel::to_ticks`]. Tick keys compare exactly; there is no
+//!   `f64::total_cmp` heap ordering and no accumulated rounding drift.
+//! * **Flat event queue** — a `Vec`-backed binary min-heap over packed
+//!   `(tick, seq)` keys; `seq` makes the order total and deterministic.
+//! * **CSR adjacency** — all topology questions go through
+//!   [`pl_core::PlAdjacency`]: per-gate contiguous slices of pin-indexed
+//!   data-in arcs, ack in-arcs, and out-arcs pre-split into value-carrying
+//!   and acknowledge lists. Firing never scans arc `Vec`s or allocates.
+//! * **Incremental readiness** — per-gate bitsets (`pin_tokens`,
+//!   `pin_vals`, both one bit per LUT pin) and an `ack_missing` counter are
+//!   updated on every deliver/consume, so the firing checks in
+//!   `try_schedule` are O(1) mask compares instead of arc re-scans.
+//!
+//! Observable semantics (output streams, event ordering, latencies up to
+//! the femtosecond quantization of the clock) are identical to the
+//! reference engine; `tests/engine_equivalence.rs` enforces this
+//! differentially on the ITC'99 suite and on randomized netlists.
 
-use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
 
-use pl_core::{PlArcId, PlArcKind, PlGateId, PlGateKind, PlNetlist};
+use pl_core::adjacency::{GateClass, NO_ARC};
+use pl_core::{PlAdjacency, PlArcId, PlArcKind, PlGateId, PlNetlist};
 
-use crate::delay::DelayModel;
+use crate::delay::{ticks_to_ns, DelayModel, TickDelays};
 use crate::error::SimError;
 
 /// Result of simulating one input vector to a stable output word.
@@ -40,42 +65,73 @@ pub struct StreamOutcome {
 
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum EventKind {
-    Deliver { arc: u32, value: bool },
-    Fire { gate: u32 },
+    /// Batched token delivery: every out-arc of `gate`'s firing shares the
+    /// same wire delay, so all its deliveries land as ONE queue event
+    /// (heap traffic per firing is O(1) instead of O(fanout)). Dispatch
+    /// order is identical to per-arc events: the per-arc events carried
+    /// consecutive `seq`s, so nothing could interleave between them.
+    Tokens {
+        gate: u32,
+        value: bool,
+        data: bool,
+        acks: bool,
+    },
+    Fire {
+        gate: u32,
+    },
     /// EE-master output production (either path). `gen` guards against
     /// stale events from a previous round.
-    Produce { gate: u32, gen: u64 },
+    Produce {
+        gate: u32,
+        gen: u64,
+    },
     /// EE-master token cleanup rendezvous.
-    Cleanup { gate: u32, gen: u64 },
+    Cleanup {
+        gate: u32,
+        gen: u64,
+    },
 }
 
 #[derive(Debug, Clone, Copy)]
 struct Event {
-    time: f64,
-    seq: u64,
+    /// `(tick << 64) | seq` — a strict total order (seq is unique).
+    key: u128,
     kind: EventKind,
 }
 
+impl Event {
+    fn tick(&self) -> u64 {
+        (self.key >> 64) as u64
+    }
+}
+
+// The event queue is `BinaryHeap<Event>` (a flat `Vec`-backed binary heap):
+// ordering is by the packed key alone — one `u128` compare — REVERSED so
+// the max-heap pops the earliest `(tick, seq)` first. Capacity is retained
+// across rounds, so steady-state simulation performs no queue allocation.
+
 impl PartialEq for Event {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        self.key == other.key
     }
 }
 impl Eq for Event {}
 impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
 impl Ord for Event {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap, we want earliest first.
-        other
-            .time
-            .total_cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.key.cmp(&self.key)
     }
 }
+
+// Per-gate scheduling flags (round-trip state of the firing automaton).
+const F_FIRE_SCHED: u8 = 1 << 0;
+const F_PRODUCED: u8 = 1 << 1;
+const F_NORMAL_SCHED: u8 = 1 << 2;
+const F_EARLY_SCHED: u8 = 1 << 3;
 
 /// Event-driven simulator over a [`PlNetlist`].
 ///
@@ -85,29 +141,35 @@ impl Ord for Event {
 #[derive(Debug, Clone)]
 pub struct PlSimulator<'a> {
     pl: &'a PlNetlist,
+    adj: PlAdjacency,
     delays: DelayModel,
-    time: f64,
+    ticks: TickDelays,
+    now: u64,
     seq: u64,
+    events: u64,
     queue: BinaryHeap<Event>,
+    /// Per-arc token presence (0/1).
     tokens: Vec<u8>,
+    /// Per-arc token value (data/efire arcs).
     values: Vec<bool>,
+    /// Per-gate bit-per-pin token presence (incremental `data_ready`).
+    pin_tokens: Vec<u8>,
+    /// Per-gate bit-per-pin token values (the LUT minterm index, partially).
+    pin_vals: Vec<u8>,
+    /// Per-gate count of unmarked acknowledge in-arcs (efire excluded).
+    ack_missing: Vec<u32>,
     pending_input: Vec<Option<bool>>,
-    produced: Vec<bool>,
-    fire_scheduled: Vec<bool>,
-    /// EE masters: a normal-path Produce is in flight this round.
-    normal_scheduled: Vec<bool>,
-    /// EE masters: an early-path Produce is in flight this round.
-    early_scheduled: Vec<bool>,
+    flags: Vec<u8>,
     /// EE masters: per-gate round generation (stale-event guard).
     gen: Vec<u64>,
-    records: Vec<VecDeque<(bool, f64)>>,
+    records: Vec<VecDeque<(bool, u64)>>,
     rounds: u64,
     trace: Option<Vec<crate::trace::TraceEvent>>,
 }
 
 impl<'a> PlSimulator<'a> {
-    /// Prepares a simulator: checks structural liveness and places the
-    /// initial marking.
+    /// Prepares a simulator: checks structural liveness, freezes the flat
+    /// adjacency, and places the initial marking.
     ///
     /// # Errors
     ///
@@ -115,27 +177,50 @@ impl<'a> PlSimulator<'a> {
     pub fn new(pl: &'a PlNetlist, delays: DelayModel) -> Result<Self, SimError> {
         pl.check_pins()?;
         pl_core::marked::check_liveness(pl)?;
+        let adj = pl.adjacency();
+        let n = pl.gates().len();
+        let ticks = delays.to_ticks();
         let mut sim = Self {
             pl,
             delays,
-            time: 0.0,
+            ticks,
+            now: 0,
             seq: 0,
+            events: 0,
             queue: BinaryHeap::new(),
             tokens: pl.arcs().iter().map(pl_core::PlArc::init_tokens).collect(),
             values: pl.arcs().iter().map(pl_core::PlArc::init_value).collect(),
-            pending_input: vec![None; pl.gates().len()],
-            produced: vec![false; pl.gates().len()],
-            fire_scheduled: vec![false; pl.gates().len()],
-            normal_scheduled: vec![false; pl.gates().len()],
-            early_scheduled: vec![false; pl.gates().len()],
-            gen: vec![0; pl.gates().len()],
+            pin_tokens: vec![0; n],
+            pin_vals: vec![0; n],
+            ack_missing: vec![0; n],
+            pending_input: vec![None; n],
+            flags: vec![0; n],
+            gen: vec![0; n],
             records: vec![VecDeque::new(); pl.output_gates().len()],
             rounds: 0,
             trace: None,
+            adj,
         };
+        // Derive the incremental readiness state from the initial marking.
+        for g in 0..n {
+            sim.ack_missing[g] = sim
+                .adj
+                .ack_in_arcs(g)
+                .iter()
+                .filter(|&&a| sim.tokens[a as usize] == 0)
+                .count() as u32;
+            for (pin, &a) in sim.adj.pin_arcs(g).iter().enumerate() {
+                if a != NO_ARC && sim.tokens[a as usize] == 1 {
+                    sim.pin_tokens[g] |= 1 << pin;
+                    if sim.values[a as usize] {
+                        sim.pin_vals[g] |= 1 << pin;
+                    }
+                }
+            }
+        }
         // Gates fed entirely by initial tokens (e.g. autonomous next-state
         // logic) may fire right away.
-        for g in 0..pl.gates().len() {
+        for g in 0..n {
             sim.try_schedule(g);
         }
         Ok(sim)
@@ -144,13 +229,33 @@ impl<'a> PlSimulator<'a> {
     /// Current simulation time (ns).
     #[must_use]
     pub fn time(&self) -> f64 {
-        self.time
+        ticks_to_ns(self.now)
+    }
+
+    /// Current simulation time in integer ticks (femtoseconds).
+    #[must_use]
+    pub fn time_ticks(&self) -> u64 {
+        self.now
+    }
+
+    /// The delay model this simulator was built with (the engine runs on
+    /// its [`DelayModel::to_ticks`] quantization).
+    #[must_use]
+    pub fn delay_model(&self) -> &DelayModel {
+        &self.delays
     }
 
     /// Number of completed vectors.
     #[must_use]
     pub fn rounds(&self) -> u64 {
         self.rounds
+    }
+
+    /// Number of events dispatched so far (the engine-throughput unit
+    /// reported as events/sec by the benchmark harness).
+    #[must_use]
+    pub fn events_processed(&self) -> u64 {
+        self.events
     }
 
     /// Starts recording token deliveries for [`crate::trace::to_vcd`].
@@ -186,29 +291,21 @@ impl<'a> PlSimulator<'a> {
         // If a previous vector was never consumed (outputs independent of
         // that input), let the wave drain first.
         self.drain_pending_inputs()?;
-        let start = self.time;
+        let start = self.now;
         for (k, &g) in ports.iter().enumerate() {
             self.pending_input[g.index()] = Some(inputs[k]);
             self.try_schedule(g.index());
         }
-        // Outputs tied to constants produce their value immediately.
-        for (slot, (_, og)) in self.pl.output_gates().iter().enumerate() {
-            let gate = &self.pl.gates()[og.index()];
-            if gate.data_in().is_empty() {
-                if let Some(v) = gate.const_pin(0) {
-                    self.records[slot].push_back((v, self.time));
-                }
-            }
-        }
+        self.record_constant_outputs();
         // Run until each output's record queue has an entry for this round.
         while !self.round_complete() {
             let Some(ev) = self.queue.pop() else {
                 return Err(SimError::Deadlock {
-                    at_time: self.time,
+                    at_time: self.time(),
                     missing_outputs: self.missing_outputs(),
                 });
             };
-            self.time = ev.time;
+            self.now = ev.tick();
             self.dispatch(ev.kind)?;
         }
         let mut outputs = Vec::with_capacity(self.records.len());
@@ -219,7 +316,11 @@ impl<'a> PlSimulator<'a> {
             completed_at = completed_at.max(t);
         }
         self.rounds += 1;
-        Ok(VectorOutcome { outputs, latency: (completed_at - start).max(0.0), completed_at })
+        Ok(VectorOutcome {
+            outputs,
+            latency: ticks_to_ns(completed_at - start),
+            completed_at: ticks_to_ns(completed_at),
+        })
     }
 
     /// Streams vectors through the netlist *pipelined*: each vector is
@@ -236,9 +337,9 @@ impl<'a> PlSimulator<'a> {
     /// Same conditions as [`PlSimulator::run_vector`].
     pub fn run_stream(&mut self, vectors: &[Vec<bool>]) -> Result<StreamOutcome, SimError> {
         let ports = self.pl.input_gates();
-        let start = self.time;
+        let start = self.now;
         let mut completed = 0usize;
-        for (k, v) in vectors.iter().enumerate() {
+        for v in vectors {
             if v.len() != ports.len() {
                 return Err(SimError::InputArityMismatch {
                     got: v.len(),
@@ -251,15 +352,7 @@ impl<'a> PlSimulator<'a> {
                 self.pending_input[g.index()] = Some(v[i]);
                 self.try_schedule(g.index());
             }
-            for (slot, (_, og)) in self.pl.output_gates().iter().enumerate() {
-                let gate = &self.pl.gates()[og.index()];
-                if gate.data_in().is_empty() {
-                    if let Some(cv) = gate.const_pin(0) {
-                        self.records[slot].push_back((cv, self.time));
-                    }
-                }
-            }
-            let _ = k;
+            self.record_constant_outputs();
         }
         // Run to completion of every vector's output word.
         let mut outputs = Vec::with_capacity(vectors.len());
@@ -268,11 +361,11 @@ impl<'a> PlSimulator<'a> {
             while !self.round_complete() {
                 let Some(ev) = self.queue.pop() else {
                     return Err(SimError::Deadlock {
-                        at_time: self.time,
+                        at_time: self.time(),
                         missing_outputs: self.missing_outputs(),
                     });
                 };
-                self.time = ev.time;
+                self.now = ev.tick();
                 self.dispatch(ev.kind)?;
             }
             let mut word = Vec::with_capacity(self.records.len());
@@ -285,7 +378,7 @@ impl<'a> PlSimulator<'a> {
             completed += 1;
             self.rounds += 1;
         }
-        let makespan = (last - start).max(0.0);
+        let makespan = ticks_to_ns(last - start);
         Ok(StreamOutcome {
             outputs,
             makespan,
@@ -295,6 +388,19 @@ impl<'a> PlSimulator<'a> {
                 f64::INFINITY
             },
         })
+    }
+
+    /// Outputs tied to constants have no token traffic; record their value
+    /// for the round directly.
+    fn record_constant_outputs(&mut self) {
+        for (slot, (_, og)) in self.pl.output_gates().iter().enumerate() {
+            let gate = &self.pl.gates()[og.index()];
+            if gate.data_in().is_empty() {
+                if let Some(v) = gate.const_pin(0) {
+                    self.records[slot].push_back((v, self.now));
+                }
+            }
+        }
     }
 
     fn round_complete(&self) -> bool {
@@ -315,11 +421,11 @@ impl<'a> PlSimulator<'a> {
         while self.pending_input.iter().any(Option::is_some) {
             let Some(ev) = self.queue.pop() else {
                 return Err(SimError::Deadlock {
-                    at_time: self.time,
+                    at_time: self.time(),
                     missing_outputs: vec!["<pending input never consumed>".into()],
                 });
             };
-            self.time = ev.time;
+            self.now = ev.tick();
             self.dispatch(ev.kind)?;
         }
         Ok(())
@@ -327,232 +433,278 @@ impl<'a> PlSimulator<'a> {
 
     // ---- event machinery -------------------------------------------------
 
-    fn post(&mut self, delay: f64, kind: EventKind) {
-        let ev = Event { time: self.time + delay, seq: self.seq, kind };
+    fn post(&mut self, delay: u64, kind: EventKind) {
+        let tick = self.now + delay;
+        let key = (u128::from(tick) << 64) | u128::from(self.seq);
         self.seq += 1;
-        self.queue.push(ev);
+        self.queue.push(Event { key, kind });
     }
 
     fn dispatch(&mut self, kind: EventKind) -> Result<(), SimError> {
         match kind {
-            EventKind::Deliver { arc, value } => self.deliver(arc as usize, value),
-            EventKind::Fire { gate } => self.fire(gate as usize),
-            EventKind::Produce { gate, gen } => self.ee_produce(gate as usize, gen),
-            EventKind::Cleanup { gate, gen } => self.ee_cleanup(gate as usize, gen),
+            EventKind::Tokens {
+                gate,
+                value,
+                data,
+                acks,
+            } => self.deliver_all(gate as usize, value, data, acks),
+            EventKind::Fire { gate } => {
+                self.events += 1;
+                self.fire(gate as usize)
+            }
+            EventKind::Produce { gate, gen } => {
+                self.events += 1;
+                self.ee_produce(gate as usize, gen)
+            }
+            EventKind::Cleanup { gate, gen } => {
+                self.events += 1;
+                self.ee_cleanup(gate as usize, gen)
+            }
         }
     }
 
+    /// Delivers one firing's batched tokens (value-carrying and/or ack
+    /// out-arcs of `g`). Each delivered token counts as one event.
+    fn deliver_all(
+        &mut self,
+        g: usize,
+        value: bool,
+        data: bool,
+        acks: bool,
+    ) -> Result<(), SimError> {
+        if data {
+            for k in 0..self.adj.out_value_arcs(g).len() {
+                let arc = self.adj.out_value_arcs(g)[k];
+                self.deliver(arc as usize, value)?;
+            }
+        }
+        if acks {
+            for k in 0..self.adj.out_ack_arcs(g).len() {
+                let arc = self.adj.out_ack_arcs(g)[k];
+                self.deliver(arc as usize, value)?;
+            }
+        }
+        Ok(())
+    }
+
     fn deliver(&mut self, arc: usize, value: bool) -> Result<(), SimError> {
+        self.events += 1;
         if self.tokens[arc] >= 1 {
             return Err(SimError::SafetyViolation {
                 arc: PlArcId::from_index(arc),
-                producer: self.pl.arcs()[arc].src(),
+                producer: PlGateId::from_index(self.adj.arc_src(arc) as usize),
             });
         }
         self.tokens[arc] = 1;
         self.values[arc] = value;
+        let dst = self.adj.arc_dst(arc) as usize;
+        match self.adj.arc_kind(arc) {
+            PlArcKind::Data => {
+                let pin = self.adj.arc_dst_pin(arc);
+                let bit = 1u8 << pin;
+                self.pin_tokens[dst] |= bit;
+                if value {
+                    self.pin_vals[dst] |= bit;
+                } else {
+                    self.pin_vals[dst] &= !bit;
+                }
+            }
+            PlArcKind::Ack => self.ack_missing[dst] -= 1,
+            PlArcKind::Efire => {}
+        }
         if let Some(trace) = &mut self.trace {
-            if self.pl.arcs()[arc].kind() != pl_core::PlArcKind::Ack {
-                trace.push(crate::trace::TraceEvent { time: self.time, arc, value });
+            if self.adj.arc_kind(arc) != PlArcKind::Ack {
+                trace.push(crate::trace::TraceEvent {
+                    time: ticks_to_ns(self.now),
+                    arc,
+                    value,
+                });
             }
         }
-        self.try_schedule(self.pl.arcs()[arc].dst().index());
+        self.try_schedule(dst);
         Ok(())
     }
 
-    /// Checks a gate's firing conditions and posts Fire/EarlyProduce events.
+    /// Checks a gate's firing conditions and posts Fire/Produce events.
+    /// All checks are O(1) against the incrementally maintained masks.
     fn try_schedule(&mut self, g: usize) {
-        let gate = &self.pl.gates()[g];
-        match gate.kind() {
-            PlGateKind::Constant { .. } => {}
-            PlGateKind::Input { .. } => {
-                if !self.fire_scheduled[g]
+        match self.adj.gate_class(g) {
+            GateClass::Constant => {}
+            GateClass::Input => {
+                if self.flags[g] & F_FIRE_SCHED == 0
                     && self.pending_input[g].is_some()
-                    && self.all_marked(gate.control_in())
+                    && self.ack_missing[g] == 0
                 {
-                    self.fire_scheduled[g] = true;
-                    self.post(0.0, EventKind::Fire { gate: g as u32 });
+                    self.flags[g] |= F_FIRE_SCHED;
+                    self.post(0, EventKind::Fire { gate: g as u32 });
                 }
             }
-            PlGateKind::Output { .. } => {
+            GateClass::Output => {
                 // Constant-driven outputs have no token traffic; run_vector
                 // records them directly.
-                if !gate.data_in().is_empty() && !self.fire_scheduled[g] && self.data_ready(g)
+                if self.adj.data_full_mask(g) != 0
+                    && self.flags[g] & F_FIRE_SCHED == 0
+                    && self.data_ready(g)
                 {
-                    self.fire_scheduled[g] = true;
-                    self.post(self.delays.c_element, EventKind::Fire { gate: g as u32 });
+                    self.flags[g] |= F_FIRE_SCHED;
+                    self.post(self.ticks.c_element, EventKind::Fire { gate: g as u32 });
                 }
             }
-            PlGateKind::Compute { .. } | PlGateKind::Register { .. } => {
-                if let Some(ee) = gate.ee() {
-                    let efire = ee.efire_arc.index();
+            GateClass::Logic => {
+                let efire = self.adj.efire_arc(g);
+                if efire != NO_ARC {
+                    let efire = efire as usize;
                     let efire_ready = self.tokens[efire] == 1;
-                    let acks_ready = gate
-                        .control_in()
-                        .iter()
-                        .all(|a| a.index() == efire || self.tokens[a.index()] == 1);
+                    let acks_ready = self.ack_missing[g] == 0;
                     let gen = self.gen[g];
+                    let flags = self.flags[g];
                     // Normal production: all data inputs present. The extra
                     // EE C-element costs `ee_overhead` on this path, but the
                     // trigger is NOT waited for (its token is collected at
                     // cleanup) — the paper's "slight degradation" only.
-                    if !self.produced[g]
-                        && !self.normal_scheduled[g]
+                    if flags & (F_PRODUCED | F_NORMAL_SCHED) == 0
                         && self.data_ready(g)
                         && acks_ready
                     {
-                        self.normal_scheduled[g] = true;
+                        self.flags[g] |= F_NORMAL_SCHED;
                         self.post(
-                            self.delays.ee_master_delay(),
-                            EventKind::Produce { gate: g as u32, gen },
+                            self.ticks.ee_master,
+                            EventKind::Produce {
+                                gate: g as u32,
+                                gen,
+                            },
                         );
                     }
                     // Early production: trigger fired true, fast pins here.
-                    if !self.produced[g]
-                        && !self.early_scheduled[g]
+                    if self.flags[g] & (F_PRODUCED | F_EARLY_SCHED) == 0
                         && efire_ready
                         && self.values[efire]
                         && self.subset_ready(g)
                         && acks_ready
                     {
-                        self.early_scheduled[g] = true;
+                        self.flags[g] |= F_EARLY_SCHED;
                         self.post(
-                            self.delays.ee_early_delay(),
-                            EventKind::Produce { gate: g as u32, gen },
+                            self.ticks.ee_early,
+                            EventKind::Produce {
+                                gate: g as u32,
+                                gen,
+                            },
                         );
                     }
                     // Cleanup rendezvous: output gone, every token here.
-                    if self.produced[g]
-                        && !self.fire_scheduled[g]
+                    if self.flags[g] & F_PRODUCED != 0
+                        && self.flags[g] & F_FIRE_SCHED == 0
                         && self.data_ready(g)
                         && efire_ready
                     {
-                        self.fire_scheduled[g] = true;
+                        self.flags[g] |= F_FIRE_SCHED;
                         self.post(
-                            self.delays.c_element,
-                            EventKind::Cleanup { gate: g as u32, gen },
+                            self.ticks.c_element,
+                            EventKind::Cleanup {
+                                gate: g as u32,
+                                gen,
+                            },
                         );
                     }
-                } else if !self.fire_scheduled[g]
+                } else if self.flags[g] & F_FIRE_SCHED == 0
                     && self.data_ready(g)
-                    && self.all_marked(gate.control_in())
+                    && self.ack_missing[g] == 0
                 {
-                    self.fire_scheduled[g] = true;
-                    self.post(self.delays.gate_delay(), EventKind::Fire { gate: g as u32 });
+                    self.flags[g] |= F_FIRE_SCHED;
+                    self.post(self.ticks.gate, EventKind::Fire { gate: g as u32 });
                 }
             }
         }
-    }
-
-    fn all_marked(&self, arcs: &[PlArcId]) -> bool {
-        arcs.iter().all(|a| self.tokens[a.index()] == 1)
     }
 
     fn data_ready(&self, g: usize) -> bool {
-        self.all_marked(self.pl.gates()[g].data_in())
+        self.pin_tokens[g] == self.adj.data_full_mask(g)
     }
 
     fn subset_ready(&self, g: usize) -> bool {
-        let gate = &self.pl.gates()[g];
-        let ee = gate.ee().expect("subset_ready only called for EE masters");
-        gate.data_in().iter().all(|a| {
-            let arc = &self.pl.arcs()[a.index()];
-            match arc.dst_pin() {
-                Some(p) if ee.subset_pins.contains(&p) => self.tokens[a.index()] == 1,
-                _ => true,
-            }
-        })
+        let m = self.adj.subset_mask(g);
+        self.pin_tokens[g] & m == m
     }
 
-    /// Value on the gate's pin `pin` (token value or constant tie-off).
-    fn pin_value(&self, g: usize, pin: u8) -> Option<bool> {
-        let gate = &self.pl.gates()[g];
-        if let Some(v) = gate.const_pin(pin as usize) {
-            return Some(v);
-        }
-        gate.data_in()
-            .iter()
-            .find(|a| self.pl.arcs()[a.index()].dst_pin() == Some(pin))
-            .and_then(|a| (self.tokens[a.index()] == 1).then(|| self.values[a.index()]))
-    }
-
-    /// Evaluates the gate's function from its (complete) pins.
+    /// Evaluates the gate's function from its (complete) pins: the LUT
+    /// minterm index is the pin-value bitset plus the folded constants.
     fn evaluate(&self, g: usize) -> bool {
-        let gate = &self.pl.gates()[g];
-        match gate.kind() {
-            PlGateKind::Register { .. } => self.pin_value(g, 0).expect("register pin ready"),
-            PlGateKind::Compute { table } => {
-                let mut m = 0u32;
-                for pin in 0..table.num_vars() {
-                    if self.pin_value(g, pin as u8).expect("all pins ready at fire") {
-                        m |= 1 << pin;
-                    }
-                }
-                table.eval(m)
+        debug_assert!(self.data_ready(g), "evaluate needs every pin token");
+        let m = self.pin_vals[g] & self.pin_tokens[g] | self.adj.const_value_bits(g);
+        (self.adj.eval_bits(g) >> m) & 1 == 1
+    }
+
+    /// Consumes gate `g`'s data in-arcs (clearing its pin-token bits).
+    fn consume_data(&mut self, g: usize) {
+        for k in 0..self.adj.pin_arcs(g).len() {
+            let a = self.adj.pin_arcs(g)[k];
+            if a != NO_ARC {
+                debug_assert_eq!(self.tokens[a as usize], 1, "consuming an unmarked arc");
+                self.tokens[a as usize] = 0;
             }
-            _ => unreachable!("evaluate called on logic gates only"),
         }
+        self.pin_tokens[g] = 0;
     }
 
-    fn consume(&mut self, arcs: &[PlArcId]) {
-        for a in arcs {
-            debug_assert_eq!(self.tokens[a.index()], 1, "consuming an unmarked arc");
-            self.tokens[a.index()] = 0;
+    /// Consumes gate `g`'s acknowledge in-arcs.
+    fn consume_acks(&mut self, g: usize) {
+        let mut consumed = 0;
+        for k in 0..self.adj.ack_in_arcs(g).len() {
+            let a = self.adj.ack_in_arcs(g)[k];
+            debug_assert_eq!(self.tokens[a as usize], 1, "consuming an unmarked ack");
+            self.tokens[a as usize] = 0;
+            consumed += 1;
         }
+        self.ack_missing[g] += consumed;
     }
 
-    /// Sends tokens on out-arcs; `data_value` is placed on data arcs, acks
-    /// carry pure timing tokens.
+    /// Sends tokens on out-arcs; `data_value` is placed on value-carrying
+    /// (data + efire) arcs, acks carry pure timing tokens. One batched
+    /// queue event covers the whole firing (all arcs share the wire delay).
     fn produce(&mut self, g: usize, data_value: bool, include_data: bool, include_acks: bool) {
-        let out: Vec<PlArcId> = self.pl.gates()[g].out_arcs().to_vec();
-        for a in out {
-            let arc = &self.pl.arcs()[a.index()];
-            let is_data = matches!(arc.kind(), PlArcKind::Data | PlArcKind::Efire);
-            if (is_data && include_data) || (!is_data && include_acks) {
-                self.post(
-                    self.delays.wire,
-                    EventKind::Deliver { arc: a.index() as u32, value: data_value },
-                );
-            }
-        }
+        self.post(
+            self.ticks.wire,
+            EventKind::Tokens {
+                gate: g as u32,
+                value: data_value,
+                data: include_data,
+                acks: include_acks,
+            },
+        );
     }
 
     fn fire(&mut self, g: usize) -> Result<(), SimError> {
-        self.fire_scheduled[g] = false;
-        let gate = &self.pl.gates()[g];
-        match gate.kind().clone() {
-            PlGateKind::Input { .. } => {
-                let control: Vec<PlArcId> = gate.control_in().to_vec();
-                self.consume(&control);
-                let v = self.pending_input[g].take().expect("input armed before firing");
+        self.flags[g] &= !F_FIRE_SCHED;
+        match self.adj.gate_class(g) {
+            GateClass::Input => {
+                self.consume_acks(g);
+                let v = self.pending_input[g]
+                    .take()
+                    .expect("input armed before firing");
                 self.produce(g, v, true, true);
             }
-            PlGateKind::Output { name: _ } => {
-                let data: Vec<PlArcId> = gate.data_in().to_vec();
-                let v = self.values[data[0].index()];
-                self.consume(&data);
-                let slot = self
-                    .pl
-                    .output_gates()
-                    .iter()
-                    .position(|(_, og)| og.index() == g)
-                    .expect("output gate is registered");
-                self.records[slot].push_back((v, self.time));
+            GateClass::Output => {
+                let arc = self.adj.pin_arc(g, 0);
+                debug_assert_ne!(arc, NO_ARC, "token-driven outputs have a pin-0 arc");
+                let v = self.values[arc as usize];
+                self.consume_data(g);
+                let slot = self.adj.output_slot(g);
+                debug_assert_ne!(slot, NO_ARC, "output gate is registered");
+                self.records[slot as usize].push_back((v, self.now));
                 self.produce(g, v, true, true);
             }
-            PlGateKind::Compute { .. } | PlGateKind::Register { .. } => {
-                debug_assert!(
-                    gate.ee().is_none(),
+            GateClass::Logic => {
+                debug_assert_eq!(
+                    self.adj.efire_arc(g),
+                    NO_ARC,
                     "EE masters use Produce/Cleanup events, not Fire"
                 );
-                let data: Vec<PlArcId> = gate.data_in().to_vec();
-                let control: Vec<PlArcId> = gate.control_in().to_vec();
                 let v = self.evaluate(g);
-                self.consume(&data);
-                self.consume(&control);
+                self.consume_data(g);
+                self.consume_acks(g);
                 self.produce(g, v, true, true);
             }
-            PlGateKind::Constant { .. } => unreachable!("constants never fire"),
+            GateClass::Constant => unreachable!("constants never fire"),
         }
         // Consuming in-arcs can re-enable this gate only via future
         // deliveries, but producers of freshly-acked arcs may now be ready.
@@ -564,46 +716,31 @@ impl<'a> PlSimulator<'a> {
     /// EE-master output production — normal or early path, whichever event
     /// lands first this round wins; the loser aborts on the `produced` flag.
     fn ee_produce(&mut self, g: usize, gen: u64) -> Result<(), SimError> {
-        if gen != self.gen[g] || self.produced[g] {
+        if gen != self.gen[g] || self.flags[g] & F_PRODUCED != 0 {
             return Ok(()); // stale event or the other path already produced
         }
-        let gate = &self.pl.gates()[g];
-        let ee = gate.ee().cloned().expect("Produce events target EE masters");
-        let efire = ee.efire_arc.index();
-        let acks: Vec<PlArcId> = gate
-            .control_in()
-            .iter()
-            .copied()
-            .filter(|a| a.index() != efire)
-            .collect();
-        debug_assert!(self.all_marked(&acks), "acks were ready at scheduling");
-
+        debug_assert_eq!(self.ack_missing[g], 0, "acks were ready at scheduling");
         let v = if self.data_ready(g) {
             // Normal path (or early with everything present anyway).
             self.evaluate(g)
         } else {
             // Early path: the trigger promised the known pins force the
             // output; verify that promise.
-            let table = gate.table().expect("EE masters are logic gates");
-            let mut vars: u8 = 0;
-            let mut asg: u32 = 0;
-            let mut k = 0;
-            for pin in 0..table.num_vars() {
-                if let Some(val) = self.pin_value(g, pin as u8) {
-                    vars |= 1 << pin;
-                    if val {
-                        asg |= 1 << k;
-                    }
-                    k += 1;
-                }
-            }
+            let table = self.pl.gates()[g]
+                .table()
+                .expect("EE masters are logic gates");
+            let vars = self.pin_tokens[g] | self.adj.const_pin_mask(g);
+            let bits = (self.pin_vals[g] & self.pin_tokens[g]) | self.adj.const_value_bits(g);
+            let asg = compress_bits(bits, vars);
             let Some(v) = table.forced_value(vars, asg) else {
-                return Err(SimError::UnsoundTrigger { master: PlGateId::from_index(g) });
+                return Err(SimError::UnsoundTrigger {
+                    master: PlGateId::from_index(g),
+                });
             };
             v
         };
-        self.consume(&acks);
-        self.produced[g] = true;
+        self.consume_acks(g);
+        self.flags[g] |= F_PRODUCED;
         self.produce(g, v, true, false);
         // The cleanup rendezvous may already be satisfiable.
         self.try_schedule(g);
@@ -616,16 +753,15 @@ impl<'a> PlSimulator<'a> {
         if gen != self.gen[g] {
             return Ok(());
         }
-        debug_assert!(self.produced[g], "cleanup only scheduled after production");
-        let gate = &self.pl.gates()[g];
-        let ee = gate.ee().cloned().expect("Cleanup events target EE masters");
-        let data: Vec<PlArcId> = gate.data_in().to_vec();
-        self.consume(&data);
-        self.consume(&[ee.efire_arc]);
-        self.produced[g] = false;
-        self.fire_scheduled[g] = false;
-        self.normal_scheduled[g] = false;
-        self.early_scheduled[g] = false;
+        debug_assert!(
+            self.flags[g] & F_PRODUCED != 0,
+            "cleanup only scheduled after production"
+        );
+        self.consume_data(g);
+        let efire = self.adj.efire_arc(g) as usize;
+        debug_assert_eq!(self.tokens[efire], 1, "cleanup consumes the efire token");
+        self.tokens[efire] = 0;
+        self.flags[g] = 0;
         self.gen[g] += 1;
         self.produce(g, false, false, true);
         self.try_schedule(g);
@@ -633,9 +769,27 @@ impl<'a> PlSimulator<'a> {
     }
 }
 
+/// Compresses the bits of `bits` selected by `mask` into the low bits of
+/// the result (a scalar PEXT over the ≤8-bit pin domain).
+fn compress_bits(bits: u8, mask: u8) -> u32 {
+    let mut out = 0u32;
+    let mut k = 0;
+    let mut m = mask;
+    while m != 0 {
+        let b = m.trailing_zeros();
+        if (bits >> b) & 1 == 1 {
+            out |= 1 << k;
+        }
+        k += 1;
+        m &= m - 1;
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::reference::ReferenceSimulator;
     use pl_boolfn::TruthTable;
     use pl_core::ee::EeOptions;
     use pl_netlist::Netlist;
@@ -660,6 +814,7 @@ mod tests {
         let r = sim.run_vector(&[true, false]).unwrap();
         assert_eq!(r.outputs, vec![false]);
         assert_eq!(sim.rounds(), 2);
+        assert!(sim.events_processed() > 0);
     }
 
     #[test]
@@ -715,7 +870,9 @@ mod tests {
         let mut v = Vec::new();
         let mut x: u64 = 99;
         for _ in 0..24 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let a = x & ((1 << bits) - 1);
             let b = (x >> 17) & ((1 << bits) - 1);
             let mut ins = Vec::new();
@@ -772,7 +929,10 @@ mod tests {
         // Pipelined stream.
         let mut stream = PlSimulator::new(&pl, DelayModel::default()).unwrap();
         let out = stream.run_stream(&vectors).unwrap();
-        assert_eq!(out.outputs, serial_outputs, "pipelining must not reorder results");
+        assert_eq!(
+            out.outputs, serial_outputs,
+            "pipelining must not reorder results"
+        );
         assert!(
             out.makespan <= serial_makespan + 1e-9,
             "pipelined makespan {} must not exceed serialized {serial_makespan}",
@@ -794,7 +954,10 @@ mod tests {
         let mut b = PlSimulator::new(&ee, DelayModel::default()).unwrap();
         let ra = a.run_stream(&vectors).unwrap();
         let rb = b.run_stream(&vectors).unwrap();
-        assert_eq!(ra.outputs, rb.outputs, "EE must not change streamed results");
+        assert_eq!(
+            ra.outputs, rb.outputs,
+            "EE must not change streamed results"
+        );
     }
 
     #[test]
@@ -803,7 +966,10 @@ mod tests {
         let mut sim = PlSimulator::new(&pl, DelayModel::default()).unwrap();
         assert!(matches!(
             sim.run_vector(&[true]),
-            Err(SimError::InputArityMismatch { got: 1, expected: 2 })
+            Err(SimError::InputArityMismatch {
+                got: 1,
+                expected: 2
+            })
         ));
     }
 
@@ -835,5 +1001,40 @@ mod tests {
         let mut sim = PlSimulator::new(&pl, DelayModel::default()).unwrap();
         assert_eq!(sim.run_vector(&[false]).unwrap().outputs, vec![false]);
         assert_eq!(sim.run_vector(&[true]).unwrap().outputs, vec![true]);
+    }
+
+    /// Differential: new engine vs the retained pre-refactor baseline, with
+    /// and without EE, per-vector and streamed.
+    #[test]
+    fn matches_reference_engine_on_adder() {
+        let sync = ripple(5);
+        let vectors = adder_vectors(5);
+        for netlist in [
+            PlNetlist::from_sync(&sync).unwrap(),
+            PlNetlist::from_sync(&sync)
+                .unwrap()
+                .with_early_evaluation(&EeOptions::default())
+                .into_netlist(),
+        ] {
+            let mut new_sim = PlSimulator::new(&netlist, DelayModel::default()).unwrap();
+            let mut ref_sim = ReferenceSimulator::new(&netlist, DelayModel::default()).unwrap();
+            for v in &vectors {
+                let rn = new_sim.run_vector(v).unwrap();
+                let rr = ref_sim.run_vector(v).unwrap();
+                assert_eq!(rn.outputs, rr.outputs, "outputs diverged");
+                assert!(
+                    (rn.latency - rr.latency).abs() < 1e-6,
+                    "latency diverged: {} vs {}",
+                    rn.latency,
+                    rr.latency
+                );
+            }
+            let mut new_sim = PlSimulator::new(&netlist, DelayModel::default()).unwrap();
+            let mut ref_sim = ReferenceSimulator::new(&netlist, DelayModel::default()).unwrap();
+            let sn = new_sim.run_stream(&vectors).unwrap();
+            let sr = ref_sim.run_stream(&vectors).unwrap();
+            assert_eq!(sn.outputs, sr.outputs, "streamed outputs diverged");
+            assert!((sn.makespan - sr.makespan).abs() < 1e-6);
+        }
     }
 }

@@ -48,7 +48,10 @@ impl fmt::Display for SimError {
             SimError::InputArityMismatch { got, expected } => {
                 write!(f, "expected {expected} input values, got {got}")
             }
-            SimError::Deadlock { at_time, missing_outputs } => {
+            SimError::Deadlock {
+                at_time,
+                missing_outputs,
+            } => {
                 write!(
                     f,
                     "deadlock at t={at_time}: outputs {} never produced a token",
@@ -56,10 +59,16 @@ impl fmt::Display for SimError {
                 )
             }
             SimError::SafetyViolation { arc, producer } => {
-                write!(f, "safety violation: gate {producer} double-marked arc {arc}")
+                write!(
+                    f,
+                    "safety violation: gate {producer} double-marked arc {arc}"
+                )
             }
             SimError::UnsoundTrigger { master } => {
-                write!(f, "unsound trigger fired master {master} without a forced output")
+                write!(
+                    f,
+                    "unsound trigger fired master {master} without a forced output"
+                )
             }
             SimError::Structural(e) => write!(f, "structural check failed: {e}"),
         }
@@ -88,7 +97,10 @@ mod tests {
 
     #[test]
     fn display_mentions_ports() {
-        let e = SimError::Deadlock { at_time: 4.2, missing_outputs: vec!["y".into()] };
+        let e = SimError::Deadlock {
+            at_time: 4.2,
+            missing_outputs: vec!["y".into()],
+        };
         assert!(e.to_string().contains('y'));
     }
 

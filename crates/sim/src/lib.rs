@@ -11,6 +11,19 @@
 //!   the master produces its output before its slow inputs arrive, then
 //!   performs the token cleanup when they do. Safety (an arc never holds
 //!   two tokens) is asserted dynamically on every delivery.
+//!
+//!   The engine core is allocation-free and integer-timed: events are keyed
+//!   on `u64` femtosecond ticks ([`TICKS_PER_NS`], quantized once via
+//!   [`DelayModel::to_ticks`]) in a flat `Vec`-backed min-heap ordered by
+//!   `(tick, seq)`; topology queries go through the frozen CSR adjacency
+//!   ([`pl_core::PlAdjacency`]: pin-indexed data-in arcs, ack in-arcs,
+//!   out-arcs pre-split into value/ack lists); and firing readiness is
+//!   tracked incrementally in per-gate pin bitsets plus an ack counter, so
+//!   no arc list is ever re-scanned. One firing's simultaneous token
+//!   deliveries dispatch as a single batched queue event. See
+//!   [`reference`] for the retained pre-refactor engine that pins these
+//!   semantics differentially (`tests/engine_equivalence.rs`) and anchors
+//!   the speedup numbers in `BENCH_sim.json`.
 //! * [`SyncSimulator`] is the cycle-accurate synchronous reference; the
 //!   [`verify_equivalence`] helper proves that PL mapping and early
 //!   evaluation change *timing only*, never values.
@@ -43,12 +56,14 @@
 mod delay;
 mod engine;
 mod error;
+pub mod reference;
 mod stats;
 mod sync;
 pub mod trace;
 
-pub use delay::DelayModel;
+pub use delay::{ns_to_ticks, ticks_to_ns, DelayModel, TickDelays, TICKS_PER_NS};
 pub use engine::{PlSimulator, StreamOutcome, VectorOutcome};
 pub use error::SimError;
+pub use reference::ReferenceSimulator;
 pub use stats::{measure_latency, LatencyStats};
 pub use sync::{verify_equivalence, Mismatch, SyncSimulator};

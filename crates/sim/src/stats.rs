@@ -50,7 +50,10 @@ impl LatencyStats {
     /// Smallest sample.
     #[must_use]
     pub fn min(&self) -> f64 {
-        self.per_vector.iter().copied().fold(f64::INFINITY, f64::min)
+        self.per_vector
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// Largest sample.
@@ -66,7 +69,11 @@ impl LatencyStats {
             return 0.0;
         }
         let m = self.mean();
-        let var = self.per_vector.iter().map(|x| (x - m) * (x - m)).sum::<f64>()
+        let var = self
+            .per_vector
+            .iter()
+            .map(|x| (x - m) * (x - m))
+            .sum::<f64>()
             / self.per_vector.len() as f64;
         var.sqrt()
     }

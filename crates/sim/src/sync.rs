@@ -21,7 +21,9 @@ impl<'a> SyncSimulator<'a> {
     ///
     /// Propagates netlist validation failures.
     pub fn new(netlist: &'a Netlist) -> Result<Self, pl_netlist::NetlistError> {
-        Ok(Self { eval: Evaluator::new(netlist)? })
+        Ok(Self {
+            eval: Evaluator::new(netlist)?,
+        })
     }
 
     /// Runs one clock cycle, returning the primary outputs.
@@ -89,7 +91,11 @@ pub fn verify_equivalence(
         })?;
         let po = psim.run_vector(v)?.outputs;
         if so != po {
-            return Ok(Err(Mismatch { vector: i, sync_outputs: so, pl_outputs: po }));
+            return Ok(Err(Mismatch {
+                vector: i,
+                sync_outputs: so,
+                pl_outputs: po,
+            }));
         }
     }
     Ok(Ok(()))
@@ -104,7 +110,9 @@ mod tests {
 
     fn random_vectors(n_inputs: usize, count: usize, seed: u64) -> Vec<Vec<bool>> {
         let mut rng = StdRng::seed_from_u64(seed);
-        (0..count).map(|_| (0..n_inputs).map(|_| rng.gen()).collect()).collect()
+        (0..count)
+            .map(|_| (0..n_inputs).map(|_| rng.gen()).collect())
+            .collect()
     }
 
     #[test]
@@ -121,8 +129,7 @@ mod tests {
         m.output_word("acc", &acc.q());
         m.output_bit("top", top);
         let gates = m.elaborate().unwrap();
-        let mapped =
-            pl_techmap::map_to_lut4(&gates, &pl_techmap::MapOptions::default()).unwrap();
+        let mapped = pl_techmap::map_to_lut4(&gates, &pl_techmap::MapOptions::default()).unwrap();
         let vectors = random_vectors(mapped.inputs().len(), 60, 7);
 
         let plain = PlNetlist::from_sync(&mapped).unwrap();

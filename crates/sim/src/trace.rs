@@ -131,7 +131,11 @@ mod tests {
     #[test]
     fn id_codes_are_unique_for_many_arcs() {
         let events: Vec<TraceEvent> = (0..200)
-            .map(|i| TraceEvent { time: i as f64, arc: i % 7, value: i % 2 == 0 })
+            .map(|i| TraceEvent {
+                time: i as f64,
+                arc: i % 7,
+                value: i % 2 == 0,
+            })
             .collect();
         let mut n = Netlist::new("codes");
         let a = n.add_input("a");

@@ -32,7 +32,10 @@ impl Cut {
     #[must_use]
     pub fn dominates(&self, other: &Cut) -> bool {
         self.leaves.len() <= other.leaves.len()
-            && self.leaves.iter().all(|l| other.leaves.binary_search(l).is_ok())
+            && self
+                .leaves
+                .iter()
+                .all(|l| other.leaves.binary_search(l).is_ok())
     }
 }
 
@@ -77,7 +80,10 @@ pub fn enumerate(netlist: &Netlist, opts: &CutOptions) -> Result<CutDatabase, Ne
     assert!(opts.k >= 2, "cut size must be at least 2");
     let order = pl_netlist::analyze::comb_topo_order(netlist)?;
     let n = netlist.len();
-    let mut db = CutDatabase { cuts: vec![Vec::new(); n], depth: vec![0; n] };
+    let mut db = CutDatabase {
+        cuts: vec![Vec::new(); n],
+        depth: vec![0; n],
+    };
     // Fanout counts for area-flow normalization.
     let fanouts = pl_netlist::analyze::fanouts(netlist);
 
@@ -86,14 +92,20 @@ pub fn enumerate(netlist: &Netlist, opts: &CutOptions) -> Result<CutDatabase, Ne
         match netlist.node(id).kind() {
             NodeKind::Lut { inputs, .. } => {
                 let mut candidates: Vec<Cut> = Vec::new();
-                let fanin_cutlists: Vec<&[Cut]> =
-                    inputs.iter().map(|f| db.cuts[f.index()].as_slice()).collect();
+                let fanin_cutlists: Vec<&[Cut]> = inputs
+                    .iter()
+                    .map(|f| db.cuts[f.index()].as_slice())
+                    .collect();
                 merge_fanins(&fanin_cutlists, opts.k, &mut candidates);
                 // Finalize costs: depth = 1 + max leaf depth; area-flow =
                 // (1000 + Σ leaf flow/fanout) approximation.
                 for c in &mut candidates {
-                    c.depth =
-                        1 + c.leaves.iter().map(|l| db.depth[l.index()]).max().unwrap_or(0);
+                    c.depth = 1 + c
+                        .leaves
+                        .iter()
+                        .map(|l| db.depth[l.index()])
+                        .max()
+                        .unwrap_or(0);
                     c.area_flow = 1000
                         + c.leaves
                             .iter()
@@ -109,14 +121,21 @@ pub fn enumerate(netlist: &Netlist, opts: &CutOptions) -> Result<CutDatabase, Ne
                 sort_and_prune(&mut candidates, opts.max_cuts);
                 let best_depth = candidates.first().map_or(0, |c| c.depth);
                 db.depth[i] = best_depth;
-                let trivial =
-                    Cut { leaves: vec![id], depth: best_depth, area_flow: 1000 };
+                let trivial = Cut {
+                    leaves: vec![id],
+                    depth: best_depth,
+                    area_flow: 1000,
+                };
                 candidates.push(trivial);
                 db.cuts[i] = candidates;
             }
             _ => {
                 // Sources: trivial cut only.
-                db.cuts[i] = vec![Cut { leaves: vec![id], depth: 0, area_flow: 0 }];
+                db.cuts[i] = vec![Cut {
+                    leaves: vec![id],
+                    depth: 0,
+                    area_flow: 0,
+                }];
                 db.depth[i] = 0;
             }
         }
@@ -135,28 +154,46 @@ fn merge_fanins(fanins: &[&[Cut]], k: usize, out: &mut Vec<Cut>) {
         0 => {}
         1 => {
             for c in fanins[0] {
-                out.push(Cut { leaves: c.leaves.clone(), depth: 0, area_flow: 0 });
+                out.push(Cut {
+                    leaves: c.leaves.clone(),
+                    depth: 0,
+                    area_flow: 0,
+                });
             }
         }
         2 => {
             for a in fanins[0] {
                 for b in fanins[1] {
                     if let Some(leaves) = union_leaves(&a.leaves, &b.leaves, k) {
-                        out.push(Cut { leaves, depth: 0, area_flow: 0 });
+                        out.push(Cut {
+                            leaves,
+                            depth: 0,
+                            area_flow: 0,
+                        });
                     }
                 }
             }
         }
         _ => {
             // Fold pairwise for hypothetical >2-input nodes.
-            let mut acc: Vec<Cut> =
-                fanins[0].iter().map(|c| Cut { leaves: c.leaves.clone(), depth: 0, area_flow: 0 }).collect();
+            let mut acc: Vec<Cut> = fanins[0]
+                .iter()
+                .map(|c| Cut {
+                    leaves: c.leaves.clone(),
+                    depth: 0,
+                    area_flow: 0,
+                })
+                .collect();
             for rest in &fanins[1..] {
                 let mut next = Vec::new();
                 for a in &acc {
                     for b in *rest {
                         if let Some(leaves) = union_leaves(&a.leaves, &b.leaves, k) {
-                            next.push(Cut { leaves, depth: 0, area_flow: 0 });
+                            next.push(Cut {
+                                leaves,
+                                depth: 0,
+                                area_flow: 0,
+                            });
                         }
                     }
                 }
@@ -286,7 +323,11 @@ mod tests {
 
     #[test]
     fn dominated_cuts_are_pruned() {
-        let small = Cut { leaves: vec![NodeId::from_index(1)], depth: 1, area_flow: 0 };
+        let small = Cut {
+            leaves: vec![NodeId::from_index(1)],
+            depth: 1,
+            area_flow: 0,
+        };
         let big = Cut {
             leaves: vec![NodeId::from_index(1), NodeId::from_index(2)],
             depth: 1,

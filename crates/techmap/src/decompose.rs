@@ -108,7 +108,9 @@ mod tests {
         let mut sb = Evaluator::new(b).unwrap();
         let mut x: u64 = 0xDEAD_BEEF_CAFE_1234;
         for _ in 0..cycles {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let ins: Vec<bool> = (0..num_inputs).map(|i| (x >> i) & 1 == 1).collect();
             assert_eq!(sa.step(&ins).unwrap(), sb.step(&ins).unwrap());
         }

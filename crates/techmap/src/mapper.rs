@@ -21,7 +21,11 @@ pub struct MapOptions {
 
 impl Default for MapOptions {
     fn default() -> Self {
-        Self { lut_size: 4, max_cuts: 8, cleanup: true }
+        Self {
+            lut_size: 4,
+            max_cuts: 8,
+            cleanup: true,
+        }
     }
 }
 
@@ -71,7 +75,13 @@ pub fn map_with_report(netlist: &Netlist, opts: &MapOptions) -> Result<MapReport
         opts.lut_size
     );
     let two = to_two_input(netlist)?;
-    let db = enumerate(&two, &CutOptions { k: opts.lut_size, max_cuts: opts.max_cuts })?;
+    let db = enumerate(
+        &two,
+        &CutOptions {
+            k: opts.lut_size,
+            max_cuts: opts.max_cuts,
+        },
+    )?;
 
     let mut out = Netlist::new(two.name());
     let mut map: Vec<Option<NodeId>> = vec![None; two.len()];
@@ -148,10 +158,17 @@ pub fn map_with_report(netlist: &Netlist, opts: &MapOptions) -> Result<MapReport
         }
     }
     for (name, id) in two.outputs() {
-        out.set_output(name.clone(), map[id.index()].expect("root demand was mapped"));
+        out.set_output(
+            name.clone(),
+            map[id.index()].expect("root demand was mapped"),
+        );
     }
 
-    let final_netlist = if opts.cleanup { pl_netlist::opt::cleanup(&out)? } else { out };
+    let final_netlist = if opts.cleanup {
+        pl_netlist::opt::cleanup(&out)?
+    } else {
+        out
+    };
     let depth = pl_netlist::analyze::depth(&final_netlist)?;
     Ok(MapReport {
         luts_before: two.num_luts(),
@@ -190,8 +207,10 @@ fn build_tt(
             }
         }
         NodeKind::Lut { table, inputs } => {
-            let fanin_tts: Vec<TruthTable> =
-                inputs.iter().map(|&f| build_tt(netlist, f, k, memo)).collect();
+            let fanin_tts: Vec<TruthTable> = inputs
+                .iter()
+                .map(|&f| build_tt(netlist, f, k, memo))
+                .collect();
             table.compose(k, &fanin_tts)
         }
         NodeKind::Input { .. } | NodeKind::Dff { .. } => {
@@ -268,7 +287,11 @@ mod tests {
         let two = to_two_input(&gates).unwrap();
         let report = map_with_report(&gates, &MapOptions::default()).unwrap();
         let depth2 = pl_netlist::analyze::depth(&two).unwrap();
-        assert!(report.depth < depth2, "mapping should reduce depth ({} vs {depth2})", report.depth);
+        assert!(
+            report.depth < depth2,
+            "mapping should reduce depth ({} vs {depth2})",
+            report.depth
+        );
         assert_eq!(report.depth, 2); // 16-input AND in 2 LUT4 levels
     }
 
@@ -279,7 +302,10 @@ mod tests {
         let y = m.xor_reduce(&x);
         m.output_bit("y", y);
         let gates = m.elaborate().unwrap();
-        let opts = MapOptions { lut_size: 6, ..MapOptions::default() };
+        let opts = MapOptions {
+            lut_size: 6,
+            ..MapOptions::default()
+        };
         let mapped = map_to_lut4(&gates, &opts).unwrap();
         assert_equivalent(&gates, &mapped, 64, 13);
         assert_eq!(pl_netlist::analyze::depth(&mapped).unwrap(), 2);
@@ -294,9 +320,7 @@ mod tests {
         let ab = n.add_and2(a, b).unwrap();
         let f = n.add_or2(ab, c).unwrap();
         let tt = cone_truth_table(&n, f, &[a, b, c]);
-        let want = TruthTable::from_fn(3, |m| {
-            ((m & 1 != 0) && (m & 2 != 0)) || (m & 4 != 0)
-        });
+        let want = TruthTable::from_fn(3, |m| ((m & 1 != 0) && (m & 2 != 0)) || (m & 4 != 0));
         assert_eq!(tt, want);
     }
 

@@ -35,7 +35,10 @@ fn ripple_adder(bits: usize) -> Netlist {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let bits: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let bits: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
 
     // Show the paper's Table 1 derivation on the carry-out cell.
     let carry = TruthTable::from_fn(3, |m| {

@@ -54,7 +54,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let pl = PlNetlist::from_sync(&mapped)?;
     let levels = pl.arrival_levels();
     let max_level = levels.iter().max().copied().unwrap_or(0);
-    println!("PL netlist: {} gates, critical depth {max_level}", pl.num_logic_gates());
+    println!(
+        "PL netlist: {} gates, critical depth {max_level}",
+        pl.num_logic_gates()
+    );
 
     let report = pl.with_early_evaluation(&EeOptions::default());
     println!(
@@ -84,7 +87,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let vectors: Vec<Vec<bool>> = {
         use rand::{Rng, SeedableRng};
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
-        (0..100).map(|_| (0..mapped.inputs().len()).map(|_| rng.gen()).collect()).collect()
+        (0..100)
+            .map(|_| (0..mapped.inputs().len()).map(|_| rng.gen()).collect())
+            .collect()
     };
     pl_sim::verify_equivalence(&mapped, report.netlist(), &delays, &vectors)?
         .map_err(|m| format!("equivalence failure: {m}"))?;

@@ -11,10 +11,12 @@ use pl_techmap::{map_with_report, MapOptions};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let id = std::env::args().nth(1).unwrap_or_else(|| "b07".to_string());
-    let vectors: usize =
-        std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(100);
-    let bench = pl_itc99::by_id(&id)
-        .ok_or_else(|| format!("unknown benchmark '{id}' (use b01..b15)"))?;
+    let vectors: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100);
+    let bench =
+        pl_itc99::by_id(&id).ok_or_else(|| format!("unknown benchmark '{id}' (use b01..b15)"))?;
 
     println!("{} — {}\n", bench.id, bench.description);
 
@@ -38,7 +40,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("checks:    liveness ok");
 
     // The Table 3 row.
-    let row = run_flow(&bench, &FlowOptions { vectors, ..FlowOptions::default() })?;
+    let row = run_flow(
+        &bench,
+        &FlowOptions {
+            vectors,
+            ..FlowOptions::default()
+        },
+    )?;
     println!("\n{}", format_table3(&[row]));
     Ok(())
 }

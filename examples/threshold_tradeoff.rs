@@ -11,8 +11,8 @@ use pl_core::ee::EeOptions;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let id = std::env::args().nth(1).unwrap_or_else(|| "b04".to_string());
-    let bench = pl_itc99::by_id(&id)
-        .ok_or_else(|| format!("unknown benchmark '{id}' (use b01..b15)"))?;
+    let bench =
+        pl_itc99::by_id(&id).ok_or_else(|| format!("unknown benchmark '{id}' (use b01..b15)"))?;
     println!(
         "area/delay trade-off for {} — {}\n",
         bench.id, bench.description
@@ -28,12 +28,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let opts = FlowOptions {
             vectors: 100,
             verify: false,
-            ee: EeOptions { cost_threshold: t, ..EeOptions::default() },
+            ee: EeOptions {
+                cost_threshold: t,
+                ..EeOptions::default()
+            },
             ..FlowOptions::default()
         };
         let row = run_flow(&bench, &opts)?;
         let base = *baseline.get_or_insert(row.delay_ee);
-        let label = if t.is_infinite() { "no EE".to_string() } else { format!("{t:.2}") };
+        let label = if t.is_infinite() {
+            "no EE".to_string()
+        } else {
+            format!("{t:.2}")
+        };
         println!(
             "{label:>10} | {:>8} {:>6.0}% | {:>12.1} {:>7.1}%",
             row.ee_gates,
@@ -42,8 +49,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             100.0 * (base - row.delay_ee) / base,
         );
     }
-    println!(
-        "\nLower thresholds implement more trigger pairs: more area, more speedup."
-    );
+    println!("\nLower thresholds implement more trigger pairs: more area, more speedup.");
     Ok(())
 }

@@ -60,8 +60,8 @@ fn with_design(
     let gates = if let Some(bench) = pl_itc99::by_id(spec) {
         (bench.build)().elaborate()?
     } else {
-        let text = std::fs::read_to_string(spec)
-            .map_err(|e| format!("cannot read '{spec}': {e}"))?;
+        let text =
+            std::fs::read_to_string(spec).map_err(|e| format!("cannot read '{spec}': {e}"))?;
         pl_netlist::blif::from_blif(&text)?
     };
     let mapped = map_to_lut4(&gates, &MapOptions::default())?;

@@ -90,8 +90,7 @@ fn redundant_ack_removal_is_tolerated() {
         .arcs()
         .iter()
         .position(|a| {
-            a.kind() == PlArcKind::Ack
-                && !pl.gates()[a.dst().index()].data_in().is_empty()
+            a.kind() == PlArcKind::Ack && !pl.gates()[a.dst().index()].data_in().is_empty()
                 || (a.kind() == PlArcKind::Ack
                     && pl.gates()[a.dst().index()].control_in().len() > 1)
         })
@@ -124,7 +123,10 @@ fn missing_data_arc_deadlocks() {
     match PlSimulator::new(&pl, DelayModel::default()) {
         Err(SimError::Structural(e)) => {
             assert!(
-                matches!(e, PlError::MissingPinDriver { .. } | PlError::ArcNotOnCircuit(_)),
+                matches!(
+                    e,
+                    PlError::MissingPinDriver { .. } | PlError::ArcNotOnCircuit(_)
+                ),
                 "got {e}"
             );
         }
@@ -170,7 +172,10 @@ fn unsound_trigger_is_detected() {
             Err(other) => panic!("unexpected error: {other}"),
         }
     }
-    assert!(saw_unsound, "the always-fire trigger must eventually be caught");
+    assert!(
+        saw_unsound,
+        "the always-fire trigger must eventually be caught"
+    );
 }
 
 /// Sanity: the uncorrupted versions of the same nets pass everything,

@@ -9,7 +9,9 @@ use rand::{Rng, SeedableRng};
 
 fn random_vectors(n_inputs: usize, count: usize, seed: u64) -> Vec<Vec<bool>> {
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..count).map(|_| (0..n_inputs).map(|_| rng.gen()).collect()).collect()
+    (0..count)
+        .map(|_| (0..n_inputs).map(|_| rng.gen()).collect())
+        .collect()
 }
 
 /// Runs the full flow for one ITC99 benchmark and checks every invariant.
@@ -24,7 +26,11 @@ fn flow_checks(id: &str, vectors: usize) {
         let mut a = SyncSimulator::new(&gates).expect("raw validates");
         let mut b = SyncSimulator::new(&mapped).expect("mapped validates");
         for v in &vecs {
-            assert_eq!(a.step(v).unwrap(), b.step(v).unwrap(), "{id}: mapping changed function");
+            assert_eq!(
+                a.step(v).unwrap(),
+                b.step(v).unwrap(),
+                "{id}: mapping changed function"
+            );
         }
     }
 
@@ -134,7 +140,10 @@ fn threshold_monotonicity() {
     for t in [0.0, 0.5, 1.0, 2.0, 4.0] {
         let report = PlNetlist::from_sync(&mapped)
             .unwrap()
-            .with_early_evaluation(&EeOptions { cost_threshold: t, ..EeOptions::default() });
+            .with_early_evaluation(&EeOptions {
+                cost_threshold: t,
+                ..EeOptions::default()
+            });
         assert!(report.pairs().len() <= last, "threshold {t} added pairs");
         last = report.pairs().len();
     }

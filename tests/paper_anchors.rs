@@ -31,7 +31,10 @@ fn table1_trigger_column() {
     // Paper Table 1, trigger column: 1,1,0,0,0,0,1,1 (= ab + a'b').
     let expected = [1, 1, 0, 0, 0, 0, 1, 1];
     let cands = search_triggers(&carry_out(), &[1, 1, 3]);
-    let trig = cands.iter().find(|c| c.support == 0b011).expect("subset {a,b}");
+    let trig = cands
+        .iter()
+        .find(|c| c.support == 0b011)
+        .expect("subset {a,b}");
     for (row, &want) in expected.iter().enumerate() {
         let (a, b) = (row >> 2 & 1, row >> 1 & 1);
         let idx = (a | (b << 1)) as u32;
@@ -66,8 +69,14 @@ fn table2_cube_list_procedure() {
 fn table2_per_cube_coverage_column() {
     // Paper Table 2's coverage column: 00- → 2, 010 → 0, 100 → 0,
     // 11- → 2, 1-1 → 0, -11 → 0.
-    let rows =
-        [("00-", 2u64), ("010", 0), ("100", 0), ("11-", 2), ("1-1", 0), ("-11", 0)];
+    let rows = [
+        ("00-", 2u64),
+        ("010", 0),
+        ("100", 0),
+        ("11-", 2),
+        ("1-1", 0),
+        ("-11", 0),
+    ];
     for (cube_str, want) in rows {
         let cube = pl_boolfn::Cube::parse(cube_str).unwrap();
         let contributes = cube.support_within(0b011);

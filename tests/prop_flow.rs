@@ -23,7 +23,10 @@ struct CircuitRecipe {
 fn arb_recipe() -> impl Strategy<Value = CircuitRecipe> {
     (2usize..5, 1usize..4, 3usize..24, 1usize..5).prop_flat_map(
         |(num_inputs, num_dffs, num_luts, num_outputs)| {
-            let lut = (any::<u64>(), proptest::collection::vec(any::<usize>(), 1..4));
+            let lut = (
+                any::<u64>(),
+                proptest::collection::vec(any::<usize>(), 1..4),
+            );
             proptest::collection::vec(lut, num_luts).prop_map(move |luts| CircuitRecipe {
                 num_inputs,
                 num_dffs,
@@ -43,13 +46,16 @@ fn build(recipe: &CircuitRecipe) -> Netlist {
     for i in 0..recipe.num_inputs {
         pool.push(n.add_input(format!("i{i}")));
     }
-    let dffs: Vec<NodeId> = (0..recipe.num_dffs).map(|k| n.add_dff(k % 2 == 0)).collect();
+    let dffs: Vec<NodeId> = (0..recipe.num_dffs)
+        .map(|k| n.add_dff(k % 2 == 0))
+        .collect();
     pool.extend(&dffs);
     for (bits, fanins) in &recipe.luts {
-        let srcs: Vec<NodeId> =
-            fanins.iter().map(|&r| pool[r % pool.len()]).collect();
+        let srcs: Vec<NodeId> = fanins.iter().map(|&r| pool[r % pool.len()]).collect();
         let table = TruthTable::from_bits(srcs.len(), *bits);
-        let id = n.add_lut(table, srcs).expect("arity matches by construction");
+        let id = n
+            .add_lut(table, srcs)
+            .expect("arity matches by construction");
         pool.push(id);
     }
     for (k, &d) in dffs.iter().enumerate() {
@@ -66,7 +72,9 @@ fn build(recipe: &CircuitRecipe) -> Netlist {
 fn vectors(n_inputs: usize, count: usize, seed: u64) -> Vec<Vec<bool>> {
     use rand::{Rng, SeedableRng};
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    (0..count).map(|_| (0..n_inputs).map(|_| rng.gen()).collect()).collect()
+    (0..count)
+        .map(|_| (0..n_inputs).map(|_| rng.gen()).collect())
+        .collect()
 }
 
 proptest! {

@@ -1,0 +1,229 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container cannot reach a crates.io registry, so this vendored
+//! crate provides the benchmarking surface the workspace's benches use:
+//! [`Criterion::bench_function`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], benchmark groups with `sample_size`, and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement model: every benchmark is auto-calibrated to a per-sample
+//! batch that runs for roughly [`TARGET_SAMPLE`], then `samples` batches are
+//! timed and the per-iteration mean/min/max of the batch means is printed:
+//!
+//! ```text
+//! bench_name              time: [min 12.3 µs  mean 12.9 µs  max 13.8 µs]  (N samples)
+//! ```
+//!
+//! Set `CRITERION_STUB_QUICK=1` to run one tiny sample per bench (CI smoke
+//! mode). There are no HTML reports, statistics, or baselines.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Per-sample calibration target.
+pub const TARGET_SAMPLE: Duration = Duration::from_millis(40);
+
+/// How a batched benchmark sizes its input batches (accepted for API
+/// compatibility; the stub times every batch individually anyway).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+fn quick_mode() -> bool {
+    std::env::var_os("CRITERION_STUB_QUICK").is_some_and(|v| v != "0")
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug)]
+pub struct Criterion {
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { samples: 10 }
+    }
+}
+
+impl Criterion {
+    /// Runs one benchmark; `f` drives the supplied [`Bencher`].
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.samples,
+            results: Vec::new(),
+        };
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let samples = self.samples;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            samples,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a sample-size configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark within the group (`group/name` in the output).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.samples,
+            results: Vec::new(),
+        };
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, name));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {
+        let _ = self.criterion;
+    }
+}
+
+/// Times closures handed to it by a benchmark function.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    /// (per-iteration seconds) per timed sample.
+    results: Vec<f64>,
+}
+
+impl Bencher {
+    /// Benchmarks `routine` by running it repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let iters = calibrate(|| {
+            std::hint::black_box(routine());
+        });
+        let samples = if quick_mode() { 1 } else { self.samples };
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            self.results
+                .push(start.elapsed().as_secs_f64() / iters as f64);
+        }
+    }
+
+    /// Benchmarks `routine` on fresh inputs built (untimed) by `setup`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let samples = if quick_mode() { 1 } else { self.samples };
+        for _ in 0..samples {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.results.push(start.elapsed().as_secs_f64());
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.results.is_empty() {
+            println!("{name:<50} (no samples)");
+            return;
+        }
+        let mean = self.results.iter().sum::<f64>() / self.results.len() as f64;
+        let min = self.results.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = self.results.iter().copied().fold(0.0f64, f64::max);
+        println!(
+            "{name:<50} time: [min {}  mean {}  max {}]  ({} samples)",
+            human(min),
+            human(mean),
+            human(max),
+            self.results.len()
+        );
+    }
+}
+
+/// Picks an iteration count whose batch takes roughly [`TARGET_SAMPLE`].
+fn calibrate<F: FnMut()>(mut routine: F) -> u64 {
+    if quick_mode() {
+        return 1;
+    }
+    let start = Instant::now();
+    routine();
+    let once = start.elapsed().max(Duration::from_nanos(50));
+    (TARGET_SAMPLE.as_secs_f64() / once.as_secs_f64()).clamp(1.0, 1e7) as u64
+}
+
+fn human(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Bundles benchmark functions into one runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `fn main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        std::env::set_var("CRITERION_STUB_QUICK", "1");
+        let mut c = Criterion::default();
+        let mut runs = 0u32;
+        c.bench_function("noop", |b| b.iter(|| runs += 1));
+        assert!(runs > 0);
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2).bench_function("batched", |b| {
+            b.iter_batched(|| 21u64, |x| x * 2, BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,165 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build container has no access to a crates.io registry, so this tiny
+//! vendored crate provides the subset of the `rand 0.8` API the workspace
+//! uses: [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], [`Rng::gen`] and
+//! [`Rng::gen_range`]. The generator is SplitMix64 — statistically fine for
+//! test-vector generation and fully deterministic, but **not** the real
+//! `StdRng` (ChaCha12): streams differ from upstream `rand` for the same
+//! seed. Everything in this workspace that depends on the stream captures
+//! its own goldens, so only self-consistency matters.
+
+#![forbid(unsafe_code)]
+
+/// Seedable random number generators.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types that a [`Rng`] can sample uniformly over their full range.
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+/// Types usable with [`Rng::gen_range`].
+pub trait SampleUniform: Copy {
+    /// Draws a value in `[low, high)`.
+    fn sample_range<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+/// The random-number-generator interface.
+pub trait Rng {
+    /// The next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples a value uniformly over the type's full range.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from a half-open range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T: SampleUniform>(&mut self, range: std::ops::Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_range(self, range.start, range.end)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        // 53 uniform mantissa bits, the conventional u64→f64 construction.
+        let f = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        f < p
+    }
+}
+
+macro_rules! impl_standard_uint {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+        impl SampleUniform for $t {
+            fn sample_range<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range called with an empty range");
+                let span = (high - low) as u64;
+                low + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_uint!(u8, u16, u32, u64, usize);
+
+impl Standard for bool {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // Use the high bit: SplitMix64's output is well mixed everywhere,
+        // but the top bits are conventionally preferred.
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl SampleUniform for i32 {
+    fn sample_range<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        assert!(low < high, "gen_range called with an empty range");
+        let span = (i64::from(high) - i64::from(low)) as u64;
+        (i64::from(low) + (rng.next_u64() % span) as i64) as i32
+    }
+}
+
+impl SampleUniform for i64 {
+    fn sample_range<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        assert!(low < high, "gen_range called with an empty range");
+        let span = (high as i128 - low as i128) as u64;
+        (low as i128 + i128::from(rng.next_u64() % span)) as i64
+    }
+}
+
+/// Concrete generator implementations.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic SplitMix64 generator (stand-in for `rand`'s `StdRng`).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            Self { state }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea, Flood 2014).
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn bool_and_ranges_are_plausibly_uniform() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let trues = (0..1000).filter(|_| rng.gen::<bool>()).count();
+        assert!((350..=650).contains(&trues), "bool bias: {trues}/1000");
+        for _ in 0..1000 {
+            let v: u32 = rng.gen_range(3..17);
+            assert!((3..17).contains(&v));
+        }
+    }
+}
