@@ -1,5 +1,5 @@
-//! Machine-readable performance report: `BENCH_sim.json` and
-//! `BENCH_ee_search.json`.
+//! Machine-readable performance report: `BENCH_sim.json`,
+//! `BENCH_ee_search.json` and `BENCH_parallel.json`.
 //!
 //! This is the cross-PR perf trajectory tracker. It measures, in one run:
 //!
@@ -7,18 +7,27 @@
 //!   integer-tick engine vs the retained pre-refactor baseline
 //!   (`pl_sim::reference`) streaming random vectors through the large
 //!   ITC'99 designs (b14 "viper", b15 "i386 subset"), plus Table 3 latency
-//!   ratios per benchmark from the standard flow.
+//!   ratios per benchmark from the standard flow (100 vectors, the
+//!   paper's protocol).
 //! * **Trigger-search throughput** (`BENCH_ee_search.json`) — LUT4 trigger
 //!   searches/sec of the word-parallel search vs the per-assignment
 //!   baseline, and the memoized netlist-level EE transformation time.
+//! * **Parallel sweep scaling** (`BENCH_parallel.json`) — wall-clock of
+//!   the sharded multi-vector sweep (`pl_sim::parallel::sweep_sharded`)
+//!   on streamed b14/b15, sequential vs 4 workers, with a bit-identity
+//!   check between the two runs. The recorded `host_cpus` value is the
+//!   context for the speedup: on a single-core host the parallel run can
+//!   only tie, while the outputs must still match exactly.
 //!
 //! Output files land in the current directory. Usage:
 //!
 //! ```text
-//! cargo run --release -p pl-bench --bin bench_report [--quick]
+//! cargo run --release -p pl-bench --bin bench_report [--quick] [--jobs J]
 //! ```
 //!
-//! `--quick` shrinks vector/repetition counts (CI smoke mode).
+//! `--quick` shrinks vector/repetition counts (CI smoke mode); `--jobs J`
+//! fans the Table 3 ratio flows out across J worker threads (`0` = one
+//! per core) — rows are bit-identical at any J.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -86,27 +95,27 @@ fn measure_sim(id: &str, vectors: usize) -> SimRow {
     }
 }
 
-fn measure_ratios(quick: bool) -> Vec<RatioRow> {
+fn measure_ratios(quick: bool, jobs: usize) -> Vec<RatioRow> {
     let opts = FlowOptions {
-        vectors: if quick { 10 } else { 50 },
+        // Full runs use the paper's 100-vector protocol; the `--jobs`
+        // fan-out keeps the doubled workload inside the wall-time budget
+        // on multi-core hosts.
+        vectors: if quick { 10 } else { 100 },
         verify: false,
         ..FlowOptions::default()
     };
-    pl_itc99::catalog()
-        .iter()
-        .map(|b| {
-            // A failing flow must abort the report loudly: silently dropping
-            // a row would make the cross-PR trajectory file read as complete
-            // while a benchmark vanished.
-            let row =
-                run_flow(b, &opts).unwrap_or_else(|e| panic!("flow failed for {}: {e}", b.id));
-            RatioRow {
-                id: row.id.to_string(),
-                delay_no_ee: row.delay_no_ee,
-                delay_ee: row.delay_ee,
-            }
-        })
-        .collect()
+    let catalog = pl_itc99::catalog();
+    pl_sim::parallel::scatter_gather(jobs, &catalog, |_, b| {
+        // A failing flow must abort the report loudly: silently dropping
+        // a row would make the cross-PR trajectory file read as complete
+        // while a benchmark vanished.
+        let row = run_flow(b, &opts).unwrap_or_else(|e| panic!("flow failed for {}: {e}", b.id));
+        RatioRow {
+            id: row.id.to_string(),
+            delay_no_ee: row.delay_no_ee,
+            delay_ee: row.delay_ee,
+        }
+    })
 }
 
 fn random_masters(count: usize) -> Vec<TruthTable> {
@@ -122,7 +131,18 @@ fn random_masters(count: usize) -> Vec<TruthTable> {
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let jobs = match args.iter().position(|a| a == "--jobs") {
+        Some(i) => args
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| {
+                eprintln!("--jobs needs a number (0 = auto)");
+                std::process::exit(2);
+            }),
+        None => 1usize,
+    };
 
     // ---- BENCH_sim.json -------------------------------------------------
     let stream_vectors = if quick { 20 } else { 200 };
@@ -141,7 +161,7 @@ fn main() {
         );
         rows.push(row);
     }
-    let ratios = measure_ratios(quick);
+    let ratios = measure_ratios(quick, jobs);
 
     let mut sim_json = String::from("{\n  \"streamed\": [\n");
     for (i, r) in rows.iter().enumerate() {
@@ -294,4 +314,67 @@ fn main() {
     ee_json.push_str("\n  ]\n}\n");
     std::fs::write("BENCH_ee_search.json", &ee_json).expect("write BENCH_ee_search.json");
     println!("wrote BENCH_ee_search.json");
+
+    // ---- BENCH_parallel.json -------------------------------------------
+    // The sharded multi-vector sweep on the streamed b14/b15 workload:
+    // the same shard schedule run sequentially (jobs=1) and on PAR_WORKERS
+    // threads, merged outcomes asserted bit-identical before any timing is
+    // reported. Timing follows the other sections' protocol: a warm-up
+    // pass of each configuration, then interleaved repetitions with the
+    // minimum kept, so cache warm-up and ordering noise cannot fabricate
+    // a scaling signal. Speedup is bounded by physical cores; `host_cpus`
+    // is recorded so a ~1.0 figure from a single-core CI container is not
+    // mistaken for a scaling regression.
+    const PAR_WORKERS: usize = 4;
+    let host_cpus = std::thread::available_parallelism().map_or(1, usize::from);
+    let par_vectors: usize = if quick { 32 } else { 200 };
+    let par_reps = if quick { 2 } else { 5 };
+    let shards = 8usize;
+    let shard_len = par_vectors.div_ceil(shards);
+    let mut par_lines = Vec::new();
+    for id in ["b14", "b15"] {
+        let (_, pl) = prepared_netlists(id);
+        let vecs = lcg_vectors(
+            pl.input_gates().len(),
+            par_vectors,
+            0x5EED_0000 + par_vectors as u64,
+        );
+        let delays = DelayModel::default();
+        // Warm-up (also the bit-identity check between the two modes).
+        let seq = pl_sim::sweep_sharded(&pl, &delays, &vecs, shard_len, 1).expect("sweeps");
+        let par =
+            pl_sim::sweep_sharded(&pl, &delays, &vecs, shard_len, PAR_WORKERS).expect("sweeps");
+        assert_eq!(seq, par, "{id}: parallel sweep diverged from sequential");
+        let (mut seq_secs, mut par_secs) = (f64::INFINITY, f64::INFINITY);
+        for _ in 0..par_reps {
+            let t0 = Instant::now();
+            let r = pl_sim::sweep_sharded(&pl, &delays, &vecs, shard_len, 1).expect("sweeps");
+            seq_secs = seq_secs.min(t0.elapsed().as_secs_f64());
+            debug_assert_eq!(r, seq);
+            let t0 = Instant::now();
+            let r =
+                pl_sim::sweep_sharded(&pl, &delays, &vecs, shard_len, PAR_WORKERS).expect("sweeps");
+            par_secs = par_secs.min(t0.elapsed().as_secs_f64());
+            debug_assert_eq!(r, seq);
+        }
+        println!(
+            "{id}: sharded sweep ({par_vectors} vectors, {shards} shards, min of {par_reps}) sequential {seq_secs:.3}s, {PAR_WORKERS} workers {par_secs:.3}s, speedup {:.2}x (host has {host_cpus} cpu(s)), outputs bit-identical",
+            seq_secs / par_secs,
+        );
+        par_lines.push(format!(
+            "    {{\"bench\": \"{id}\", \"vectors\": {par_vectors}, \"shards\": {shards}, \"workers\": {PAR_WORKERS}, \"reps\": {par_reps}, \"sequential_secs\": {seq_secs:.6}, \"parallel_secs\": {par_secs:.6}, \"speedup\": {:.3}, \"bit_identical\": true}}",
+            seq_secs / par_secs,
+        ));
+    }
+    let mut par_json = String::from("{\n");
+    let _ = writeln!(par_json, "  \"host_cpus\": {host_cpus},");
+    let _ = writeln!(
+        par_json,
+        "  \"note\": \"secs are the min over reps interleaved repetitions after a warm-up pass; speedup is bounded by host_cpus; bit_identical asserts the parallel merge equals the sequential run exactly\","
+    );
+    par_json.push_str("  \"sharded_sweeps\": [\n");
+    par_json.push_str(&par_lines.join(",\n"));
+    par_json.push_str("\n  ]\n}\n");
+    std::fs::write("BENCH_parallel.json", &par_json).expect("write BENCH_parallel.json");
+    println!("wrote BENCH_parallel.json");
 }

@@ -4,23 +4,102 @@
 //! circuits benefit most.
 //!
 //! ```text
-//! ee_stats [bXX ...]     (defaults to the whole suite)
+//! ee_stats [--jobs J] [bXX ...]     (defaults to the whole suite)
 //! ```
+//!
+//! `--jobs J` analyzes benchmarks on J worker threads (`0` = one per
+//! core); rows always print in the requested order.
 
 use pl_core::ee::EeOptions;
 use pl_core::PlNetlist;
+use pl_sim::parallel::scatter_gather;
 use pl_techmap::{map_to_lut4, MapOptions};
 
+fn analyze(bench: &pl_itc99::Benchmark) -> String {
+    let gates = (bench.build)().elaborate().expect("elaborates");
+    let mapped = map_to_lut4(&gates, &MapOptions::default()).expect("maps");
+    let pl = PlNetlist::from_sync(&mapped).expect("PL maps");
+    let logic = pl.num_logic_gates();
+    let report = pl.with_early_evaluation(&EeOptions::default());
+
+    let mut by_size = [0usize; 4];
+    let mut coverages: Vec<f64> = Vec::new();
+    let mut gaps: Vec<u32> = Vec::new();
+    let mut costs: Vec<f64> = Vec::new();
+    for p in report.pairs() {
+        by_size[p.candidate.support.count_ones() as usize] += 1;
+        coverages.push(p.candidate.coverage);
+        gaps.push(p.candidate.m_max - p.candidate.t_max);
+        costs.push(p.cost());
+    }
+    coverages.sort_by(f64::total_cmp);
+    costs.sort_by(f64::total_cmp);
+    let med = |v: &[f64]| if v.is_empty() { 0.0 } else { v[v.len() / 2] };
+    let gap_stats = if gaps.is_empty() {
+        (0, 0.0, 0)
+    } else {
+        (
+            *gaps.iter().min().expect("non-empty"),
+            f64::from(gaps.iter().sum::<u32>()) / gaps.len() as f64,
+            *gaps.iter().max().expect("non-empty"),
+        )
+    };
+    format!(
+        "{:<5} {:>6} {:>6} | {:>7}/{:>6}/{:>6} | {:>5.2}/{:>5.2}/{:>5.2} | {:>4}/{:>4.1}/{:>4} | {:>10.2}",
+        bench.id,
+        logic,
+        report.pairs().len(),
+        by_size[1],
+        by_size[2],
+        by_size[3],
+        coverages.first().copied().unwrap_or(0.0),
+        med(&coverages),
+        coverages.last().copied().unwrap_or(0.0),
+        gap_stats.0,
+        gap_stats.1,
+        gap_stats.2,
+        med(&costs),
+    )
+}
+
 fn main() {
+    let mut jobs = 1usize;
+    let mut ids: Vec<String> = Vec::new();
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let ids: Vec<String> = if args.is_empty() {
-        pl_itc99::catalog()
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--jobs" => {
+                let Some(j) = args.get(i + 1).and_then(|v| v.parse().ok()) else {
+                    eprintln!("--jobs needs a number (0 = auto)");
+                    std::process::exit(2);
+                };
+                jobs = j;
+                i += 2;
+            }
+            id => {
+                ids.push(id.to_string());
+                i += 1;
+            }
+        }
+    }
+    if ids.is_empty() {
+        ids = pl_itc99::catalog()
             .iter()
             .map(|b| b.id.to_string())
-            .collect()
-    } else {
-        args
-    };
+            .collect();
+    }
+    // Validate every id up front so a typo fails fast, before any
+    // (multi-second) analysis work is scattered.
+    let benches: Vec<pl_itc99::Benchmark> = ids
+        .iter()
+        .map(|id| {
+            pl_itc99::by_id(id).unwrap_or_else(|| {
+                eprintln!("unknown benchmark {id}");
+                std::process::exit(2);
+            })
+        })
+        .collect();
     println!(
         "{:<5} {:>6} {:>6} | {:>22} | {:>17} | {:>14} | {:>10}",
         "bench",
@@ -32,55 +111,8 @@ fn main() {
         "cost med"
     );
     println!("{}", "-".repeat(98));
-    for id in ids {
-        let Some(bench) = pl_itc99::by_id(&id) else {
-            eprintln!("unknown benchmark {id}");
-            std::process::exit(2);
-        };
-        let gates = (bench.build)().elaborate().expect("elaborates");
-        let mapped = map_to_lut4(&gates, &MapOptions::default()).expect("maps");
-        let pl = PlNetlist::from_sync(&mapped).expect("PL maps");
-        let logic = pl.num_logic_gates();
-        let report = pl.with_early_evaluation(&EeOptions::default());
-
-        let mut by_size = [0usize; 4];
-        let mut coverages: Vec<f64> = Vec::new();
-        let mut gaps: Vec<u32> = Vec::new();
-        let mut costs: Vec<f64> = Vec::new();
-        for p in report.pairs() {
-            by_size[p.candidate.support.count_ones() as usize] += 1;
-            coverages.push(p.candidate.coverage);
-            gaps.push(p.candidate.m_max - p.candidate.t_max);
-            costs.push(p.cost());
-        }
-        coverages.sort_by(f64::total_cmp);
-        costs.sort_by(f64::total_cmp);
-        let med = |v: &[f64]| if v.is_empty() { 0.0 } else { v[v.len() / 2] };
-        let gap_stats = if gaps.is_empty() {
-            (0, 0.0, 0)
-        } else {
-            (
-                *gaps.iter().min().expect("non-empty"),
-                f64::from(gaps.iter().sum::<u32>()) / gaps.len() as f64,
-                *gaps.iter().max().expect("non-empty"),
-            )
-        };
-        println!(
-            "{:<5} {:>6} {:>6} | {:>7}/{:>6}/{:>6} | {:>5.2}/{:>5.2}/{:>5.2} | {:>4}/{:>4.1}/{:>4} | {:>10.2}",
-            bench.id,
-            logic,
-            report.pairs().len(),
-            by_size[1],
-            by_size[2],
-            by_size[3],
-            coverages.first().copied().unwrap_or(0.0),
-            med(&coverages),
-            coverages.last().copied().unwrap_or(0.0),
-            gap_stats.0,
-            gap_stats.1,
-            gap_stats.2,
-            med(&costs),
-        );
+    for line in scatter_gather(jobs, &benches, |_, b| analyze(b)) {
+        println!("{line}");
     }
     println!(
         "\nsupport size: how many of the LUT4's pins the trigger watches;\n\

@@ -3,14 +3,17 @@
 //! delay of a PL circuit").
 //!
 //! ```text
-//! sweep [--bench bXX] [--vectors N] [--seed S]
+//! sweep [--bench bXX] [--vectors N] [--seed S] [--jobs J]
 //! ```
 //!
 //! Prints one CSV-ish row per threshold: threshold, EE pairs, % area
-//! increase, average delay, % delay decrease.
+//! increase, average delay, % delay decrease. `--jobs J` runs the
+//! per-threshold flows on J worker threads (`0` = one per core); rows are
+//! gathered deterministically so the output is identical at any J.
 
-use pl_bench::{run_flow, FlowOptions};
+use pl_bench::{run_flow, FlowOptions, FlowResult};
 use pl_core::ee::EeOptions;
+use pl_sim::parallel::scatter_gather;
 
 const THRESHOLDS: [f64; 8] = [0.0, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0];
 
@@ -18,6 +21,7 @@ fn main() {
     let mut bench_id = String::from("b07");
     let mut vectors = 100usize;
     let mut seed = 0xDA7E_2002u64;
+    let mut jobs = 1usize;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -44,6 +48,13 @@ fn main() {
                     .unwrap_or_else(|| usage("--seed needs a number"));
                 i += 2;
             }
+            "--jobs" => {
+                jobs = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--jobs needs a number (0 = auto)"));
+                i += 2;
+            }
             other => usage(&format!("unknown argument {other}")),
         }
     }
@@ -57,9 +68,12 @@ fn main() {
         "threshold", "ee_pairs", "%area", "avg_delay_ns", "%delay"
     );
 
-    // Baseline delay comes from the threshold=∞ run (no EE at all).
-    let mut base_delay = None;
-    for &t in std::iter::once(&f64::INFINITY).chain(THRESHOLDS.iter()) {
+    // One flow per threshold; index 0 is the threshold=∞ baseline (no EE
+    // at all), whose delay anchors the %delay column. The fan-out is
+    // embarrassingly parallel and each flow is unchanged, so rows are
+    // bit-identical to the sequential sweep.
+    let thresholds: Vec<f64> = std::iter::once(f64::INFINITY).chain(THRESHOLDS).collect();
+    let results: Vec<Result<FlowResult, String>> = scatter_gather(jobs, &thresholds, |_, &t| {
         let opts = FlowOptions {
             vectors,
             seed,
@@ -70,7 +84,12 @@ fn main() {
             verify: false,
             ..FlowOptions::default()
         };
-        match run_flow(&bench, &opts) {
+        run_flow(&bench, &opts).map_err(|e| format!("threshold {t}: FAILED: {e}"))
+    });
+
+    let mut base_delay = None;
+    for (&t, result) in thresholds.iter().zip(results) {
+        match result {
             Ok(r) => {
                 let base = *base_delay.get_or_insert(r.delay_ee);
                 if t.is_infinite() {
@@ -93,7 +112,7 @@ fn main() {
                 }
             }
             Err(e) => {
-                eprintln!("threshold {t}: FAILED: {e}");
+                eprintln!("{e}");
                 std::process::exit(1);
             }
         }
@@ -102,6 +121,6 @@ fn main() {
 
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
-    eprintln!("usage: sweep [--bench bXX] [--vectors N] [--seed S]");
+    eprintln!("usage: sweep [--bench bXX] [--vectors N] [--seed S] [--jobs J]");
     std::process::exit(2);
 }

@@ -2,14 +2,20 @@
 //!
 //! ```text
 //! table3 [--vectors N] [--seed S] [--threshold T] [--only bXX[,bYY..]]
+//!        [--jobs J] [--no-verify]
 //! ```
+//!
+//! `--jobs J` scatters the benchmarks across J worker threads (`0` = one
+//! per available core) via `pl_sim::parallel`; every row is bit-identical
+//! to the sequential run and rows always print in suite order.
 
-use pl_bench::{format_table3, run_flow, FlowOptions};
+use pl_bench::{format_table3, run_flows_parallel, FlowOptions};
 use pl_core::ee::EeOptions;
 
 fn main() {
     let mut opts = FlowOptions::default();
     let mut only: Option<Vec<String>> = None;
+    let mut jobs = 1usize;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -50,6 +56,13 @@ fn main() {
                 );
                 i += 2;
             }
+            "--jobs" => {
+                jobs = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--jobs needs a number (0 = auto)"));
+                i += 2;
+            }
             "--no-verify" => {
                 opts.verify = false;
                 i += 1;
@@ -64,29 +77,31 @@ fn main() {
         opts.vectors, opts.seed, opts.ee.cost_threshold
     );
 
-    let mut rows = Vec::new();
-    for bench in pl_itc99::catalog() {
-        if let Some(ids) = &only {
-            if !ids.iter().any(|id| id == bench.id) {
-                continue;
-            }
-        }
-        eprintln!("running {} — {} ...", bench.id, bench.description);
-        match run_flow(&bench, &opts) {
-            Ok(row) => rows.push(row),
-            Err(e) => {
-                eprintln!("  FAILED: {e}");
-                std::process::exit(1);
-            }
+    let benches: Vec<_> = pl_itc99::catalog()
+        .into_iter()
+        .filter(|b| {
+            only.as_ref()
+                .is_none_or(|ids| ids.iter().any(|id| id == b.id))
+        })
+        .collect();
+    let workers = pl_sim::parallel::effective_jobs(jobs, benches.len());
+    eprintln!(
+        "running {} benchmark(s) across {workers} worker(s) ...",
+        benches.len()
+    );
+    match run_flows_parallel(&benches, &opts, jobs) {
+        Ok(rows) => println!("{}", format_table3(&rows)),
+        Err(e) => {
+            eprintln!("FAILED: {e}");
+            std::process::exit(1);
         }
     }
-    println!("{}", format_table3(&rows));
 }
 
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: table3 [--vectors N] [--seed S] [--threshold T] [--only bXX,bYY] [--no-verify]"
+        "usage: table3 [--vectors N] [--seed S] [--threshold T] [--only bXX,bYY] [--jobs J] [--no-verify]"
     );
     std::process::exit(2);
 }

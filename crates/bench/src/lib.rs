@@ -4,10 +4,14 @@
 //! benchmark — RTL elaboration, LUT4 technology mapping, phased-logic
 //! mapping, early-evaluation post-processing, and discrete-event latency
 //! measurement with random vectors — and returns one row of the paper's
-//! Table 3. [`table3`] runs the whole suite; [`format_table3`] prints it in
-//! the paper's column layout. The `table3`, `sweep` and `table1_2` binaries
-//! expose these from the command line, and the Criterion benches measure
-//! the flow's own runtime costs.
+//! Table 3. [`table3`] runs the whole suite; [`run_flows_parallel`] /
+//! [`table3_parallel`] scatter it across worker threads (one benchmark per
+//! work item, bit-identical rows, deterministic order); [`format_table3`]
+//! prints it in the paper's column layout. The `table3`, `sweep` and
+//! `table1_2` binaries expose these from the command line — `table3`,
+//! `sweep`, `ee_stats` and `bench_report` take `--jobs N` to select the
+//! worker count (`0` = auto) — and the Criterion benches measure the
+//! flow's own runtime costs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -297,6 +301,34 @@ pub fn table3(opts: &FlowOptions) -> Result<Vec<FlowResult>, FlowError> {
         .collect()
 }
 
+/// Fans [`run_flow`] out across up to `jobs` worker threads (`0` = auto),
+/// one benchmark per work item. Each flow runs unchanged on a private
+/// worker, so every row is bit-identical to its sequential [`table3`]
+/// counterpart; rows come back in `benches` order.
+///
+/// # Errors
+///
+/// Reports the first failing benchmark **by suite order** (not by wall
+/// clock), so the error is deterministic across worker counts.
+pub fn run_flows_parallel(
+    benches: &[Benchmark],
+    opts: &FlowOptions,
+    jobs: usize,
+) -> Result<Vec<FlowResult>, FlowError> {
+    pl_sim::parallel::scatter_gather(jobs, benches, |_, b| run_flow(b, opts))
+        .into_iter()
+        .collect()
+}
+
+/// Parallel [`table3`]: the whole suite scattered across `jobs` workers.
+///
+/// # Errors
+///
+/// Same conditions as [`run_flows_parallel`].
+pub fn table3_parallel(opts: &FlowOptions, jobs: usize) -> Result<Vec<FlowResult>, FlowError> {
+    run_flows_parallel(&pl_itc99::catalog(), opts, jobs)
+}
+
 /// Formats results in the paper's Table 3 column layout.
 #[must_use]
 pub fn format_table3(rows: &[FlowResult]) -> String {
@@ -355,6 +387,42 @@ mod tests {
         assert!(r.pl_gates > 0);
         assert!(r.delay_no_ee > 0.0);
         assert_eq!(r.vectors, 20);
+    }
+
+    #[test]
+    fn parallel_flows_match_sequential_rows() {
+        let opts = FlowOptions {
+            vectors: 5,
+            verify: false,
+            ..FlowOptions::default()
+        };
+        let benches: Vec<_> = pl_itc99::catalog()
+            .into_iter()
+            .filter(|b| b.id == "b01" || b.id == "b02" || b.id == "b06")
+            .collect();
+        let sequential: Vec<FlowResult> = benches
+            .iter()
+            .map(|b| run_flow(b, &opts).unwrap())
+            .collect();
+        for jobs in [1, 4] {
+            let par = run_flows_parallel(&benches, &opts, jobs).unwrap();
+            assert_eq!(par.len(), sequential.len());
+            for (p, s) in par.iter().zip(&sequential) {
+                assert_eq!(p.id, s.id, "rows out of order at jobs={jobs}");
+                assert_eq!(p.delay_no_ee.to_bits(), s.delay_no_ee.to_bits());
+                assert_eq!(p.delay_ee.to_bits(), s.delay_ee.to_bits());
+                assert_eq!((p.pl_gates, p.ee_gates), (s.pl_gates, s.ee_gates));
+            }
+        }
+    }
+
+    #[test]
+    fn flow_error_crosses_threads() {
+        fn ok<T: Send + Sync>() {}
+        ok::<FlowError>();
+        ok::<FlowResult>();
+        ok::<FlowOptions>();
+        ok::<Benchmark>();
     }
 
     #[test]

@@ -89,3 +89,17 @@ pub use error::PlError;
 pub use gate::{PlArc, PlArcId, PlArcKind, PlGate, PlGateId, PlGateKind};
 pub use ledr::{LedrSignal, Phase};
 pub use netlist::PlNetlist;
+
+// Parallel sweeps (`pl_sim::parallel`) hand one `&PlNetlist` — and the
+// frozen CSR adjacency derived from it — to every worker thread, each of
+// which owns a private simulator. These types must therefore stay
+// shareable-by-reference; this compile-time check fails the build if a
+// future change sneaks in interior mutability or a non-thread-safe field.
+const _: () = {
+    const fn thread_shareable<T: Send + Sync>() {}
+    thread_shareable::<PlNetlist>();
+    thread_shareable::<PlAdjacency>();
+    thread_shareable::<PlGate>();
+    thread_shareable::<PlArc>();
+    thread_shareable::<PlError>();
+};

@@ -81,12 +81,52 @@ pub fn to_blif(netlist: &Netlist) -> Result<String, NetlistError> {
     Ok(out)
 }
 
+/// Joins `\` line continuations into logical lines.
+///
+/// SIS and ABC wrap long `.inputs`/`.outputs`/`.names` lines with a
+/// trailing backslash; tokenizing the physical lines raw would misparse
+/// every wrapped directive. Comments are stripped first (a `#` comment
+/// ends the physical line, so a backslash inside one does not continue
+/// anything). Each logical line keeps the number of its **first** physical
+/// line so parse errors point at where the construct starts.
+fn logical_lines(text: &str) -> Vec<(usize, String)> {
+    let mut lines: Vec<(usize, String)> = Vec::new();
+    let mut pending: Option<(usize, String)> = None;
+    for (lineno, raw) in text.lines().enumerate() {
+        let content = raw.split('#').next().unwrap_or("").trim_end();
+        let (content, continued) = match content.strip_suffix('\\') {
+            Some(head) => (head, true),
+            None => (content, false),
+        };
+        match pending.as_mut() {
+            Some((_, acc)) => {
+                acc.push(' ');
+                acc.push_str(content);
+            }
+            None => pending = Some((lineno + 1, content.to_string())),
+        }
+        if !continued {
+            lines.push(pending.take().expect("pending was just set"));
+        }
+    }
+    // A trailing backslash on the last physical line continues nothing.
+    if let Some(entry) = pending.take() {
+        lines.push(entry);
+    }
+    lines
+}
+
 /// Parses BLIF text into a [`Netlist`].
+///
+/// Handles the structural subset emitted by SIS/ABC, including `\` line
+/// continuations and all four `.latch` arities (`<input> <output>` with
+/// optional `<type> <control>` and optional `<init>`).
 ///
 /// # Errors
 ///
 /// Returns [`NetlistError::BlifParse`] with a line number for malformed
-/// input, plus ordinary construction errors for over-wide LUTs.
+/// input (the first physical line of a wrapped construct), plus ordinary
+/// construction errors for over-wide LUTs.
 pub fn from_blif(text: &str) -> Result<Netlist, NetlistError> {
     #[derive(Debug)]
     struct NamesDef {
@@ -108,9 +148,8 @@ pub fn from_blif(text: &str) -> Result<Netlist, NetlistError> {
     let mut names: Vec<NamesDef> = Vec::new();
 
     let mut current: Option<NamesDef> = None;
-    for (lineno, raw) in text.lines().enumerate() {
-        let line = lineno + 1;
-        let trimmed = raw.split('#').next().unwrap_or("").trim();
+    for (line, logical) in logical_lines(text) {
+        let trimmed = logical.trim();
         if trimmed.is_empty() {
             continue;
         }
@@ -127,11 +166,14 @@ pub fn from_blif(text: &str) -> Result<Netlist, NetlistError> {
                 ".outputs" => outputs.extend(toks[1..].iter().map(|s| s.to_string())),
                 ".latch" => {
                     // .latch <input> <output> [<type> <control>] [<init>]
+                    // All four legal arities: both the <type> <control> pair
+                    // and the <init> value are independently optional, and
+                    // an omitted init defaults to 0 in every form.
                     if toks.len() < 3 {
                         return Err(err(line, "latch needs input and output"));
                     }
                     let init_tok = match toks.len() {
-                        3 => "0",
+                        3 | 5 => "0",
                         4 => toks[3],
                         6 => toks[5],
                         _ => return Err(err(line, "unsupported latch form")),
@@ -372,6 +414,87 @@ mod tests {
         assert!(matches!(
             from_blif(text),
             Err(NetlistError::BlifParse { .. })
+        ));
+    }
+
+    #[test]
+    fn continuation_lines_are_joined() {
+        // SIS/ABC wrap long .inputs and .names lines with a trailing
+        // backslash; the pre-fix parser tokenized physical lines raw and
+        // rejected this file with "pattern width mismatch".
+        let text = "\
+.model wrapped
+.inputs a b \\
+  c
+.outputs y
+.names a b \\
+  c y
+1-1 \\
+1
+.end
+";
+        let n = from_blif(text).unwrap();
+        assert_eq!(n.inputs().len(), 3);
+        let mut sim = Evaluator::new(&n).unwrap();
+        // y = a & c (b don't-care)
+        assert_eq!(sim.step(&[true, false, true]).unwrap(), vec![true]);
+        assert_eq!(sim.step(&[true, true, false]).unwrap(), vec![false]);
+    }
+
+    #[test]
+    fn continuation_before_comment_and_trailing_backslash_at_eof() {
+        // A `#` comment ends the physical line, so a backslash inside one
+        // continues nothing; a trailing backslash on the last line is inert.
+        let text =
+            ".model x\n.inputs a # not a continuation \\\n.outputs y\n.names a y\n1 1\n.end \\";
+        let n = from_blif(text).unwrap();
+        assert_eq!(n.inputs().len(), 1);
+    }
+
+    #[test]
+    fn continuation_errors_report_first_physical_line() {
+        // The bad cover row starts on physical line 5; its continuation is
+        // on line 6. The error must name line 5.
+        let text = ".model x\n.inputs a b\n.outputs y\n.names a b y\n1\\\n2 1\n.end\n";
+        match from_blif(text) {
+            Err(NetlistError::BlifParse { line, .. }) => assert_eq!(line, 5),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn latch_accepts_all_four_arities() {
+        // 3-token (bare), 4-token (init), 5-token (type+control, no init —
+        // rejected as "unsupported latch form" before the fix), and
+        // 6-token (type+control+init) forms are all legal BLIF.
+        for (latch_line, expect_init) in [
+            (".latch g q", false),
+            (".latch g q 1", true),
+            (".latch g q re clk", false),
+            (".latch g q re clk 1", true),
+        ] {
+            let text = format!(
+                ".model l\n.inputs x\n.outputs q\n{latch_line}\n.names x q g\n-1 1\n.end\n"
+            );
+            let n = from_blif(&text).unwrap_or_else(|e| panic!("'{latch_line}' rejected: {e}"));
+            let mut sim = Evaluator::new(&n).unwrap();
+            // First cycle exposes the init value before any update.
+            assert_eq!(
+                sim.step(&[false]).unwrap(),
+                vec![expect_init],
+                "init for '{latch_line}'"
+            );
+        }
+    }
+
+    #[test]
+    fn latch_five_token_form_keeps_validating_init_elsewhere() {
+        // The 5-token fix must not loosen init validation in the 6-token
+        // form.
+        let text = ".model l\n.inputs x\n.outputs q\n.latch g q re clk 7\n.names x g\n1 1\n.end\n";
+        assert!(matches!(
+            from_blif(text),
+            Err(NetlistError::BlifParse { line: 4, .. })
         ));
     }
 

@@ -24,6 +24,10 @@
 //!   [`reference`] for the retained pre-refactor engine that pins these
 //!   semantics differentially (`tests/engine_equivalence.rs`) and anchors
 //!   the speedup numbers in `BENCH_sim.json`.
+//! * [`parallel`] scatter/gathers independent multi-vector sweeps across
+//!   worker threads — each stream gets a private [`PlSimulator`] over the
+//!   shared netlist, and outcomes merge deterministically in stream order
+//!   (bit-identical to the sequential run for any worker count).
 //! * [`SyncSimulator`] is the cycle-accurate synchronous reference; the
 //!   [`verify_equivalence`] helper proves that PL mapping and early
 //!   evaluation change *timing only*, never values.
@@ -56,6 +60,7 @@
 mod delay;
 mod engine;
 mod error;
+pub mod parallel;
 pub mod reference;
 mod stats;
 mod sync;
@@ -64,6 +69,7 @@ pub mod trace;
 pub use delay::{ns_to_ticks, ticks_to_ns, DelayModel, TickDelays, TICKS_PER_NS};
 pub use engine::{PlSimulator, StreamOutcome, VectorOutcome};
 pub use error::SimError;
+pub use parallel::{scatter_gather, sweep_sharded, sweep_streams};
 pub use reference::ReferenceSimulator;
 pub use stats::{measure_latency, LatencyStats};
 pub use sync::{verify_equivalence, Mismatch, SyncSimulator};

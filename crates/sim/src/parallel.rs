@@ -1,0 +1,330 @@
+//! Parallel multi-vector sweeps: deterministic scatter/gather across
+//! worker threads.
+//!
+//! The paper's headline numbers come from sweeping many input vectors over
+//! each benchmark; independent sweeps are the classic embarrassingly
+//! parallel discrete-event speedup. This module vendors a small
+//! work-queue pool built from `std::thread::scope` plus an `mpsc` gather
+//! channel — no external dependencies — and exposes two sweep shapes on
+//! top of it:
+//!
+//! * [`sweep_streams`] — N independent vector streams, each simulated by a
+//!   **private** [`PlSimulator`] over a shared `&`[`PlNetlist`] from the
+//!   initial marking. Results come back in stream order.
+//! * [`sweep_sharded`] — ONE long vector stream split into fixed-size
+//!   shards. Shard boundaries depend only on the stream length and
+//!   `shard_len` — never on the worker count — so the merged
+//!   [`StreamOutcome`] is **bit-identical for every `jobs` value**,
+//!   including the `jobs = 1` sequential run. With `shard_len >=
+//!   vectors.len()` there is exactly one shard and the result equals a
+//!   plain [`PlSimulator::run_stream`] call.
+//!
+//! Determinism is structural, not incidental: workers only *pull* item
+//! indices from an atomic counter; every result is sent back tagged with
+//! its index and the gather side reorders into index order. The engine
+//! itself is single-threaded and deterministic, so identical (netlist,
+//! delays, vectors, shard_len) inputs give identical outputs regardless
+//! of scheduling. `tests/engine_equivalence.rs` pins this at 1/2/4/8
+//! workers across the ITC'99 suite and randomized netlists.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+use pl_core::PlNetlist;
+
+use crate::delay::DelayModel;
+use crate::engine::{PlSimulator, StreamOutcome};
+use crate::error::SimError;
+
+/// Resolves a `--jobs`-style request into a concrete worker count:
+/// `0` means "ask the OS" ([`std::thread::available_parallelism`]), and
+/// the result is clamped to `[1, items]` so no thread is ever spawned
+/// without work.
+#[must_use]
+pub fn effective_jobs(requested: usize, items: usize) -> usize {
+    let jobs = if requested == 0 {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    } else {
+        requested
+    };
+    jobs.clamp(1, items.max(1))
+}
+
+/// Applies `work` to every item on up to `jobs` worker threads and
+/// returns the results **in item order**, regardless of which worker ran
+/// what when.
+///
+/// Scatter is a shared atomic cursor (each worker pulls the next
+/// unclaimed index — no pre-partitioning, so an expensive item cannot
+/// strand a worker's whole static share); gather is an `mpsc` channel of
+/// `(index, result)` pairs reordered into a dense `Vec`. With `jobs <= 1`
+/// the items run inline on the caller's thread.
+///
+/// # Panics
+///
+/// A panic in `work` is re-raised on the calling thread with its original
+/// payload; when several items panic, the lowest item index wins, so the
+/// surfaced failure is deterministic across worker counts.
+pub fn scatter_gather<T, R, F>(jobs: usize, items: &[T], work: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let jobs = effective_jobs(jobs, items.len());
+    if jobs <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, t)| work(i, t)).collect();
+    }
+    // Worker panics are caught and shipped through the gather channel so
+    // the caller sees the `work` payload itself (e.g. "flow failed for
+    // b14"), not a gather-side unwind about a missing slot. Rethrowing
+    // makes AssertUnwindSafe sound here: no caller observes any state the
+    // panic may have left half-updated.
+    type Caught<R> = std::thread::Result<R>;
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, Caught<R>)>();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            let work = &work;
+            scope.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let result =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| work(i, item)));
+                if tx.send((i, result)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        let mut slots: Vec<Option<Caught<R>>> = (0..items.len()).map(|_| None).collect();
+        for (i, r) in rx {
+            slots[i] = Some(r);
+        }
+        slots
+            .into_iter()
+            .map(|s| {
+                s.expect("every index was claimed exactly once")
+                    .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+            })
+            .collect()
+    })
+}
+
+/// Simulates each independent vector stream on a private simulator (fresh
+/// initial marking) over the shared netlist, using up to `jobs` workers
+/// (`0` = auto). Outcomes are returned in stream order and are
+/// bit-identical to running the same streams sequentially through
+/// [`PlSimulator::run_stream`], for any worker count.
+///
+/// # Errors
+///
+/// Propagates the first failing stream's error, by stream index (so the
+/// reported error is deterministic even when several streams fail).
+pub fn sweep_streams<S>(
+    pl: &PlNetlist,
+    delays: &DelayModel,
+    streams: &[S],
+    jobs: usize,
+) -> Result<Vec<StreamOutcome>, SimError>
+where
+    S: AsRef<[Vec<bool>]> + Sync,
+{
+    scatter_gather(jobs, streams, |_, stream| {
+        PlSimulator::new(pl, delays.clone())?.run_stream(stream.as_ref())
+    })
+    .into_iter()
+    .collect()
+}
+
+/// Splits one vector stream into `shard_len`-sized shards (the last may
+/// be short), sweeps them with [`sweep_streams`], and merges the shard
+/// outcomes vector-index-ordered into one [`StreamOutcome`].
+///
+/// Each shard starts from the netlist's initial marking, so for stateful
+/// designs a shard boundary is a reset — this is the *sweep* semantics
+/// (independent experiments), not one long pipelined run. The merged
+/// outcome is a pure function of the per-shard outcomes: `outputs` are
+/// concatenated in vector order, `makespan` is the slowest shard (the
+/// critical path of a fully parallel schedule), and `throughput` counts
+/// all vectors against that makespan. `jobs` therefore never changes the
+/// result, only the wall-clock time.
+///
+/// # Errors
+///
+/// Propagates the first failing shard's error, by shard index.
+///
+/// # Panics
+///
+/// Panics if `shard_len` is zero.
+pub fn sweep_sharded(
+    pl: &PlNetlist,
+    delays: &DelayModel,
+    vectors: &[Vec<bool>],
+    shard_len: usize,
+    jobs: usize,
+) -> Result<StreamOutcome, SimError> {
+    assert!(shard_len > 0, "shard_len must be at least 1");
+    let shards: Vec<&[Vec<bool>]> = vectors.chunks(shard_len).collect();
+    let outcomes = sweep_streams(pl, delays, &shards, jobs)?;
+    let mut merged = StreamOutcome {
+        outputs: Vec::with_capacity(vectors.len()),
+        makespan: 0.0,
+        throughput: f64::INFINITY,
+    };
+    for o in outcomes {
+        merged.outputs.extend(o.outputs);
+        merged.makespan = merged.makespan.max(o.makespan);
+    }
+    if merged.makespan > 0.0 {
+        merged.throughput = merged.outputs.len() as f64 / merged.makespan;
+    }
+    Ok(merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pl_netlist::Netlist;
+
+    fn xor_netlist() -> PlNetlist {
+        let mut n = Netlist::new("xor");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let g = n.add_xor2(a, b).unwrap();
+        n.set_output("y", g);
+        PlNetlist::from_sync(&n).unwrap()
+    }
+
+    fn vectors(count: usize, seed: u64) -> Vec<Vec<bool>> {
+        let mut x = seed;
+        (0..count)
+            .map(|_| {
+                (0..2)
+                    .map(|_| {
+                        x = x
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        x >> 63 == 1
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn shared_sweep_types_cross_threads() {
+        fn ok<T: Send + Sync>() {}
+        ok::<PlNetlist>();
+        ok::<pl_core::PlAdjacency>();
+        ok::<DelayModel>();
+        ok::<StreamOutcome>();
+        ok::<SimError>();
+        fn ok_send<T: Send>() {}
+        ok_send::<PlSimulator<'_>>();
+    }
+
+    #[test]
+    fn scatter_gather_orders_results_by_index() {
+        let items: Vec<usize> = (0..100).collect();
+        for jobs in [1, 2, 4, 8] {
+            let out = scatter_gather(jobs, &items, |i, &x| {
+                assert_eq!(i, x);
+                x * 3
+            });
+            assert_eq!(out, (0..100).map(|x| x * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn worker_panic_payload_reaches_caller_with_lowest_index() {
+        let items: Vec<usize> = (0..16).collect();
+        let caught = std::panic::catch_unwind(|| {
+            scatter_gather(4, &items, |i, &x| {
+                if x % 5 == 3 {
+                    panic!("item {x} exploded");
+                }
+                i
+            })
+        })
+        .expect_err("a worker panicked");
+        // The original payload — not a gather-side slot invariant — and
+        // deterministically the lowest panicking index (3, not 8 or 13).
+        let msg = caught
+            .downcast_ref::<String>()
+            .expect("panic! with format produces a String payload");
+        assert_eq!(msg, "item 3 exploded");
+    }
+
+    #[test]
+    fn effective_jobs_clamps_and_resolves_auto() {
+        assert_eq!(effective_jobs(4, 2), 2);
+        assert_eq!(effective_jobs(4, 100), 4);
+        assert_eq!(effective_jobs(1, 0), 1);
+        assert!(effective_jobs(0, 64) >= 1);
+    }
+
+    #[test]
+    fn sweep_streams_matches_sequential_for_all_worker_counts() {
+        let pl = xor_netlist();
+        let delays = DelayModel::default();
+        let streams: Vec<Vec<Vec<bool>>> =
+            (0..6).map(|k| vectors(5 + k, 0xA11CE + k as u64)).collect();
+        let sequential: Vec<StreamOutcome> = streams
+            .iter()
+            .map(|s| {
+                PlSimulator::new(&pl, delays.clone())
+                    .unwrap()
+                    .run_stream(s)
+                    .unwrap()
+            })
+            .collect();
+        for jobs in [1, 2, 4, 8] {
+            let par = sweep_streams(&pl, &delays, &streams, jobs).unwrap();
+            assert_eq!(par, sequential, "jobs={jobs} diverged");
+        }
+    }
+
+    #[test]
+    fn sharded_sweep_is_jobs_invariant_and_single_shard_equals_run_stream() {
+        let pl = xor_netlist();
+        let delays = DelayModel::default();
+        let vecs = vectors(23, 0xBEEF);
+        let baseline = sweep_sharded(&pl, &delays, &vecs, 5, 1).unwrap();
+        for jobs in [2, 4, 8] {
+            let par = sweep_sharded(&pl, &delays, &vecs, 5, jobs).unwrap();
+            assert_eq!(par, baseline, "jobs={jobs} diverged");
+        }
+        let single = sweep_sharded(&pl, &delays, &vecs, vecs.len(), 4).unwrap();
+        let direct = PlSimulator::new(&pl, delays.clone())
+            .unwrap()
+            .run_stream(&vecs)
+            .unwrap();
+        assert_eq!(single, direct);
+    }
+
+    #[test]
+    fn errors_propagate_deterministically_by_index() {
+        let pl = xor_netlist();
+        let delays = DelayModel::default();
+        // Streams 1 and 3 are malformed (wrong arity); stream 1's error
+        // must win for every worker count.
+        let streams: Vec<Vec<Vec<bool>>> = vec![
+            vectors(3, 1),
+            vec![vec![true]],
+            vectors(3, 2),
+            vec![vec![false; 5]],
+        ];
+        for jobs in [1, 2, 4, 8] {
+            match sweep_streams(&pl, &delays, &streams, jobs) {
+                Err(SimError::InputArityMismatch {
+                    got: 1,
+                    expected: 2,
+                }) => {}
+                other => panic!("jobs={jobs}: expected stream 1's arity error, got {other:?}"),
+            }
+        }
+    }
+}

@@ -87,6 +87,43 @@ fn itc99_medium_benchmarks_bit_identical() {
     }
 }
 
+/// One random mapped netlist from the LCG stream (the `prop_flow` recipe
+/// generator), or `None` when the draw fails validation.
+fn random_mapped_netlist(rng: &mut Lcg) -> Option<Netlist> {
+    let num_inputs = 2 + rng.below(3);
+    let num_dffs = 1 + rng.below(3);
+    let num_luts = 3 + rng.below(20);
+    let num_outputs = 1 + rng.below(4);
+
+    let mut n = Netlist::new("random");
+    let mut pool: Vec<NodeId> = Vec::new();
+    for i in 0..num_inputs {
+        pool.push(n.add_input(format!("i{i}")));
+    }
+    let dffs: Vec<NodeId> = (0..num_dffs).map(|k| n.add_dff(k % 2 == 0)).collect();
+    pool.extend(&dffs);
+    for _ in 0..num_luts {
+        let arity = 1 + rng.below(3);
+        let srcs: Vec<NodeId> = (0..arity).map(|_| pool[rng.below(pool.len())]).collect();
+        let table = pl_boolfn::TruthTable::from_bits(srcs.len(), rng.next_u64());
+        pool.push(n.add_lut(table, srcs).expect("arity matches"));
+    }
+    for (k, &d) in dffs.iter().enumerate() {
+        n.set_dff_input(d, pool[(k * 7 + 3) % pool.len()])
+            .expect("valid ids");
+    }
+    for k in 0..num_outputs {
+        n.set_output(
+            format!("o{k}"),
+            pool[pool.len() - 1 - (k % pool.len().min(4))],
+        );
+    }
+    if n.validate().is_err() {
+        return None;
+    }
+    Some(map_to_lut4(&n, &MapOptions::default()).expect("maps"))
+}
+
 /// Random synchronous circuits (the `prop_flow` recipe generator, driven
 /// by a plain LCG so the whole suite stays deterministic without dev-deps).
 #[test]
@@ -94,38 +131,9 @@ fn randomized_netlists_bit_identical() {
     let mut rng = Lcg::new(0xF00D_FACE_CAFE_0001);
     let mut tested = 0;
     while tested < 25 {
-        let num_inputs = 2 + rng.below(3);
-        let num_dffs = 1 + rng.below(3);
-        let num_luts = 3 + rng.below(20);
-        let num_outputs = 1 + rng.below(4);
-
-        let mut n = Netlist::new("random");
-        let mut pool: Vec<NodeId> = Vec::new();
-        for i in 0..num_inputs {
-            pool.push(n.add_input(format!("i{i}")));
-        }
-        let dffs: Vec<NodeId> = (0..num_dffs).map(|k| n.add_dff(k % 2 == 0)).collect();
-        pool.extend(&dffs);
-        for _ in 0..num_luts {
-            let arity = 1 + rng.below(3);
-            let srcs: Vec<NodeId> = (0..arity).map(|_| pool[rng.below(pool.len())]).collect();
-            let table = pl_boolfn::TruthTable::from_bits(srcs.len(), rng.next_u64());
-            pool.push(n.add_lut(table, srcs).expect("arity matches"));
-        }
-        for (k, &d) in dffs.iter().enumerate() {
-            n.set_dff_input(d, pool[(k * 7 + 3) % pool.len()])
-                .expect("valid ids");
-        }
-        for k in 0..num_outputs {
-            n.set_output(
-                format!("o{k}"),
-                pool[pool.len() - 1 - (k % pool.len().min(4))],
-            );
-        }
-        if n.validate().is_err() {
+        let Some(mapped) = random_mapped_netlist(&mut rng) else {
             continue;
-        }
-        let mapped = map_to_lut4(&n, &MapOptions::default()).expect("maps");
+        };
         let plain = PlNetlist::from_sync(&mapped).expect("PL maps");
         let ee = PlNetlist::from_sync(&mapped)
             .expect("PL maps")
@@ -179,6 +187,106 @@ fn memoized_search_identical_on_random_lut4s() {
             search_triggers_baseline(&master, &arrivals),
             "candidates diverged for {master:?} arrivals {arrivals:?}"
         );
+    }
+}
+
+// ---- parallel-vs-sequential determinism -------------------------------
+//
+// The parallel sweep subsystem (`pl_sim::parallel`) must be a pure
+// wall-clock optimization: for every worker count its merged results are
+// bit-identical — outputs AND f64 latencies/makespans compared exactly,
+// no tolerance — to the sequential single-simulator run of the same
+// schedule.
+
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Sequential baseline for [`pl_sim::sweep_streams`]: one private
+/// simulator per stream, run in stream order on the calling thread.
+fn sequential_streams(pl: &PlNetlist, streams: &[Vec<Vec<bool>>]) -> Vec<pl_sim::StreamOutcome> {
+    streams
+        .iter()
+        .map(|s| {
+            PlSimulator::new(pl, DelayModel::default())
+                .expect("builds")
+                .run_stream(s)
+                .expect("streams")
+        })
+        .collect()
+}
+
+/// Asserts the parallel sweep is bit-identical to the sequential engine
+/// on `pl` at every worker count, for both sweep shapes.
+fn assert_parallel_matches_sequential(pl: &PlNetlist, streams: &[Vec<Vec<bool>>], context: &str) {
+    let delays = DelayModel::default();
+    let sequential = sequential_streams(pl, streams);
+    for jobs in WORKER_COUNTS {
+        let par = pl_sim::sweep_streams(pl, &delays, streams, jobs)
+            .unwrap_or_else(|e| panic!("{context}: sweep failed at jobs={jobs}: {e}"));
+        // StreamOutcome derives PartialEq over outputs, makespan and
+        // throughput — this is an exact (bitwise f64) comparison.
+        assert_eq!(par, sequential, "{context}: jobs={jobs} diverged");
+    }
+    // Sharded single-stream sweep: shard boundaries are jobs-independent,
+    // so every worker count must reproduce the jobs=1 merge exactly.
+    let flat: Vec<Vec<bool>> = streams.iter().flatten().cloned().collect();
+    if !flat.is_empty() {
+        let shard_len = (flat.len() / 3).max(1);
+        let baseline = pl_sim::sweep_sharded(pl, &delays, &flat, shard_len, 1).expect("shards");
+        for jobs in WORKER_COUNTS {
+            let par = pl_sim::sweep_sharded(pl, &delays, &flat, shard_len, jobs)
+                .unwrap_or_else(|e| panic!("{context}: sharded sweep failed at jobs={jobs}: {e}"));
+            assert_eq!(par, baseline, "{context}: sharded jobs={jobs} diverged");
+        }
+    }
+}
+
+/// Per-benchmark deterministic stream set (a few independent streams of
+/// varying length, like a multi-seed sweep would issue).
+fn sweep_streams_for(pl: &PlNetlist, id: &str) -> Vec<Vec<Vec<bool>>> {
+    (0..3)
+        .map(|k| {
+            vectors(
+                pl.input_gates().len(),
+                4 + 2 * k,
+                seed_for(id, 0xC0DE + k as u64),
+            )
+        })
+        .collect()
+}
+
+/// The full ITC'99 suite — b01 through b15, plain and with EE — swept in
+/// parallel at 1/2/4/8 workers must be bit-identical to the sequential
+/// engine.
+#[test]
+fn parallel_sweep_bit_identical_on_itc99_suite() {
+    for bench in pl_itc99::catalog() {
+        let (plain, ee) = itc99_netlists(bench.id);
+        let streams = sweep_streams_for(&plain, bench.id);
+        assert_parallel_matches_sequential(&plain, &streams, &format!("{} plain", bench.id));
+        assert_parallel_matches_sequential(&ee, &streams, &format!("{} ee", bench.id));
+    }
+}
+
+/// Randomized netlists through the same parallel-vs-sequential harness.
+#[test]
+fn parallel_sweep_bit_identical_on_random_netlists() {
+    let mut rng = Lcg::new(0x5CA7_7E86_A7DE_0002);
+    let mut tested = 0;
+    while tested < 12 {
+        let Some(mapped) = random_mapped_netlist(&mut rng) else {
+            continue;
+        };
+        let plain = PlNetlist::from_sync(&mapped).expect("PL maps");
+        let ee = PlNetlist::from_sync(&mapped)
+            .expect("PL maps")
+            .with_early_evaluation(&EeOptions::default())
+            .into_netlist();
+        let streams: Vec<Vec<Vec<bool>>> = (0..4)
+            .map(|k| vectors(mapped.inputs().len(), 3 + k, rng.next_u64()))
+            .collect();
+        assert_parallel_matches_sequential(&plain, &streams, "random plain");
+        assert_parallel_matches_sequential(&ee, &streams, "random ee");
+        tested += 1;
     }
 }
 
