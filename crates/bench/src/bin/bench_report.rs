@@ -27,7 +27,8 @@
 //!
 //! `--quick` shrinks vector/repetition counts (CI smoke mode); `--jobs J`
 //! fans the Table 3 ratio flows out across J worker threads (`0` = one
-//! per core) — rows are bit-identical at any J.
+//! per core) — rows are bit-identical at any J. Run with `--help` for the
+//! full flag list.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -130,19 +131,28 @@ fn random_masters(count: usize) -> Vec<TruthTable> {
         .collect()
 }
 
+const SPEC: pl_flow::cli::CliSpec = pl_flow::cli::CliSpec {
+    bin: "bench_report",
+    about: "write BENCH_sim.json, BENCH_ee_search.json and BENCH_parallel.json",
+    positional: None,
+    options: &[
+        pl_flow::cli::OptSpec {
+            long: "--quick",
+            value: None,
+            help: "shrink vector/repetition counts (CI smoke mode)",
+        },
+        pl_flow::cli::OptSpec {
+            long: "--jobs",
+            value: Some("J"),
+            help: "worker threads for the Table 3 ratio flows (0 = one per core)",
+        },
+    ],
+};
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let jobs = match args.iter().position(|a| a == "--jobs") {
-        Some(i) => args
-            .get(i + 1)
-            .and_then(|v| v.parse().ok())
-            .unwrap_or_else(|| {
-                eprintln!("--jobs needs a number (0 = auto)");
-                std::process::exit(2);
-            }),
-        None => 1usize,
-    };
+    let args = SPEC.parse_env();
+    let quick = args.flag("--quick");
+    let jobs: usize = args.value_or("--jobs", 1);
 
     // ---- BENCH_sim.json -------------------------------------------------
     let stream_vectors = if quick { 20 } else { 200 };

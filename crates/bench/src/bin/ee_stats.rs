@@ -3,17 +3,31 @@
 //! cost spread — the data behind the paper's observation that arithmetic
 //! circuits benefit most.
 //!
-//! ```text
-//! ee_stats [--jobs J] [bXX ...]     (defaults to the whole suite)
-//! ```
-//!
 //! `--jobs J` analyzes benchmarks on J worker threads (`0` = one per
-//! core); rows always print in the requested order.
+//! core); rows always print in the requested order (the whole suite when
+//! no ids are given). Run with `--help` for the full flag list.
 
 use pl_core::ee::EeOptions;
 use pl_core::PlNetlist;
+use pl_flow::cli::{CliSpec, OptSpec, PositionalSpec};
 use pl_sim::parallel::scatter_gather;
 use pl_techmap::{map_to_lut4, MapOptions};
+
+const SPEC: CliSpec = CliSpec {
+    bin: "ee_stats",
+    about: "per-benchmark anatomy of the early-evaluation pairs",
+    positional: Some(PositionalSpec {
+        name: "<bXX>",
+        help: "benchmark ids to analyze (default: the whole suite)",
+        many: true,
+        required: false,
+    }),
+    options: &[OptSpec {
+        long: "--jobs",
+        value: Some("J"),
+        help: "worker threads (0 = one per core)",
+    }],
+};
 
 fn analyze(bench: &pl_itc99::Benchmark) -> String {
     let gates = (bench.build)().elaborate().expect("elaborates");
@@ -63,26 +77,9 @@ fn analyze(bench: &pl_itc99::Benchmark) -> String {
 }
 
 fn main() {
-    let mut jobs = 1usize;
-    let mut ids: Vec<String> = Vec::new();
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--jobs" => {
-                let Some(j) = args.get(i + 1).and_then(|v| v.parse().ok()) else {
-                    eprintln!("--jobs needs a number (0 = auto)");
-                    std::process::exit(2);
-                };
-                jobs = j;
-                i += 2;
-            }
-            id => {
-                ids.push(id.to_string());
-                i += 1;
-            }
-        }
-    }
+    let args = SPEC.parse_env();
+    let jobs: usize = args.value_or("--jobs", 1);
+    let mut ids: Vec<String> = args.positionals.clone();
     if ids.is_empty() {
         ids = pl_itc99::catalog()
             .iter()
@@ -95,7 +92,8 @@ fn main() {
         .iter()
         .map(|id| {
             pl_itc99::by_id(id).unwrap_or_else(|| {
-                eprintln!("unknown benchmark {id}");
+                eprintln!("error: unknown benchmark {id}\n");
+                eprintln!("{}", SPEC.help());
                 std::process::exit(2);
             })
         })

@@ -2,65 +2,58 @@
 //! ("thresholding the cost function allows for a tradeoff in area versus
 //! delay of a PL circuit").
 //!
-//! ```text
-//! sweep [--bench bXX] [--vectors N] [--seed S] [--jobs J]
-//! ```
-//!
 //! Prints one CSV-ish row per threshold: threshold, EE pairs, % area
 //! increase, average delay, % delay decrease. `--jobs J` runs the
 //! per-threshold flows on J worker threads (`0` = one per core); rows are
-//! gathered deterministically so the output is identical at any J.
+//! gathered deterministically so the output is identical at any J. Run
+//! with `--help` for the full flag list.
 
 use pl_bench::{run_flow, FlowOptions, FlowResult};
 use pl_core::ee::EeOptions;
+use pl_flow::cli::{CliSpec, OptSpec};
 use pl_sim::parallel::scatter_gather;
 
 const THRESHOLDS: [f64; 8] = [0.0, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0];
 
-fn main() {
-    let mut bench_id = String::from("b07");
-    let mut vectors = 100usize;
-    let mut seed = 0xDA7E_2002u64;
-    let mut jobs = 1usize;
+const SPEC: CliSpec = CliSpec {
+    bin: "sweep",
+    about: "EE cost-threshold sweep (area/delay trade-off, paper section 4)",
+    positional: None,
+    options: &[
+        OptSpec {
+            long: "--bench",
+            value: Some("bXX"),
+            help: "benchmark to sweep (default b07)",
+        },
+        OptSpec {
+            long: "--vectors",
+            value: Some("N"),
+            help: "random vectors per flow (default 100)",
+        },
+        OptSpec {
+            long: "--seed",
+            value: Some("S"),
+            help: "vector-generation seed",
+        },
+        OptSpec {
+            long: "--jobs",
+            value: Some("J"),
+            help: "worker threads (0 = one per core)",
+        },
+    ],
+};
 
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--bench" => {
-                bench_id = args
-                    .get(i + 1)
-                    .unwrap_or_else(|| usage("--bench needs an id"))
-                    .clone();
-                i += 2;
-            }
-            "--vectors" => {
-                vectors = args
-                    .get(i + 1)
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage("--vectors needs a number"));
-                i += 2;
-            }
-            "--seed" => {
-                seed = args
-                    .get(i + 1)
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage("--seed needs a number"));
-                i += 2;
-            }
-            "--jobs" => {
-                jobs = args
-                    .get(i + 1)
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage("--jobs needs a number (0 = auto)"));
-                i += 2;
-            }
-            other => usage(&format!("unknown argument {other}")),
-        }
-    }
+fn main() {
+    let args = SPEC.parse_env();
+    let bench_id: String = args.value_or("--bench", String::from("b07"));
+    let vectors: usize = args.value_or("--vectors", 100);
+    let seed: u64 = args.value_or("--seed", 0xDA7E_2002);
+    let jobs: usize = args.value_or("--jobs", 1);
 
     let Some(bench) = pl_itc99::by_id(&bench_id) else {
-        usage(&format!("unknown benchmark {bench_id}"));
+        eprintln!("error: unknown benchmark {bench_id}\n");
+        eprintln!("{}", SPEC.help());
+        std::process::exit(2);
     };
     println!("# threshold sweep for {} — {}", bench.id, bench.description);
     println!(
@@ -117,10 +110,4 @@ fn main() {
             }
         }
     }
-}
-
-fn usage(msg: &str) -> ! {
-    eprintln!("error: {msg}");
-    eprintln!("usage: sweep [--bench bXX] [--vectors N] [--seed S] [--jobs J]");
-    std::process::exit(2);
 }

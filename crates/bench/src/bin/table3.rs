@@ -1,73 +1,77 @@
 //! Regenerates the paper's Table 3: EE vs non-EE statistics for b01–b15.
 //!
-//! ```text
-//! table3 [--vectors N] [--seed S] [--threshold T] [--only bXX[,bYY..]]
-//!        [--jobs J] [--no-verify]
-//! ```
-//!
 //! `--jobs J` scatters the benchmarks across J worker threads (`0` = one
 //! per available core) via `pl_sim::parallel`; every row is bit-identical
-//! to the sequential run and rows always print in suite order.
+//! to the sequential run and rows always print in suite order. Run with
+//! `--help` for the full flag list.
 
 use pl_bench::{format_table3, run_flows_parallel, FlowOptions};
 use pl_core::ee::EeOptions;
+use pl_flow::cli::{CliSpec, OptSpec};
+
+const SPEC: CliSpec = CliSpec {
+    bin: "table3",
+    about: "regenerate the paper's Table 3 (EE vs non-EE, b01-b15)",
+    positional: None,
+    options: &[
+        OptSpec {
+            long: "--vectors",
+            value: Some("N"),
+            help: "random vectors per circuit (default 100)",
+        },
+        OptSpec {
+            long: "--seed",
+            value: Some("S"),
+            help: "vector-generation seed",
+        },
+        OptSpec {
+            long: "--threshold",
+            value: Some("T"),
+            help: "EE cost threshold (Equation 1)",
+        },
+        OptSpec {
+            long: "--only",
+            value: Some("bXX,bYY"),
+            help: "run only the listed benchmark ids",
+        },
+        OptSpec {
+            long: "--jobs",
+            value: Some("J"),
+            help: "worker threads (0 = one per core)",
+        },
+        OptSpec {
+            long: "--no-verify",
+            value: None,
+            help: "skip the synchronous cross-check",
+        },
+    ],
+};
 
 fn main() {
+    let args = SPEC.parse_env();
     let mut opts = FlowOptions::default();
-    let mut only: Option<Vec<String>> = None;
-    let mut jobs = 1usize;
-
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--vectors" => {
-                opts.vectors = args
-                    .get(i + 1)
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage("--vectors needs a number"));
-                i += 2;
+    opts.vectors = args.value_or("--vectors", opts.vectors);
+    opts.seed = args.value_or("--seed", opts.seed);
+    if let Some(t) = args.value_opt::<f64>("--threshold") {
+        opts.ee = EeOptions {
+            cost_threshold: t,
+            ..EeOptions::default()
+        };
+    }
+    opts.verify = !args.flag("--no-verify");
+    let jobs: usize = args.value_or("--jobs", 1);
+    let only: Option<Vec<String>> = args
+        .get("--only")
+        .map(|ids| ids.split(',').map(str::to_string).collect());
+    // Validate up front: a typo'd id must fail loudly, not produce an
+    // empty table with exit 0.
+    if let Some(ids) = &only {
+        for id in ids {
+            if pl_itc99::by_id(id).is_none() {
+                eprintln!("error: unknown benchmark {id}\n");
+                eprintln!("{}", SPEC.help());
+                std::process::exit(2);
             }
-            "--seed" => {
-                opts.seed = args
-                    .get(i + 1)
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage("--seed needs a number"));
-                i += 2;
-            }
-            "--threshold" => {
-                let t: f64 = args
-                    .get(i + 1)
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage("--threshold needs a number"));
-                opts.ee = EeOptions {
-                    cost_threshold: t,
-                    ..EeOptions::default()
-                };
-                i += 2;
-            }
-            "--only" => {
-                only = Some(
-                    args.get(i + 1)
-                        .unwrap_or_else(|| usage("--only needs ids"))
-                        .split(',')
-                        .map(str::to_string)
-                        .collect(),
-                );
-                i += 2;
-            }
-            "--jobs" => {
-                jobs = args
-                    .get(i + 1)
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage("--jobs needs a number (0 = auto)"));
-                i += 2;
-            }
-            "--no-verify" => {
-                opts.verify = false;
-                i += 1;
-            }
-            other => usage(&format!("unknown argument {other}")),
         }
     }
 
@@ -96,12 +100,4 @@ fn main() {
             std::process::exit(1);
         }
     }
-}
-
-fn usage(msg: &str) -> ! {
-    eprintln!("error: {msg}");
-    eprintln!(
-        "usage: table3 [--vectors N] [--seed S] [--threshold T] [--only bXX,bYY] [--jobs J] [--no-verify]"
-    );
-    std::process::exit(2);
 }

@@ -1,26 +1,29 @@
 //! Benchmark harness regenerating the DATE 2002 paper's exhibits.
 //!
-//! [`run_flow`] drives the full reproduction pipeline for one ITC99
-//! benchmark — RTL elaboration, LUT4 technology mapping, phased-logic
-//! mapping, early-evaluation post-processing, and discrete-event latency
-//! measurement with random vectors — and returns one row of the paper's
-//! Table 3. [`table3`] runs the whole suite; [`run_flows_parallel`] /
-//! [`table3_parallel`] scatter it across worker threads (one benchmark per
-//! work item, bit-identical rows, deterministic order); [`format_table3`]
-//! prints it in the paper's column layout. The `table3`, `sweep` and
-//! `table1_2` binaries expose these from the command line — `table3`,
-//! `sweep`, `ee_stats` and `bench_report` take `--jobs N` to select the
-//! worker count (`0` = auto) — and the Criterion benches measure the
-//! flow's own runtime costs.
+//! Since the pipeline moved into the `pl-flow` crate, this harness is a
+//! thin presentation layer over it: [`run_flow`] runs one ITC99 catalog
+//! entry through [`pl_flow::Pipeline::run`] and folds the artifacts into
+//! one row of the paper's Table 3. [`table3`] runs the whole suite;
+//! [`run_flows_parallel`] / [`table3_parallel`] scatter it across worker
+//! threads (one benchmark per work item, bit-identical rows, deterministic
+//! order); [`format_table3`] prints it in the paper's column layout. The
+//! `table3`, `sweep` and `table1_2` binaries expose these from the command
+//! line — `table3`, `sweep`, `ee_stats` and `bench_report` take `--jobs N`
+//! to select the worker count (`0` = auto) — and the Criterion benches
+//! measure the flow's own runtime costs.
+//!
+//! [`FlowOptions`], [`FlowError`], [`Lcg`] and [`lcg_vectors`] are
+//! re-exported from `pl-flow` so existing harness callers keep compiling
+//! unchanged.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use pl_core::ee::EeOptions;
 use pl_core::PlNetlist;
+use pl_flow::{CircuitSource, Pipeline};
 use pl_itc99::Benchmark;
-use pl_sim::{measure_latency, DelayModel, SimError};
-use pl_techmap::{map_with_report, MapOptions};
+
+pub use pl_flow::{lcg_vectors, FlowError, FlowOptions, Lcg};
 
 /// One row of the paper's Table 3.
 #[derive(Debug, Clone)]
@@ -69,200 +72,49 @@ impl FlowResult {
     }
 }
 
-/// Parameters of a Table 3 style run.
-#[derive(Debug, Clone)]
-pub struct FlowOptions {
-    /// Random input vectors per variant (the paper used 100).
-    pub vectors: usize,
-    /// RNG seed for vector generation.
-    pub seed: u64,
-    /// Early-evaluation selection policy.
-    pub ee: EeOptions,
-    /// Component delays.
-    pub delays: DelayModel,
-    /// Cross-check PL outputs against the synchronous reference.
-    pub verify: bool,
-}
-
-impl Default for FlowOptions {
-    fn default() -> Self {
-        Self {
-            vectors: 100,
-            seed: 0xDA7E_2002,
-            ee: EeOptions::default(),
-            delays: DelayModel::default(),
-            verify: true,
-        }
-    }
-}
-
-/// Errors from the benchmark flow.
-#[derive(Debug)]
-pub enum FlowError {
-    /// RTL elaboration failed.
-    Rtl(pl_rtl::RtlError),
-    /// Technology mapping or netlist handling failed.
-    Netlist(pl_netlist::NetlistError),
-    /// Phased-logic mapping failed.
-    Pl(pl_core::PlError),
-    /// Simulation failed.
-    Sim(SimError),
-    /// PL and synchronous outputs diverged (must never happen).
-    Mismatch {
-        /// Which benchmark and variant diverged.
-        context: String,
-    },
-}
-
-impl std::fmt::Display for FlowError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            FlowError::Rtl(e) => write!(f, "rtl: {e}"),
-            FlowError::Netlist(e) => write!(f, "netlist: {e}"),
-            FlowError::Pl(e) => write!(f, "phased logic: {e}"),
-            FlowError::Sim(e) => write!(f, "simulation: {e}"),
-            FlowError::Mismatch { context } => write!(f, "output mismatch in {context}"),
-        }
-    }
-}
-
-impl std::error::Error for FlowError {}
-
-impl From<pl_rtl::RtlError> for FlowError {
-    fn from(e: pl_rtl::RtlError) -> Self {
-        FlowError::Rtl(e)
-    }
-}
-impl From<pl_netlist::NetlistError> for FlowError {
-    fn from(e: pl_netlist::NetlistError) -> Self {
-        FlowError::Netlist(e)
-    }
-}
-impl From<pl_core::PlError> for FlowError {
-    fn from(e: pl_core::PlError) -> Self {
-        FlowError::Pl(e)
-    }
-}
-impl From<SimError> for FlowError {
-    fn from(e: SimError) -> Self {
-        FlowError::Sim(e)
-    }
-}
-
-/// Runs the full reproduction flow for one benchmark.
+/// Runs the full reproduction flow for one benchmark — a thin wrapper
+/// over [`pl_flow::Pipeline::run`] with the catalog source, keeping EE
+/// enabled (a Table 3 row always compares plain against EE).
 ///
 /// # Errors
 ///
 /// Propagates failures from any pipeline stage; `Mismatch` if the PL
-/// netlists ever disagree with the synchronous reference.
+/// netlists ever disagree with each other or the synchronous reference.
 pub fn run_flow(bench: &Benchmark, opts: &FlowOptions) -> Result<FlowResult, FlowError> {
-    let module = (bench.build)();
-    let gates = module.elaborate()?;
-    let mapped = map_with_report(&gates, &MapOptions::default())?.netlist;
-
-    let plain = PlNetlist::from_sync(&mapped)?;
-    let pl_gates = plain.num_logic_gates();
-    let report = PlNetlist::from_sync(&mapped)?.with_early_evaluation(&opts.ee);
-    let ee_gates = report.pairs().len();
-    let ee_netlist = report.into_netlist();
-
-    let (out_plain, stats_plain) = measure_latency(&plain, &opts.delays, opts.vectors, opts.seed)?;
-    let (out_ee, stats_ee) = measure_latency(&ee_netlist, &opts.delays, opts.vectors, opts.seed)?;
-    if out_plain != out_ee {
-        return Err(FlowError::Mismatch {
-            context: format!("{} (EE vs plain)", bench.id),
-        });
-    }
-    if opts.verify {
-        let mut sync = pl_sim::SyncSimulator::new(&mapped).map_err(FlowError::Netlist)?;
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(opts.seed);
-        for (i, pl_out) in out_plain.iter().enumerate() {
-            let v: Vec<bool> = (0..mapped.inputs().len()).map(|_| rng.gen()).collect();
-            let sync_out = sync.step(&v).map_err(FlowError::Netlist)?;
-            if &sync_out != pl_out {
-                return Err(FlowError::Mismatch {
-                    context: format!("{} vector {i} (sync vs PL)", bench.id),
-                });
-            }
-        }
-    }
-
+    let pipeline = Pipeline::new(FlowOptions {
+        ee_enabled: true,
+        ..opts.clone()
+    });
+    let art = pipeline.run(&CircuitSource::Catalog(*bench))?;
     Ok(FlowResult {
         id: bench.id,
         description: bench.description,
-        pl_gates,
-        ee_gates,
-        delay_no_ee: stats_plain.mean(),
-        delay_ee: stats_ee.mean(),
+        pl_gates: art.report.phased.logic_gates,
+        ee_gates: art.pairs.len(),
+        delay_no_ee: art.stats_plain.mean(),
+        delay_ee: art.stats_ee.as_ref().expect("EE forced on").mean(),
         vectors: opts.vectors,
     })
 }
 
-/// Minimal deterministic LCG (Knuth MMIX constants) shared by the
-/// Criterion benches, the `bench_report` binary, and the
-/// engine-equivalence suite, so every harness drives the same streams
-/// from the same seeds without a dev-dependency.
-#[derive(Debug, Clone)]
-pub struct Lcg(u64);
-
-impl Lcg {
-    /// Seeds the generator.
-    #[must_use]
-    pub fn new(seed: u64) -> Self {
-        Self(seed)
-    }
-
-    /// Next 64 pseudo-random bits.
-    pub fn next_u64(&mut self) -> u64 {
-        self.0 = self
-            .0
-            .wrapping_mul(6364136223846793005)
-            .wrapping_add(1442695040888963407);
-        self.0
-    }
-
-    /// A pseudo-random bool (top bit).
-    pub fn next_bool(&mut self) -> bool {
-        self.next_u64() >> 63 == 1
-    }
-
-    /// A pseudo-random index below `n`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `n` is zero.
-    pub fn below(&mut self, n: usize) -> usize {
-        assert!(n > 0, "below(0)");
-        (self.next_u64() % n as u64) as usize
-    }
-}
-
-/// Deterministic random input vectors from [`Lcg`].
-#[must_use]
-pub fn lcg_vectors(n_inputs: usize, count: usize, seed: u64) -> Vec<Vec<bool>> {
-    let mut rng = Lcg::new(seed);
-    (0..count)
-        .map(|_| (0..n_inputs).map(|_| rng.next_bool()).collect())
-        .collect()
-}
-
-/// Builds one benchmark's phased-logic netlists (plain, with-EE).
+/// Builds one benchmark's phased-logic netlists (plain, with-EE) through
+/// the `pl-flow` stage chain (ingest → optimize → techmap → phased →
+/// early_eval), stopping before simulation.
 ///
 /// # Panics
 ///
 /// Panics on unknown ids or flow failures (bench harness context).
 #[must_use]
 pub fn prepared_netlists(id: &str) -> (PlNetlist, PlNetlist) {
-    let bench = pl_itc99::by_id(id).expect("benchmark exists");
-    let gates = (bench.build)().elaborate().expect("elaborates");
-    let mapped = pl_techmap::map_to_lut4(&gates, &MapOptions::default()).expect("maps");
-    let plain = PlNetlist::from_sync(&mapped).expect("PL maps");
-    let ee = PlNetlist::from_sync(&mapped)
-        .expect("PL maps")
-        .with_early_evaluation(&EeOptions::default())
-        .into_netlist();
-    (plain, ee)
+    let pipeline = Pipeline::new(FlowOptions::default());
+    let src = CircuitSource::catalog(id).expect("benchmark exists");
+    let ingested = pipeline.ingest(&src).expect("elaborates");
+    let optimized = pipeline.optimize(ingested).expect("optimizes");
+    let mapped = pipeline.techmap(optimized).expect("maps");
+    let phased = pipeline.phased(&mapped).expect("PL maps");
+    let early = pipeline.early_eval(phased);
+    let ee = early.ee.expect("EE enabled by default");
+    (early.plain, ee)
 }
 
 /// The per-compute-gate trigger-search stream `with_early_evaluation`
@@ -423,6 +275,44 @@ mod tests {
         ok::<FlowResult>();
         ok::<FlowOptions>();
         ok::<Benchmark>();
+    }
+
+    #[test]
+    fn run_flow_matches_hand_rolled_pipeline() {
+        // The thin wrapper must reproduce the pre-refactor recipe exactly:
+        // elaborate → LUT4-map → PL-map → EE → measure both variants with
+        // the same seeded vectors. Bit-compare the delays.
+        use pl_core::ee::EeOptions;
+        use pl_core::PlNetlist;
+        use pl_techmap::{map_with_report, MapOptions};
+
+        let bench = pl_itc99::by_id("b06").unwrap();
+        let opts = FlowOptions {
+            vectors: 12,
+            ..FlowOptions::default()
+        };
+
+        let gates = (bench.build)().elaborate().unwrap();
+        let mapped = map_with_report(&gates, &MapOptions::default())
+            .unwrap()
+            .netlist;
+        let plain = PlNetlist::from_sync(&mapped).unwrap();
+        let pl_gates = plain.num_logic_gates();
+        let report = PlNetlist::from_sync(&mapped)
+            .unwrap()
+            .with_early_evaluation(&EeOptions::default());
+        let ee_gates = report.pairs().len();
+        let ee_netlist = report.into_netlist();
+        let (_, stats_plain) =
+            pl_sim::measure_latency(&plain, &opts.delays, opts.vectors, opts.seed).unwrap();
+        let (_, stats_ee) =
+            pl_sim::measure_latency(&ee_netlist, &opts.delays, opts.vectors, opts.seed).unwrap();
+
+        let r = run_flow(&bench, &opts).unwrap();
+        assert_eq!(r.pl_gates, pl_gates);
+        assert_eq!(r.ee_gates, ee_gates);
+        assert_eq!(r.delay_no_ee.to_bits(), stats_plain.mean().to_bits());
+        assert_eq!(r.delay_ee.to_bits(), stats_ee.mean().to_bits());
     }
 
     #[test]

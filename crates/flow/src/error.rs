@@ -1,0 +1,65 @@
+//! The pipeline's error type, spanning every stage.
+
+use pl_sim::SimError;
+
+/// Errors from any pipeline stage.
+#[derive(Debug)]
+pub enum FlowError {
+    /// RTL elaboration failed.
+    Rtl(pl_rtl::RtlError),
+    /// Technology mapping or netlist handling failed (including BLIF
+    /// parse errors).
+    Netlist(pl_netlist::NetlistError),
+    /// Phased-logic mapping failed.
+    Pl(pl_core::PlError),
+    /// Simulation failed.
+    Sim(SimError),
+    /// Reading a circuit source from disk failed.
+    Io {
+        /// The path that could not be read.
+        path: String,
+        /// The underlying I/O error.
+        message: String,
+    },
+    /// PL and synchronous outputs diverged (must never happen).
+    Mismatch {
+        /// Which design and variant diverged.
+        context: String,
+    },
+}
+
+impl std::fmt::Display for FlowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlowError::Rtl(e) => write!(f, "rtl: {e}"),
+            FlowError::Netlist(e) => write!(f, "netlist: {e}"),
+            FlowError::Pl(e) => write!(f, "phased logic: {e}"),
+            FlowError::Sim(e) => write!(f, "simulation: {e}"),
+            FlowError::Io { path, message } => write!(f, "cannot read '{path}': {message}"),
+            FlowError::Mismatch { context } => write!(f, "output mismatch in {context}"),
+        }
+    }
+}
+
+impl std::error::Error for FlowError {}
+
+impl From<pl_rtl::RtlError> for FlowError {
+    fn from(e: pl_rtl::RtlError) -> Self {
+        FlowError::Rtl(e)
+    }
+}
+impl From<pl_netlist::NetlistError> for FlowError {
+    fn from(e: pl_netlist::NetlistError) -> Self {
+        FlowError::Netlist(e)
+    }
+}
+impl From<pl_core::PlError> for FlowError {
+    fn from(e: pl_core::PlError) -> Self {
+        FlowError::Pl(e)
+    }
+}
+impl From<SimError> for FlowError {
+    fn from(e: SimError) -> Self {
+        FlowError::Sim(e)
+    }
+}

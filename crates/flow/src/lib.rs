@@ -1,0 +1,192 @@
+//! The compile pipeline as a first-class library.
+//!
+//! The DATE 2002 paper maps *synthesized gate-level netlists* onto phased
+//! logic; this crate is the architecture that lets anything walk through
+//! that flow — not just the built-in ITC'99 catalog. It factors the
+//! pipeline that used to live inside the benchmark harness into two
+//! orthogonal pieces:
+//!
+//! * [`CircuitSource`] — pluggable front doors. An RTL catalog entry, a
+//!   BLIF file on disk (SIS/ABC dialect), in-memory BLIF text, a
+//!   pre-built [`pl_netlist::Netlist`], or a seeded random circuit all
+//!   resolve to the same gate-level netlist.
+//! * [`Pipeline`] — explicit, separately-callable stages:
+//!
+//!   ```text
+//!   ingest → optimize → techmap → phased → early_eval → simulate → verify
+//!   ```
+//!
+//!   Each stage returns a typed artifact ([`Ingested`], [`Optimized`],
+//!   [`Mapped`], [`Phased`], [`EarlyEvaled`], [`Simulated`]) plus a
+//!   per-stage report with wall-clock timing, so callers can stop at any
+//!   layer. [`Pipeline::run`] chains them all and returns
+//!   [`FlowArtifacts`].
+//!
+//! The `plc` binary is the command-line face of this crate; the `pl-bench`
+//! harness regenerates the paper's Table 3 as a thin wrapper over
+//! [`Pipeline::run`]. [`cli`] hosts the tiny argument parser all
+//! workspace binaries share.
+//!
+//! # Example
+//!
+//! Run a circuit from BLIF text end-to-end and inspect each layer:
+//!
+//! ```
+//! use pl_flow::{CircuitSource, FlowOptions, Pipeline};
+//!
+//! let blif = "\
+//! .model toggle
+//! .inputs en
+//! .outputs q
+//! .latch next q 0
+//! .names en q next
+//! 10 1
+//! 01 1
+//! .end
+//! ";
+//! let source = CircuitSource::BlifText { name: "toggle".into(), text: blif.into() };
+//! let pipeline = Pipeline::new(FlowOptions { vectors: 16, ..FlowOptions::default() });
+//!
+//! // Stage by stage...
+//! let ingested = pipeline.ingest(&source).unwrap();
+//! assert_eq!(ingested.report.dffs, 1);
+//! let mapped = pipeline.techmap(pipeline.optimize(ingested).unwrap()).unwrap();
+//! assert!(mapped.report.lut_size == 4);
+//!
+//! // ...or all at once.
+//! let art = pipeline.run(&source).unwrap();
+//! assert_eq!(art.outputs.len(), 16);
+//! assert!(art.report.verify.is_some());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+mod error;
+mod pipeline;
+mod source;
+
+pub use error::FlowError;
+pub use pipeline::{
+    EarlyEvaled, EeStageReport, FlowArtifacts, FlowOptions, FlowReport, IngestReport, Ingested,
+    Mapped, OptimizeReport, Optimized, Phased, PhasedReport, Pipeline, SimReport, Simulated,
+    TechmapReport, VerifyReport,
+};
+pub use source::{
+    lcg_vectors, random_netlist, random_netlist_draw, CircuitSource, Lcg, RandomSpec,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_catalog_run_produces_consistent_artifacts() {
+        let pipeline = Pipeline::new(FlowOptions {
+            vectors: 10,
+            ..FlowOptions::default()
+        });
+        let src = CircuitSource::catalog("b02").expect("b02 exists");
+        let art = pipeline.run(&src).unwrap();
+        assert_eq!(art.name, "b02");
+        assert_eq!(art.outputs.len(), 10);
+        assert_eq!(art.report.phased.logic_gates, art.plain.num_logic_gates());
+        assert_eq!(art.pairs.len(), art.report.early_eval.pairs);
+        assert!(art.stats_ee.is_some());
+        assert!(art.report.verify.is_some());
+        assert!(art.report.total_secs() > 0.0);
+    }
+
+    #[test]
+    fn ee_disabled_runs_plain_only() {
+        let pipeline = Pipeline::new(FlowOptions {
+            vectors: 5,
+            ee_enabled: false,
+            verify: false,
+            ..FlowOptions::default()
+        });
+        let art = pipeline
+            .run(&CircuitSource::catalog("b01").unwrap())
+            .unwrap();
+        assert!(art.ee.is_none());
+        assert!(art.stats_ee.is_none());
+        assert!(art.pairs.is_empty());
+        assert!(!art.report.early_eval.enabled);
+        assert!(art.report.verify.is_none());
+    }
+
+    #[test]
+    fn simulate_is_jobs_invariant() {
+        let src = CircuitSource::catalog("b06").unwrap();
+        let base = Pipeline::new(FlowOptions {
+            vectors: 8,
+            verify: false,
+            ..FlowOptions::default()
+        })
+        .run(&src)
+        .unwrap();
+        for jobs in [2, 4] {
+            let par = Pipeline::new(FlowOptions {
+                vectors: 8,
+                verify: false,
+                jobs,
+                ..FlowOptions::default()
+            })
+            .run(&src)
+            .unwrap();
+            assert_eq!(par.outputs, base.outputs, "jobs={jobs}");
+            assert_eq!(
+                par.stats_plain.per_vector, base.stats_plain.per_vector,
+                "jobs={jobs}"
+            );
+            assert_eq!(
+                par.stats_ee.as_ref().unwrap().per_vector,
+                base.stats_ee.as_ref().unwrap().per_vector,
+                "jobs={jobs}"
+            );
+        }
+    }
+
+    #[test]
+    fn random_source_runs_end_to_end() {
+        let pipeline = Pipeline::new(FlowOptions {
+            vectors: 6,
+            ..FlowOptions::default()
+        });
+        let art = pipeline
+            .run(&CircuitSource::Random(RandomSpec::new(0xF10)))
+            .unwrap();
+        assert_eq!(art.outputs.len(), 6);
+        assert!(art.report.verify.is_some());
+    }
+
+    #[test]
+    fn optimize_stage_cleans_when_enabled() {
+        // A netlist with a dead LUT: cleanup must drop it, pass-through
+        // must keep it.
+        let mut n = pl_netlist::Netlist::new("dead");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let live = n.add_and2(a, b).unwrap();
+        let _dead = n.add_xor2(a, b).unwrap();
+        n.set_output("y", live);
+        let src = CircuitSource::Netlist {
+            name: "dead".into(),
+            netlist: n,
+        };
+
+        let keep = Pipeline::new(FlowOptions::default());
+        let kept = keep.optimize(keep.ingest(&src).unwrap()).unwrap();
+        assert!(!kept.report.ran);
+        assert_eq!(kept.report.nodes_before, kept.report.nodes_after);
+
+        let clean = Pipeline::new(FlowOptions {
+            optimize: true,
+            ..FlowOptions::default()
+        });
+        let cleaned = clean.optimize(clean.ingest(&src).unwrap()).unwrap();
+        assert!(cleaned.report.ran);
+        assert!(cleaned.report.nodes_after < cleaned.report.nodes_before);
+    }
+}

@@ -1,0 +1,592 @@
+//! The compile pipeline: explicit, separately-callable stages.
+//!
+//! ```text
+//! ingest → optimize → techmap → phased → early_eval → simulate → verify
+//! ```
+//!
+//! Each stage consumes the previous stage's typed artifact and returns a
+//! new one carrying the transformed design plus a per-stage report with
+//! wall-clock timing, so callers can stop at any layer: a linter stops
+//! after [`Pipeline::ingest`], a mapper benchmark after
+//! [`Pipeline::techmap`], the Table 3 harness runs the whole chain via
+//! [`Pipeline::run`].
+//!
+//! Determinism contract: for a fixed [`FlowOptions`] and source, every
+//! artifact is bit-identical across runs and across `jobs` values — the
+//! only parallel step (the plain-vs-EE latency sweep in
+//! [`Pipeline::simulate`]) scatters whole deterministic measurements via
+//! [`pl_sim::parallel::scatter_gather`] and reorders them by index.
+
+use std::time::Instant;
+
+use pl_core::ee::{EeOptions, EePair};
+use pl_core::PlNetlist;
+use pl_netlist::Netlist;
+use pl_sim::{DelayModel, LatencyStats};
+use pl_techmap::{map_with_report, MapOptions};
+
+use crate::error::FlowError;
+use crate::source::CircuitSource;
+
+/// Parameters of a pipeline run.
+#[derive(Debug, Clone)]
+pub struct FlowOptions {
+    /// Random input vectors per simulated variant (the paper used 100).
+    pub vectors: usize,
+    /// RNG seed for vector generation.
+    pub seed: u64,
+    /// Early-evaluation selection policy.
+    pub ee: EeOptions,
+    /// Run the early-evaluation transformation at all. When `false`, the
+    /// EE stage passes through and only the plain variant simulates.
+    pub ee_enabled: bool,
+    /// Component delays.
+    pub delays: DelayModel,
+    /// Cross-check PL outputs against the synchronous reference.
+    pub verify: bool,
+    /// Worker threads for the simulate stage's variant sweep (`0` = one
+    /// per core). Results are bit-identical at any value.
+    pub jobs: usize,
+    /// Technology-mapping options (LUT arity, cut budget, cleanup).
+    pub map: MapOptions,
+    /// Run the standalone netlist cleanup passes (constant propagation,
+    /// structural hashing, dead-node elimination) before mapping. Catalog
+    /// sources are already cleaned by elaboration, so this is off by
+    /// default; it pays off on raw third-party BLIF files.
+    pub optimize: bool,
+}
+
+impl Default for FlowOptions {
+    fn default() -> Self {
+        Self {
+            vectors: 100,
+            seed: 0xDA7E_2002,
+            ee: EeOptions::default(),
+            ee_enabled: true,
+            delays: DelayModel::default(),
+            verify: true,
+            jobs: 1,
+            map: MapOptions::default(),
+            optimize: false,
+        }
+    }
+}
+
+/// Ingest-stage report.
+#[derive(Debug, Clone)]
+pub struct IngestReport {
+    /// Source kind (`rtl-catalog`, `blif-file`, ...).
+    pub source: &'static str,
+    /// Primary inputs of the ingested netlist.
+    pub inputs: usize,
+    /// Primary outputs.
+    pub outputs: usize,
+    /// LUT nodes.
+    pub luts: usize,
+    /// Flip-flops.
+    pub dffs: usize,
+    /// Stage wall-clock seconds.
+    pub secs: f64,
+}
+
+/// Ingest-stage artifact: a named gate-level netlist.
+#[derive(Debug, Clone)]
+pub struct Ingested {
+    /// Design label (catalog id, file path, ...).
+    pub name: String,
+    /// The gate-level netlist.
+    pub netlist: Netlist,
+    /// Stage report.
+    pub report: IngestReport,
+}
+
+/// Optimize-stage report.
+#[derive(Debug, Clone)]
+pub struct OptimizeReport {
+    /// Whether the cleanup passes ran (see [`FlowOptions::optimize`]).
+    pub ran: bool,
+    /// Node count before.
+    pub nodes_before: usize,
+    /// Node count after.
+    pub nodes_after: usize,
+    /// Stage wall-clock seconds.
+    pub secs: f64,
+}
+
+/// Optimize-stage artifact.
+#[derive(Debug, Clone)]
+pub struct Optimized {
+    /// Design label.
+    pub name: String,
+    /// The (possibly cleaned) netlist.
+    pub netlist: Netlist,
+    /// Stage report.
+    pub report: OptimizeReport,
+}
+
+/// Techmap-stage report.
+#[derive(Debug, Clone)]
+pub struct TechmapReport {
+    /// Target LUT arity.
+    pub lut_size: usize,
+    /// LUT count before mapping (after 2-input decomposition).
+    pub luts_before: usize,
+    /// LUT count after mapping.
+    pub luts_after: usize,
+    /// Combinational depth after mapping.
+    pub depth: u32,
+    /// Stage wall-clock seconds.
+    pub secs: f64,
+}
+
+/// Techmap-stage artifact: a LUT-k netlist ready for phased-logic mapping.
+#[derive(Debug, Clone)]
+pub struct Mapped {
+    /// Design label.
+    pub name: String,
+    /// The mapped netlist (every LUT ≤ the configured arity).
+    pub netlist: Netlist,
+    /// Stage report.
+    pub report: TechmapReport,
+}
+
+/// Phased-stage report.
+#[derive(Debug, Clone)]
+pub struct PhasedReport {
+    /// PL logic gates (LUTs + registers) — Table 3's "PL Gates".
+    pub logic_gates: usize,
+    /// Total arcs in the marked graph.
+    pub arcs: usize,
+    /// Feedback (acknowledge) arcs.
+    pub ack_arcs: usize,
+    /// Stage wall-clock seconds (includes the liveness check).
+    pub secs: f64,
+}
+
+/// Phased-stage artifact: a live phased-logic marked graph.
+#[derive(Debug, Clone)]
+pub struct Phased {
+    /// Design label.
+    pub name: String,
+    /// The phased-logic netlist (no EE yet).
+    pub netlist: PlNetlist,
+    /// Stage report.
+    pub report: PhasedReport,
+}
+
+/// Early-evaluation-stage report.
+#[derive(Debug, Clone)]
+pub struct EeStageReport {
+    /// Whether the transformation ran (see [`FlowOptions::ee_enabled`]).
+    pub enabled: bool,
+    /// Implemented master/trigger pairs — Table 3's "EE Gates".
+    pub pairs: usize,
+    /// Compute gates examined as potential masters.
+    pub examined: usize,
+    /// Trigger searches answered by the LUT-class memo cache.
+    pub cache_hits: u64,
+    /// Trigger searches computed fresh.
+    pub cache_misses: u64,
+    /// Fractional area increase (pairs over PL gates).
+    pub area_increase: f64,
+    /// Stage wall-clock seconds.
+    pub secs: f64,
+}
+
+/// Early-evaluation-stage artifact: the plain netlist plus (when enabled)
+/// its EE-transformed twin.
+#[derive(Debug, Clone)]
+pub struct EarlyEvaled {
+    /// Design label.
+    pub name: String,
+    /// The plain phased-logic netlist.
+    pub plain: PlNetlist,
+    /// The EE-transformed netlist (`None` when EE is disabled).
+    pub ee: Option<PlNetlist>,
+    /// The implemented master/trigger pairs.
+    pub pairs: Vec<EePair>,
+    /// Stage report.
+    pub report: EeStageReport,
+}
+
+/// Simulate-stage report.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Vectors simulated per variant.
+    pub vectors: usize,
+    /// Worker threads used for the variant sweep.
+    pub jobs: usize,
+    /// Stage wall-clock seconds (all variants).
+    pub secs: f64,
+}
+
+/// Simulate-stage artifact: per-vector outputs and latency statistics.
+///
+/// `outputs` are the plain variant's outputs; the stage has already
+/// asserted that the EE variant's outputs are bit-identical (the paper's
+/// central invariant: EE changes timing only, never values).
+#[derive(Debug, Clone)]
+pub struct Simulated {
+    /// Design label.
+    pub name: String,
+    /// The input vectors that were simulated (the verify stage replays
+    /// exactly these against the synchronous reference).
+    pub inputs: Vec<Vec<bool>>,
+    /// Per-vector primary-output values.
+    pub outputs: Vec<Vec<bool>>,
+    /// Latency statistics without EE.
+    pub stats_plain: LatencyStats,
+    /// Latency statistics with EE (`None` when EE is disabled).
+    pub stats_ee: Option<LatencyStats>,
+    /// Stage report.
+    pub report: SimReport,
+}
+
+/// Verify-stage report.
+#[derive(Debug, Clone)]
+pub struct VerifyReport {
+    /// Vectors cross-checked against the synchronous reference.
+    pub vectors: usize,
+    /// Stage wall-clock seconds.
+    pub secs: f64,
+}
+
+/// Everything a full [`Pipeline::run`] produces.
+#[derive(Debug, Clone)]
+pub struct FlowArtifacts {
+    /// Design label.
+    pub name: String,
+    /// The LUT-mapped synchronous netlist (verify-stage reference).
+    pub mapped: Netlist,
+    /// The plain phased-logic netlist.
+    pub plain: PlNetlist,
+    /// The EE-transformed netlist (`None` when EE is disabled).
+    pub ee: Option<PlNetlist>,
+    /// The implemented master/trigger pairs.
+    pub pairs: Vec<EePair>,
+    /// The simulated input vectors.
+    pub inputs: Vec<Vec<bool>>,
+    /// Per-vector primary-output values.
+    pub outputs: Vec<Vec<bool>>,
+    /// Latency statistics without EE.
+    pub stats_plain: LatencyStats,
+    /// Latency statistics with EE (`None` when EE is disabled).
+    pub stats_ee: Option<LatencyStats>,
+    /// All stage reports.
+    pub report: FlowReport,
+}
+
+/// The per-stage reports of one full run.
+#[derive(Debug, Clone)]
+pub struct FlowReport {
+    /// Ingest stage.
+    pub ingest: IngestReport,
+    /// Optimize stage.
+    pub optimize: OptimizeReport,
+    /// Techmap stage.
+    pub techmap: TechmapReport,
+    /// Phased stage.
+    pub phased: PhasedReport,
+    /// Early-evaluation stage.
+    pub early_eval: EeStageReport,
+    /// Simulate stage.
+    pub simulate: SimReport,
+    /// Verify stage (`None` when verification is off).
+    pub verify: Option<VerifyReport>,
+}
+
+impl FlowReport {
+    /// Total wall-clock seconds across all stages.
+    #[must_use]
+    pub fn total_secs(&self) -> f64 {
+        self.ingest.secs
+            + self.optimize.secs
+            + self.techmap.secs
+            + self.phased.secs
+            + self.early_eval.secs
+            + self.simulate.secs
+            + self.verify.as_ref().map_or(0.0, |v| v.secs)
+    }
+}
+
+/// The compile pipeline, configured once and callable stage by stage.
+#[derive(Debug, Clone, Default)]
+pub struct Pipeline {
+    opts: FlowOptions,
+}
+
+impl Pipeline {
+    /// A pipeline with the given options.
+    #[must_use]
+    pub fn new(opts: FlowOptions) -> Self {
+        Self { opts }
+    }
+
+    /// The configured options.
+    #[must_use]
+    pub fn opts(&self) -> &FlowOptions {
+        &self.opts
+    }
+
+    /// **Stage 1 — ingest**: resolves a [`CircuitSource`] to a named
+    /// gate-level netlist.
+    ///
+    /// # Errors
+    ///
+    /// Source resolution failures (I/O, BLIF parse, RTL elaboration).
+    pub fn ingest(&self, source: &CircuitSource) -> Result<Ingested, FlowError> {
+        let t0 = Instant::now();
+        let netlist = source.ingest_netlist()?;
+        let report = IngestReport {
+            source: source.kind(),
+            inputs: netlist.inputs().len(),
+            outputs: netlist.outputs().len(),
+            luts: netlist.num_luts(),
+            dffs: netlist.dffs().len(),
+            secs: t0.elapsed().as_secs_f64(),
+        };
+        Ok(Ingested {
+            name: source.name(),
+            netlist,
+            report,
+        })
+    }
+
+    /// **Stage 2 — optimize**: optional standalone cleanup passes
+    /// (constant propagation, structural hashing, dead-node elimination).
+    /// Passes through untouched unless [`FlowOptions::optimize`] is set.
+    ///
+    /// # Errors
+    ///
+    /// Netlist validation failures from the cleanup passes.
+    pub fn optimize(&self, ingested: Ingested) -> Result<Optimized, FlowError> {
+        let t0 = Instant::now();
+        let nodes_before = ingested.netlist.len();
+        let netlist = if self.opts.optimize {
+            pl_netlist::opt::cleanup(&ingested.netlist)?
+        } else {
+            ingested.netlist
+        };
+        Ok(Optimized {
+            name: ingested.name,
+            report: OptimizeReport {
+                ran: self.opts.optimize,
+                nodes_before,
+                nodes_after: netlist.len(),
+                secs: t0.elapsed().as_secs_f64(),
+            },
+            netlist,
+        })
+    }
+
+    /// **Stage 3 — techmap**: covers the netlist with LUTs of the
+    /// configured arity (cut-based, depth-oriented).
+    ///
+    /// # Errors
+    ///
+    /// Mapping and validation failures.
+    pub fn techmap(&self, optimized: Optimized) -> Result<Mapped, FlowError> {
+        let t0 = Instant::now();
+        let mr = map_with_report(&optimized.netlist, &self.opts.map)?;
+        Ok(Mapped {
+            name: optimized.name,
+            netlist: mr.netlist,
+            report: TechmapReport {
+                lut_size: self.opts.map.lut_size,
+                luts_before: mr.luts_before,
+                luts_after: mr.luts_after,
+                depth: mr.depth,
+                secs: t0.elapsed().as_secs_f64(),
+            },
+        })
+    }
+
+    /// **Stage 4 — phased**: maps the synchronous LUT netlist one-to-one
+    /// onto a phased-logic marked graph and proves it live.
+    ///
+    /// # Errors
+    ///
+    /// PL mapping failures; liveness violations (which would indicate a
+    /// mapping bug or a degenerate input).
+    pub fn phased(&self, mapped: &Mapped) -> Result<Phased, FlowError> {
+        let t0 = Instant::now();
+        let netlist = PlNetlist::from_sync(&mapped.netlist)?;
+        pl_core::marked::check_liveness(&netlist)?;
+        let report = PhasedReport {
+            logic_gates: netlist.num_logic_gates(),
+            arcs: netlist.arcs().len(),
+            ack_arcs: netlist.num_ack_arcs(),
+            secs: t0.elapsed().as_secs_f64(),
+        };
+        Ok(Phased {
+            name: mapped.name.clone(),
+            netlist,
+            report,
+        })
+    }
+
+    /// **Stage 5 — early evaluation**: pairs eligible masters with
+    /// trigger gates (paper §3). The plain netlist is built **once** in
+    /// the phased stage; the EE twin derives from a clone, so the two
+    /// variants share an identical baseline by construction.
+    ///
+    /// When [`FlowOptions::ee_enabled`] is off, the stage passes the
+    /// plain netlist through and reports zero pairs.
+    #[must_use]
+    pub fn early_eval(&self, phased: Phased) -> EarlyEvaled {
+        let t0 = Instant::now();
+        if !self.opts.ee_enabled {
+            return EarlyEvaled {
+                name: phased.name,
+                plain: phased.netlist,
+                ee: None,
+                pairs: Vec::new(),
+                report: EeStageReport {
+                    enabled: false,
+                    pairs: 0,
+                    examined: 0,
+                    cache_hits: 0,
+                    cache_misses: 0,
+                    area_increase: 0.0,
+                    secs: t0.elapsed().as_secs_f64(),
+                },
+            };
+        }
+        let report = phased.netlist.clone().with_early_evaluation(&self.opts.ee);
+        let stage_report = EeStageReport {
+            enabled: true,
+            pairs: report.pairs().len(),
+            examined: report.examined(),
+            cache_hits: report.cache_hits(),
+            cache_misses: report.cache_misses(),
+            area_increase: report.area_increase(),
+            secs: t0.elapsed().as_secs_f64(),
+        };
+        let pairs = report.pairs().to_vec();
+        EarlyEvaled {
+            name: phased.name,
+            plain: phased.netlist,
+            ee: Some(report.into_netlist()),
+            pairs,
+            report: stage_report,
+        }
+    }
+
+    /// **Stage 6 — simulate**: measures stable-input→stable-output
+    /// latency over seeded random vectors for every variant, scattering
+    /// the variants across [`FlowOptions::jobs`] workers (results are
+    /// bit-identical at any worker count), and asserts the EE variant's
+    /// outputs equal the plain variant's.
+    ///
+    /// # Errors
+    ///
+    /// Simulator failures; [`FlowError::Mismatch`] if EE ever changed a
+    /// value (must never happen).
+    pub fn simulate(&self, ee: &EarlyEvaled) -> Result<Simulated, FlowError> {
+        let t0 = Instant::now();
+        let inputs = pl_sim::random_vectors(
+            ee.plain.input_gates().len(),
+            self.opts.vectors,
+            self.opts.seed,
+        );
+        let variants: Vec<&PlNetlist> = std::iter::once(&ee.plain).chain(ee.ee.as_ref()).collect();
+        let results = pl_sim::parallel::scatter_gather(self.opts.jobs, &variants, |_, pl| {
+            pl_sim::measure_latency_on(pl, &self.opts.delays, &inputs)
+        });
+        let mut measured = Vec::with_capacity(results.len());
+        for r in results {
+            measured.push(r?);
+        }
+        let (out_plain, stats_plain) = measured.swap_remove(0);
+        let stats_ee = match measured.pop() {
+            Some((out_ee, stats)) => {
+                if out_plain != out_ee {
+                    return Err(FlowError::Mismatch {
+                        context: format!("{} (EE vs plain)", ee.name),
+                    });
+                }
+                Some(stats)
+            }
+            None => None,
+        };
+        Ok(Simulated {
+            name: ee.name.clone(),
+            inputs,
+            outputs: out_plain,
+            stats_plain,
+            stats_ee,
+            report: SimReport {
+                vectors: self.opts.vectors,
+                jobs: self.opts.jobs,
+                secs: t0.elapsed().as_secs_f64(),
+            },
+        })
+    }
+
+    /// **Stage 7 — verify**: replays the simulate stage's exact input
+    /// vectors (carried in the [`Simulated`] artifact) through the
+    /// cycle-accurate synchronous reference and checks every output word
+    /// against the phased-logic run.
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::Mismatch`] naming the first diverging vector.
+    pub fn verify(&self, mapped: &Netlist, sim: &Simulated) -> Result<VerifyReport, FlowError> {
+        let t0 = Instant::now();
+        let mut sync = pl_sim::SyncSimulator::new(mapped).map_err(FlowError::Netlist)?;
+        for (i, (v, pl_out)) in sim.inputs.iter().zip(&sim.outputs).enumerate() {
+            let sync_out = sync.step(v).map_err(FlowError::Netlist)?;
+            if &sync_out != pl_out {
+                return Err(FlowError::Mismatch {
+                    context: format!("{} vector {i} (sync vs PL)", sim.name),
+                });
+            }
+        }
+        Ok(VerifyReport {
+            vectors: sim.outputs.len(),
+            secs: t0.elapsed().as_secs_f64(),
+        })
+    }
+
+    /// Runs the whole chain on one source.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing stage's error.
+    pub fn run(&self, source: &CircuitSource) -> Result<FlowArtifacts, FlowError> {
+        let ingested = self.ingest(source)?;
+        let ingest_report = ingested.report.clone();
+        let optimized = self.optimize(ingested)?;
+        let optimize_report = optimized.report.clone();
+        let mapped = self.techmap(optimized)?;
+        let phased = self.phased(&mapped)?;
+        let phased_report = phased.report.clone();
+        let early = self.early_eval(phased);
+        let sim = self.simulate(&early)?;
+        let verify = if self.opts.verify {
+            Some(self.verify(&mapped.netlist, &sim)?)
+        } else {
+            None
+        };
+        Ok(FlowArtifacts {
+            name: early.name.clone(),
+            report: FlowReport {
+                ingest: ingest_report,
+                optimize: optimize_report,
+                techmap: mapped.report,
+                phased: phased_report,
+                early_eval: early.report,
+                simulate: sim.report,
+                verify,
+            },
+            mapped: mapped.netlist,
+            plain: early.plain,
+            ee: early.ee,
+            pairs: early.pairs,
+            inputs: sim.inputs,
+            outputs: sim.outputs,
+            stats_plain: sim.stats_plain,
+            stats_ee: sim.stats_ee,
+        })
+    }
+}

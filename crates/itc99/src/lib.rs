@@ -12,6 +12,11 @@
 //! paper's table, while absolute gate counts naturally differ from a
 //! Synopsys-mapped netlist.
 //!
+//! Besides the RTL catalog, [`blif_assets`] exposes vendored SIS-dialect
+//! BLIF snapshots of several circuits (under `assets/blif/`) — the
+//! file-based loader path that feeds the `pl-flow` ingest stage the same
+//! way a third-party netlist file would.
+//!
 //! # Example
 //!
 //! ```
@@ -42,6 +47,7 @@ mod b12_game;
 mod b13_meteo;
 mod b14_viper;
 mod b15_i386;
+mod blif_assets;
 
 pub use b01_serial_flows::b01;
 pub use b02_bcd::b02;
@@ -58,6 +64,7 @@ pub use b12_game::b12;
 pub use b13_meteo::b13;
 pub use b14_viper::{b14, b14_program, B14State, B14_PCW, B14_RAM, B14_REGS, B14_WIDTH};
 pub use b15_i386::{b15, b15_program, B15State, B15_PCW, B15_RAM, B15_REGS, B15_WIDTH};
+pub use blif_assets::{blif_asset, blif_assets, BlifAsset};
 
 use pl_rtl::Module;
 

@@ -71,5 +71,5 @@ pub use engine::{PlSimulator, StreamOutcome, VectorOutcome};
 pub use error::SimError;
 pub use parallel::{scatter_gather, sweep_sharded, sweep_streams};
 pub use reference::ReferenceSimulator;
-pub use stats::{measure_latency, LatencyStats};
+pub use stats::{measure_latency, measure_latency_on, random_vectors, LatencyStats};
 pub use sync::{verify_equivalence, Mismatch, SyncSimulator};

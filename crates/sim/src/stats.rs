@@ -93,6 +93,43 @@ impl std::fmt::Display for LatencyStats {
     }
 }
 
+/// The measurement protocol's input vectors: `count` uniformly random
+/// vectors of `n_inputs` bits from a seeded [`StdRng`]. This is the one
+/// definition of the vector stream — [`measure_latency`] draws from it,
+/// and callers that need the vectors themselves (e.g. to cross-check
+/// against a reference simulator) use it instead of replicating the RNG
+/// recipe.
+#[must_use]
+pub fn random_vectors(n_inputs: usize, count: usize, seed: u64) -> Vec<Vec<bool>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| (0..n_inputs).map(|_| rng.gen()).collect())
+        .collect()
+}
+
+/// Runs the given input vectors through a netlist on one simulator (state
+/// carries across vectors) and returns the outputs per vector plus
+/// latency statistics.
+///
+/// # Errors
+///
+/// Propagates simulator failures.
+pub fn measure_latency_on(
+    pl: &PlNetlist,
+    delays: &DelayModel,
+    vectors: &[Vec<bool>],
+) -> Result<(Vec<Vec<bool>>, LatencyStats), SimError> {
+    let mut sim = PlSimulator::new(pl, delays.clone())?;
+    let mut outputs = Vec::with_capacity(vectors.len());
+    let mut lat = Vec::with_capacity(vectors.len());
+    for v in vectors {
+        let r = sim.run_vector(v)?;
+        outputs.push(r.outputs);
+        lat.push(r.latency);
+    }
+    Ok((outputs, LatencyStats::new(lat)))
+}
+
 /// Runs `count` uniformly random input vectors (seeded) through a netlist
 /// and returns the outputs per vector plus latency statistics — the paper's
 /// measurement protocol ("average statistics of 100 simulations where the
@@ -107,18 +144,8 @@ pub fn measure_latency(
     count: usize,
     seed: u64,
 ) -> Result<(Vec<Vec<bool>>, LatencyStats), SimError> {
-    let mut sim = PlSimulator::new(pl, delays.clone())?;
-    let mut rng = StdRng::seed_from_u64(seed);
-    let n_inputs = pl.input_gates().len();
-    let mut outputs = Vec::with_capacity(count);
-    let mut lat = Vec::with_capacity(count);
-    for _ in 0..count {
-        let v: Vec<bool> = (0..n_inputs).map(|_| rng.gen()).collect();
-        let r = sim.run_vector(&v)?;
-        outputs.push(r.outputs);
-        lat.push(r.latency);
-    }
-    Ok((outputs, LatencyStats::new(lat)))
+    let vectors = random_vectors(pl.input_gates().len(), count, seed);
+    measure_latency_on(pl, delays, &vectors)
 }
 
 #[cfg(test)]

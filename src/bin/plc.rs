@@ -1,44 +1,155 @@
-//! `plc` — phased-logic compiler/driver CLI.
+//! `plc` — the phased-logic compiler.
 //!
-//! A downstream-user tool wrapping the whole reproduction flow:
+//! The command-line face of the `pl-flow` pipeline: point it at any BLIF
+//! netlist (SIS/ABC dialect) or an ITC'99 catalog id and it runs
 //!
 //! ```text
-//! plc flow   <file.blif | bXX>        run BLIF or an ITC99 id through the
-//!                                     full EE flow and print statistics
-//! plc ee     <file.blif | bXX>        list every master/trigger pair with
-//!                                     its Equation-1 ingredients
-//! plc vcd    <file.blif | bXX> <out>  simulate 8 random vectors and write
-//!                                     a VCD token waveform
-//! plc verilog <file.blif | bXX>       print the LUT4-mapped netlist as
-//!                                     structural Verilog
+//! ingest → optimize → techmap → phased → early_eval → simulate → verify
+//! ```
+//!
+//! printing a per-stage report with timings, early-evaluation statistics
+//! (`--ee`), a latency report, and a synchronous cross-check (`--verify`).
+//! `--stage` stops the pipeline at any layer; `--emit-blif`, `--verilog`
+//! and `--vcd` export artifacts. Example:
+//!
+//! ```text
+//! plc assets/blif/b09.blif --ee --verify --vectors 100
 //! ```
 
 use std::process::ExitCode;
 
-use phased_logic_ee::prelude::*;
-use pl_netlist::Netlist;
+use pl_flow::cli::{CliSpec, OptSpec, PositionalSpec};
+use pl_flow::{CircuitSource, FlowOptions, Pipeline};
+
+const SPEC: CliSpec = CliSpec {
+    bin: "plc",
+    about: "compile a BLIF netlist or ITC'99 circuit to phased logic and run it",
+    positional: Some(PositionalSpec {
+        name: "<file.blif|bXX>",
+        help: "BLIF file path, or an ITC'99 catalog id (b01..b15)",
+        many: false,
+        required: true,
+    }),
+    options: &[
+        OptSpec {
+            long: "--ee",
+            value: None,
+            help: "add early evaluation and compare latency against plain PL",
+        },
+        OptSpec {
+            long: "--verify",
+            value: None,
+            help: "cross-check outputs against the synchronous reference",
+        },
+        OptSpec {
+            long: "--vectors",
+            value: Some("N"),
+            help: "random vectors to simulate (default 100)",
+        },
+        OptSpec {
+            long: "--seed",
+            value: Some("S"),
+            help: "vector-generation seed",
+        },
+        OptSpec {
+            long: "--jobs",
+            value: Some("J"),
+            help: "worker threads for the variant sweep (0 = one per core)",
+        },
+        OptSpec {
+            long: "--threshold",
+            value: Some("T"),
+            help: "EE cost threshold (Equation 1; default 0 = all speedups)",
+        },
+        OptSpec {
+            long: "--optimize",
+            value: None,
+            help: "run netlist cleanup passes before mapping",
+        },
+        OptSpec {
+            long: "--lut-size",
+            value: Some("K"),
+            help: "target LUT arity for technology mapping (2..=6, default 4)",
+        },
+        OptSpec {
+            long: "--stage",
+            value: Some("NAME"),
+            help: "stop after ingest|optimize|techmap|phased|early-eval|simulate",
+        },
+        OptSpec {
+            long: "--emit-blif",
+            value: Some("PATH"),
+            help: "write the ingested (pre-map) netlist as BLIF",
+        },
+        OptSpec {
+            long: "--verilog",
+            value: None,
+            help: "print the LUT-mapped netlist as structural Verilog",
+        },
+        OptSpec {
+            long: "--vcd",
+            value: Some("PATH"),
+            help: "write an 8-vector token waveform VCD of the plain PL netlist",
+        },
+    ],
+};
+
+/// How far down the pipeline to go.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Stage {
+    Ingest,
+    Optimize,
+    Techmap,
+    Phased,
+    EarlyEval,
+    Simulate,
+}
+
+fn parse_stage(name: &str) -> Option<Stage> {
+    match name {
+        "ingest" => Some(Stage::Ingest),
+        "optimize" => Some(Stage::Optimize),
+        "techmap" | "map" => Some(Stage::Techmap),
+        "phased" => Some(Stage::Phased),
+        "early-eval" | "early_eval" | "ee" => Some(Stage::EarlyEval),
+        "simulate" | "sim" => Some(Stage::Simulate),
+        _ => None,
+    }
+}
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let result = match args.first().map(String::as_str) {
-        Some("flow") => with_design(&args, 2, |name, mapped| cmd_flow(name, &mapped)),
-        Some("ee") => with_design(&args, 2, |name, mapped| cmd_ee(name, &mapped)),
-        Some("vcd") => with_design(&args, 3, |_name, mapped| {
-            cmd_vcd(&mapped, args.get(2).expect("arity checked"))
-        }),
-        Some("verilog") => with_design(&args, 2, |_, mapped| {
-            let v = pl_netlist::verilog::to_verilog(&mapped)?;
-            print!("{v}");
-            Ok(())
-        }),
-        _ => {
-            eprintln!(
-                "usage: plc <flow|ee|verilog> <file.blif|bXX>\n       plc vcd <file.blif|bXX> <out.vcd>"
-            );
-            return ExitCode::from(2);
-        }
+    let args = SPEC.parse_env();
+    let spec = args.positionals[0].clone();
+    let stop_after = match args.get("--stage") {
+        None => Stage::Simulate,
+        Some(name) => match parse_stage(name) {
+            Some(s) => s,
+            None => {
+                eprintln!("error: unknown stage '{name}'\n");
+                eprintln!("{}", SPEC.help());
+                return ExitCode::from(2);
+            }
+        },
     };
-    match result {
+
+    let mut opts = FlowOptions::default();
+    opts.vectors = args.value_or("--vectors", opts.vectors);
+    opts.seed = args.value_or("--seed", opts.seed);
+    opts.jobs = args.value_or("--jobs", opts.jobs);
+    opts.ee_enabled = args.flag("--ee");
+    opts.verify = args.flag("--verify");
+    opts.optimize = args.flag("--optimize");
+    opts.map.lut_size = args.value_or("--lut-size", opts.map.lut_size);
+    if let Some(t) = args.value_opt::<f64>("--threshold") {
+        opts.ee.cost_threshold = t;
+    }
+    if let Err(msg) = check_flag_consistency(&args, stop_after, &opts) {
+        eprintln!("error: {msg}\n");
+        eprintln!("{}", SPEC.help());
+        return ExitCode::from(2);
+    }
+
+    match drive(&spec, &args, stop_after, opts) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("plc: {e}");
@@ -47,76 +158,225 @@ fn main() -> ExitCode {
     }
 }
 
-/// Loads a design by BLIF path or ITC99 id, LUT4-maps it, and hands it on.
-fn with_design(
-    args: &[String],
-    min_args: usize,
-    f: impl FnOnce(String, Netlist) -> Result<(), Box<dyn std::error::Error>>,
-) -> Result<(), Box<dyn std::error::Error>> {
-    if args.len() < min_args {
-        return Err("missing design argument (BLIF path or b01..b15)".into());
+/// Rejects flag combinations that would otherwise be silently ignored:
+/// an export/check flag whose stage is cut off by `--stage`, a
+/// `--threshold` without the EE stage it configures, or a LUT arity the
+/// mapper would reject with a panic instead of a usage error.
+fn check_flag_consistency(
+    args: &pl_flow::cli::ParsedArgs,
+    stop_after: Stage,
+    opts: &FlowOptions,
+) -> Result<(), String> {
+    if !(2..=6).contains(&opts.map.lut_size) {
+        return Err(format!(
+            "--lut-size {} is outside the supported range 2..=6",
+            opts.map.lut_size
+        ));
     }
-    let spec = &args[1];
-    let gates = if let Some(bench) = pl_itc99::by_id(spec) {
-        (bench.build)().elaborate()?
+    // `--seed` feeds the simulate stage, except that a `--vcd` export
+    // already consumes it at the phased stage.
+    let (seed_stage, seed_stage_name) = if args.get("--vcd").is_some() {
+        (Stage::Phased, "phased")
     } else {
-        let text =
-            std::fs::read_to_string(spec).map_err(|e| format!("cannot read '{spec}': {e}"))?;
-        pl_netlist::blif::from_blif(&text)?
+        (Stage::Simulate, "simulate")
     };
-    let mapped = map_to_lut4(&gates, &MapOptions::default())?;
-    f(spec.clone(), mapped)
+    let needs: [(&str, bool, Stage, &str); 9] = [
+        (
+            "--optimize",
+            args.flag("--optimize"),
+            Stage::Optimize,
+            "optimize",
+        ),
+        (
+            "--lut-size",
+            args.get("--lut-size").is_some(),
+            Stage::Techmap,
+            "techmap",
+        ),
+        (
+            "--verilog",
+            args.flag("--verilog"),
+            Stage::Techmap,
+            "techmap",
+        ),
+        (
+            "--vcd",
+            args.get("--vcd").is_some(),
+            Stage::Phased,
+            "phased",
+        ),
+        ("--ee", args.flag("--ee"), Stage::EarlyEval, "early-eval"),
+        (
+            "--verify",
+            args.flag("--verify"),
+            Stage::Simulate,
+            "simulate",
+        ),
+        (
+            "--vectors",
+            args.get("--vectors").is_some(),
+            Stage::Simulate,
+            "simulate",
+        ),
+        (
+            "--jobs",
+            args.get("--jobs").is_some(),
+            Stage::Simulate,
+            "simulate",
+        ),
+        (
+            "--seed",
+            args.get("--seed").is_some(),
+            seed_stage,
+            seed_stage_name,
+        ),
+    ];
+    for (flag, given, stage, stage_name) in needs {
+        if given && stop_after < stage {
+            return Err(format!(
+                "{flag} has no effect when --stage stops before {stage_name}"
+            ));
+        }
+    }
+    if args.get("--threshold").is_some() && !args.flag("--ee") {
+        return Err("--threshold requires --ee (it configures the EE stage)".to_string());
+    }
+    Ok(())
 }
 
-fn cmd_flow(name: String, mapped: &Netlist) -> Result<(), Box<dyn std::error::Error>> {
-    let stats = pl_netlist::analyze::stats(mapped)?;
-    println!("design {name}: {stats}");
-    let plain = PlNetlist::from_sync(mapped)?;
-    pl_core::marked::check_liveness(&plain)?;
+/// Runs the pipeline stage by stage, printing each report as it lands.
+fn drive(
+    spec: &str,
+    args: &pl_flow::cli::ParsedArgs,
+    stop_after: Stage,
+    opts: FlowOptions,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let source = CircuitSource::from_spec(spec);
+    let pipeline = Pipeline::new(opts);
+    let opts = pipeline.opts().clone();
+
+    let ingested = pipeline.ingest(&source)?;
     println!(
-        "phased logic: {} gates, {} arcs ({} feedbacks) — live",
-        plain.num_logic_gates(),
-        plain.arcs().len(),
-        plain.num_ack_arcs()
+        "[ingest]    {} ({}): {} inputs, {} outputs, {} LUTs, {} DFFs  ({:.3}s)",
+        ingested.name,
+        ingested.report.source,
+        ingested.report.inputs,
+        ingested.report.outputs,
+        ingested.report.luts,
+        ingested.report.dffs,
+        ingested.report.secs,
     );
-    let report = PlNetlist::from_sync(mapped)?.with_early_evaluation(&EeOptions::default());
-    println!(
-        "early evaluation: {} pairs / {} compute gates (+{:.0}% area)",
-        report.pairs().len(),
-        report.examined(),
-        report.area_increase() * 100.0
-    );
-    let delays = DelayModel::default();
-    let (a, base) = pl_sim::measure_latency(&plain, &delays, 100, 1)?;
-    let (b, fast) = pl_sim::measure_latency(report.netlist(), &delays, 100, 1)?;
-    if a != b {
-        return Err("EE changed functional results (bug!)".into());
+    if let Some(path) = args.get("--emit-blif") {
+        let blif = pl_netlist::blif::to_blif(&ingested.netlist)?;
+        std::fs::write(path, &blif)?;
+        println!("[ingest]    wrote {path} ({} bytes)", blif.len());
     }
-    println!("latency without EE: {base}");
-    println!("latency with EE:    {fast}");
-    if base.mean() > 0.0 {
+    if stop_after == Stage::Ingest {
+        return Ok(());
+    }
+
+    let optimized = pipeline.optimize(ingested)?;
+    println!(
+        "[optimize]  {} ({} -> {} nodes)  ({:.3}s)",
+        if optimized.report.ran {
+            "cleanup"
+        } else {
+            "skipped (pass --optimize to enable)"
+        },
+        optimized.report.nodes_before,
+        optimized.report.nodes_after,
+        optimized.report.secs,
+    );
+    if stop_after == Stage::Optimize {
+        return Ok(());
+    }
+
+    let mapped = pipeline.techmap(optimized)?;
+    println!(
+        "[techmap]   LUT{}: {} -> {} LUTs, depth {}  ({:.3}s)",
+        mapped.report.lut_size,
+        mapped.report.luts_before,
+        mapped.report.luts_after,
+        mapped.report.depth,
+        mapped.report.secs,
+    );
+    if args.flag("--verilog") {
+        print!("{}", pl_netlist::verilog::to_verilog(&mapped.netlist)?);
+    }
+    if stop_after == Stage::Techmap {
+        return Ok(());
+    }
+
+    let phased = pipeline.phased(&mapped)?;
+    println!(
+        "[phased]    {} gates, {} arcs ({} feedbacks) — live  ({:.3}s)",
+        phased.report.logic_gates, phased.report.arcs, phased.report.ack_arcs, phased.report.secs,
+    );
+    if let Some(path) = args.get("--vcd") {
+        write_vcd(&phased.netlist, &mapped.netlist, &opts, path)?;
+    }
+    if stop_after == Stage::Phased {
+        return Ok(());
+    }
+
+    let early = pipeline.early_eval(phased);
+    if early.report.enabled {
         println!(
-            "delay decrease: {:.1}%",
-            100.0 * (base.mean() - fast.mean()) / base.mean()
+            "[early-eval] {} pairs / {} compute gates (+{:.0}% area, cache {}h/{}m)  ({:.3}s)",
+            early.report.pairs,
+            early.report.examined,
+            early.report.area_increase * 100.0,
+            early.report.cache_hits,
+            early.report.cache_misses,
+            early.report.secs,
+        );
+        print_pairs(&early);
+    } else {
+        println!("[early-eval] skipped (pass --ee to enable)");
+    }
+    if stop_after == Stage::EarlyEval {
+        return Ok(());
+    }
+
+    let sim = pipeline.simulate(&early)?;
+    println!(
+        "[simulate]  {} vectors, {} job(s)  ({:.3}s)",
+        sim.report.vectors, sim.report.jobs, sim.report.secs,
+    );
+    println!("  latency without EE: {}", sim.stats_plain);
+    if let Some(stats_ee) = &sim.stats_ee {
+        println!("  latency with EE:    {stats_ee}");
+        if sim.stats_plain.mean() > 0.0 {
+            println!(
+                "  delay decrease: {:.1}%  (EE outputs bit-identical to plain)",
+                100.0 * (sim.stats_plain.mean() - stats_ee.mean()) / sim.stats_plain.mean()
+            );
+        }
+    }
+
+    if opts.verify {
+        let report = pipeline.verify(&mapped.netlist, &sim)?;
+        println!(
+            "[verify]    {} vectors match the synchronous reference  ({:.3}s)",
+            report.vectors, report.secs,
         );
     }
     Ok(())
 }
 
-fn cmd_ee(name: String, mapped: &Netlist) -> Result<(), Box<dyn std::error::Error>> {
-    let report = PlNetlist::from_sync(mapped)?.with_early_evaluation(&EeOptions::default());
+/// Prints the implemented master/trigger pairs with their Equation-1
+/// ingredients.
+fn print_pairs(early: &pl_flow::EarlyEvaled) {
+    if early.pairs.is_empty() {
+        return;
+    }
     println!(
-        "design {name}: {} master/trigger pairs (of {} compute gates)",
-        report.pairs().len(),
-        report.examined()
-    );
-    println!(
-        "{:>8} {:>8} {:>8} {:>9} {:>5} {:>5} {:>7}",
+        "  {:>8} {:>8} {:>8} {:>9} {:>5} {:>5} {:>7}",
         "master", "trigger", "pins", "coverage", "Mmax", "Tmax", "cost"
     );
-    for p in report.pairs() {
+    for p in &early.pairs {
         println!(
-            "{:>8} {:>8} {:>8} {:>8.0}% {:>5} {:>5} {:>7.2}",
+            "  {:>8} {:>8} {:>8} {:>8.0}% {:>5} {:>5} {:>7.2}",
             p.master.to_string(),
             p.trigger.to_string(),
             format!("{:#06b}", p.candidate.support),
@@ -126,23 +386,27 @@ fn cmd_ee(name: String, mapped: &Netlist) -> Result<(), Box<dyn std::error::Erro
             p.cost()
         );
     }
-    Ok(())
 }
 
-fn cmd_vcd(mapped: &Netlist, out_path: &str) -> Result<(), Box<dyn std::error::Error>> {
-    let pl = PlNetlist::from_sync(mapped)?;
-    let mut sim = PlSimulator::new(&pl, DelayModel::default())?;
+/// Simulates 8 random vectors with tracing and writes a VCD waveform.
+fn write_vcd(
+    pl: &pl_core::PlNetlist,
+    mapped: &pl_netlist::Netlist,
+    opts: &FlowOptions,
+    out_path: &str,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let mut sim = pl_sim::PlSimulator::new(pl, opts.delays.clone())?;
     sim.enable_tracing();
     use rand::{Rng, SeedableRng};
-    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(opts.seed);
     for _ in 0..8 {
         let v: Vec<bool> = (0..pl.input_gates().len()).map(|_| rng.gen()).collect();
         sim.run_vector(&v)?;
     }
-    let vcd = pl_sim::trace::to_vcd(&pl, sim.trace(), mapped.name());
+    let vcd = pl_sim::trace::to_vcd(pl, sim.trace(), mapped.name());
     std::fs::write(out_path, &vcd)?;
     println!(
-        "wrote {out_path}: {} signal changes over {:.1} ns",
+        "[phased]    wrote {out_path}: {} signal changes over {:.1} ns",
         sim.trace().len(),
         sim.time()
     );

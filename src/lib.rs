@@ -21,7 +21,35 @@
 //! | [`techmap`] | cut-based LUT4 technology mapper |
 //! | [`core`] | LEDR, PL gates, marked graphs, **early evaluation** |
 //! | [`sim`] | discrete-event token simulator + sync reference simulator |
-//! | [`itc99`] | re-implemented ITC99 benchmark circuits b01–b15 |
+//! | [`itc99`] | re-implemented ITC99 benchmark circuits b01–b15 + vendored BLIF assets |
+//! | [`flow`] | the compile pipeline: pluggable sources, staged compilation |
+//!
+//! # Architecture: the `pl-flow` pipeline and the `plc` CLI
+//!
+//! The compile pipeline is a first-class library ([`flow`]), not a
+//! benchmark-harness internal. A [`flow::CircuitSource`] (ITC'99 catalog
+//! entry, BLIF file/text, pre-built netlist, or seeded random circuit)
+//! feeds a [`flow::Pipeline`] of explicit stages,
+//!
+//! ```text
+//! ingest → optimize → techmap → phased → early_eval → simulate → verify
+//! ```
+//!
+//! each returning a typed artifact plus a report with wall-clock timing,
+//! so callers can stop at any layer. `pl-bench` regenerates Table 3 as a
+//! thin wrapper over [`flow::Pipeline::run`], and the `plc` binary is the
+//! command-line face of the same pipeline — it compiles and runs any BLIF
+//! netlist end-to-end:
+//!
+//! ```text
+//! $ plc assets/blif/b09.blif --ee --verify
+//! [ingest]    assets/blif/b09.blif (blif-file): 2 inputs, 3 outputs, 48 LUTs, 19 DFFs
+//! [techmap]   LUT4: 84 -> 25 LUTs, depth 3
+//! [phased]    44 gates, 181 arcs (86 feedbacks) — live
+//! [early-eval] 9 pairs / 25 compute gates (+20% area)
+//! [simulate]  100 vectors ... latency with/without EE ...
+//! [verify]    100 vectors match the synchronous reference
+//! ```
 //!
 //! # Quickstart
 //!
@@ -48,6 +76,7 @@
 pub use pl_bench as bench;
 pub use pl_boolfn as boolfn;
 pub use pl_core as core;
+pub use pl_flow as flow;
 pub use pl_itc99 as itc99;
 pub use pl_netlist as netlist;
 pub use pl_rtl as rtl;
@@ -59,6 +88,7 @@ pub mod prelude {
     pub use pl_boolfn::{Cube, CubeList, TruthTable};
     pub use pl_core::ee::{EeOptions, EeReport};
     pub use pl_core::netlist::PlNetlist;
+    pub use pl_flow::{CircuitSource, FlowOptions, Pipeline};
     pub use pl_netlist::Netlist;
     pub use pl_rtl::Module as RtlModule;
     pub use pl_sim::{DelayModel, LatencyStats, PlSimulator, SyncSimulator};

@@ -17,7 +17,7 @@ use pl_bench::{lcg_vectors as vectors, prepared_netlists as itc99_netlists, Lcg}
 use pl_core::ee::EeOptions;
 use pl_core::trigger::{search_triggers_baseline, TriggerCache};
 use pl_core::{PlGateId, PlGateKind, PlNetlist};
-use pl_netlist::{Netlist, NodeId};
+use pl_netlist::Netlist;
 use pl_sim::{DelayModel, PlSimulator, ReferenceSimulator};
 use pl_techmap::{map_to_lut4, MapOptions};
 
@@ -87,40 +87,12 @@ fn itc99_medium_benchmarks_bit_identical() {
     }
 }
 
-/// One random mapped netlist from the LCG stream (the `prop_flow` recipe
-/// generator), or `None` when the draw fails validation.
+/// One random mapped netlist from the LCG stream — the exact generator
+/// behind `pl_flow::CircuitSource::Random` (one definition, so this
+/// suite's workload can never desynchronize from the flow's), LUT4-mapped
+/// — or `None` when the draw fails validation.
 fn random_mapped_netlist(rng: &mut Lcg) -> Option<Netlist> {
-    let num_inputs = 2 + rng.below(3);
-    let num_dffs = 1 + rng.below(3);
-    let num_luts = 3 + rng.below(20);
-    let num_outputs = 1 + rng.below(4);
-
-    let mut n = Netlist::new("random");
-    let mut pool: Vec<NodeId> = Vec::new();
-    for i in 0..num_inputs {
-        pool.push(n.add_input(format!("i{i}")));
-    }
-    let dffs: Vec<NodeId> = (0..num_dffs).map(|k| n.add_dff(k % 2 == 0)).collect();
-    pool.extend(&dffs);
-    for _ in 0..num_luts {
-        let arity = 1 + rng.below(3);
-        let srcs: Vec<NodeId> = (0..arity).map(|_| pool[rng.below(pool.len())]).collect();
-        let table = pl_boolfn::TruthTable::from_bits(srcs.len(), rng.next_u64());
-        pool.push(n.add_lut(table, srcs).expect("arity matches"));
-    }
-    for (k, &d) in dffs.iter().enumerate() {
-        n.set_dff_input(d, pool[(k * 7 + 3) % pool.len()])
-            .expect("valid ids");
-    }
-    for k in 0..num_outputs {
-        n.set_output(
-            format!("o{k}"),
-            pool[pool.len() - 1 - (k % pool.len().min(4))],
-        );
-    }
-    if n.validate().is_err() {
-        return None;
-    }
+    let n = pl_flow::random_netlist_draw(rng)?;
     Some(map_to_lut4(&n, &MapOptions::default()).expect("maps"))
 }
 

@@ -1,0 +1,154 @@
+//! Pipeline golden tests: the write → parse → map → simulate loop.
+//!
+//! The BLIF round-trip property test (`prop_flow`) covers the parser
+//! layer; these tests close the loop at the *pipeline* layer: a catalog
+//! circuit exported as BLIF and re-ingested through `pl-flow` must
+//! produce bit-identical plain/EE/sync outputs to the catalog-built flow,
+//! and the vendored snapshots under `assets/blif/` must stay byte-equal
+//! to a fresh export so the file-based entry point never drifts from the
+//! catalog.
+
+use pl_flow::{CircuitSource, FlowArtifacts, FlowOptions, Pipeline};
+
+const VECTORS: usize = 30;
+
+fn pipeline() -> Pipeline {
+    Pipeline::new(FlowOptions {
+        vectors: VECTORS,
+        ..FlowOptions::default()
+    })
+}
+
+/// Runs the full flow (EE on, synchronous verification on) for a source.
+fn run(source: &CircuitSource) -> FlowArtifacts {
+    pipeline()
+        .run(source)
+        .unwrap_or_else(|e| panic!("flow failed for {}: {e}", source.name()))
+}
+
+/// The catalog circuit exported to BLIF text by the `pl-netlist` writer.
+fn exported_blif(id: &str) -> String {
+    let bench = pl_itc99::by_id(id).expect("benchmark exists");
+    let gates = (bench.build)().elaborate().expect("elaborates");
+    pl_netlist::blif::to_blif(&gates).expect("serializes")
+}
+
+/// Catalog-built flow vs the same circuit round-tripped through BLIF:
+/// plain outputs must match bit-for-bit (and within each flow the
+/// pipeline has already asserted EE outputs equal plain outputs, while
+/// `verify` pinned them against the synchronous reference).
+fn assert_blif_roundtrip_matches_catalog(id: &str) {
+    let catalog = run(&CircuitSource::catalog(id).expect("benchmark exists"));
+    let blif = run(&CircuitSource::BlifText {
+        name: format!("{id}.blif"),
+        text: exported_blif(id),
+    });
+
+    assert_eq!(
+        catalog.outputs, blif.outputs,
+        "{id}: BLIF re-ingestion changed simulated outputs"
+    );
+    for art in [&catalog, &blif] {
+        assert!(
+            art.report.early_eval.enabled && art.stats_ee.is_some(),
+            "{id}: EE variant missing from {}",
+            art.name
+        );
+        let verify = art
+            .report
+            .verify
+            .as_ref()
+            .unwrap_or_else(|| panic!("{id}: sync verification did not run on {}", art.name));
+        assert_eq!(verify.vectors, VECTORS);
+    }
+    // The round-trip may add buffer LUTs for output names, but the EE
+    // opportunity structure of the logic must survive the text format:
+    // a circuit with pairs on one side must have pairs on the other.
+    assert_eq!(
+        catalog.pairs.is_empty(),
+        blif.pairs.is_empty(),
+        "{id}: EE pairing disappeared across the BLIF round-trip"
+    );
+}
+
+#[test]
+fn b03_blif_roundtrip_is_bit_identical() {
+    assert_blif_roundtrip_matches_catalog("b03");
+}
+
+#[test]
+fn b09_blif_roundtrip_is_bit_identical() {
+    assert_blif_roundtrip_matches_catalog("b09");
+}
+
+/// The vendored `assets/blif/` snapshots must stay byte-identical to a
+/// fresh export of the catalog circuit (regenerate with
+/// `plc <id> --stage ingest --emit-blif assets/blif/<id>.blif`).
+#[test]
+fn vendored_blif_assets_are_fresh() {
+    let assets = pl_itc99::blif_assets();
+    assert!(
+        assets.len() >= 4,
+        "expected several vendored snapshots, found {}",
+        assets.len()
+    );
+    for asset in assets {
+        assert_eq!(
+            asset.text,
+            exported_blif(asset.id),
+            "{}: vendored assets/blif/{}.blif is stale — regenerate with \
+             `plc {} --stage ingest --emit-blif assets/blif/{}.blif`",
+            asset.id,
+            asset.id,
+            asset.id,
+            asset.id,
+        );
+    }
+}
+
+/// The vendored snapshots themselves must run the full flow with EE and
+/// synchronous verification, producing the catalog circuit's outputs —
+/// the end-to-end contract of the file-based entry point.
+#[test]
+fn vendored_blif_assets_run_end_to_end() {
+    for asset in pl_itc99::blif_assets() {
+        let catalog = run(&CircuitSource::catalog(asset.id).expect("catalog id"));
+        let from_file = run(&CircuitSource::BlifText {
+            name: format!("assets/blif/{}.blif", asset.id),
+            text: asset.text.to_string(),
+        });
+        assert_eq!(
+            catalog.outputs, from_file.outputs,
+            "{}: vendored snapshot diverged from the catalog circuit",
+            asset.id
+        );
+        assert!(from_file.report.verify.is_some());
+    }
+}
+
+/// Stopping at intermediate stages yields the same artifacts the full
+/// run passes through (callers can stop at any layer without penalty).
+#[test]
+fn staged_and_chained_runs_agree() {
+    let p = pipeline();
+    let src = CircuitSource::catalog("b03").unwrap();
+
+    let ingested = p.ingest(&src).unwrap();
+    let optimized = p.optimize(ingested).unwrap();
+    let mapped = p.techmap(optimized).unwrap();
+    let phased = p.phased(&mapped).unwrap();
+    let early = p.early_eval(phased);
+    let sim = p.simulate(&early).unwrap();
+
+    let chained = p.run(&src).unwrap();
+    assert_eq!(chained.outputs, sim.outputs);
+    assert_eq!(
+        chained.stats_plain.per_vector, sim.stats_plain.per_vector,
+        "staged and chained latencies diverged"
+    );
+    assert_eq!(chained.pairs.len(), early.pairs.len());
+    assert_eq!(
+        chained.report.phased.logic_gates,
+        early.plain.num_logic_gates()
+    );
+}
