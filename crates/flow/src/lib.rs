@@ -148,6 +148,57 @@ mod tests {
         }
     }
 
+    /// The streamed protocol (window: Some) must produce the same output
+    /// VALUES as the per-vector protocol (marked-graph determinism), be
+    /// jobs-invariant, survive the synchronous cross-check, and report
+    /// makespan/throughput instead of per-vector latencies.
+    #[test]
+    fn windowed_simulate_matches_per_vector_outputs_and_verifies() {
+        let src = CircuitSource::catalog("b03").unwrap();
+        let per_vector = Pipeline::new(FlowOptions {
+            vectors: 10,
+            verify: false,
+            ..FlowOptions::default()
+        })
+        .run(&src)
+        .unwrap();
+        let baseline = Pipeline::new(FlowOptions {
+            vectors: 10,
+            window: Some(3),
+            jobs: 1,
+            ..FlowOptions::default()
+        })
+        .run(&src)
+        .unwrap();
+        assert_eq!(baseline.outputs, per_vector.outputs);
+        assert!(baseline.report.verify.is_some(), "sync cross-check ran");
+        assert!(
+            baseline.stats_plain.is_empty(),
+            "streamed mode has no per-vector stats"
+        );
+        let stream = baseline.stream_plain.as_ref().expect("streamed outcome");
+        assert!(stream.makespan > 0.0);
+        assert!(stream.throughput > 0.0);
+        assert!(baseline.stream_ee.is_some());
+        for jobs in [2, 4] {
+            let par = Pipeline::new(FlowOptions {
+                vectors: 10,
+                window: Some(3),
+                jobs,
+                verify: false,
+                ..FlowOptions::default()
+            })
+            .run(&src)
+            .unwrap();
+            assert_eq!(par.outputs, baseline.outputs, "jobs={jobs}");
+            let (p, b) = (
+                par.stream_plain.unwrap(),
+                baseline.stream_plain.clone().unwrap(),
+            );
+            assert_eq!(p, b, "jobs={jobs}: streamed outcome diverged");
+        }
+    }
+
     #[test]
     fn random_source_runs_end_to_end() {
         let pipeline = Pipeline::new(FlowOptions {

@@ -47,6 +47,16 @@ pub struct FlowOptions {
     /// Worker threads for the simulate stage's variant sweep (`0` = one
     /// per core). Results are bit-identical at any value.
     pub jobs: usize,
+    /// When set, the simulate stage runs the *streamed* protocol instead
+    /// of the per-vector latency protocol: each variant's vector stream
+    /// goes through [`pl_sim::parallel::sweep_pipelined`] in windows of
+    /// this many vectors (checkpoint handoff, `jobs` workers), producing a
+    /// [`pl_sim::StreamOutcome`] bit-identical to a sequential
+    /// [`pl_sim::PlSimulator::run_stream`] call at any `(jobs, window)`.
+    /// Latency statistics are empty in this mode (a pipelined stream has
+    /// no per-vector stable-input→stable-output latency); makespan and
+    /// throughput are reported instead.
+    pub window: Option<usize>,
     /// Technology-mapping options (LUT arity, cut budget, cleanup).
     pub map: MapOptions,
     /// Run the standalone netlist cleanup passes (constant propagation,
@@ -66,6 +76,7 @@ impl Default for FlowOptions {
             delays: DelayModel::default(),
             verify: true,
             jobs: 1,
+            window: None,
             map: MapOptions::default(),
             optimize: false,
         }
@@ -216,6 +227,9 @@ pub struct SimReport {
     pub vectors: usize,
     /// Worker threads used for the variant sweep.
     pub jobs: usize,
+    /// Pipelined-window size when the streamed protocol ran
+    /// (see [`FlowOptions::window`]); `None` for the per-vector protocol.
+    pub window: Option<usize>,
     /// Stage wall-clock seconds (all variants).
     pub secs: f64,
 }
@@ -234,10 +248,20 @@ pub struct Simulated {
     pub inputs: Vec<Vec<bool>>,
     /// Per-vector primary-output values.
     pub outputs: Vec<Vec<bool>>,
-    /// Latency statistics without EE.
+    /// Latency statistics without EE (empty in streamed mode).
     pub stats_plain: LatencyStats,
-    /// Latency statistics with EE (`None` when EE is disabled).
+    /// Latency statistics with EE (`None` when EE is disabled; empty in
+    /// streamed mode).
     pub stats_ee: Option<LatencyStats>,
+    /// Streamed outcome of the plain variant when the pipelined protocol
+    /// ran (see [`FlowOptions::window`]) — **metrics only**
+    /// (makespan/throughput); its `outputs` vector is empty because the
+    /// output words live once, in [`Simulated::outputs`].
+    pub stream_plain: Option<pl_sim::StreamOutcome>,
+    /// Streamed outcome of the EE variant (metrics only, same contract as
+    /// `stream_plain`; the EE words were asserted identical to the plain
+    /// ones), when EE and the pipelined protocol are both enabled.
+    pub stream_ee: Option<pl_sim::StreamOutcome>,
     /// Stage report.
     pub report: SimReport,
 }
@@ -268,10 +292,16 @@ pub struct FlowArtifacts {
     pub inputs: Vec<Vec<bool>>,
     /// Per-vector primary-output values.
     pub outputs: Vec<Vec<bool>>,
-    /// Latency statistics without EE.
+    /// Latency statistics without EE (empty in streamed mode).
     pub stats_plain: LatencyStats,
-    /// Latency statistics with EE (`None` when EE is disabled).
+    /// Latency statistics with EE (`None` when EE is disabled; empty in
+    /// streamed mode).
     pub stats_ee: Option<LatencyStats>,
+    /// Streamed outcome of the plain variant when the pipelined protocol
+    /// ran — metrics only; the words live in [`FlowArtifacts::outputs`].
+    pub stream_plain: Option<pl_sim::StreamOutcome>,
+    /// Streamed outcome of the EE variant (metrics only).
+    pub stream_ee: Option<pl_sim::StreamOutcome>,
     /// All stage reports.
     pub report: FlowReport,
 }
@@ -472,11 +502,21 @@ impl Pipeline {
         }
     }
 
-    /// **Stage 6 — simulate**: measures stable-input→stable-output
-    /// latency over seeded random vectors for every variant, scattering
-    /// the variants across [`FlowOptions::jobs`] workers (results are
-    /// bit-identical at any worker count), and asserts the EE variant's
-    /// outputs equal the plain variant's.
+    /// **Stage 6 — simulate**: runs seeded random vectors through every
+    /// variant and asserts the EE variant's outputs equal the plain
+    /// variant's. Two protocols, selected by [`FlowOptions::window`]:
+    ///
+    /// * **Per-vector** (`window: None`, the paper's Table 3 protocol) —
+    ///   measures stable-input→stable-output latency vector by vector,
+    ///   scattering the plain/EE variants across [`FlowOptions::jobs`]
+    ///   workers.
+    /// * **Streamed** (`window: Some(n)`) — pipelines the whole vector
+    ///   stream through each variant via
+    ///   [`pl_sim::parallel::sweep_pipelined`] (`n`-vector checkpointed
+    ///   windows, `jobs` workers inside one stream), reporting makespan
+    ///   and throughput instead of per-vector latencies.
+    ///
+    /// Either way the results are bit-identical at any worker count.
     ///
     /// # Errors
     ///
@@ -489,6 +529,59 @@ impl Pipeline {
             self.opts.vectors,
             self.opts.seed,
         );
+        let report = SimReport {
+            vectors: self.opts.vectors,
+            jobs: self.opts.jobs,
+            window: self.opts.window,
+            secs: 0.0,
+        };
+        if let Some(window) = self.opts.window {
+            // Streamed protocol: parallelism lives INSIDE each stream, so
+            // the variants run back to back, each pipelined over `jobs`.
+            let mut stream_plain = pl_sim::parallel::sweep_pipelined(
+                &ee.plain,
+                &self.opts.delays,
+                &inputs,
+                window,
+                self.opts.jobs,
+            )?;
+            let stream_ee = match &ee.ee {
+                Some(pl) => {
+                    let mut s = pl_sim::parallel::sweep_pipelined(
+                        pl,
+                        &self.opts.delays,
+                        &inputs,
+                        window,
+                        self.opts.jobs,
+                    )?;
+                    if stream_plain.outputs != s.outputs {
+                        return Err(FlowError::Mismatch {
+                            context: format!("{} (EE vs plain, streamed)", ee.name),
+                        });
+                    }
+                    s.outputs = Vec::new();
+                    Some(s)
+                }
+                None => None,
+            };
+            // The output words live once, in `Simulated::outputs`; the
+            // stream outcomes carry metrics (makespan/throughput) only —
+            // the EE variant's words were just asserted identical anyway.
+            let outputs = std::mem::take(&mut stream_plain.outputs);
+            return Ok(Simulated {
+                name: ee.name.clone(),
+                inputs,
+                outputs,
+                stats_plain: LatencyStats::new(Vec::new()),
+                stats_ee: stream_ee.as_ref().map(|_| LatencyStats::new(Vec::new())),
+                stream_ee,
+                stream_plain: Some(stream_plain),
+                report: SimReport {
+                    secs: t0.elapsed().as_secs_f64(),
+                    ..report
+                },
+            });
+        }
         let variants: Vec<&PlNetlist> = std::iter::once(&ee.plain).chain(ee.ee.as_ref()).collect();
         let results = pl_sim::parallel::scatter_gather(self.opts.jobs, &variants, |_, pl| {
             pl_sim::measure_latency_on(pl, &self.opts.delays, &inputs)
@@ -515,10 +608,11 @@ impl Pipeline {
             outputs: out_plain,
             stats_plain,
             stats_ee,
+            stream_plain: None,
+            stream_ee: None,
             report: SimReport {
-                vectors: self.opts.vectors,
-                jobs: self.opts.jobs,
                 secs: t0.elapsed().as_secs_f64(),
+                ..report
             },
         })
     }
@@ -587,6 +681,8 @@ impl Pipeline {
             outputs: sim.outputs,
             stats_plain: sim.stats_plain,
             stats_ee: sim.stats_ee,
+            stream_plain: sim.stream_plain,
+            stream_ee: sim.stream_ee,
         })
     }
 }

@@ -64,7 +64,7 @@ pub struct StreamOutcome {
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
-enum EventKind {
+pub(crate) enum EventKind {
     /// Batched token delivery: every out-arc of `gate`'s firing shares the
     /// same wire delay, so all its deliveries land as ONE queue event
     /// (heap traffic per firing is O(1) instead of O(fanout)). Dispatch
@@ -93,10 +93,10 @@ enum EventKind {
 }
 
 #[derive(Debug, Clone, Copy)]
-struct Event {
+pub(crate) struct Event {
     /// `(tick << 64) | seq` — a strict total order (seq is unique).
-    key: u128,
-    kind: EventKind,
+    pub(crate) key: u128,
+    pub(crate) kind: EventKind,
 }
 
 impl Event {
@@ -140,31 +140,35 @@ const F_EARLY_SCHED: u8 = 1 << 3;
 /// current time and runs until the output word is stable.
 #[derive(Debug, Clone)]
 pub struct PlSimulator<'a> {
-    pl: &'a PlNetlist,
+    pub(crate) pl: &'a PlNetlist,
     adj: PlAdjacency,
     delays: DelayModel,
     ticks: TickDelays,
-    now: u64,
-    seq: u64,
-    events: u64,
-    queue: BinaryHeap<Event>,
+    /// The netlist's design fingerprint
+    /// ([`crate::checkpoint::netlist_fingerprint`]), computed once here so
+    /// per-window snapshot/restore never re-walks the netlist.
+    pub(crate) fingerprint: u64,
+    pub(crate) now: u64,
+    pub(crate) seq: u64,
+    pub(crate) events: u64,
+    pub(crate) queue: BinaryHeap<Event>,
     /// Per-arc token presence (0/1).
-    tokens: Vec<u8>,
+    pub(crate) tokens: Vec<u8>,
     /// Per-arc token value (data/efire arcs).
-    values: Vec<bool>,
+    pub(crate) values: Vec<bool>,
     /// Per-gate bit-per-pin token presence (incremental `data_ready`).
-    pin_tokens: Vec<u8>,
+    pub(crate) pin_tokens: Vec<u8>,
     /// Per-gate bit-per-pin token values (the LUT minterm index, partially).
-    pin_vals: Vec<u8>,
+    pub(crate) pin_vals: Vec<u8>,
     /// Per-gate count of unmarked acknowledge in-arcs (efire excluded).
-    ack_missing: Vec<u32>,
-    pending_input: Vec<Option<bool>>,
-    flags: Vec<u8>,
+    pub(crate) ack_missing: Vec<u32>,
+    pub(crate) pending_input: Vec<Option<bool>>,
+    pub(crate) flags: Vec<u8>,
     /// EE masters: per-gate round generation (stale-event guard).
-    gen: Vec<u64>,
-    records: Vec<VecDeque<(bool, u64)>>,
-    rounds: u64,
-    trace: Option<Vec<crate::trace::TraceEvent>>,
+    pub(crate) gen: Vec<u64>,
+    pub(crate) records: Vec<VecDeque<(bool, u64)>>,
+    pub(crate) rounds: u64,
+    pub(crate) trace: Option<Vec<crate::trace::TraceEvent>>,
 }
 
 impl<'a> PlSimulator<'a> {
@@ -184,6 +188,7 @@ impl<'a> PlSimulator<'a> {
             pl,
             delays,
             ticks,
+            fingerprint: crate::checkpoint::netlist_fingerprint(pl),
             now: 0,
             seq: 0,
             events: 0,
@@ -336,23 +341,10 @@ impl<'a> PlSimulator<'a> {
     ///
     /// Same conditions as [`PlSimulator::run_vector`].
     pub fn run_stream(&mut self, vectors: &[Vec<bool>]) -> Result<StreamOutcome, SimError> {
-        let ports = self.pl.input_gates();
         let start = self.now;
         let mut completed = 0usize;
         for v in vectors {
-            if v.len() != ports.len() {
-                return Err(SimError::InputArityMismatch {
-                    got: v.len(),
-                    expected: ports.len(),
-                });
-            }
-            // Wait only for the *input* queue to free, not for outputs.
-            self.drain_pending_inputs()?;
-            for (i, &g) in ports.iter().enumerate() {
-                self.pending_input[g.index()] = Some(v[i]);
-                self.try_schedule(g.index());
-            }
-            self.record_constant_outputs();
+            self.feed_vector(v)?;
         }
         // Run to completion of every vector's output word.
         let mut outputs = Vec::with_capacity(vectors.len());
@@ -388,6 +380,111 @@ impl<'a> PlSimulator<'a> {
                 f64::INFINITY
             },
         })
+    }
+
+    /// Queues one vector into a pipelined stream: waits (in simulated time)
+    /// only for the environment's input gates to be re-armed, applies the
+    /// vector, and returns **without waiting for any output word** — exactly
+    /// one injection step of [`PlSimulator::run_stream`]. Output words
+    /// accumulate in the per-output record queues and are collected by
+    /// `run_stream`'s completion loop (or by the window-replay machinery of
+    /// [`crate::parallel::sweep_pipelined`]). This is the cheap
+    /// state-advancing primitive the pipelined sweep's leader pass runs.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PlSimulator::run_vector`].
+    pub fn feed_vector(&mut self, inputs: &[bool]) -> Result<(), SimError> {
+        let ports = self.pl.input_gates();
+        if inputs.len() != ports.len() {
+            return Err(SimError::InputArityMismatch {
+                got: inputs.len(),
+                expected: ports.len(),
+            });
+        }
+        // Wait only for the *input* queue to free, not for outputs.
+        self.drain_pending_inputs()?;
+        for (i, &g) in ports.iter().enumerate() {
+            self.pending_input[g.index()] = Some(inputs[i]);
+            self.try_schedule(g.index());
+        }
+        self.record_constant_outputs();
+        Ok(())
+    }
+
+    /// Drops recorded output words for rounds below `upto_round` from the
+    /// front of each record queue, adding the per-queue drop counts to
+    /// `base` (queue `o`'s entries are rounds `[base[o], base[o] +
+    /// records[o].len())`). Records are write-only to the simulation
+    /// itself — nothing in event dispatch ever reads them — so pruning
+    /// never changes the event schedule, only the queue indexing, which
+    /// callers must offset by `base`. This is what keeps the pipelined
+    /// sweep's leader (and hence its checkpoints) at O(in-flight rounds)
+    /// memory instead of O(stream).
+    pub(crate) fn prune_records(&mut self, upto_round: usize, base: &mut [usize]) {
+        debug_assert_eq!(base.len(), self.records.len());
+        for (q, b) in self.records.iter_mut().zip(base.iter_mut()) {
+            while *b < upto_round && q.pop_front().is_some() {
+                *b += 1;
+            }
+        }
+    }
+
+    /// Replays one window of a pipelined stream: feeds `vecs`, runs until
+    /// every output's record queue covers rounds `[base[o], start_round +
+    /// vecs.len())`, and returns the output words of rounds `[start_round,
+    /// start_round + vecs.len())` plus the latest record tick among them.
+    ///
+    /// Precondition: the simulator state must stem from a stream driven by
+    /// [`PlSimulator::feed_vector`] alone, with record queues popped only
+    /// through [`PlSimulator::prune_records`] whose accumulated per-queue
+    /// drop counts are `base` (so queue `o`'s index for round `r` is
+    /// `r - base[o]`, and `base[o] <= start_round`). That is exactly the
+    /// state [`PlSimulator::snapshot`] captures on the pipelined sweep's
+    /// leader, which is this helper's only caller (via
+    /// [`crate::parallel::sweep_pipelined`]).
+    pub(crate) fn replay_window(
+        &mut self,
+        vecs: &[Vec<bool>],
+        start_round: usize,
+        base: &[usize],
+    ) -> Result<(Vec<Vec<bool>>, u64), SimError> {
+        debug_assert_eq!(base.len(), self.records.len());
+        debug_assert!(base.iter().all(|&b| b <= start_round));
+        for v in vecs {
+            self.feed_vector(v)?;
+        }
+        let target = start_round + vecs.len();
+        let incomplete = |(q, &b): (&VecDeque<(bool, u64)>, &usize)| b + q.len() < target;
+        while self.records.iter().zip(base).any(incomplete) {
+            let Some(ev) = self.queue.pop() else {
+                return Err(SimError::Deadlock {
+                    at_time: self.time(),
+                    missing_outputs: self
+                        .pl
+                        .output_gates()
+                        .iter()
+                        .zip(self.records.iter().zip(base))
+                        .filter(|(_, pair)| incomplete(*pair))
+                        .map(|((name, _), _)| name.clone())
+                        .collect(),
+                });
+            };
+            self.now = ev.tick();
+            self.dispatch(ev.kind)?;
+        }
+        let mut words = Vec::with_capacity(vecs.len());
+        let mut last = 0u64;
+        for round in start_round..target {
+            let mut word = Vec::with_capacity(self.records.len());
+            for (q, &b) in self.records.iter().zip(base) {
+                let (v, t) = q[round - b];
+                word.push(v);
+                last = last.max(t);
+            }
+            words.push(word);
+        }
+        Ok((words, last))
     }
 
     /// Outputs tied to constants have no token traffic; record their value

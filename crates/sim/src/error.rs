@@ -40,6 +40,22 @@ pub enum SimError {
     },
     /// The netlist failed its structural (liveness) pre-check.
     Structural(PlError),
+    /// A [`crate::SimCheckpoint`] was restored into a simulator whose
+    /// netlist shape differs from the one the snapshot was taken from.
+    CheckpointMismatch {
+        /// Gate count of the snapshotted netlist.
+        snapshot_gates: usize,
+        /// Arc count of the snapshotted netlist.
+        snapshot_arcs: usize,
+        /// Output count of the snapshotted netlist.
+        snapshot_outputs: usize,
+        /// Gate count of the restoring simulator's netlist.
+        netlist_gates: usize,
+        /// Arc count of the restoring simulator's netlist.
+        netlist_arcs: usize,
+        /// Output count of the restoring simulator's netlist.
+        netlist_outputs: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -71,6 +87,23 @@ impl fmt::Display for SimError {
                 )
             }
             SimError::Structural(e) => write!(f, "structural check failed: {e}"),
+            SimError::CheckpointMismatch {
+                snapshot_gates,
+                snapshot_arcs,
+                snapshot_outputs,
+                netlist_gates,
+                netlist_arcs,
+                netlist_outputs,
+            } => {
+                write!(
+                    f,
+                    "checkpoint restored onto a structurally different netlist: snapshot \
+                     over a {snapshot_gates}-gate/{snapshot_arcs}-arc/{snapshot_outputs}\
+                     -output netlist, restoring simulator over a {netlist_gates}-gate/\
+                     {netlist_arcs}-arc/{netlist_outputs}-output netlist (equal counts \
+                     mean the arc topologies differ)"
+                )
+            }
         }
     }
 }

@@ -24,10 +24,17 @@
 //!   [`reference`] for the retained pre-refactor engine that pins these
 //!   semantics differentially (`tests/engine_equivalence.rs`) and anchors
 //!   the speedup numbers in `BENCH_sim.json`.
-//! * [`parallel`] scatter/gathers independent multi-vector sweeps across
-//!   worker threads — each stream gets a private [`PlSimulator`] over the
-//!   shared netlist, and outcomes merge deterministically in stream order
-//!   (bit-identical to the sequential run for any worker count).
+//! * [`parallel`] scatter/gathers multi-vector sweeps across worker
+//!   threads — independent streams ([`sweep_streams`]), reset-per-shard
+//!   single streams ([`sweep_sharded`]), and the checkpoint-handoff
+//!   pipelined single stream ([`sweep_pipelined`]). Outcomes merge
+//!   deterministically in stream/vector order (bit-identical to the
+//!   sequential run for any worker count and window size).
+//! * [`SimCheckpoint`] captures a simulator's complete dynamic state
+//!   between vectors ([`PlSimulator::snapshot`]); a simulator resumed from
+//!   it ([`PlSimulator::resume_from`] / [`PlSimulator::restore`]) is
+//!   bit-identical to the uninterrupted run — the state-handoff primitive
+//!   behind the pipelined sweep.
 //! * [`SyncSimulator`] is the cycle-accurate synchronous reference; the
 //!   [`verify_equivalence`] helper proves that PL mapping and early
 //!   evaluation change *timing only*, never values.
@@ -57,6 +64,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 mod delay;
 mod engine;
 mod error;
@@ -66,10 +74,11 @@ mod stats;
 mod sync;
 pub mod trace;
 
+pub use checkpoint::{Fnv64, SimCheckpoint};
 pub use delay::{ns_to_ticks, ticks_to_ns, DelayModel, TickDelays, TICKS_PER_NS};
 pub use engine::{PlSimulator, StreamOutcome, VectorOutcome};
 pub use error::SimError;
-pub use parallel::{scatter_gather, sweep_sharded, sweep_streams};
+pub use parallel::{scatter_gather, sweep_pipelined, sweep_sharded, sweep_streams};
 pub use reference::ReferenceSimulator;
 pub use stats::{measure_latency, measure_latency_on, random_vectors, LatencyStats};
 pub use sync::{verify_equivalence, Mismatch, SyncSimulator};

@@ -47,22 +47,31 @@ impl LatencyStats {
         }
     }
 
-    /// Smallest sample.
+    /// Smallest sample; `0.0` when there are no samples, agreeing with
+    /// [`LatencyStats::max`] on the n=0 case (an empty run used to report
+    /// the fold identity `min inf, max 0.00`).
     #[must_use]
     pub fn min(&self) -> f64 {
+        if self.per_vector.is_empty() {
+            return 0.0;
+        }
         self.per_vector
             .iter()
             .copied()
             .fold(f64::INFINITY, f64::min)
     }
 
-    /// Largest sample.
+    /// Largest sample; `0.0` when there are no samples (latencies are
+    /// non-negative, so `0.0` is the fold identity).
     #[must_use]
     pub fn max(&self) -> f64 {
         self.per_vector.iter().copied().fold(0.0, f64::max)
     }
 
-    /// Population standard deviation.
+    /// **Population** standard deviation (divides the squared deviations
+    /// by `n`, not the sample estimator's `n - 1`): the per-vector
+    /// latencies are the complete population of the run being reported,
+    /// not a sample from a larger one. `0.0` for fewer than two samples.
     #[must_use]
     pub fn std_dev(&self) -> f64 {
         if self.per_vector.len() < 2 {
@@ -81,6 +90,9 @@ impl LatencyStats {
 
 impl std::fmt::Display for LatencyStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_empty() {
+            return write!(f, "no vectors measured (n=0)");
+        }
         write!(
             f,
             "mean {:.2} ns (min {:.2}, max {:.2}, σ {:.2}, n={})",
@@ -164,12 +176,44 @@ mod tests {
         assert!(s.to_string().contains("mean 2.00"));
     }
 
+    /// The n=0 case must be internally consistent: every aggregate is 0.0
+    /// (`min()` used to leak its fold identity, `f64::INFINITY`) and the
+    /// Display form says so instead of printing `min inf, max 0.00`.
     #[test]
     fn empty_stats() {
         let s = LatencyStats::new(vec![]);
         assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
         assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), 0.0, "min() must agree with max() on n=0");
+        assert_eq!(s.max(), 0.0);
         assert_eq!(s.std_dev(), 0.0);
+        let shown = s.to_string();
+        assert_eq!(shown, "no vectors measured (n=0)");
+        assert!(!shown.contains("inf"), "no infinity may leak: {shown}");
+    }
+
+    #[test]
+    fn single_sample_stats() {
+        let s = LatencyStats::new(vec![7.25]);
+        assert!(!s.is_empty());
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.mean(), 7.25);
+        assert_eq!(s.min(), 7.25);
+        assert_eq!(s.max(), 7.25);
+        assert_eq!(s.std_dev(), 0.0, "one sample has no spread");
+        assert_eq!(
+            s.to_string(),
+            "mean 7.25 ns (min 7.25, max 7.25, σ 0.00, n=1)"
+        );
+    }
+
+    /// Population (not sample) deviation: divides by n, so [2, 4] has
+    /// σ = 1, not the sample estimator's √2.
+    #[test]
+    fn std_dev_is_population() {
+        let s = LatencyStats::new(vec![2.0, 4.0]);
+        assert!((s.std_dev() - 1.0).abs() < 1e-12);
     }
 
     #[test]

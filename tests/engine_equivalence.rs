@@ -262,6 +262,168 @@ fn parallel_sweep_bit_identical_on_random_netlists() {
     }
 }
 
+// ---- checkpoint/resume + pipelined single-stream determinism -----------
+//
+// The checkpoint subsystem (`pl_sim::SimCheckpoint`) must be invisible to
+// the simulation: a run resumed from a snapshot is bit-identical to the
+// uninterrupted run, and the pipelined single-stream sweep built on it
+// (`pl_sim::sweep_pipelined` — leader pass + window replay workers) must
+// reproduce a sequential `run_stream` exactly — outputs AND f64
+// makespans/throughputs compared bitwise — at every (jobs, window).
+
+/// Asserts that snapshotting `pl` after `split` vectors and resuming on a
+/// fresh simulator reproduces the uninterrupted per-vector run exactly,
+/// and that the snapshot did not perturb the snapshotted simulator.
+fn assert_checkpoint_resume_identical(pl: &PlNetlist, vecs: &[Vec<bool>], context: &str) {
+    let delays = DelayModel::default();
+    let split = vecs.len() / 2;
+    let mut base = PlSimulator::new(pl, delays.clone()).expect("builds");
+    let reference: Vec<_> = vecs
+        .iter()
+        .map(|v| {
+            let r = base.run_vector(v).expect("simulates");
+            (r.outputs, r.latency.to_bits(), r.completed_at.to_bits())
+        })
+        .collect();
+
+    let mut first = PlSimulator::new(pl, delays.clone()).expect("builds");
+    for (v, expect) in vecs[..split].iter().zip(&reference) {
+        let r = first.run_vector(v).expect("simulates");
+        assert_eq!(
+            &(r.outputs, r.latency.to_bits(), r.completed_at.to_bits()),
+            expect,
+            "{context}: prefix diverged before the snapshot"
+        );
+    }
+    let ck = first.snapshot();
+    assert_eq!(ck.rounds(), split as u64, "{context}: rounds miscounted");
+
+    let mut resumed =
+        PlSimulator::resume_from(pl, delays.clone(), &ck).expect("checkpoint resumes");
+    for (i, (v, expect)) in vecs[split..].iter().zip(&reference[split..]).enumerate() {
+        let r = resumed.run_vector(v).expect("simulates");
+        assert_eq!(
+            &(r.outputs, r.latency.to_bits(), r.completed_at.to_bits()),
+            expect,
+            "{context}: resumed run diverged at vector {}",
+            split + i
+        );
+    }
+    // The snapshot must be a pure read: the original continues identically.
+    for (i, (v, expect)) in vecs[split..].iter().zip(&reference[split..]).enumerate() {
+        let r = first.run_vector(v).expect("simulates");
+        assert_eq!(
+            &(r.outputs, r.latency.to_bits(), r.completed_at.to_bits()),
+            expect,
+            "{context}: snapshot perturbed the original at vector {}",
+            split + i
+        );
+    }
+}
+
+/// Asserts the pipelined sweep reproduces `run_stream` bitwise on `pl`
+/// for every `(jobs, window)` combination given.
+fn assert_pipelined_matches_run_stream(
+    pl: &PlNetlist,
+    vecs: &[Vec<bool>],
+    windows: &[usize],
+    jobs_counts: &[usize],
+    context: &str,
+) {
+    let delays = DelayModel::default();
+    let baseline = PlSimulator::new(pl, delays.clone())
+        .expect("builds")
+        .run_stream(vecs)
+        .expect("streams");
+    for &window in windows {
+        for &jobs in jobs_counts {
+            let piped =
+                pl_sim::sweep_pipelined(pl, &delays, vecs, window, jobs).unwrap_or_else(|e| {
+                    panic!("{context}: pipelined sweep failed at window={window} jobs={jobs}: {e}")
+                });
+            // StreamOutcome's PartialEq covers outputs, makespan and
+            // throughput — an exact f64 comparison, no tolerance.
+            assert_eq!(
+                piped, baseline,
+                "{context}: window={window} jobs={jobs} diverged from run_stream"
+            );
+        }
+    }
+}
+
+/// Checkpoint/resume across the full ITC'99 suite, plain and with EE.
+#[test]
+fn checkpoint_resume_bit_identical_on_itc99_suite() {
+    for bench in pl_itc99::catalog() {
+        let (plain, ee) = itc99_netlists(bench.id);
+        let vecs = vectors(plain.input_gates().len(), 6, seed_for(bench.id, 0xCEC4));
+        assert_checkpoint_resume_identical(&plain, &vecs, &format!("{} plain", bench.id));
+        assert_checkpoint_resume_identical(&ee, &vecs, &format!("{} ee", bench.id));
+    }
+}
+
+/// Pipelined-vs-sequential across the full ITC'99 suite (plain + EE) at
+/// several window sizes and worker counts.
+#[test]
+fn pipelined_sweep_bit_identical_on_itc99_suite() {
+    for bench in pl_itc99::catalog() {
+        let (plain, ee) = itc99_netlists(bench.id);
+        let vecs = vectors(plain.input_gates().len(), 9, seed_for(bench.id, 0x9199));
+        assert_pipelined_matches_run_stream(
+            &plain,
+            &vecs,
+            &[2, 5],
+            &[2, 4],
+            &format!("{} plain", bench.id),
+        );
+        assert_pipelined_matches_run_stream(
+            &ee,
+            &vecs,
+            &[2, 5],
+            &[2, 4],
+            &format!("{} ee", bench.id),
+        );
+    }
+}
+
+/// The small benchmarks additionally sweep the full worker/window grid,
+/// including the degenerate single-vector window and a window larger than
+/// the whole stream.
+#[test]
+fn pipelined_sweep_full_grid_on_small_benchmarks() {
+    for id in ["b01", "b03", "b06", "b09"] {
+        let (plain, ee) = itc99_netlists(id);
+        let vecs = vectors(plain.input_gates().len(), 10, seed_for(id, 0x6121D));
+        let windows = [1, 2, 3, vecs.len() + 5];
+        let jobs = [1, 2, 4, 8];
+        assert_pipelined_matches_run_stream(&plain, &vecs, &windows, &jobs, &format!("{id} plain"));
+        assert_pipelined_matches_run_stream(&ee, &vecs, &windows, &jobs, &format!("{id} ee"));
+    }
+}
+
+/// Randomized netlists through the checkpoint and pipelined harnesses.
+#[test]
+fn checkpoint_and_pipelined_bit_identical_on_random_netlists() {
+    let mut rng = Lcg::new(0xC4EC_4501_21D0_0003);
+    let mut tested = 0;
+    while tested < 8 {
+        let Some(mapped) = random_mapped_netlist(&mut rng) else {
+            continue;
+        };
+        let plain = PlNetlist::from_sync(&mapped).expect("PL maps");
+        let ee = PlNetlist::from_sync(&mapped)
+            .expect("PL maps")
+            .with_early_evaluation(&EeOptions::default())
+            .into_netlist();
+        let vecs = vectors(mapped.inputs().len(), 8, rng.next_u64());
+        assert_checkpoint_resume_identical(&plain, &vecs, "random plain");
+        assert_checkpoint_resume_identical(&ee, &vecs, "random ee");
+        assert_pipelined_matches_run_stream(&plain, &vecs, &[1, 3], &[2, 8], "random plain");
+        assert_pipelined_matches_run_stream(&ee, &vecs, &[1, 3], &[2, 8], "random ee");
+        tested += 1;
+    }
+}
+
 /// Golden tripwire: fixed vectors through b01 and b06 (plain + EE) must
 /// keep producing exactly these output/latency fingerprints. Guards future
 /// engine changes against silent semantic drift even if both engines are
@@ -270,19 +432,15 @@ fn parallel_sweep_bit_identical_on_random_netlists() {
 fn golden_fingerprints_hold() {
     fn fingerprint(pl: &PlNetlist, vecs: &[Vec<bool>]) -> u64 {
         let mut sim = PlSimulator::new(pl, DelayModel::default()).expect("builds");
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        let mut mix = |x: u64| {
-            h ^= x;
-            h = h.wrapping_mul(0x0000_0100_0000_01B3);
-        };
+        let mut h = pl_sim::Fnv64::new();
         for v in vecs {
             let r = sim.run_vector(v).expect("simulates");
             for &b in &r.outputs {
-                mix(u64::from(b));
+                h.mix(u64::from(b));
             }
-            mix(pl_sim::ns_to_ticks(r.latency));
+            h.mix(pl_sim::ns_to_ticks(r.latency));
         }
-        h
+        h.finish()
     }
     let mut prints = Vec::new();
     for id in ["b01", "b06"] {
