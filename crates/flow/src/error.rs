@@ -26,6 +26,12 @@ pub enum FlowError {
         /// Which design and variant diverged.
         context: String,
     },
+    /// The [`crate::FlowOptions`] are inconsistent (e.g. a zero
+    /// streaming window).
+    Config {
+        /// What is wrong with the options.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for FlowError {
@@ -37,6 +43,7 @@ impl std::fmt::Display for FlowError {
             FlowError::Sim(e) => write!(f, "simulation: {e}"),
             FlowError::Io { path, message } => write!(f, "cannot read '{path}': {message}"),
             FlowError::Mismatch { context } => write!(f, "output mismatch in {context}"),
+            FlowError::Config { message } => write!(f, "invalid options: {message}"),
         }
     }
 }

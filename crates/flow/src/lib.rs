@@ -73,6 +73,7 @@ pub use pipeline::{
     Mapped, OptimizeReport, Optimized, Phased, PhasedReport, Pipeline, SimReport, Simulated,
     TechmapReport, VerifyReport,
 };
+pub use pl_sim::QueueKind;
 pub use source::{
     lcg_vectors, random_netlist, random_netlist_draw, CircuitSource, Lcg, RandomSpec,
 };
@@ -196,6 +197,25 @@ mod tests {
                 baseline.stream_plain.clone().unwrap(),
             );
             assert_eq!(p, b, "jobs={jobs}: streamed outcome diverged");
+        }
+    }
+
+    /// A zero streaming window is caught as a typed [`FlowError::Config`]
+    /// in the simulate stage (library callers bypass plc's flag checks),
+    /// not as a panic deep inside the pipelined sweep.
+    #[test]
+    fn zero_window_is_a_typed_error() {
+        let pipeline = Pipeline::new(FlowOptions {
+            vectors: 4,
+            window: Some(0),
+            verify: false,
+            ..FlowOptions::default()
+        });
+        match pipeline.run(&CircuitSource::catalog("b01").unwrap()) {
+            Err(FlowError::Config { message }) => {
+                assert!(message.contains("window"), "names the option: {message}");
+            }
+            other => panic!("expected FlowError::Config, got {other:?}"),
         }
     }
 

@@ -22,7 +22,7 @@ use std::time::Instant;
 use pl_core::ee::{EeOptions, EePair};
 use pl_core::PlNetlist;
 use pl_netlist::Netlist;
-use pl_sim::{DelayModel, LatencyStats};
+use pl_sim::{DelayModel, LatencyStats, QueueKind};
 use pl_techmap::{map_with_report, MapOptions};
 
 use crate::error::FlowError;
@@ -47,6 +47,11 @@ pub struct FlowOptions {
     /// Worker threads for the simulate stage's variant sweep (`0` = one
     /// per core). Results are bit-identical at any value.
     pub jobs: usize,
+    /// Event-queue backend for every simulator the simulate stage builds
+    /// (binary heap or calendar/ladder queue). A pure implementation
+    /// choice: outputs, latencies and stream outcomes are bit-identical
+    /// across kinds; only the queue-operation cost profile changes.
+    pub queue: QueueKind,
     /// When set, the simulate stage runs the *streamed* protocol instead
     /// of the per-vector latency protocol: each variant's vector stream
     /// goes through [`pl_sim::parallel::sweep_pipelined`] in windows of
@@ -76,6 +81,7 @@ impl Default for FlowOptions {
             delays: DelayModel::default(),
             verify: true,
             jobs: 1,
+            queue: QueueKind::default(),
             window: None,
             map: MapOptions::default(),
             optimize: false,
@@ -227,6 +233,8 @@ pub struct SimReport {
     pub vectors: usize,
     /// Worker threads used for the variant sweep.
     pub jobs: usize,
+    /// Event-queue backend the stage's simulators scheduled through.
+    pub queue: QueueKind,
     /// Pipelined-window size when the streamed protocol ran
     /// (see [`FlowOptions::window`]); `None` for the per-vector protocol.
     pub window: Option<usize>,
@@ -521,9 +529,17 @@ impl Pipeline {
     /// # Errors
     ///
     /// Simulator failures; [`FlowError::Mismatch`] if EE ever changed a
-    /// value (must never happen).
+    /// value (must never happen); [`FlowError::Config`] for a zero
+    /// streaming window.
     pub fn simulate(&self, ee: &EarlyEvaled) -> Result<Simulated, FlowError> {
         let t0 = Instant::now();
+        if self.opts.window == Some(0) {
+            // Caught here so library callers get a typed error instead of
+            // the sweep's panic (plc validates the flag separately).
+            return Err(FlowError::Config {
+                message: "streaming window must be at least 1 vector".into(),
+            });
+        }
         let inputs = pl_sim::random_vectors(
             ee.plain.input_gates().len(),
             self.opts.vectors,
@@ -532,27 +548,30 @@ impl Pipeline {
         let report = SimReport {
             vectors: self.opts.vectors,
             jobs: self.opts.jobs,
+            queue: self.opts.queue,
             window: self.opts.window,
             secs: 0.0,
         };
         if let Some(window) = self.opts.window {
             // Streamed protocol: parallelism lives INSIDE each stream, so
             // the variants run back to back, each pipelined over `jobs`.
-            let mut stream_plain = pl_sim::parallel::sweep_pipelined(
+            let mut stream_plain = pl_sim::parallel::sweep_pipelined_with_queue(
                 &ee.plain,
                 &self.opts.delays,
                 &inputs,
                 window,
                 self.opts.jobs,
+                self.opts.queue,
             )?;
             let stream_ee = match &ee.ee {
                 Some(pl) => {
-                    let mut s = pl_sim::parallel::sweep_pipelined(
+                    let mut s = pl_sim::parallel::sweep_pipelined_with_queue(
                         pl,
                         &self.opts.delays,
                         &inputs,
                         window,
                         self.opts.jobs,
+                        self.opts.queue,
                     )?;
                     if stream_plain.outputs != s.outputs {
                         return Err(FlowError::Mismatch {
@@ -584,7 +603,7 @@ impl Pipeline {
         }
         let variants: Vec<&PlNetlist> = std::iter::once(&ee.plain).chain(ee.ee.as_ref()).collect();
         let results = pl_sim::parallel::scatter_gather(self.opts.jobs, &variants, |_, pl| {
-            pl_sim::measure_latency_on(pl, &self.opts.delays, &inputs)
+            pl_sim::measure_latency_on_with_queue(pl, &self.opts.delays, &inputs, self.opts.queue)
         });
         let mut measured = Vec::with_capacity(results.len());
         for r in results {

@@ -20,6 +20,12 @@
 //! pass emits window-boundary checkpoints and workers replay the windows
 //! in full behind it.
 //!
+//! Checkpoints are **queue-kind-portable**: the in-flight event queue is
+//! canonicalized to a sorted `(tick, seq)` event list regardless of the
+//! source simulator's [`crate::queue::QueueKind`], so a snapshot taken on
+//! a heap-engine simulator resumes bit-identically on a ladder-engine one
+//! and vice versa (the restoring simulator keeps its own backend).
+//!
 //! What is deliberately *not* captured: the waveform trace
 //! ([`PlSimulator::enable_tracing`] recordings are a debugging artifact,
 //! not simulation state — [`PlSimulator::restore`] clears any recorded
@@ -73,12 +79,17 @@ impl Default for Fnv64 {
 }
 
 /// FNV-1a over the netlist's arc topology (per arc: source gate,
-/// destination gate, kind, destination pin) and per-gate logic functions
-/// — the design identity a checkpoint is bound to. Two different designs
-/// that merely share gate/arc/output *counts* hash differently, so a
-/// checkpoint cannot be replayed onto them. Computed once per simulator
-/// ([`PlSimulator::new`]) and carried, so snapshot/restore on the
-/// pipelined sweep's per-window hot path never re-walk the netlist.
+/// destination gate, kind, destination pin), per-gate logic functions,
+/// and the input-port / output-slot gate orders — the design identity a
+/// checkpoint is bound to. Two different designs that merely share
+/// gate/arc/output *counts* hash differently, so a checkpoint cannot be
+/// replayed onto them; covering the port/slot orders explicitly keeps
+/// the slot-indexed state (record queues, pending inputs) bound to the
+/// right gates even for a builder whose port order could diverge from
+/// gate-creation order (arc topology alone would not see that). Computed
+/// once per simulator ([`PlSimulator::new`]) and carried, so
+/// snapshot/restore on the pipelined sweep's per-window hot path never
+/// re-walk the netlist.
 pub(crate) fn netlist_fingerprint(pl: &PlNetlist) -> u64 {
     let mut h = Fnv64::new();
     h.mix(pl.gates().len() as u64);
@@ -94,6 +105,12 @@ pub(crate) fn netlist_fingerprint(pl: &PlNetlist) -> u64 {
             PlArcKind::Efire => 2,
         });
         h.mix(arc.dst_pin().map_or(u64::MAX, u64::from));
+    }
+    for g in pl.input_gates() {
+        h.mix(g.index() as u64);
+    }
+    for (_, g) in pl.output_gates() {
+        h.mix(g.index() as u64);
     }
     h.finish()
 }
@@ -165,8 +182,12 @@ impl<'a> PlSimulator<'a> {
     /// captured too, so tokens still propagating are part of the state.
     #[must_use]
     pub fn snapshot(&self) -> SimCheckpoint {
-        let mut queue: Vec<Event> = self.queue.iter().copied().collect();
-        queue.sort_unstable_by_key(|e| e.key);
+        let queue: Vec<Event> = self
+            .queue
+            .sorted_events()
+            .into_iter()
+            .map(|(key, kind)| Event { key, kind })
+            .collect();
         SimCheckpoint {
             gates: self.pl.gates().len(),
             arcs: self.pl.arcs().len(),
@@ -220,7 +241,9 @@ impl<'a> PlSimulator<'a> {
         self.events = ck.events;
         self.rounds = ck.rounds;
         self.queue.clear();
-        self.queue.extend(ck.queue.iter().copied());
+        for e in &ck.queue {
+            self.queue.push(e.key, e.kind);
+        }
         self.tokens.clone_from(&ck.tokens);
         self.values.clone_from(&ck.values);
         self.pin_tokens.clone_from(&ck.pin_tokens);

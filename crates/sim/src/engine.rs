@@ -17,8 +17,34 @@
 //!   ([`crate::delay::TICKS_PER_NS`]) quantized once from the [`DelayModel`]
 //!   via [`DelayModel::to_ticks`]. Tick keys compare exactly; there is no
 //!   `f64::total_cmp` heap ordering and no accumulated rounding drift.
-//! * **Flat event queue** — a `Vec`-backed binary min-heap over packed
-//!   `(tick, seq)` keys; `seq` makes the order total and deterministic.
+//! * **Pluggable event queue** — pending events live in a
+//!   [`crate::queue::EventQueue`] over packed `(tick, seq)` keys (`seq`
+//!   makes the order total and deterministic), enum-dispatched over two
+//!   backends selected at construction
+//!   ([`PlSimulator::with_queue`] / [`crate::queue::QueueKind`]):
+//!
+//!   * `Heap` (the default) — a flat `Vec`-backed binary min-heap,
+//!     O(log n) per operation, fully general, and free of steady-state
+//!     allocation (capacity is retained across rounds; the ladder trades
+//!     that for small per-bucket allocations).
+//!   * `Ladder` — a calendar/ladder queue bucketed by integer tick with
+//!     FIFO (`seq`) order inside buckets and automatic refinement /
+//!     resize rungs. Amortized O(1) push/pop. It wins when the pending
+//!     set is large and the tick distribution is dense and
+//!     near-monotonic — exactly what this engine produces, since every
+//!     scheduled event lies at most one maximum component delay
+//!     (~3.1 ns on the default model) ahead of the current time, and
+//!     the larger ITC'99 designs keep hundreds of events in flight. For
+//!     tiny designs (tens of events pending) the heap's lower constant
+//!     factor wins instead; `BENCH_queue.json` tracks the measured
+//!     crossover on streamed b14/b15.
+//!
+//!   The backend is an implementation detail, never semantics: both pop
+//!   in exactly ascending `(tick, seq)` order, results are bit-identical
+//!   (differentially pinned across the whole equivalence suite), and
+//!   [`crate::SimCheckpoint`]s canonicalize the in-flight queue to a
+//!   sorted event list, so a checkpoint taken on one backend resumes on
+//!   the other.
 //! * **CSR adjacency** — all topology questions go through
 //!   [`pl_core::PlAdjacency`]: per-gate contiguous slices of pin-indexed
 //!   data-in arcs, ack in-arcs, and out-arcs pre-split into value-carrying
@@ -33,13 +59,14 @@
 //! reference engine; `tests/engine_equivalence.rs` enforces this
 //! differentially on the ITC'99 suite and on randomized netlists.
 
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 
 use pl_core::adjacency::{GateClass, NO_ARC};
 use pl_core::{PlAdjacency, PlArcId, PlArcKind, PlGateId, PlNetlist};
 
 use crate::delay::{ticks_to_ns, DelayModel, TickDelays};
 use crate::error::SimError;
+use crate::queue::{EventQueue, QueueKind};
 
 /// Result of simulating one input vector to a stable output word.
 #[derive(Debug, Clone, PartialEq)]
@@ -92,39 +119,15 @@ pub(crate) enum EventKind {
     },
 }
 
+/// One canonicalized in-flight event as a checkpoint stores it. The live
+/// queue itself is a [`crate::queue::EventQueue`] over `(key, kind)`
+/// pairs; this struct only exists so [`crate::SimCheckpoint`] can carry a
+/// queue-kind-portable sorted event list.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct Event {
     /// `(tick << 64) | seq` — a strict total order (seq is unique).
     pub(crate) key: u128,
     pub(crate) kind: EventKind,
-}
-
-impl Event {
-    fn tick(&self) -> u64 {
-        (self.key >> 64) as u64
-    }
-}
-
-// The event queue is `BinaryHeap<Event>` (a flat `Vec`-backed binary heap):
-// ordering is by the packed key alone — one `u128` compare — REVERSED so
-// the max-heap pops the earliest `(tick, seq)` first. Capacity is retained
-// across rounds, so steady-state simulation performs no queue allocation.
-
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        self.key == other.key
-    }
-}
-impl Eq for Event {}
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        other.key.cmp(&self.key)
-    }
 }
 
 // Per-gate scheduling flags (round-trip state of the firing automaton).
@@ -151,7 +154,7 @@ pub struct PlSimulator<'a> {
     pub(crate) now: u64,
     pub(crate) seq: u64,
     pub(crate) events: u64,
-    pub(crate) queue: BinaryHeap<Event>,
+    pub(crate) queue: EventQueue<EventKind>,
     /// Per-arc token presence (0/1).
     pub(crate) tokens: Vec<u8>,
     /// Per-arc token value (data/efire arcs).
@@ -173,12 +176,29 @@ pub struct PlSimulator<'a> {
 
 impl<'a> PlSimulator<'a> {
     /// Prepares a simulator: checks structural liveness, freezes the flat
-    /// adjacency, and places the initial marking.
+    /// adjacency, and places the initial marking. Events schedule through
+    /// the default [`QueueKind::Heap`] backend; use
+    /// [`PlSimulator::with_queue`] to select another.
     ///
     /// # Errors
     ///
     /// Returns [`SimError::Structural`] if the netlist is not live.
     pub fn new(pl: &'a PlNetlist, delays: DelayModel) -> Result<Self, SimError> {
+        Self::with_queue(pl, delays, QueueKind::default())
+    }
+
+    /// [`PlSimulator::new`] with an explicit event-queue backend. The
+    /// backend is a pure implementation choice — simulation results are
+    /// bit-identical across kinds (see [`crate::queue`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Structural`] if the netlist is not live.
+    pub fn with_queue(
+        pl: &'a PlNetlist,
+        delays: DelayModel,
+        queue: QueueKind,
+    ) -> Result<Self, SimError> {
         pl.check_pins()?;
         pl_core::marked::check_liveness(pl)?;
         let adj = pl.adjacency();
@@ -192,7 +212,7 @@ impl<'a> PlSimulator<'a> {
             now: 0,
             seq: 0,
             events: 0,
-            queue: BinaryHeap::new(),
+            queue: EventQueue::new(queue),
             tokens: pl.arcs().iter().map(pl_core::PlArc::init_tokens).collect(),
             values: pl.arcs().iter().map(pl_core::PlArc::init_value).collect(),
             pin_tokens: vec![0; n],
@@ -250,6 +270,12 @@ impl<'a> PlSimulator<'a> {
         &self.delays
     }
 
+    /// The event-queue backend this simulator schedules through.
+    #[must_use]
+    pub fn queue_kind(&self) -> QueueKind {
+        self.queue.kind()
+    }
+
     /// Number of completed vectors.
     #[must_use]
     pub fn rounds(&self) -> u64 {
@@ -304,14 +330,14 @@ impl<'a> PlSimulator<'a> {
         self.record_constant_outputs();
         // Run until each output's record queue has an entry for this round.
         while !self.round_complete() {
-            let Some(ev) = self.queue.pop() else {
+            let Some((key, kind)) = self.queue.pop() else {
                 return Err(SimError::Deadlock {
                     at_time: self.time(),
                     missing_outputs: self.missing_outputs(),
                 });
             };
-            self.now = ev.tick();
-            self.dispatch(ev.kind)?;
+            self.now = crate::queue::tick_of(key);
+            self.dispatch(kind)?;
         }
         let mut outputs = Vec::with_capacity(self.records.len());
         let mut completed_at = start;
@@ -351,14 +377,14 @@ impl<'a> PlSimulator<'a> {
         let mut last = start;
         while completed < vectors.len() {
             while !self.round_complete() {
-                let Some(ev) = self.queue.pop() else {
+                let Some((key, kind)) = self.queue.pop() else {
                     return Err(SimError::Deadlock {
                         at_time: self.time(),
                         missing_outputs: self.missing_outputs(),
                     });
                 };
-                self.now = ev.tick();
-                self.dispatch(ev.kind)?;
+                self.now = crate::queue::tick_of(key);
+                self.dispatch(kind)?;
             }
             let mut word = Vec::with_capacity(self.records.len());
             for q in &mut self.records {
@@ -457,7 +483,7 @@ impl<'a> PlSimulator<'a> {
         let target = start_round + vecs.len();
         let incomplete = |(q, &b): (&VecDeque<(bool, u64)>, &usize)| b + q.len() < target;
         while self.records.iter().zip(base).any(incomplete) {
-            let Some(ev) = self.queue.pop() else {
+            let Some((key, kind)) = self.queue.pop() else {
                 return Err(SimError::Deadlock {
                     at_time: self.time(),
                     missing_outputs: self
@@ -470,8 +496,8 @@ impl<'a> PlSimulator<'a> {
                         .collect(),
                 });
             };
-            self.now = ev.tick();
-            self.dispatch(ev.kind)?;
+            self.now = crate::queue::tick_of(key);
+            self.dispatch(kind)?;
         }
         let mut words = Vec::with_capacity(vecs.len());
         let mut last = 0u64;
@@ -516,14 +542,14 @@ impl<'a> PlSimulator<'a> {
 
     fn drain_pending_inputs(&mut self) -> Result<(), SimError> {
         while self.pending_input.iter().any(Option::is_some) {
-            let Some(ev) = self.queue.pop() else {
+            let Some((key, kind)) = self.queue.pop() else {
                 return Err(SimError::Deadlock {
                     at_time: self.time(),
                     missing_outputs: vec!["<pending input never consumed>".into()],
                 });
             };
-            self.now = ev.tick();
-            self.dispatch(ev.kind)?;
+            self.now = crate::queue::tick_of(key);
+            self.dispatch(kind)?;
         }
         Ok(())
     }
@@ -531,10 +557,9 @@ impl<'a> PlSimulator<'a> {
     // ---- event machinery -------------------------------------------------
 
     fn post(&mut self, delay: u64, kind: EventKind) {
-        let tick = self.now + delay;
-        let key = (u128::from(tick) << 64) | u128::from(self.seq);
+        let key = crate::queue::pack_key(self.now + delay, self.seq);
         self.seq += 1;
-        self.queue.push(Event { key, kind });
+        self.queue.push(key, kind);
     }
 
     fn dispatch(&mut self, kind: EventKind) -> Result<(), SimError> {

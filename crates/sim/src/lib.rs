@@ -12,10 +12,16 @@
 //!   performs the token cleanup when they do. Safety (an arc never holds
 //!   two tokens) is asserted dynamically on every delivery.
 //!
-//!   The engine core is allocation-free and integer-timed: events are keyed
-//!   on `u64` femtosecond ticks ([`TICKS_PER_NS`], quantized once via
-//!   [`DelayModel::to_ticks`]) in a flat `Vec`-backed min-heap ordered by
-//!   `(tick, seq)`; topology queries go through the frozen CSR adjacency
+//!   The engine core is integer-timed: events are keyed on `u64`
+//!   femtosecond ticks ([`TICKS_PER_NS`], quantized once via
+//!   [`DelayModel::to_ticks`]) in a pluggable [`queue::EventQueue`]
+//!   ordered by `(tick, seq)` — a binary min-heap by default
+//!   (steady-state allocation-free: capacity is retained across rounds),
+//!   or a calendar/ladder queue ([`QueueKind::Ladder`], amortized O(1)
+//!   queue ops on the engine's dense near-monotonic schedules, at the
+//!   cost of small per-bucket allocations) selected via
+//!   [`PlSimulator::with_queue`], bit-identical results either way;
+//!   topology queries go through the frozen CSR adjacency
 //!   ([`pl_core::PlAdjacency`]: pin-indexed data-in arcs, ack in-arcs,
 //!   out-arcs pre-split into value/ack lists); and firing readiness is
 //!   tracked incrementally in per-gate pin bitsets plus an ack counter, so
@@ -69,6 +75,7 @@ mod delay;
 mod engine;
 mod error;
 pub mod parallel;
+pub mod queue;
 pub mod reference;
 mod stats;
 mod sync;
@@ -78,7 +85,14 @@ pub use checkpoint::{Fnv64, SimCheckpoint};
 pub use delay::{ns_to_ticks, ticks_to_ns, DelayModel, TickDelays, TICKS_PER_NS};
 pub use engine::{PlSimulator, StreamOutcome, VectorOutcome};
 pub use error::SimError;
-pub use parallel::{scatter_gather, sweep_pipelined, sweep_sharded, sweep_streams};
+pub use parallel::{
+    scatter_gather, sweep_pipelined, sweep_pipelined_with_queue, sweep_sharded,
+    sweep_sharded_with_queue, sweep_streams, sweep_streams_with_queue,
+};
+pub use queue::{EventQueue, QueueKind};
 pub use reference::ReferenceSimulator;
-pub use stats::{measure_latency, measure_latency_on, random_vectors, LatencyStats};
+pub use stats::{
+    measure_latency, measure_latency_on, measure_latency_on_with_queue, random_vectors,
+    LatencyStats,
+};
 pub use sync::{verify_equivalence, Mismatch, SyncSimulator};

@@ -30,6 +30,12 @@
 //!   **bit-identical to a sequential [`PlSimulator::run_stream`] call**
 //!   for every `(jobs, window)` combination.
 //!
+//! Every sweep shape also has a `_with_queue` variant
+//! ([`sweep_streams_with_queue`], [`sweep_sharded_with_queue`],
+//! [`sweep_pipelined_with_queue`]) selecting the event-queue backend
+//! ([`crate::queue::QueueKind`]) of every simulator involved — a pure
+//! cost-profile choice, results are backend-invariant.
+//!
 //! Determinism is structural, not incidental: workers only *pull* work
 //! (item indices from an atomic counter, or checkpointed windows from a
 //! channel); every result is sent back tagged with its index and the
@@ -53,6 +59,7 @@ use crate::checkpoint::SimCheckpoint;
 use crate::delay::{ticks_to_ns, DelayModel};
 use crate::engine::{PlSimulator, StreamOutcome};
 use crate::error::SimError;
+use crate::queue::QueueKind;
 
 /// Resolves a `--jobs`-style request into a concrete worker count:
 /// `0` means "ask the OS" ([`std::thread::available_parallelism`]), and
@@ -150,8 +157,28 @@ pub fn sweep_streams<S>(
 where
     S: AsRef<[Vec<bool>]> + Sync,
 {
+    sweep_streams_with_queue(pl, delays, streams, jobs, QueueKind::default())
+}
+
+/// [`sweep_streams`] with an explicit event-queue backend for the worker
+/// simulators. The backend never changes results (see [`crate::queue`]),
+/// only the queue-operation cost profile.
+///
+/// # Errors
+///
+/// Same conditions as [`sweep_streams`].
+pub fn sweep_streams_with_queue<S>(
+    pl: &PlNetlist,
+    delays: &DelayModel,
+    streams: &[S],
+    jobs: usize,
+    queue: QueueKind,
+) -> Result<Vec<StreamOutcome>, SimError>
+where
+    S: AsRef<[Vec<bool>]> + Sync,
+{
     scatter_gather(jobs, streams, |_, stream| {
-        PlSimulator::new(pl, delays.clone())?.run_stream(stream.as_ref())
+        PlSimulator::with_queue(pl, delays.clone(), queue)?.run_stream(stream.as_ref())
     })
     .into_iter()
     .collect()
@@ -184,9 +211,30 @@ pub fn sweep_sharded(
     shard_len: usize,
     jobs: usize,
 ) -> Result<StreamOutcome, SimError> {
+    sweep_sharded_with_queue(pl, delays, vectors, shard_len, jobs, QueueKind::default())
+}
+
+/// [`sweep_sharded`] with an explicit event-queue backend for the worker
+/// simulators (results are backend-invariant).
+///
+/// # Errors
+///
+/// Propagates the first failing shard's error, by shard index.
+///
+/// # Panics
+///
+/// Panics if `shard_len` is zero.
+pub fn sweep_sharded_with_queue(
+    pl: &PlNetlist,
+    delays: &DelayModel,
+    vectors: &[Vec<bool>],
+    shard_len: usize,
+    jobs: usize,
+    queue: QueueKind,
+) -> Result<StreamOutcome, SimError> {
     assert!(shard_len > 0, "shard_len must be at least 1");
     let shards: Vec<&[Vec<bool>]> = vectors.chunks(shard_len).collect();
-    let outcomes = sweep_streams(pl, delays, &shards, jobs)?;
+    let outcomes = sweep_streams_with_queue(pl, delays, &shards, jobs, queue)?;
     let mut merged = StreamOutcome {
         outputs: Vec::with_capacity(vectors.len()),
         makespan: 0.0,
@@ -260,13 +308,37 @@ pub fn sweep_pipelined(
     window: usize,
     jobs: usize,
 ) -> Result<StreamOutcome, SimError> {
+    sweep_pipelined_with_queue(pl, delays, vectors, window, jobs, QueueKind::default())
+}
+
+/// [`sweep_pipelined`] with an explicit event-queue backend for the
+/// leader and every window-replay worker. Checkpoints are
+/// queue-kind-portable, so any backend combination would agree; using one
+/// kind throughout keeps the timing profile uniform. Results are
+/// backend-invariant.
+///
+/// # Errors
+///
+/// Same conditions as [`sweep_pipelined`].
+///
+/// # Panics
+///
+/// Panics if `window` is zero.
+pub fn sweep_pipelined_with_queue(
+    pl: &PlNetlist,
+    delays: &DelayModel,
+    vectors: &[Vec<bool>],
+    window: usize,
+    jobs: usize,
+    queue: QueueKind,
+) -> Result<StreamOutcome, SimError> {
     assert!(window > 0, "window must be at least 1");
     let n_windows = vectors.len().div_ceil(window);
     let jobs = effective_jobs(jobs, n_windows);
     // Building the leader first also validates the netlist: the workers'
     // own constructions below run the same deterministic checks and
     // therefore cannot fail once this one succeeded.
-    let mut leader = PlSimulator::new(pl, delays.clone())?;
+    let mut leader = PlSimulator::with_queue(pl, delays.clone(), queue)?;
     if jobs <= 1 || n_windows <= 1 {
         return leader.run_stream(vectors);
     }
@@ -287,7 +359,7 @@ pub fn sweep_pipelined(
             let res_tx = res_tx.clone();
             let delays = delays.clone();
             scope.spawn(move || {
-                let mut sim = PlSimulator::new(pl, delays)
+                let mut sim = PlSimulator::with_queue(pl, delays, queue)
                     .expect("the leader already validated this netlist");
                 loop {
                     let task = {

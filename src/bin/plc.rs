@@ -62,6 +62,11 @@ const SPEC: CliSpec = CliSpec {
             help: "stream the vectors through pipelined N-vector windows (checkpoint handoff across --jobs workers; reports makespan/throughput)",
         },
         OptSpec {
+            long: "--queue",
+            value: Some("KIND"),
+            help: "event-queue backend for simulation: heap (default) or ladder (calendar queue; results are bit-identical either way)",
+        },
+        OptSpec {
             long: "--threshold",
             value: Some("T"),
             help: "EE cost threshold (Equation 1; default 0 = all speedups)",
@@ -148,6 +153,9 @@ fn main() -> ExitCode {
     if let Some(t) = args.value_opt::<f64>("--threshold") {
         opts.ee.cost_threshold = t;
     }
+    if let Some(q) = args.value_opt::<pl_flow::QueueKind>("--queue") {
+        opts.queue = q;
+    }
     opts.window = args.value_opt::<usize>("--window");
     if let Err(msg) = check_flag_consistency(&args, stop_after, &opts) {
         eprintln!("error: {msg}\n");
@@ -189,10 +197,16 @@ fn check_flag_consistency(
     } else {
         (Stage::Simulate, "simulate")
     };
-    let needs: [(&str, bool, Stage, &str); 10] = [
+    let needs: [(&str, bool, Stage, &str); 11] = [
         (
             "--window",
             args.get("--window").is_some(),
+            Stage::Simulate,
+            "simulate",
+        ),
+        (
+            "--queue",
+            args.get("--queue").is_some(),
             Stage::Simulate,
             "simulate",
         ),
@@ -367,8 +381,8 @@ fn drive(
         return Ok(());
     }
     println!(
-        "[simulate]  {} vectors, {} job(s)  ({:.3}s)",
-        sim.report.vectors, sim.report.jobs, sim.report.secs,
+        "[simulate]  {} vectors, {} job(s), {} queue  ({:.3}s)",
+        sim.report.vectors, sim.report.jobs, sim.report.queue, sim.report.secs,
     );
     if let (Some(window), Some(stream_plain)) = (sim.report.window, &sim.stream_plain) {
         // Streamed protocol: one pipelined run per variant — makespan and
