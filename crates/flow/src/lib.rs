@@ -73,7 +73,7 @@ pub use pipeline::{
     Mapped, OptimizeReport, Optimized, Phased, PhasedReport, Pipeline, SimReport, Simulated,
     TechmapReport, VerifyReport,
 };
-pub use pl_sim::QueueKind;
+pub use pl_sim::{QueueKind, SweepRecovery};
 pub use source::{
     lcg_vectors, random_netlist, random_netlist_draw, CircuitSource, Lcg, RandomSpec,
 };

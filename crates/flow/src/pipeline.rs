@@ -17,12 +17,13 @@
 //! [`Pipeline::simulate`]) scatters whole deterministic measurements via
 //! [`pl_sim::parallel::scatter_gather`] and reorders them by index.
 
+use std::path::PathBuf;
 use std::time::Instant;
 
 use pl_core::ee::{EeOptions, EePair};
 use pl_core::PlNetlist;
 use pl_netlist::Netlist;
-use pl_sim::{DelayModel, LatencyStats, QueueKind};
+use pl_sim::{DelayModel, LatencyStats, QueueKind, ResumableOptions, SweepRecovery};
 use pl_techmap::{map_with_report, MapOptions};
 
 use crate::error::FlowError;
@@ -62,6 +63,24 @@ pub struct FlowOptions {
     /// no per-vector stable-input→stable-output latency); makespan and
     /// throughput are reported instead.
     pub window: Option<usize>,
+    /// When set (streamed protocol only), the simulate stage runs each
+    /// variant through the crash-resumable sweep
+    /// ([`pl_sim::sweep_resumable`]) instead of the in-memory pipelined
+    /// sweep: window-boundary checkpoints and a completed-window journal
+    /// are written under this directory (`plain/` and `ee/` subtrees, one
+    /// per variant), so a killed run can be resumed bit-identically with
+    /// [`FlowOptions::resume`]. Requires [`FlowOptions::window`].
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Resume an interrupted sweep already present in
+    /// [`FlowOptions::checkpoint_dir`] instead of starting fresh (a fresh
+    /// run refuses a directory that already holds a sweep). A variant
+    /// whose sweep never durably started — no `sweep.meta` under its
+    /// subtree, e.g. the run was killed before reaching the EE variant —
+    /// is started fresh rather than failing.
+    pub resume: bool,
+    /// Re-attempts granted to a failed or panicked sweep window before it
+    /// degrades to in-process execution (resumable protocol only).
+    pub max_retries: u32,
     /// Technology-mapping options (LUT arity, cut budget, cleanup).
     pub map: MapOptions,
     /// Run the standalone netlist cleanup passes (constant propagation,
@@ -83,6 +102,9 @@ impl Default for FlowOptions {
             jobs: 1,
             queue: QueueKind::default(),
             window: None,
+            checkpoint_dir: None,
+            resume: false,
+            max_retries: 2,
             map: MapOptions::default(),
             optimize: false,
         }
@@ -238,6 +260,12 @@ pub struct SimReport {
     /// Pipelined-window size when the streamed protocol ran
     /// (see [`FlowOptions::window`]); `None` for the per-vector protocol.
     pub window: Option<usize>,
+    /// Recovery audit trail of the plain variant when the crash-resumable
+    /// sweep ran (see [`FlowOptions::checkpoint_dir`]); `None` otherwise.
+    pub recovery_plain: Option<SweepRecovery>,
+    /// Recovery audit trail of the EE variant (resumable sweep with EE
+    /// enabled only).
+    pub recovery_ee: Option<SweepRecovery>,
     /// Stage wall-clock seconds (all variants).
     pub secs: f64,
 }
@@ -522,7 +550,12 @@ impl Pipeline {
     ///   stream through each variant via
     ///   [`pl_sim::parallel::sweep_pipelined`] (`n`-vector checkpointed
     ///   windows, `jobs` workers inside one stream), reporting makespan
-    ///   and throughput instead of per-vector latencies.
+    ///   and throughput instead of per-vector latencies. With
+    ///   [`FlowOptions::checkpoint_dir`] set, the stream runs through the
+    ///   crash-resumable sweep instead ([`pl_sim::sweep_resumable`]:
+    ///   on-disk checkpoints + journal, kill/resume recovery, bounded
+    ///   worker retry) and the report carries each variant's
+    ///   [`SweepRecovery`] audit trail.
     ///
     /// Either way the results are bit-identical at any worker count.
     ///
@@ -530,7 +563,7 @@ impl Pipeline {
     ///
     /// Simulator failures; [`FlowError::Mismatch`] if EE ever changed a
     /// value (must never happen); [`FlowError::Config`] for a zero
-    /// streaming window.
+    /// streaming window or a checkpoint directory without a window.
     pub fn simulate(&self, ee: &EarlyEvaled) -> Result<Simulated, FlowError> {
         let t0 = Instant::now();
         if self.opts.window == Some(0) {
@@ -538,6 +571,12 @@ impl Pipeline {
             // the sweep's panic (plc validates the flag separately).
             return Err(FlowError::Config {
                 message: "streaming window must be at least 1 vector".into(),
+            });
+        }
+        if self.opts.checkpoint_dir.is_some() && self.opts.window.is_none() {
+            return Err(FlowError::Config {
+                message: "a checkpoint directory requires the streamed protocol (set a window)"
+                    .into(),
             });
         }
         let inputs = pl_sim::random_vectors(
@@ -550,38 +589,27 @@ impl Pipeline {
             jobs: self.opts.jobs,
             queue: self.opts.queue,
             window: self.opts.window,
+            recovery_plain: None,
+            recovery_ee: None,
             secs: 0.0,
         };
         if let Some(window) = self.opts.window {
             // Streamed protocol: parallelism lives INSIDE each stream, so
             // the variants run back to back, each pipelined over `jobs`.
-            let mut stream_plain = pl_sim::parallel::sweep_pipelined_with_queue(
-                &ee.plain,
-                &self.opts.delays,
-                &inputs,
-                window,
-                self.opts.jobs,
-                self.opts.queue,
-            )?;
-            let stream_ee = match &ee.ee {
+            let (mut stream_plain, recovery_plain) =
+                self.sweep_stream(&ee.plain, &inputs, window, "plain")?;
+            let (stream_ee, recovery_ee) = match &ee.ee {
                 Some(pl) => {
-                    let mut s = pl_sim::parallel::sweep_pipelined_with_queue(
-                        pl,
-                        &self.opts.delays,
-                        &inputs,
-                        window,
-                        self.opts.jobs,
-                        self.opts.queue,
-                    )?;
+                    let (mut s, rec) = self.sweep_stream(pl, &inputs, window, "ee")?;
                     if stream_plain.outputs != s.outputs {
                         return Err(FlowError::Mismatch {
                             context: format!("{} (EE vs plain, streamed)", ee.name),
                         });
                     }
                     s.outputs = Vec::new();
-                    Some(s)
+                    (Some(s), rec)
                 }
-                None => None,
+                None => (None, None),
             };
             // The output words live once, in `Simulated::outputs`; the
             // stream outcomes carry metrics (makespan/throughput) only —
@@ -596,6 +624,8 @@ impl Pipeline {
                 stream_ee,
                 stream_plain: Some(stream_plain),
                 report: SimReport {
+                    recovery_plain,
+                    recovery_ee,
                     secs: t0.elapsed().as_secs_f64(),
                     ..report
                 },
@@ -634,6 +664,56 @@ impl Pipeline {
                 ..report
             },
         })
+    }
+
+    /// Runs one variant's vector stream through the streamed protocol:
+    /// the crash-resumable sweep (under `checkpoint_dir/<variant>`) when
+    /// a checkpoint directory is configured, the in-memory pipelined
+    /// sweep otherwise. Both are bit-identical to a sequential
+    /// `run_stream`; only the resumable path yields a recovery trail.
+    fn sweep_stream(
+        &self,
+        pl: &PlNetlist,
+        inputs: &[Vec<bool>],
+        window: usize,
+        variant: &str,
+    ) -> Result<(pl_sim::StreamOutcome, Option<SweepRecovery>), FlowError> {
+        match &self.opts.checkpoint_dir {
+            Some(dir) => {
+                let vdir = dir.join(variant);
+                // A kill can land before this variant's sweep durably
+                // started (its `sweep.meta` is written atomically, so it
+                // is absent-or-valid): resume what is there, start fresh
+                // what never began. A present-but-corrupt meta still
+                // fails typed inside the sweep.
+                let resume = self.opts.resume && vdir.join("sweep.meta").exists();
+                let out = pl_sim::sweep_resumable(
+                    pl,
+                    &self.opts.delays,
+                    inputs,
+                    &vdir,
+                    &ResumableOptions {
+                        window,
+                        jobs: self.opts.jobs,
+                        queue: self.opts.queue,
+                        resume,
+                        max_retries: self.opts.max_retries,
+                    },
+                )?;
+                Ok((out.outcome, Some(out.recovery)))
+            }
+            None => {
+                let s = pl_sim::parallel::sweep_pipelined_with_queue(
+                    pl,
+                    &self.opts.delays,
+                    inputs,
+                    window,
+                    self.opts.jobs,
+                    self.opts.queue,
+                )?;
+                Ok((s, None))
+            }
+        }
     }
 
     /// **Stage 7 — verify**: replays the simulate stage's exact input

@@ -37,6 +37,8 @@
 //! cross-checked (it is not part of the netlist) and stays the caller's
 //! responsibility.
 
+pub mod wire;
+
 use std::collections::VecDeque;
 
 use pl_core::{PlArcKind, PlNetlist};
@@ -117,8 +119,12 @@ pub(crate) fn netlist_fingerprint(pl: &PlNetlist) -> u64 {
 
 /// The complete dynamic state of a [`PlSimulator`], detached from the
 /// netlist borrow. Create with [`PlSimulator::snapshot`]; rebuild with
-/// [`PlSimulator::resume_from`] or [`PlSimulator::restore`].
-#[derive(Debug, Clone)]
+/// [`PlSimulator::resume_from`] or [`PlSimulator::restore`], or
+/// serialize across the process boundary with
+/// [`SimCheckpoint::to_bytes`] / [`SimCheckpoint::from_bytes`]
+/// ([`wire`]). `PartialEq` compares the full dynamic state — the
+/// encode→decode identity the wire format's property tests pin.
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimCheckpoint {
     /// Shape of the source netlist (gates, arcs, outputs) plus its arc
     /// topology fingerprint — checked on restore so a checkpoint can
@@ -253,6 +259,12 @@ impl<'a> PlSimulator<'a> {
         self.flags.clone_from(&ck.flags);
         self.gen.clone_from(&ck.gen);
         self.records.clone_from(&ck.records);
+        // Leader-diet bookkeeping is not checkpoint state (the counts are
+        // folded into the window base offsets before every snapshot); a
+        // restored simulator starts its own tally.
+        self.records_skipped.iter_mut().for_each(|s| *s = 0);
+        self.fired_rounds.iter_mut().for_each(|s| *s = 0);
+        self.record_horizon = 0;
         if let Some(trace) = &mut self.trace {
             trace.clear();
         }

@@ -123,7 +123,7 @@ pub(crate) enum EventKind {
 /// queue itself is a [`crate::queue::EventQueue`] over `(key, kind)`
 /// pairs; this struct only exists so [`crate::SimCheckpoint`] can carry a
 /// queue-kind-portable sorted event list.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub(crate) struct Event {
     /// `(tick << 64) | seq` — a strict total order (seq is unique).
     pub(crate) key: u128,
@@ -172,6 +172,25 @@ pub struct PlSimulator<'a> {
     pub(crate) records: Vec<VecDeque<(bool, u64)>>,
     pub(crate) rounds: u64,
     pub(crate) trace: Option<Vec<crate::trace::TraceEvent>>,
+    /// The pipelined sweep's leader diet: an output firing whose round
+    /// index is below this horizon (and whose record queue holds no
+    /// later round) is counted into `records_skipped` instead of being
+    /// pushed onto `records` — record queues are write-only to the event
+    /// schedule, so this changes memory traffic, never simulation
+    /// results. `0` (the default) records everything. Leader-local
+    /// bookkeeping: deliberately NOT part of [`crate::SimCheckpoint`]
+    /// (the skip counts are folded into the window `base` offsets by
+    /// [`PlSimulator::prune_records`] before every snapshot).
+    pub(crate) record_horizon: usize,
+    /// Per-output count of rounds skipped under the `record_horizon`
+    /// diet, pending their fold into a pruning `base`.
+    pub(crate) records_skipped: Vec<usize>,
+    /// Per-output count of rounds recorded *or* skipped since
+    /// construction — each output's next absolute round index, which the
+    /// `record_horizon` diet compares against. Only the never-restored
+    /// diet leader reads it (reset alongside the skip counts on
+    /// restore).
+    pub(crate) fired_rounds: Vec<usize>,
 }
 
 impl<'a> PlSimulator<'a> {
@@ -224,6 +243,9 @@ impl<'a> PlSimulator<'a> {
             records: vec![VecDeque::new(); pl.output_gates().len()],
             rounds: 0,
             trace: None,
+            record_horizon: 0,
+            records_skipped: vec![0; pl.output_gates().len()],
+            fired_rounds: vec![0; pl.output_gates().len()],
             adj,
         };
         // Derive the incremental readiness state from the initial marking.
@@ -289,6 +311,41 @@ impl<'a> PlSimulator<'a> {
         self.events
     }
 
+    /// Raises the record-skip horizon — the advance-only leader pass of
+    /// [`crate::parallel::sweep_pipelined`] sets it to the end of the
+    /// window just dispatched before feeding that window's vectors, so
+    /// output words for already-dispatched rounds are counted (per
+    /// output) instead of stored and the leader's memory and per-round
+    /// work stop scaling with window contents. The horizon compares
+    /// against each output's absolute round index, so an output that
+    /// *outruns* the fed vectors (one whose data cone contains no
+    /// primary input — a free-running DFF ring — can fire for rounds the
+    /// environment has not paced yet) keeps its beyond-horizon records;
+    /// skips therefore always form a contiguous prefix of dispatched
+    /// rounds, which is what lets [`PlSimulator::prune_records`] fold
+    /// the counts into the window `base` exactly. The collection entry
+    /// points ([`PlSimulator::run_vector`] / [`PlSimulator::run_stream`]
+    /// / window replay) require the horizon to be 0.
+    pub(crate) fn set_record_horizon(&mut self, horizon: usize) {
+        debug_assert!(horizon >= self.record_horizon, "horizon only advances");
+        self.record_horizon = horizon;
+    }
+
+    /// Routes one output firing to the record queue, or counts it as
+    /// skipped under the `record_horizon` diet. Skipping requires an
+    /// empty queue so skipped rounds never interleave behind kept ones
+    /// (an outrun record beyond the horizon blocks skipping until a
+    /// prune pops it).
+    fn record_output(&mut self, slot: usize, value: bool) {
+        let round = self.fired_rounds[slot];
+        self.fired_rounds[slot] += 1;
+        if round < self.record_horizon && self.records[slot].is_empty() {
+            self.records_skipped[slot] += 1;
+        } else {
+            self.records[slot].push_back((value, self.now));
+        }
+    }
+
     /// Starts recording token deliveries for [`crate::trace::to_vcd`].
     pub fn enable_tracing(&mut self) {
         if self.trace.is_none() {
@@ -312,6 +369,7 @@ impl<'a> PlSimulator<'a> {
     /// [`SimError::SafetyViolation`] / [`SimError::UnsoundTrigger`] indicate
     /// internal invariant breaches.
     pub fn run_vector(&mut self, inputs: &[bool]) -> Result<VectorOutcome, SimError> {
+        debug_assert_eq!(self.record_horizon, 0, "run_vector collects records");
         let ports = self.pl.input_gates();
         if inputs.len() != ports.len() {
             return Err(SimError::InputArityMismatch {
@@ -367,6 +425,7 @@ impl<'a> PlSimulator<'a> {
     ///
     /// Same conditions as [`PlSimulator::run_vector`].
     pub fn run_stream(&mut self, vectors: &[Vec<bool>]) -> Result<StreamOutcome, SimError> {
+        debug_assert_eq!(self.record_horizon, 0, "run_stream collects records");
         let start = self.now;
         let mut completed = 0usize;
         for v in vectors {
@@ -449,6 +508,15 @@ impl<'a> PlSimulator<'a> {
     /// memory instead of O(stream).
     pub(crate) fn prune_records(&mut self, upto_round: usize, base: &mut [usize]) {
         debug_assert_eq!(base.len(), self.records.len());
+        // Rounds skipped under the leader diet (`set_record_horizon`)
+        // were "pruned" the moment they were produced; fold their counts
+        // into the base first. A round is only ever skipped below the
+        // horizon, and the sweep prunes exactly at the previous horizon,
+        // so this never advances the base past `upto_round`.
+        for (skip, b) in self.records_skipped.iter_mut().zip(base.iter_mut()) {
+            *b += std::mem::take(skip);
+            debug_assert!(*b <= upto_round, "skipped a round past the boundary");
+        }
         for (q, b) in self.records.iter_mut().zip(base.iter_mut()) {
             while *b < upto_round && q.pop_front().is_some() {
                 *b += 1;
@@ -475,6 +543,7 @@ impl<'a> PlSimulator<'a> {
         start_round: usize,
         base: &[usize],
     ) -> Result<(Vec<Vec<bool>>, u64), SimError> {
+        debug_assert_eq!(self.record_horizon, 0, "window replay collects records");
         debug_assert_eq!(base.len(), self.records.len());
         debug_assert!(base.iter().all(|&b| b <= start_round));
         for v in vecs {
@@ -520,7 +589,7 @@ impl<'a> PlSimulator<'a> {
             let gate = &self.pl.gates()[og.index()];
             if gate.data_in().is_empty() {
                 if let Some(v) = gate.const_pin(0) {
-                    self.records[slot].push_back((v, self.now));
+                    self.record_output(slot, v);
                 }
             }
         }
@@ -812,7 +881,7 @@ impl<'a> PlSimulator<'a> {
                 self.consume_data(g);
                 let slot = self.adj.output_slot(g);
                 debug_assert_ne!(slot, NO_ARC, "output gate is registered");
-                self.records[slot as usize].push_back((v, self.now));
+                self.record_output(slot as usize, v);
                 self.produce(g, v, true, true);
             }
             GateClass::Logic => {

@@ -56,6 +56,81 @@ pub enum SimError {
         /// Output count of the restoring simulator's netlist.
         netlist_outputs: usize,
     },
+    /// A serialized checkpoint ([`crate::checkpoint::wire`]) ended before
+    /// the bytes the decoder needed — the file (or buffer) was truncated.
+    CheckpointTruncated {
+        /// What the decoder was reading when the bytes ran out.
+        context: &'static str,
+        /// Bytes the decoder needed at that point.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// A serialized checkpoint did not start with the wire-format magic —
+    /// the bytes are not a checkpoint at all.
+    CheckpointBadMagic {
+        /// The first eight bytes actually found.
+        found: [u8; 8],
+    },
+    /// A serialized checkpoint was written by an unsupported wire-format
+    /// version (see [`crate::checkpoint::wire`] for the evolution rules).
+    CheckpointVersionSkew {
+        /// Version number stored in the encoding.
+        found: u32,
+        /// The version this build supports.
+        supported: u32,
+    },
+    /// A serialized checkpoint's identity digest (netlist fingerprint,
+    /// delay-model digest, or a shape count) disagrees with the netlist /
+    /// delay model it is being decoded against.
+    CheckpointDigestMismatch {
+        /// Which digest disagreed.
+        what: &'static str,
+        /// The value stored in the encoding.
+        stored: u64,
+        /// The value computed from the decode context.
+        expected: u64,
+    },
+    /// A CRC32 over a serialized checkpoint section (or the whole file)
+    /// did not match — the bytes were corrupted in flight or at rest.
+    CheckpointChecksum {
+        /// Which section failed its checksum.
+        section: &'static str,
+        /// The CRC stored in the encoding.
+        stored: u32,
+        /// The CRC computed over the received bytes.
+        computed: u32,
+    },
+    /// A decoded checkpoint field landed outside its valid domain (a gate
+    /// index past the netlist, a flag byte with unknown bits, a non-0/1
+    /// boolean, ...) even though every checksum passed.
+    CheckpointOutOfRange {
+        /// Which field was out of range.
+        field: &'static str,
+        /// The decoded value.
+        value: u64,
+        /// The exclusive upper bound (or bit-mask limit) it violated.
+        limit: u64,
+    },
+    /// An I/O operation on a checkpoint directory failed (the `std::io`
+    /// error is carried as text so this enum stays `Clone + PartialEq`).
+    CheckpointIo {
+        /// The file or directory the operation touched.
+        path: String,
+        /// The underlying I/O error, rendered.
+        message: String,
+    },
+    /// A resumed sweep's parameters disagree with the `sweep.meta` the
+    /// checkpoint directory was created with — the directory belongs to a
+    /// different run.
+    ResumeMismatch {
+        /// Which parameter disagreed.
+        field: &'static str,
+        /// The value recorded in `sweep.meta`.
+        stored: u64,
+        /// The value of the current invocation.
+        expected: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -102,6 +177,76 @@ impl fmt::Display for SimError {
                      -output netlist, restoring simulator over a {netlist_gates}-gate/\
                      {netlist_arcs}-arc/{netlist_outputs}-output netlist (equal counts \
                      mean the arc topologies differ)"
+                )
+            }
+            SimError::CheckpointTruncated {
+                context,
+                needed,
+                available,
+            } => {
+                write!(
+                    f,
+                    "checkpoint truncated while reading {context}: needed {needed} \
+                     bytes, only {available} available"
+                )
+            }
+            SimError::CheckpointBadMagic { found } => {
+                write!(f, "checkpoint bad magic: found {found:02x?}")
+            }
+            SimError::CheckpointVersionSkew { found, supported } => {
+                write!(
+                    f,
+                    "checkpoint version skew: encoded as format v{found}, this \
+                     build supports v{supported}"
+                )
+            }
+            SimError::CheckpointDigestMismatch {
+                what,
+                stored,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "checkpoint digest mismatch on {what}: stored {stored:#x}, \
+                     expected {expected:#x} (the checkpoint belongs to a \
+                     different design or delay model)"
+                )
+            }
+            SimError::CheckpointChecksum {
+                section,
+                stored,
+                computed,
+            } => {
+                write!(
+                    f,
+                    "checkpoint checksum failure in {section}: stored \
+                     {stored:#010x}, computed {computed:#010x}"
+                )
+            }
+            SimError::CheckpointOutOfRange {
+                field,
+                value,
+                limit,
+            } => {
+                write!(
+                    f,
+                    "checkpoint field {field} out of range: value {value}, \
+                     limit {limit}"
+                )
+            }
+            SimError::CheckpointIo { path, message } => {
+                write!(f, "checkpoint i/o failure on {path}: {message}")
+            }
+            SimError::ResumeMismatch {
+                field,
+                stored,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "resume mismatch on {field}: sweep.meta records {stored:#x}, \
+                     this invocation has {expected:#x} (the checkpoint directory \
+                     belongs to a different sweep)"
                 )
             }
         }

@@ -36,6 +36,10 @@
 //!   pipelined single stream ([`sweep_pipelined`]). Outcomes merge
 //!   deterministically in stream/vector order (bit-identical to the
 //!   sequential run for any worker count and window size).
+//!   [`sweep_resumable`] is the pipelined sweep made crash-resumable:
+//!   window-boundary checkpoints ([`checkpoint::wire`]) plus a
+//!   completed-window journal on disk, kill/resume recovery, bounded
+//!   worker retry, and in-process degradation — still bit-identical.
 //! * [`SimCheckpoint`] captures a simulator's complete dynamic state
 //!   between vectors ([`PlSimulator::snapshot`]); a simulator resumed from
 //!   it ([`PlSimulator::resume_from`] / [`PlSimulator::restore`]) is
@@ -86,8 +90,10 @@ pub use delay::{ns_to_ticks, ticks_to_ns, DelayModel, TickDelays, TICKS_PER_NS};
 pub use engine::{PlSimulator, StreamOutcome, VectorOutcome};
 pub use error::SimError;
 pub use parallel::{
-    scatter_gather, sweep_pipelined, sweep_pipelined_with_queue, sweep_sharded,
-    sweep_sharded_with_queue, sweep_streams, sweep_streams_with_queue,
+    scatter_gather, sweep_pipelined, sweep_pipelined_with_queue, sweep_resumable,
+    sweep_resumable_with_faults, sweep_sharded, sweep_sharded_with_queue, sweep_streams,
+    sweep_streams_with_queue, FaultPlan, ResumableOptions, ResumableOutcome, SweepRecovery,
+    WindowFailure,
 };
 pub use queue::{EventQueue, QueueKind};
 pub use reference::ReferenceSimulator;

@@ -23,12 +23,23 @@
 //! * [`sweep_pipelined`] — ONE long vector stream as **one continuous
 //!   pipelined run**, parallelized *without* resets: a leader pass
 //!   advances the simulator state cheaply through the stream (injections
-//!   only — no output collection, no latency/trace bookkeeping), emitting
-//!   a [`crate::SimCheckpoint`] at every `window`-vector boundary, while
-//!   worker threads replay each window in full behind it. Window results
-//!   merge vector-index-ordered into a [`StreamOutcome`] that is
-//!   **bit-identical to a sequential [`PlSimulator::run_stream`] call**
-//!   for every `(jobs, window)` combination.
+//!   only — no output collection, no latency/trace bookkeeping, and no
+//!   record-queue bookkeeping at all: the leader runs with recording
+//!   switched off and folds the skipped-round counts into the window
+//!   `base` offsets), emitting a [`crate::SimCheckpoint`] at every
+//!   `window`-vector boundary, while worker threads replay each window in
+//!   full behind it. Window results merge vector-index-ordered into a
+//!   [`StreamOutcome`] that is **bit-identical to a sequential
+//!   [`PlSimulator::run_stream`] call** for every `(jobs, window)`
+//!   combination.
+//! * [`sweep_resumable`] ([`resume`]) — the pipelined single stream made
+//!   crash-resumable: window-boundary checkpoints and a completed-window
+//!   journal persist to a directory (atomic write-tmp-then-rename), a
+//!   killed run resumes by replaying only unfinished windows, corrupt
+//!   checkpoint files are detected (typed [`SimError`]) and routed
+//!   around, and a failed or panicked worker's window is retried up to a
+//!   bounded budget before degrading to in-process execution — all while
+//!   staying bit-identical to [`PlSimulator::run_stream`].
 //!
 //! Every sweep shape also has a `_with_queue` variant
 //! ([`sweep_streams_with_queue`], [`sweep_sharded_with_queue`],
@@ -60,6 +71,13 @@ use crate::delay::{ticks_to_ns, DelayModel};
 use crate::engine::{PlSimulator, StreamOutcome};
 use crate::error::SimError;
 use crate::queue::QueueKind;
+
+pub mod resume;
+
+pub use resume::{
+    sweep_resumable, sweep_resumable_with_faults, FaultPlan, ResumableOptions, ResumableOutcome,
+    SweepRecovery, WindowFailure,
+};
 
 /// Resolves a `--jobs`-style request into a concrete worker count:
 /// `0` means "ask the OS" ([`std::thread::available_parallelism`]), and
@@ -342,7 +360,6 @@ pub fn sweep_pipelined_with_queue(
     if jobs <= 1 || n_windows <= 1 {
         return leader.run_stream(vectors);
     }
-
     // Bounded task channel: the leader stays at most a few windows ahead,
     // and it prunes already-dispatched rounds from its record queues
     // before every snapshot, so checkpoint memory is O(jobs · in-flight
@@ -363,7 +380,13 @@ pub fn sweep_pipelined_with_queue(
                     .expect("the leader already validated this netlist");
                 loop {
                     let task = {
-                        let rx = task_rx.lock().expect("no worker panics while holding");
+                        // A sibling that panicked while holding the lock
+                        // poisons it; the queue itself is still intact, so
+                        // recover the guard rather than cascading the
+                        // panic into every healthy worker.
+                        let rx = task_rx
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
                         rx.recv()
                     };
                     let Ok(task) = task else { break };
@@ -407,6 +430,12 @@ pub fn sweep_pipelined_with_queue(
                 break;
             }
             dispatched += 1;
+            // Leader diet: this window is now some worker's job, so the
+            // leader need not store its output words — raise the record
+            // horizon to the window's end and only *count* firings below
+            // it (the counts fold into `base` at the next prune, keeping
+            // worker indexing, and hence results, bit-identical).
+            leader.set_record_horizon(start_round + w.len());
             for v in w {
                 if leader.feed_vector(v).is_err() {
                     break 'feed;
@@ -599,6 +628,43 @@ mod tests {
             vec![0, 1, 2, 3, 0, 1, 2, 3],
             "window boundary reset the counter"
         );
+    }
+
+    /// Leader-diet regression: the record-horizon skip must be invisible
+    /// in results even on a netlist that mixes every record source — an
+    /// input-paced output, a free-running DFF ring output (which *outruns*
+    /// the fed vectors, so its beyond-horizon records must be kept, not
+    /// skipped), and a constant-tied output (recorded at feed time, not by
+    /// a gate firing).
+    #[test]
+    fn pipelined_sweep_leader_diet_is_bit_identical() {
+        let mut n = Netlist::new("mixed");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let x = n.add_xor2(a, b).unwrap();
+        let q0 = n.add_dff(false);
+        let q1 = n.add_dff(false);
+        let n0 = n.add_not(q0).unwrap();
+        let t1 = n.add_xor2(q1, q0).unwrap();
+        n.set_dff_input(q0, n0).unwrap();
+        n.set_dff_input(q1, t1).unwrap();
+        let c = n.add_const(true);
+        n.set_output("x", x);
+        n.set_output("q1", q1);
+        n.set_output("k", c);
+        let pl = PlNetlist::from_sync(&n).unwrap();
+        let delays = DelayModel::default();
+        let vecs = vectors(23, 0xD1E7);
+        let baseline = PlSimulator::new(&pl, delays.clone())
+            .unwrap()
+            .run_stream(&vecs)
+            .unwrap();
+        for window in [1, 2, 3, 7, 23] {
+            for jobs in [2, 4, 8] {
+                let p = sweep_pipelined(&pl, &delays, &vecs, window, jobs).unwrap();
+                assert_eq!(p, baseline, "window={window} jobs={jobs} diverged");
+            }
+        }
     }
 
     #[test]

@@ -67,6 +67,21 @@ const SPEC: CliSpec = CliSpec {
             help: "event-queue backend for simulation: heap (default) or ladder (calendar queue; results are bit-identical either way)",
         },
         OptSpec {
+            long: "--checkpoint-dir",
+            value: Some("DIR"),
+            help: "make the streamed sweep crash-resumable: write window checkpoints and a completed-window journal under DIR (plain/ and ee/ subtrees; requires --window)",
+        },
+        OptSpec {
+            long: "--resume",
+            value: None,
+            help: "resume an interrupted sweep from --checkpoint-dir (a fresh run refuses a directory that already holds one)",
+        },
+        OptSpec {
+            long: "--max-retries",
+            value: Some("N"),
+            help: "worker re-attempts per sweep window before in-process fallback (default 2; requires --checkpoint-dir)",
+        },
+        OptSpec {
             long: "--threshold",
             value: Some("T"),
             help: "EE cost threshold (Equation 1; default 0 = all speedups)",
@@ -157,6 +172,9 @@ fn main() -> ExitCode {
         opts.queue = q;
     }
     opts.window = args.value_opt::<usize>("--window");
+    opts.checkpoint_dir = args.get("--checkpoint-dir").map(std::path::PathBuf::from);
+    opts.resume = args.flag("--resume");
+    opts.max_retries = args.value_or("--max-retries", opts.max_retries);
     if let Err(msg) = check_flag_consistency(&args, stop_after, &opts) {
         eprintln!("error: {msg}\n");
         eprintln!("{}", SPEC.help());
@@ -197,7 +215,7 @@ fn check_flag_consistency(
     } else {
         (Stage::Simulate, "simulate")
     };
-    let needs: [(&str, bool, Stage, &str); 11] = [
+    let needs: [(&str, bool, Stage, &str); 14] = [
         (
             "--window",
             args.get("--window").is_some(),
@@ -259,6 +277,24 @@ fn check_flag_consistency(
             seed_stage,
             seed_stage_name,
         ),
+        (
+            "--checkpoint-dir",
+            args.get("--checkpoint-dir").is_some(),
+            Stage::Simulate,
+            "simulate",
+        ),
+        (
+            "--resume",
+            args.flag("--resume"),
+            Stage::Simulate,
+            "simulate",
+        ),
+        (
+            "--max-retries",
+            args.get("--max-retries").is_some(),
+            Stage::Simulate,
+            "simulate",
+        ),
     ];
     for (flag, given, stage, stage_name) in needs {
         if given && stop_after < stage {
@@ -269,6 +305,19 @@ fn check_flag_consistency(
     }
     if args.get("--threshold").is_some() && !args.flag("--ee") {
         return Err("--threshold requires --ee (it configures the EE stage)".to_string());
+    }
+    if args.get("--checkpoint-dir").is_some() && args.get("--window").is_none() {
+        return Err(
+            "--checkpoint-dir requires --window (only the streamed sweep is resumable)".to_string(),
+        );
+    }
+    if args.flag("--resume") && args.get("--checkpoint-dir").is_none() {
+        return Err("--resume requires --checkpoint-dir (nowhere to resume from)".to_string());
+    }
+    if args.get("--max-retries").is_some() && args.get("--checkpoint-dir").is_none() {
+        return Err(
+            "--max-retries requires --checkpoint-dir (it tunes the resumable sweep)".to_string(),
+        );
     }
     Ok(())
 }
@@ -397,6 +446,14 @@ fn drive(
                     100.0 * (stream_plain.makespan - stream_ee.makespan) / stream_plain.makespan
                 );
             }
+        }
+        // Resumable-sweep audit trail. Kept off the `streamed ... digest`
+        // lines above, which the CI determinism smoke diffs verbatim.
+        if let Some(rec) = &sim.report.recovery_plain {
+            println!("  recovery without EE: {rec}");
+        }
+        if let Some(rec) = &sim.report.recovery_ee {
+            println!("  recovery with EE:    {rec}");
         }
     } else {
         println!("  latency without EE: {}", sim.stats_plain);

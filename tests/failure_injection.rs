@@ -1,13 +1,15 @@
-//! Failure injection: deliberately corrupt phased-logic netlists and prove
-//! that the structural checkers and the simulator's dynamic guards catch
-//! every class of fault the paper's correctness argument depends on.
+//! Failure injection: deliberately corrupt phased-logic netlists,
+//! checkpoint encodings, and in-flight resumable sweeps, and prove that
+//! the structural checkers, the simulator's dynamic guards, and the
+//! crash-recovery machinery catch every class of fault the paper's
+//! correctness argument depends on.
 
 use pl_boolfn::TruthTable;
 use pl_core::ee::EeOptions;
 use pl_core::marked::{check_liveness, check_safety};
 use pl_core::{PlArcKind, PlError, PlNetlist};
 use pl_netlist::Netlist;
-use pl_sim::{DelayModel, PlSimulator, SimError};
+use pl_sim::{DelayModel, FaultPlan, PlSimulator, ResumableOptions, SimCheckpoint, SimError};
 
 fn small_pipeline() -> Netlist {
     let mut n = Netlist::new("pipe");
@@ -176,6 +178,186 @@ fn unsound_trigger_is_detected() {
         saw_unsound,
         "the always-fire trigger must eventually be caught"
     );
+}
+
+/// A unique per-test scratch directory, removed on drop.
+struct TempDir(std::path::PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("pl_fi_{}_{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        Self(dir)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// A mid-stream checkpoint of the ripple carry chain with a busy event
+/// queue (vectors injected but not yet collected).
+fn mid_stream_checkpoint(pl: &PlNetlist) -> SimCheckpoint {
+    let mut sim = PlSimulator::new(pl, DelayModel::default()).unwrap();
+    let n_inputs = pl.input_gates().len();
+    for k in 0..3u32 {
+        let v: Vec<bool> = (0..n_inputs).map(|i| (k >> (i % 8)) & 1 == 1).collect();
+        sim.feed_vector(&v).unwrap();
+    }
+    sim.snapshot()
+}
+
+/// Every corruption class of the checkpoint wire format maps to its own
+/// typed error — truncation, foreign magic, version skew, bit rot
+/// (checksum), and replay onto the wrong netlist (digest mismatch) —
+/// and none of them panics.
+#[test]
+fn corrupt_checkpoint_bytes_are_rejected_typed() {
+    let pl = PlNetlist::from_sync(&ripple(4)).unwrap();
+    let delays = DelayModel::default();
+    let bytes = mid_stream_checkpoint(&pl).to_bytes(&delays);
+    SimCheckpoint::from_bytes(&bytes, &pl, &delays).expect("pristine bytes decode");
+
+    // A cut inside the fixed magic+version header is reported as
+    // truncation; a longer cut still carries a (stale) trailer and is
+    // caught by the whole-file CRC instead — rejected either way.
+    assert!(matches!(
+        SimCheckpoint::from_bytes(&bytes[..7], &pl, &delays),
+        Err(SimError::CheckpointTruncated { .. })
+    ));
+    assert!(matches!(
+        SimCheckpoint::from_bytes(&bytes[..bytes.len() / 2], &pl, &delays),
+        Err(SimError::CheckpointTruncated { .. } | SimError::CheckpointChecksum { .. })
+    ));
+
+    let mut bad_magic = bytes.clone();
+    bad_magic[0] ^= 0xFF;
+    assert!(matches!(
+        SimCheckpoint::from_bytes(&bad_magic, &pl, &delays),
+        Err(SimError::CheckpointBadMagic { .. })
+    ));
+
+    // The version field sits right after the 8-byte magic; a skew there
+    // is reported as such (before any CRC, so no repair needed).
+    let mut skewed = bytes.clone();
+    skewed[8] = 0xEE;
+    assert!(matches!(
+        SimCheckpoint::from_bytes(&skewed, &pl, &delays),
+        Err(SimError::CheckpointVersionSkew { .. })
+    ));
+
+    let mut flipped = bytes.clone();
+    let mid = bytes.len() / 2;
+    flipped[mid] ^= 0x10;
+    assert!(matches!(
+        SimCheckpoint::from_bytes(&flipped, &pl, &delays),
+        Err(SimError::CheckpointChecksum { .. })
+    ));
+
+    // Pristine bytes, wrong design: the embedded netlist fingerprint
+    // refuses the replay.
+    let other = PlNetlist::from_sync(&small_pipeline()).unwrap();
+    assert!(matches!(
+        SimCheckpoint::from_bytes(&bytes, &other, &delays),
+        Err(SimError::CheckpointDigestMismatch { .. })
+    ));
+}
+
+/// A resumable sweep killed at a window boundary (simulated by an
+/// injected I/O fault on the journal) resumes to a stream bit-identical
+/// to the uninterrupted sequential run.
+#[test]
+fn mid_sweep_kill_then_resume_matches_sequential() {
+    let sync = ripple(4);
+    let pl = PlNetlist::from_sync(&sync).unwrap();
+    let delays = DelayModel::default();
+    let n_inputs = pl.input_gates().len();
+    let vectors: Vec<Vec<bool>> = (0..20u32)
+        .map(|k| (0..n_inputs).map(|i| (k >> (i % 8)) & 1 == 1).collect())
+        .collect();
+    let baseline = PlSimulator::new(&pl, delays.clone())
+        .unwrap()
+        .run_stream(&vectors)
+        .unwrap();
+
+    let dir = TempDir::new("kill_resume");
+    let opts = ResumableOptions {
+        window: 4,
+        jobs: 2,
+        ..ResumableOptions::default()
+    };
+    // First run dies after 2 windows durably complete.
+    let faults = FaultPlan::new();
+    faults.halt_after_journal_appends(2);
+    let err = pl_sim::sweep_resumable_with_faults(&pl, &delays, &vectors, &dir.0, &opts, &faults)
+        .expect_err("the injected halt must surface");
+    assert!(matches!(err, SimError::CheckpointIo { .. }), "got {err}");
+
+    // Second run picks up the journal and finishes the stream.
+    let resumed = pl_sim::sweep_resumable(
+        &pl,
+        &delays,
+        &vectors,
+        &dir.0,
+        &ResumableOptions {
+            resume: true,
+            ..opts
+        },
+    )
+    .unwrap();
+    assert!(resumed.recovery.replayed_from_journal >= 2);
+    assert_eq!(resumed.outcome.outputs, baseline.outputs);
+    assert_eq!(resumed.outcome.makespan, baseline.makespan);
+}
+
+/// A window whose worker panics on every attempt exhausts its retry
+/// budget and degrades to in-process execution: the failure is recorded
+/// in the audit trail, and the outputs are still bit-identical.
+#[test]
+fn sweep_worker_panic_storm_degrades_without_corruption() {
+    let sync = ripple(4);
+    let pl = PlNetlist::from_sync(&sync).unwrap();
+    let delays = DelayModel::default();
+    let n_inputs = pl.input_gates().len();
+    let vectors: Vec<Vec<bool>> = (0..16u32)
+        .map(|k| (0..n_inputs).map(|i| (k >> (i % 8)) & 1 == 1).collect())
+        .collect();
+    let baseline = PlSimulator::new(&pl, delays.clone())
+        .unwrap()
+        .run_stream(&vectors)
+        .unwrap();
+
+    let dir = TempDir::new("panic_storm");
+    let faults = FaultPlan::new();
+    faults.panic_on_window(1, u32::MAX);
+    let out = pl_sim::sweep_resumable_with_faults(
+        &pl,
+        &delays,
+        &vectors,
+        &dir.0,
+        &ResumableOptions {
+            window: 4,
+            jobs: 2,
+            max_retries: 1,
+            ..ResumableOptions::default()
+        },
+        &faults,
+    )
+    .unwrap();
+    // Window 1 must have exhausted its budget; sibling windows staged in
+    // the same batch may have been orphaned by the dying workers and
+    // degraded too, depending on scheduling — all of it is recorded.
+    assert!(out.recovery.degraded_windows >= 1);
+    assert!(out
+        .recovery
+        .worker_failures
+        .iter()
+        .any(|f| f.window == 1 && f.message.contains("injected fault")));
+    assert_eq!(out.outcome.outputs, baseline.outputs);
+    assert_eq!(out.outcome.makespan, baseline.makespan);
 }
 
 /// Sanity: the uncorrupted versions of the same nets pass everything,
