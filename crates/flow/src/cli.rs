@@ -214,6 +214,16 @@ impl ParsedArgs {
             .map(|(_, v)| v.as_str())
     }
 
+    /// Every value a repeatable flag was given, in argument order.
+    #[must_use]
+    pub fn get_all(&self, long: &str) -> Vec<&str> {
+        self.values
+            .iter()
+            .filter(|(f, _)| *f == long)
+            .map(|(_, v)| v.as_str())
+            .collect()
+    }
+
     /// Parses a valued flag.
     ///
     /// # Errors

@@ -32,6 +32,14 @@ pub enum FlowError {
         /// What is wrong with the options.
         message: String,
     },
+    /// The lint stage found deny-level diagnostics.
+    Lint {
+        /// Which pass denied: `"netlist"` or `"pl"`.
+        pass: &'static str,
+        /// The full report (warnings included, deny findings listed by
+        /// the `Display` impl).
+        report: pl_lint::LintReport,
+    },
 }
 
 impl std::fmt::Display for FlowError {
@@ -44,6 +52,19 @@ impl std::fmt::Display for FlowError {
             FlowError::Io { path, message } => write!(f, "cannot read '{path}': {message}"),
             FlowError::Mismatch { context } => write!(f, "output mismatch in {context}"),
             FlowError::Config { message } => write!(f, "invalid options: {message}"),
+            FlowError::Lint { pass, report } => {
+                write!(
+                    f,
+                    "lint ({pass}): {} deny-level finding(s)",
+                    report.counts().1
+                )?;
+                for d in report.diagnostics() {
+                    if d.severity == pl_lint::Severity::Deny {
+                        write!(f, "\n  {} {}", d.code, d.message)?;
+                    }
+                }
+                Ok(())
+            }
         }
     }
 }

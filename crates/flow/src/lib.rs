@@ -13,14 +13,18 @@
 //! * [`Pipeline`] — explicit, separately-callable stages:
 //!
 //!   ```text
-//!   ingest → optimize → techmap → phased → early_eval → simulate → verify
+//!   ingest → lint → optimize → techmap → phased → lint → early_eval → simulate → verify
 //!   ```
 //!
 //!   Each stage returns a typed artifact ([`Ingested`], [`Optimized`],
 //!   [`Mapped`], [`Phased`], [`EarlyEvaled`], [`Simulated`]) plus a
 //!   per-stage report with wall-clock timing, so callers can stop at any
 //!   layer. [`Pipeline::run`] chains them all and returns
-//!   [`FlowArtifacts`].
+//!   [`FlowArtifacts`]. The two lint passes (static diagnostics from the
+//!   `pl-lint` crate, stable `PL####` codes) run on the ingested netlist
+//!   and on the mapped phased-logic graph; a deny-level finding aborts the
+//!   run with [`FlowError::Lint`]. [`Pipeline::lint_session`] is the
+//!   non-aborting, report-everything entry point behind `plc lint`.
 //!
 //! The `plc` binary is the command-line face of this crate; the `pl-bench`
 //! harness regenerates the paper's Table 3 as a thin wrapper over
@@ -64,15 +68,18 @@
 
 pub mod cli;
 mod error;
+mod lint;
 mod pipeline;
 mod source;
 
 pub use error::FlowError;
+pub use lint::LintSession;
 pub use pipeline::{
     EarlyEvaled, EeStageReport, FlowArtifacts, FlowOptions, FlowReport, IngestReport, Ingested,
-    Mapped, OptimizeReport, Optimized, Phased, PhasedReport, Pipeline, SimReport, Simulated,
-    TechmapReport, VerifyReport,
+    LintStageReport, Mapped, OptimizeReport, Optimized, Phased, PhasedReport, Pipeline, SimReport,
+    Simulated, TechmapReport, VerifyReport,
 };
+pub use pl_lint::{LintOptions, LintReport};
 pub use pl_sim::{QueueKind, SweepRecovery};
 pub use source::{
     lcg_vectors, random_netlist, random_netlist_draw, CircuitSource, Lcg, RandomSpec,

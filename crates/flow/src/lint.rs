@@ -1,0 +1,175 @@
+//! Whole-session linting: both passes over one source, rendered for
+//! humans or CI.
+//!
+//! [`Pipeline::lint`] and [`Pipeline::lint_phased`] are *gate* stages —
+//! they abort on the first deny so `run()` never simulates a broken
+//! design. [`Pipeline::lint_session`] is the *reporting* entry point
+//! behind `plc lint`: it never aborts on findings, collects both passes
+//! (skipping the phased pass when the netlist pass already denied — a
+//! structurally broken netlist cannot be mapped meaningfully) and renders
+//! one deterministic, golden-pinnable document.
+
+use crate::error::FlowError;
+use crate::pipeline::Pipeline;
+use crate::source::CircuitSource;
+use pl_lint::LintReport;
+
+/// Both lint passes over one source, plus enough context to render.
+#[derive(Debug, Clone)]
+pub struct LintSession {
+    /// Design label (catalog id, file path, ...).
+    pub name: String,
+    /// Source kind (`rtl-catalog`, `blif-file`, ...).
+    pub source_kind: &'static str,
+    /// The netlist pass.
+    pub netlist: LintReport,
+    /// The phased-logic pass; `None` when the netlist pass denied (the
+    /// design cannot be mapped) — rendered as an explicit "skipped" line.
+    pub pl: Option<LintReport>,
+}
+
+impl LintSession {
+    /// Whether any pass produced a deny-level finding.
+    #[must_use]
+    pub fn has_deny(&self) -> bool {
+        self.netlist.has_deny() || self.pl.as_ref().is_some_and(LintReport::has_deny)
+    }
+
+    /// `(warnings, denials)` across both passes.
+    #[must_use]
+    pub fn counts(&self) -> (usize, usize) {
+        let (mut w, mut d) = self.netlist.counts();
+        if let Some(pl) = &self.pl {
+            let (pw, pd) = pl.counts();
+            w += pw;
+            d += pd;
+        }
+        (w, d)
+    }
+
+    /// Deterministic text rendering: a header line, one `[pass]`-prefixed
+    /// line per finding (or `clean` / `skipped`), and a summary line.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        fn pass_lines(out: &mut String, report: &LintReport) {
+            if report.is_empty() {
+                out.push_str(&format!("[{}] clean\n", report.pass()));
+                return;
+            }
+            for line in report.to_text().lines() {
+                out.push_str(&format!("[{}] {line}\n", report.pass()));
+            }
+        }
+        let mut out = format!("lint {} ({})\n", self.name, self.source_kind);
+        pass_lines(&mut out, &self.netlist);
+        match &self.pl {
+            Some(pl) => pass_lines(&mut out, pl),
+            None => out.push_str("[pl] skipped (netlist pass denied)\n"),
+        }
+        let (warns, denies) = self.counts();
+        out.push_str(&format!(
+            "summary: {warns} warning(s), {denies} denial(s)\n"
+        ));
+        out
+    }
+
+    /// Deterministic JSON-lines rendering: both passes' findings
+    /// concatenated (each line carries its `pass` field); empty string for
+    /// a fully clean session.
+    #[must_use]
+    pub fn render_json_lines(&self) -> String {
+        let mut out = self.netlist.to_json_lines();
+        if let Some(pl) = &self.pl {
+            out.push_str(&pl.to_json_lines());
+        }
+        out
+    }
+}
+
+impl Pipeline {
+    /// Lints one source end to end without aborting on findings: ingests,
+    /// runs the netlist pass, and — unless that pass denied — maps the
+    /// design through techmap and the phased stage to run the phased pass
+    /// too. Honors [`crate::FlowOptions::optimize`] before mapping, like
+    /// `run()` does.
+    ///
+    /// # Errors
+    ///
+    /// Only infrastructure failures (I/O, parse, elaboration, mapping);
+    /// findings — deny-level included — are data in the returned session,
+    /// never errors.
+    pub fn lint_session(&self, source: &CircuitSource) -> Result<LintSession, FlowError> {
+        let ingested = self.ingest(source)?;
+        let name = ingested.name.clone();
+        let netlist = pl_lint::lint_netlist(
+            &ingested.netlist,
+            &ingested.notes,
+            &self.opts().delays,
+            &self.opts().lint,
+        );
+        let pl = if netlist.has_deny() {
+            None
+        } else {
+            let optimized = self.optimize(ingested)?;
+            let mapped = self.techmap(optimized)?;
+            let phased = self.phased(&mapped)?;
+            Some(pl_lint::lint_pl(&phased.netlist, &self.opts().lint))
+        };
+        Ok(LintSession {
+            name,
+            source_kind: source.kind(),
+            netlist,
+            pl,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::FlowOptions;
+
+    #[test]
+    fn clean_catalog_design_renders_clean() {
+        let pipeline = Pipeline::new(FlowOptions::default());
+        let source = CircuitSource::catalog("b01").unwrap();
+        let session = pipeline.lint_session(&source).unwrap();
+        assert!(!session.has_deny());
+        let text = session.render_text();
+        assert!(text.starts_with("lint b01 (rtl-catalog)\n"));
+        assert!(text.ends_with("denial(s)\n"));
+        assert!(session.pl.is_some());
+    }
+
+    #[test]
+    fn denied_netlist_skips_the_pl_pass() {
+        let mut nl = pl_netlist::Netlist::new("cyc");
+        let a = nl.add_input("a");
+        let x = nl.add_and2(a, a).unwrap();
+        nl.set_output("y", x);
+        nl.rewire_lut_input(x, 0, x).unwrap();
+        let pipeline = Pipeline::new(FlowOptions::default());
+        let source = CircuitSource::Netlist {
+            name: "cyc".into(),
+            netlist: nl,
+        };
+        let session = pipeline.lint_session(&source).unwrap();
+        assert!(session.has_deny());
+        assert!(session.pl.is_none());
+        assert!(session
+            .render_text()
+            .contains("[pl] skipped (netlist pass denied)"));
+    }
+
+    #[test]
+    fn session_rendering_is_deterministic() {
+        let pipeline = Pipeline::new(FlowOptions::default());
+        let source = CircuitSource::catalog("b06").unwrap();
+        let first = pipeline.lint_session(&source).unwrap();
+        for _ in 0..3 {
+            let again = pipeline.lint_session(&source).unwrap();
+            assert_eq!(again.render_text(), first.render_text());
+            assert_eq!(again.render_json_lines(), first.render_json_lines());
+        }
+    }
+}

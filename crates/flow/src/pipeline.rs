@@ -1,7 +1,7 @@
 //! The compile pipeline: explicit, separately-callable stages.
 //!
 //! ```text
-//! ingest → optimize → techmap → phased → early_eval → simulate → verify
+//! ingest → lint → optimize → techmap → phased → lint → early_eval → simulate → verify
 //! ```
 //!
 //! Each stage consumes the previous stage's typed artifact and returns a
@@ -22,6 +22,8 @@ use std::time::Instant;
 
 use pl_core::ee::{EeOptions, EePair};
 use pl_core::PlNetlist;
+use pl_lint::{LintOptions, LintReport};
+use pl_netlist::blif::BlifNote;
 use pl_netlist::Netlist;
 use pl_sim::{DelayModel, LatencyStats, QueueKind, ResumableOptions, SweepRecovery};
 use pl_techmap::{map_with_report, MapOptions};
@@ -88,6 +90,12 @@ pub struct FlowOptions {
     /// sources are already cleaned by elaboration, so this is off by
     /// default; it pays off on raw third-party BLIF files.
     pub optimize: bool,
+    /// Static-diagnostics options for the lint stage ([`Pipeline::lint`]
+    /// after ingest, [`Pipeline::lint_phased`] after the phased stage).
+    /// Enabled by default; a deny-level finding aborts [`Pipeline::run`]
+    /// with [`FlowError::Lint`]. Set `lint.enabled = false` to skip the
+    /// stage entirely, or override individual codes via `lint.overrides`.
+    pub lint: LintOptions,
 }
 
 impl Default for FlowOptions {
@@ -107,6 +115,7 @@ impl Default for FlowOptions {
             max_retries: 2,
             map: MapOptions::default(),
             optimize: false,
+            lint: LintOptions::default(),
         }
     }
 }
@@ -135,8 +144,20 @@ pub struct Ingested {
     pub name: String,
     /// The gate-level netlist.
     pub netlist: Netlist,
+    /// Ingest-time observations (e.g. undriven nets the BLIF source
+    /// referenced), surfaced by the lint stage as `PL0009`.
+    pub notes: Vec<BlifNote>,
     /// Stage report.
     pub report: IngestReport,
+}
+
+/// Lint-stage report: the findings plus stage timing.
+#[derive(Debug, Clone)]
+pub struct LintStageReport {
+    /// The (deterministically ordered) findings.
+    pub report: LintReport,
+    /// Stage wall-clock seconds.
+    pub secs: f64,
 }
 
 /// Optimize-stage report.
@@ -347,12 +368,18 @@ pub struct FlowArtifacts {
 pub struct FlowReport {
     /// Ingest stage.
     pub ingest: IngestReport,
+    /// Netlist lint pass, run right after ingest (`None` when the lint
+    /// stage is disabled).
+    pub lint: Option<LintStageReport>,
     /// Optimize stage.
     pub optimize: OptimizeReport,
     /// Techmap stage.
     pub techmap: TechmapReport,
     /// Phased stage.
     pub phased: PhasedReport,
+    /// Phased-logic lint pass, run right after the phased stage (`None`
+    /// when the lint stage is disabled).
+    pub lint_pl: Option<LintStageReport>,
     /// Early-evaluation stage.
     pub early_eval: EeStageReport,
     /// Simulate stage.
@@ -366,9 +393,11 @@ impl FlowReport {
     #[must_use]
     pub fn total_secs(&self) -> f64 {
         self.ingest.secs
+            + self.lint.as_ref().map_or(0.0, |l| l.secs)
             + self.optimize.secs
             + self.techmap.secs
             + self.phased.secs
+            + self.lint_pl.as_ref().map_or(0.0, |l| l.secs)
             + self.early_eval.secs
             + self.simulate.secs
             + self.verify.as_ref().map_or(0.0, |v| v.secs)
@@ -402,7 +431,7 @@ impl Pipeline {
     /// Source resolution failures (I/O, BLIF parse, RTL elaboration).
     pub fn ingest(&self, source: &CircuitSource) -> Result<Ingested, FlowError> {
         let t0 = Instant::now();
-        let netlist = source.ingest_netlist()?;
+        let (netlist, notes) = source.ingest_netlist_with_notes()?;
         let report = IngestReport {
             source: source.kind(),
             inputs: netlist.inputs().len(),
@@ -414,7 +443,57 @@ impl Pipeline {
         Ok(Ingested {
             name: source.name(),
             netlist,
+            notes,
             report,
+        })
+    }
+
+    /// **Stage 1b — lint**: whole-netlist static diagnostics on the
+    /// ingested design (see [`pl_lint::lint_netlist`] and the lint catalog
+    /// in the `pl-lint` crate docs). Non-consuming, like
+    /// [`Pipeline::verify`], so callers can lint and still continue with
+    /// the artifact.
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::Lint`] when any finding is deny-level under the
+    /// configured severities ([`LintOptions::overrides`]).
+    pub fn lint(&self, ingested: &Ingested) -> Result<LintStageReport, FlowError> {
+        let t0 = Instant::now();
+        let report = pl_lint::lint_netlist(
+            &ingested.netlist,
+            &ingested.notes,
+            &self.opts.delays,
+            &self.opts.lint,
+        );
+        if report.has_deny() {
+            return Err(FlowError::Lint {
+                pass: "netlist",
+                report,
+            });
+        }
+        Ok(LintStageReport {
+            report,
+            secs: t0.elapsed().as_secs_f64(),
+        })
+    }
+
+    /// **Stage 4b — lint (phased)**: re-checks the mapped phased-logic
+    /// netlist (pin wiring, dead gates, data-fanout envelope) with
+    /// [`pl_lint::lint_pl`].
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::Lint`] when any finding is deny-level.
+    pub fn lint_phased(&self, phased: &Phased) -> Result<LintStageReport, FlowError> {
+        let t0 = Instant::now();
+        let report = pl_lint::lint_pl(&phased.netlist, &self.opts.lint);
+        if report.has_deny() {
+            return Err(FlowError::Lint { pass: "pl", report });
+        }
+        Ok(LintStageReport {
+            report,
+            secs: t0.elapsed().as_secs_f64(),
         })
     }
 
@@ -749,11 +828,21 @@ impl Pipeline {
     pub fn run(&self, source: &CircuitSource) -> Result<FlowArtifacts, FlowError> {
         let ingested = self.ingest(source)?;
         let ingest_report = ingested.report.clone();
+        let lint_report = if self.opts.lint.enabled {
+            Some(self.lint(&ingested)?)
+        } else {
+            None
+        };
         let optimized = self.optimize(ingested)?;
         let optimize_report = optimized.report.clone();
         let mapped = self.techmap(optimized)?;
         let phased = self.phased(&mapped)?;
         let phased_report = phased.report.clone();
+        let lint_pl_report = if self.opts.lint.enabled {
+            Some(self.lint_phased(&phased)?)
+        } else {
+            None
+        };
         let early = self.early_eval(phased);
         let sim = self.simulate(&early)?;
         let verify = if self.opts.verify {
@@ -765,9 +854,11 @@ impl Pipeline {
             name: early.name.clone(),
             report: FlowReport {
                 ingest: ingest_report,
+                lint: lint_report,
                 optimize: optimize_report,
                 techmap: mapped.report,
                 phased: phased_report,
+                lint_pl: lint_pl_report,
                 early_eval: early.report,
                 simulate: sim.report,
                 verify,

@@ -9,6 +9,7 @@
 
 use std::path::PathBuf;
 
+use pl_netlist::blif::BlifNote;
 use pl_netlist::{Netlist, NodeId};
 
 use crate::error::FlowError;
@@ -218,18 +219,32 @@ impl CircuitSource {
     /// I/O failures for [`CircuitSource::BlifFile`], parse errors for the
     /// BLIF variants, elaboration errors for catalog entries.
     pub fn ingest_netlist(&self) -> Result<Netlist, FlowError> {
+        self.ingest_netlist_with_notes().map(|(n, _)| n)
+    }
+
+    /// Like [`CircuitSource::ingest_netlist`], but also returns the
+    /// ingest-time observations (see [`pl_netlist::blif::BlifNote`]) that
+    /// the lint stage surfaces as `PL0009`. Only the BLIF variants produce
+    /// notes today; every other source returns an empty list.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CircuitSource::ingest_netlist`].
+    pub fn ingest_netlist_with_notes(&self) -> Result<(Netlist, Vec<BlifNote>), FlowError> {
         match self {
-            CircuitSource::Catalog(bench) => Ok((bench.build)().elaborate()?),
+            CircuitSource::Catalog(bench) => Ok(((bench.build)().elaborate()?, Vec::new())),
             CircuitSource::BlifFile(path) => {
                 let text = std::fs::read_to_string(path).map_err(|e| FlowError::Io {
                     path: path.display().to_string(),
                     message: e.to_string(),
                 })?;
-                Ok(pl_netlist::blif::from_blif(&text)?)
+                Ok(pl_netlist::blif::from_blif_with_notes(&text)?)
             }
-            CircuitSource::BlifText { text, .. } => Ok(pl_netlist::blif::from_blif(text)?),
-            CircuitSource::Netlist { netlist, .. } => Ok(netlist.clone()),
-            CircuitSource::Random(spec) => Ok(random_netlist(spec)),
+            CircuitSource::BlifText { text, .. } => {
+                Ok(pl_netlist::blif::from_blif_with_notes(text)?)
+            }
+            CircuitSource::Netlist { netlist, .. } => Ok((netlist.clone(), Vec::new())),
+            CircuitSource::Random(spec) => Ok((random_netlist(spec), Vec::new())),
         }
     }
 }

@@ -1,0 +1,556 @@
+//! Diagnostic primitives: codes, severities, reports and renderers.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// How seriously a finding is treated.
+///
+/// The default severity of each code comes from [`catalog`]; callers can
+/// override it per code through [`LintOptions::overrides`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suppress the finding entirely.
+    Allow,
+    /// Report the finding but keep going.
+    Warn,
+    /// Report the finding and make the lint stage fail.
+    Deny,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Allow => "allow",
+            Severity::Warn => "warn",
+            Severity::Deny => "deny",
+        })
+    }
+}
+
+impl FromStr for Severity {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "allow" => Ok(Severity::Allow),
+            "warn" => Ok(Severity::Warn),
+            "deny" => Ok(Severity::Deny),
+            other => Err(format!(
+                "unknown severity '{other}' (expected allow, warn or deny)"
+            )),
+        }
+    }
+}
+
+/// A stable lint code, rendered `PL####`.
+///
+/// Codes are append-only: once published in the [`catalog`] a number is
+/// never reused for a different check, so golden files and CI greps stay
+/// meaningful across versions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Code(u16);
+
+impl Code {
+    /// Builds a code from its number (`1` ⇔ `PL0001`).
+    #[must_use]
+    pub const fn new(number: u16) -> Self {
+        Code(number)
+    }
+
+    /// The numeric part of the code.
+    #[must_use]
+    pub const fn number(self) -> u16 {
+        self.0
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PL{:04}", self.0)
+    }
+}
+
+impl FromStr for Code {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let digits = s
+            .strip_prefix("PL")
+            .or_else(|| s.strip_prefix("pl"))
+            .unwrap_or(s);
+        match digits.parse::<u16>() {
+            Ok(n) if catalog().iter().any(|e| e.code.0 == n) => Ok(Code(n)),
+            Ok(n) => Err(format!("PL{n:04} is not a known lint code")),
+            Err(_) => Err(format!("malformed lint code '{s}' (expected PL####)")),
+        }
+    }
+}
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The stable code identifying the check.
+    pub code: Code,
+    /// Effective severity after overrides.
+    pub severity: Severity,
+    /// Labels of the nodes or gates involved (names when available, ids
+    /// otherwise), in check-specific order (e.g. cycle path order).
+    pub nodes: Vec<String>,
+    /// Self-contained human-readable description.
+    pub message: String,
+}
+
+/// One row of the lint catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CatalogEntry {
+    /// The stable code.
+    pub code: Code,
+    /// Severity applied when no override is given.
+    pub default_severity: Severity,
+    /// One-line description of what the check finds.
+    pub summary: &'static str,
+}
+
+/// The full lint catalog: every code, its default severity and a one-line
+/// summary. Sorted by code.
+#[must_use]
+pub fn catalog() -> &'static [CatalogEntry] {
+    const C: &[CatalogEntry] = &[
+        CatalogEntry {
+            code: Code::new(1),
+            default_severity: Severity::Deny,
+            summary: "combinational cycle through LUTs (cycle path named)",
+        },
+        CatalogEntry {
+            code: Code::new(2),
+            default_severity: Severity::Deny,
+            summary: "flip-flop with no driver on its d pin",
+        },
+        CatalogEntry {
+            code: Code::new(3),
+            default_severity: Severity::Deny,
+            summary: "primary output referencing a missing node",
+        },
+        CatalogEntry {
+            code: Code::new(4),
+            default_severity: Severity::Deny,
+            summary: "LUT truth-table arity differs from its fanin count",
+        },
+        CatalogEntry {
+            code: Code::new(5),
+            default_severity: Severity::Warn,
+            summary: "duplicate primary-output name",
+        },
+        CatalogEntry {
+            code: Code::new(6),
+            default_severity: Severity::Warn,
+            summary: "dead cone: logic unreachable from any primary output",
+        },
+        CatalogEntry {
+            code: Code::new(7),
+            default_severity: Severity::Warn,
+            summary: "trivially-constant LUT",
+        },
+        CatalogEntry {
+            code: Code::new(8),
+            default_severity: Severity::Warn,
+            summary: "LUT fanin outside the table's functional support",
+        },
+        CatalogEntry {
+            code: Code::new(9),
+            default_severity: Severity::Warn,
+            summary: "source text referenced an undriven net (ingest note)",
+        },
+        CatalogEntry {
+            code: Code::new(101),
+            default_severity: Severity::Warn,
+            summary: "node fanout exceeds the envelope (--max-fanout)",
+        },
+        CatalogEntry {
+            code: Code::new(102),
+            default_severity: Severity::Warn,
+            summary: "combinational depth exceeds the envelope (--max-depth)",
+        },
+        CatalogEntry {
+            code: Code::new(103),
+            default_severity: Severity::Warn,
+            summary: "feedback loop with a zero-delay model (would oscillate)",
+        },
+        CatalogEntry {
+            code: Code::new(201),
+            default_severity: Severity::Deny,
+            summary: "phased-logic gate pin with no data arc or constant tie",
+        },
+        CatalogEntry {
+            code: Code::new(202),
+            default_severity: Severity::Deny,
+            summary: "phased-logic gate pin with conflicting drivers",
+        },
+        CatalogEntry {
+            code: Code::new(203),
+            default_severity: Severity::Warn,
+            summary: "phased-logic gate with no data path to any output",
+        },
+        CatalogEntry {
+            code: Code::new(204),
+            default_severity: Severity::Warn,
+            summary: "phased-logic data fanout exceeds the envelope",
+        },
+    ];
+    C
+}
+
+/// Knobs for a lint run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LintOptions {
+    /// Master switch; when false the pipeline skips the stage entirely.
+    pub enabled: bool,
+    /// Per-code severity overrides, applied in order (the last entry for a
+    /// code wins).
+    pub overrides: Vec<(Code, Severity)>,
+    /// Fanout envelope for PL0101 / PL0204.
+    pub max_fanout: usize,
+    /// Depth envelope for PL0102.
+    pub max_depth: u32,
+}
+
+impl Default for LintOptions {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            overrides: Vec::new(),
+            max_fanout: 64,
+            max_depth: 128,
+        }
+    }
+}
+
+impl LintOptions {
+    /// The effective severity of a code under these options.
+    #[must_use]
+    pub fn severity_of(&self, code: Code) -> Severity {
+        let mut sev = catalog()
+            .iter()
+            .find(|e| e.code == code)
+            .map_or(Severity::Warn, |e| e.default_severity);
+        for &(c, s) in &self.overrides {
+            if c == code {
+                sev = s;
+            }
+        }
+        sev
+    }
+}
+
+/// The outcome of one lint pass, deterministically ordered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintReport {
+    pass: &'static str,
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// Which pass produced the report: `"netlist"` or `"pl"`.
+    #[must_use]
+    pub fn pass(&self) -> &'static str {
+        self.pass
+    }
+
+    /// The findings, sorted by `(code, nodes, message)`.
+    #[must_use]
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// Number of findings.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.diagnostics.len()
+    }
+
+    /// Whether the report is clean.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Whether any finding is deny-level.
+    #[must_use]
+    pub fn has_deny(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Deny)
+    }
+
+    /// `(warnings, denials)` counts.
+    #[must_use]
+    pub fn counts(&self) -> (usize, usize) {
+        let warns = self
+            .diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warn)
+            .count();
+        (warns, self.diagnostics.len() - warns)
+    }
+
+    /// One text line per finding (`CODE severity message`), or the empty
+    /// string for a clean report.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&format!("{} {} {}\n", d.code, d.severity, d.message));
+        }
+        out
+    }
+
+    /// One JSON object per finding, newline-terminated. The field order is
+    /// fixed (`pass`, `code`, `severity`, `nodes`, `message`) so output is
+    /// byte-stable and diffable in CI.
+    #[must_use]
+    pub fn to_json_lines(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&format!(
+                "{{\"pass\":\"{}\",\"code\":\"{}\",\"severity\":\"{}\",\"nodes\":[",
+                escape_json(self.pass),
+                d.code,
+                d.severity
+            ));
+            for (i, n) in d.nodes.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('"');
+                out.push_str(&escape_json(n));
+                out.push('"');
+            }
+            out.push_str(&format!(
+                "],\"message\":\"{}\"}}\n",
+                escape_json(&d.message)
+            ));
+        }
+        out
+    }
+}
+
+/// JSON string escaping for [`LintReport::to_json_lines`].
+#[must_use]
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Parses one line produced by [`LintReport::to_json_lines`] back into its
+/// pass name and [`Diagnostic`]. Only understands that exact field order —
+/// it exists so tests and CI can assert the format round-trips, not as a
+/// general JSON parser.
+#[must_use]
+pub fn parse_json_line(line: &str) -> Option<(String, Diagnostic)> {
+    let rest = line.trim_end().strip_prefix("{\"pass\":\"")?;
+    let (pass, rest) = take_json_string(rest)?;
+    let rest = rest.strip_prefix("\",\"code\":\"")?;
+    let (code, rest) = take_json_string(rest)?;
+    let rest = rest.strip_prefix("\",\"severity\":\"")?;
+    let (severity, rest) = take_json_string(rest)?;
+    let mut rest = rest.strip_prefix("\",\"nodes\":[")?;
+    let mut nodes = Vec::new();
+    if !rest.starts_with(']') {
+        loop {
+            let (node, r) = take_json_string(rest.strip_prefix('"')?)?;
+            nodes.push(node);
+            rest = r.strip_prefix('"')?;
+            match rest.strip_prefix(',') {
+                Some(r) => rest = r,
+                None => break,
+            }
+        }
+    }
+    let rest = rest.strip_prefix("],\"message\":\"")?;
+    let (message, rest) = take_json_string(rest)?;
+    if rest != "\"}" {
+        return None;
+    }
+    Some((
+        pass,
+        Diagnostic {
+            code: code.parse().ok()?,
+            severity: severity.parse().ok()?,
+            nodes,
+            message,
+        },
+    ))
+}
+
+/// Reads an escaped JSON string up to (but not consuming) its closing quote.
+fn take_json_string(s: &str) -> Option<(String, &str)> {
+    let mut out = String::new();
+    let mut chars = s.char_indices();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => return Some((out, &s[i..])),
+            '\\' => match chars.next()?.1 {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'u' => {
+                    let mut v = 0u32;
+                    for _ in 0..4 {
+                        v = v * 16 + chars.next()?.1.to_digit(16)?;
+                    }
+                    out.push(char::from_u32(v)?);
+                }
+                _ => return None,
+            },
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+/// Accumulates findings for one pass, applying severity overrides and
+/// producing a canonically-ordered [`LintReport`].
+pub(crate) struct Collector<'a> {
+    pass: &'static str,
+    opts: &'a LintOptions,
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl<'a> Collector<'a> {
+    pub(crate) fn new(pass: &'static str, opts: &'a LintOptions) -> Self {
+        Self {
+            pass,
+            opts,
+            diagnostics: Vec::new(),
+        }
+    }
+
+    /// Records a finding unless its effective severity is `allow`.
+    pub(crate) fn push(&mut self, code: Code, nodes: Vec<String>, message: String) {
+        let severity = self.opts.severity_of(code);
+        if severity == Severity::Allow {
+            return;
+        }
+        self.diagnostics.push(Diagnostic {
+            code,
+            severity,
+            nodes,
+            message,
+        });
+    }
+
+    pub(crate) fn finish(mut self) -> LintReport {
+        self.diagnostics
+            .sort_by(|a, b| (a.code, &a.nodes, &a.message).cmp(&(b.code, &b.nodes, &b.message)));
+        LintReport {
+            pass: self.pass,
+            diagnostics: self.diagnostics,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_render_and_parse() {
+        assert_eq!(Code::new(1).to_string(), "PL0001");
+        assert_eq!(Code::new(204).to_string(), "PL0204");
+        assert_eq!("PL0001".parse::<Code>().unwrap(), Code::new(1));
+        assert_eq!("pl0101".parse::<Code>().unwrap(), Code::new(101));
+        assert!("PL9999".parse::<Code>().is_err());
+        assert!("bogus".parse::<Code>().is_err());
+    }
+
+    #[test]
+    fn severities_round_trip() {
+        for s in [Severity::Allow, Severity::Warn, Severity::Deny] {
+            assert_eq!(s.to_string().parse::<Severity>().unwrap(), s);
+        }
+        assert!("fatal".parse::<Severity>().is_err());
+    }
+
+    #[test]
+    fn catalog_is_sorted_and_unique() {
+        let cat = catalog();
+        for pair in cat.windows(2) {
+            assert!(pair[0].code < pair[1].code, "catalog must be sorted");
+        }
+        assert!(cat.iter().all(|e| !e.summary.is_empty()));
+    }
+
+    #[test]
+    fn overrides_apply_last_wins() {
+        let mut opts = LintOptions::default();
+        assert_eq!(opts.severity_of(Code::new(6)), Severity::Warn);
+        opts.overrides.push((Code::new(6), Severity::Deny));
+        opts.overrides.push((Code::new(6), Severity::Allow));
+        assert_eq!(opts.severity_of(Code::new(6)), Severity::Allow);
+    }
+
+    #[test]
+    fn collector_sorts_and_drops_allowed() {
+        let mut opts = LintOptions::default();
+        opts.overrides.push((Code::new(7), Severity::Allow));
+        let mut c = Collector::new("netlist", &opts);
+        c.push(Code::new(101), vec!["b".into()], "second".into());
+        c.push(Code::new(7), vec!["x".into()], "dropped".into());
+        c.push(Code::new(5), vec!["a".into()], "first".into());
+        let report = c.finish();
+        assert_eq!(report.len(), 2);
+        assert_eq!(report.diagnostics()[0].code, Code::new(5));
+        assert_eq!(report.diagnostics()[1].code, Code::new(101));
+        assert_eq!(report.counts(), (2, 0));
+        assert!(!report.has_deny());
+    }
+
+    #[test]
+    fn json_lines_round_trip() {
+        let opts = LintOptions::default();
+        let mut c = Collector::new("netlist", &opts);
+        c.push(
+            Code::new(1),
+            vec!["a\"b".into(), "n\\2".into()],
+            "cycle: a\"b -> n\\2 -> a\"b\twith\ntabs".into(),
+        );
+        c.push(Code::new(5), Vec::new(), "no nodes".into());
+        let report = c.finish();
+        let json = report.to_json_lines();
+        let parsed: Vec<_> = json.lines().map(|l| parse_json_line(l).unwrap()).collect();
+        assert_eq!(parsed.len(), report.len());
+        for ((pass, diag), original) in parsed.iter().zip(report.diagnostics()) {
+            assert_eq!(pass, "netlist");
+            assert_eq!(diag, original);
+        }
+    }
+
+    #[test]
+    fn text_rendering_is_one_line_per_finding() {
+        let opts = LintOptions::default();
+        let mut c = Collector::new("pl", &opts);
+        c.push(
+            Code::new(201),
+            vec!["g1".into()],
+            "gate g1 pin 0 floats".into(),
+        );
+        let report = c.finish();
+        assert_eq!(report.to_text(), "PL0201 deny gate g1 pin 0 floats\n");
+        assert!(report.has_deny());
+        assert_eq!(report.counts(), (0, 1));
+        assert_eq!(report.pass(), "pl");
+    }
+}

@@ -1,0 +1,74 @@
+//! Static netlist diagnostics (`pl-lint`): whole-netlist analysis with
+//! stable, golden-pinnable `PL####` codes.
+//!
+//! Two passes share one diagnostic vocabulary:
+//!
+//! * [`lint_netlist`] runs on the synchronous [`pl_netlist::Netlist`]
+//!   between ingestion and optimization — structure that is broken here
+//!   (cycles, undriven state, dangling outputs) would otherwise surface as
+//!   a panic or a wrong answer several stages later.
+//! * [`lint_pl`] runs on the mapped [`pl_core::PlNetlist`] after
+//!   technology mapping, where pin wiring and the token topology exist.
+//!
+//! Reports are deterministic: findings are sorted by `(code, nodes,
+//! message)` and both renderers ([`LintReport::to_text`],
+//! [`LintReport::to_json_lines`]) are byte-stable, so CI can diff them
+//! against checked-in goldens.
+//!
+//! # Lint catalog
+//!
+//! | Code | Default | Finds |
+//! |------|---------|-------|
+//! | `PL0001` | deny | combinational cycle through LUTs (cycle path named) |
+//! | `PL0002` | deny | flip-flop with no driver on its `d` pin |
+//! | `PL0003` | deny | primary output referencing a missing node |
+//! | `PL0004` | deny | LUT truth-table arity differs from its fanin count |
+//! | `PL0005` | warn | duplicate primary-output name |
+//! | `PL0006` | warn | dead cone: logic unreachable from any primary output |
+//! | `PL0007` | warn | trivially-constant LUT |
+//! | `PL0008` | warn | LUT fanin outside the table's functional support |
+//! | `PL0009` | warn | source text referenced an undriven net (ingest note) |
+//! | `PL0101` | warn | node fanout exceeds the envelope (`--max-fanout`) |
+//! | `PL0102` | warn | combinational depth exceeds the envelope (`--max-depth`) |
+//! | `PL0103` | warn | feedback loop with a zero-delay model (would oscillate) |
+//! | `PL0201` | deny | phased-logic gate pin with no data arc or constant tie |
+//! | `PL0202` | deny | phased-logic gate pin with conflicting drivers |
+//! | `PL0203` | warn | phased-logic gate with no data path to any output |
+//! | `PL0204` | warn | phased-logic data fanout exceeds the envelope |
+//!
+//! Codes are append-only; numbers are never reused. Severities can be
+//! overridden per code via [`LintOptions::overrides`] (`allow` drops a
+//! finding, `deny` makes the flow's lint stage fail).
+//!
+//! # Example
+//!
+//! ```
+//! use pl_lint::{lint_netlist, LintOptions};
+//! use pl_netlist::Netlist;
+//! use pl_sim::DelayModel;
+//!
+//! let mut nl = Netlist::new("demo");
+//! let a = nl.add_input("a");
+//! let dead = nl.add_not(a).unwrap();
+//! let live = nl.add_not(a).unwrap();
+//! nl.set_output("y", live);
+//!
+//! let report = lint_netlist(&nl, &[], &DelayModel::default(), &LintOptions::default());
+//! assert_eq!(report.len(), 1); // the dead inverter
+//! assert!(report.to_text().starts_with("PL0006 warn"));
+//! # let _ = dead;
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diag;
+pub mod netlist;
+pub mod pl;
+
+pub use diag::{
+    catalog, escape_json, parse_json_line, CatalogEntry, Code, Diagnostic, LintOptions, LintReport,
+    Severity,
+};
+pub use netlist::lint_netlist;
+pub use pl::lint_pl;

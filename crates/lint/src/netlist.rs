@@ -1,0 +1,510 @@
+//! The synchronous-netlist pass: structural and hazard lints over
+//! [`pl_netlist::Netlist`], run between ingestion and optimization.
+
+use std::collections::HashMap;
+
+use pl_netlist::blif::BlifNote;
+use pl_netlist::scc;
+use pl_netlist::{Netlist, NodeId, NodeKind};
+use pl_sim::DelayModel;
+
+use crate::diag::{Code, Collector, LintOptions, LintReport};
+
+/// How many node labels an aggregated diagnostic (PL0006) spells out before
+/// eliding the rest.
+const MAX_LISTED: usize = 8;
+
+/// Runs every netlist-level check and returns the findings.
+///
+/// `notes` are ingest-time observations (e.g. from
+/// [`pl_netlist::blif::from_blif_with_notes`]) surfaced as PL0009; pass an
+/// empty slice for programmatically-built netlists. `delays` is the active
+/// delay model, used by the zero-delay-feedback hazard check (PL0103).
+#[must_use]
+pub fn lint_netlist(
+    netlist: &Netlist,
+    notes: &[BlifNote],
+    delays: &DelayModel,
+    opts: &LintOptions,
+) -> LintReport {
+    let mut c = Collector::new("netlist", opts);
+    let n = netlist.len();
+    let label = |id: NodeId| -> String {
+        netlist
+            .get(id)
+            .and_then(|node| node.name())
+            .map_or_else(|| id.to_string(), str::to_string)
+    };
+
+    // PL0009: ingest notes (undriven nets referenced by the source text).
+    for note in notes {
+        c.push(
+            Code::new(9),
+            vec![note.signal.clone()],
+            format!("line {}: {}", note.line, note.message),
+        );
+    }
+
+    // PL0004: LUT table arity vs fanin count.
+    for (id, node) in netlist.iter() {
+        if let NodeKind::Lut { table, inputs } = node.kind() {
+            if table.num_vars() != inputs.len() {
+                c.push(
+                    Code::new(4),
+                    vec![label(id)],
+                    format!(
+                        "LUT '{}' has a {}-variable table but {} fanins",
+                        label(id),
+                        table.num_vars(),
+                        inputs.len()
+                    ),
+                );
+            }
+        }
+    }
+
+    // PL0002: undriven flip-flops.
+    for &dff in netlist.dffs() {
+        if let NodeKind::Dff { d: None, .. } = netlist.node(dff).kind() {
+            c.push(
+                Code::new(2),
+                vec![label(dff)],
+                format!("flip-flop '{}' has no driver on its d pin", label(dff)),
+            );
+        }
+    }
+
+    // PL0003 / PL0005: output sanity.
+    let mut by_name: HashMap<&str, Vec<NodeId>> = HashMap::new();
+    for (name, id) in netlist.outputs() {
+        if netlist.get(*id).is_none() {
+            c.push(
+                Code::new(3),
+                vec![id.to_string()],
+                format!("output '{name}' references missing node {id}"),
+            );
+        }
+        by_name.entry(name.as_str()).or_default().push(*id);
+    }
+    for (name, ids) in by_name {
+        if ids.len() > 1 {
+            c.push(
+                Code::new(5),
+                ids.iter().map(|&id| label(id)).collect(),
+                format!("output name '{}' is declared {} times", name, ids.len()),
+            );
+        }
+    }
+
+    // The combinational dependency graph: LUT fanin -> LUT, flip-flop
+    // boundaries cut (their d edge is sequential).
+    let mut comb: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (id, node) in netlist.iter() {
+        if let NodeKind::Lut { inputs, .. } = node.kind() {
+            for src in inputs {
+                comb[src.index()].push(id.index());
+            }
+        }
+    }
+
+    // PL0001: combinational cycles, one finding per cyclic SCC, with the
+    // concrete cycle path named. Shares the walk used by comb_topo_order so
+    // the lint and the hard error describe the same cycle.
+    let comps = scc::tarjan_sccs(n, &comb);
+    let mut cyclic = false;
+    for comp in &comps {
+        if scc::component_is_cyclic(&comb, comp) {
+            cyclic = true;
+            let path: Vec<String> = scc::cycle_in_component(&comb, comp)
+                .into_iter()
+                .map(|i| label(NodeId::from_index(i)))
+                .collect();
+            let mut rendered = path.join(" -> ");
+            rendered.push_str(" -> ");
+            rendered.push_str(&path[0]);
+            c.push(
+                Code::new(1),
+                path,
+                format!("combinational cycle: {rendered}"),
+            );
+        }
+    }
+
+    // PL0006: dead cones. Walk fanins backwards from every (existing) output
+    // node, through flip-flop d edges; anything never reached that is not a
+    // primary input is dead logic. One aggregated finding keeps large dead
+    // regions from flooding the report.
+    let mut live = vec![false; n];
+    let mut stack: Vec<usize> = netlist
+        .outputs()
+        .iter()
+        .filter_map(|(_, id)| netlist.get(*id).map(|_| id.index()))
+        .collect();
+    while let Some(i) = stack.pop() {
+        if std::mem::replace(&mut live[i], true) {
+            continue;
+        }
+        for src in netlist.node(NodeId::from_index(i)).fanins() {
+            stack.push(src.index());
+        }
+    }
+    let dead: Vec<NodeId> = netlist
+        .iter()
+        .filter(|(id, node)| !live[id.index()] && !node.is_input())
+        .map(|(id, _)| id)
+        .collect();
+    if !dead.is_empty() {
+        let mut labels: Vec<String> = dead.iter().map(|&id| label(id)).collect();
+        labels.sort();
+        let shown = labels
+            .iter()
+            .take(MAX_LISTED)
+            .cloned()
+            .collect::<Vec<_>>()
+            .join(", ");
+        let elided = if labels.len() > MAX_LISTED {
+            format!(" … and {} more", labels.len() - MAX_LISTED)
+        } else {
+            String::new()
+        };
+        c.push(
+            Code::new(6),
+            labels.clone(),
+            format!(
+                "{} node(s) unreachable from any primary output: {shown}{elided}",
+                labels.len()
+            ),
+        );
+    }
+
+    // PL0007 / PL0008: degenerate LUT functions.
+    for (id, node) in netlist.iter() {
+        let NodeKind::Lut { table, inputs } = node.kind() else {
+            continue;
+        };
+        if table.num_vars() != inputs.len() {
+            continue; // already a PL0004; support analysis would mislabel pins
+        }
+        if table.is_constant() {
+            c.push(
+                Code::new(7),
+                vec![label(id)],
+                format!(
+                    "LUT '{}' computes constant {}",
+                    label(id),
+                    u8::from(table.is_ones())
+                ),
+            );
+            continue; // a constant table has no support; skip PL0008
+        }
+        for (pin, &src) in inputs.iter().enumerate() {
+            if !table.depends_on(pin) {
+                c.push(
+                    Code::new(8),
+                    vec![label(id), label(src)],
+                    format!(
+                        "LUT '{}' pin {pin} ('{}') is outside the table's functional support",
+                        label(id),
+                        label(src)
+                    ),
+                );
+            }
+        }
+    }
+
+    // PL0101: fanout envelope (combinational readers plus flip-flop d pins).
+    let mut fanout = vec![0usize; n];
+    for (_, node) in netlist.iter() {
+        for src in node.fanins() {
+            fanout[src.index()] += 1;
+        }
+    }
+    for (i, &fo) in fanout.iter().enumerate() {
+        if fo > opts.max_fanout {
+            let id = NodeId::from_index(i);
+            c.push(
+                Code::new(101),
+                vec![label(id)],
+                format!(
+                    "node '{}' has fanout {fo} (envelope {})",
+                    label(id),
+                    opts.max_fanout
+                ),
+            );
+        }
+    }
+
+    // PL0102: depth envelope. Only meaningful when the combinational graph
+    // is acyclic (a cycle is already a PL0001 and has no finite depth).
+    if !cyclic {
+        if let Ok(levels) = pl_netlist::analyze::levels(netlist) {
+            if let Some((deepest, &depth)) = levels
+                .iter()
+                .enumerate()
+                .max_by_key(|&(i, lv)| (lv, std::cmp::Reverse(i)))
+            {
+                if depth > opts.max_depth {
+                    let id = NodeId::from_index(deepest);
+                    c.push(
+                        Code::new(102),
+                        vec![label(id)],
+                        format!(
+                            "combinational depth {depth} exceeds envelope {} (deepest node '{}')",
+                            opts.max_depth,
+                            label(id)
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    // PL0103: zero-delay feedback. With a degenerate delay model every
+    // event in a feedback loop (combinational or through flip-flops) is
+    // scheduled at the current instant and simulation would livelock, so
+    // flag each cyclic component of the *full* dependency graph.
+    if delays.gate_delay() + delays.wire <= 0.0 {
+        let mut full = comb;
+        for (id, node) in netlist.iter() {
+            if let NodeKind::Dff { d: Some(src), .. } = node.kind() {
+                full[src.index()].push(id.index());
+            }
+        }
+        for comp in scc::tarjan_sccs(n, &full) {
+            if scc::component_is_cyclic(&full, &comp) {
+                let path: Vec<String> = scc::cycle_in_component(&full, &comp)
+                    .into_iter()
+                    .map(|i| label(NodeId::from_index(i)))
+                    .collect();
+                let mut rendered = path.join(" -> ");
+                rendered.push_str(" -> ");
+                rendered.push_str(&path[0]);
+                c.push(
+                    Code::new(103),
+                    path,
+                    format!("zero-delay model would oscillate through: {rendered}"),
+                );
+            }
+        }
+    }
+
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Severity;
+    use pl_boolfn::TruthTable;
+
+    fn run(netlist: &Netlist) -> LintReport {
+        lint_netlist(
+            netlist,
+            &[],
+            &DelayModel::default(),
+            &LintOptions::default(),
+        )
+    }
+
+    fn codes(report: &LintReport) -> Vec<u16> {
+        report
+            .diagnostics()
+            .iter()
+            .map(|d| d.code.number())
+            .collect()
+    }
+
+    #[test]
+    fn clean_netlist_is_clean() {
+        let mut nl = Netlist::new("clean");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let g = nl.add_and2(a, b).unwrap();
+        nl.set_output("y", g);
+        assert!(run(&nl).is_empty());
+    }
+
+    #[test]
+    fn empty_netlist_is_clean() {
+        assert!(run(&Netlist::new("empty")).is_empty());
+    }
+
+    #[test]
+    fn const_only_output_is_clean() {
+        let mut nl = Netlist::new("konst");
+        let k = nl.add_const(true);
+        nl.set_output("y", k);
+        assert!(run(&nl).is_empty());
+    }
+
+    #[test]
+    fn combinational_cycle_names_the_path() {
+        let mut nl = Netlist::new("cyc");
+        let a = nl.add_input("a");
+        let x = nl.add_and2(a, a).unwrap();
+        let y = nl.add_and2(x, a).unwrap();
+        nl.set_name(x, "x").unwrap();
+        nl.set_name(y, "y").unwrap();
+        nl.set_output("o", y);
+        nl.rewire_lut_input(x, 1, y).unwrap();
+        let report = run(&nl);
+        assert!(report.has_deny());
+        let d = &report.diagnostics()[0];
+        assert_eq!(d.code, Code::new(1));
+        assert_eq!(d.nodes, vec!["x", "y"]);
+        assert_eq!(d.message, "combinational cycle: x -> y -> x");
+    }
+
+    #[test]
+    fn self_loop_is_a_cycle_and_depth_is_skipped() {
+        let mut nl = Netlist::new("selfloop");
+        let a = nl.add_input("a");
+        let x = nl.add_and2(a, a).unwrap();
+        nl.set_output("o", x);
+        nl.rewire_lut_input(x, 0, x).unwrap();
+        let report = run(&nl);
+        assert_eq!(codes(&report), vec![1]);
+    }
+
+    #[test]
+    fn undriven_dff_and_missing_output_are_denied() {
+        let mut nl = Netlist::new("broken");
+        let d = nl.add_dff(false);
+        nl.set_output("q", d);
+        nl.set_output("ghost", NodeId::from_index(99));
+        let report = run(&nl);
+        assert_eq!(codes(&report), vec![2, 3]);
+        assert!(report.has_deny());
+    }
+
+    #[test]
+    fn duplicate_output_names_warn() {
+        let mut nl = Netlist::new("dup");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        nl.set_output("y", a);
+        nl.set_output("y", b);
+        let report = run(&nl);
+        assert_eq!(codes(&report), vec![5]);
+        assert_eq!(report.diagnostics()[0].severity, Severity::Warn);
+        assert_eq!(report.diagnostics()[0].nodes, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn dead_cone_is_one_aggregated_warning() {
+        let mut nl = Netlist::new("dead");
+        let a = nl.add_input("a");
+        let live = nl.add_not(a).unwrap();
+        let dead1 = nl.add_not(a).unwrap();
+        let _dead2 = nl.add_not(dead1).unwrap();
+        nl.set_output("y", live);
+        let report = run(&nl);
+        assert_eq!(codes(&report), vec![6]);
+        assert_eq!(report.diagnostics()[0].nodes.len(), 2);
+        assert!(report.diagnostics()[0].message.contains("2 node(s)"));
+    }
+
+    #[test]
+    fn constant_and_vacuous_luts_warn() {
+        let mut nl = Netlist::new("degenerate");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        // Table ignores variable 1 entirely: f(a, b) = a.
+        let vacuous = nl
+            .add_lut(TruthTable::from_bits(2, 0b1010), vec![a, b])
+            .unwrap();
+        // Constant-1 table.
+        let konst = nl
+            .add_lut(TruthTable::from_bits(2, 0b1111), vec![a, b])
+            .unwrap();
+        nl.set_name(vacuous, "vac").unwrap();
+        nl.set_name(konst, "k1").unwrap();
+        nl.set_output("v", vacuous);
+        nl.set_output("k", konst);
+        let report = run(&nl);
+        assert_eq!(codes(&report), vec![7, 8]);
+        assert!(report.diagnostics()[0].message.contains("constant 1"));
+        assert!(report.diagnostics()[1].message.contains("pin 1"));
+    }
+
+    #[test]
+    fn arity_mismatch_is_denied_and_suppresses_support_checks() {
+        let mut nl = Netlist::new("inject");
+        let a = nl.add_input("a");
+        let g = nl.add_not(a).unwrap();
+        nl.set_output("y", g);
+        nl.inject_lut_table(g, TruthTable::from_bits(2, 0b0110));
+        let report = run(&nl);
+        assert_eq!(codes(&report), vec![4]);
+        assert!(report.has_deny());
+    }
+
+    #[test]
+    fn fanout_and_depth_envelopes() {
+        let mut nl = Netlist::new("envelopes");
+        let a = nl.add_input("a");
+        let mut cur = a;
+        for _ in 0..4 {
+            cur = nl.add_not(cur).unwrap();
+        }
+        let b0 = nl.add_not(a).unwrap();
+        let b1 = nl.add_not(a).unwrap();
+        nl.set_output("y", cur);
+        nl.set_output("b0", b0);
+        nl.set_output("b1", b1);
+        let opts = LintOptions {
+            max_fanout: 2,
+            max_depth: 3,
+            ..LintOptions::default()
+        };
+        let report = lint_netlist(&nl, &[], &DelayModel::default(), &opts);
+        assert_eq!(codes(&report), vec![101, 102]);
+        assert!(report.diagnostics()[0].message.contains("fanout 3"));
+        assert!(report.diagnostics()[1].message.contains("depth 4"));
+    }
+
+    #[test]
+    fn zero_delay_feedback_fires_only_under_a_zero_model() {
+        let mut nl = Netlist::new("feedback");
+        let d = nl.add_dff(false);
+        let inv = nl.add_not(d).unwrap();
+        nl.set_dff_input(d, inv).unwrap();
+        nl.set_output("q", d);
+        assert!(run(&nl).is_empty());
+        let report = lint_netlist(&nl, &[], &DelayModel::zero(), &LintOptions::default());
+        assert_eq!(codes(&report), vec![103]);
+        assert!(report.diagnostics()[0].message.contains("oscillate"));
+    }
+
+    #[test]
+    fn blif_notes_surface_as_pl0009() {
+        let nl = Netlist::new("noted");
+        let notes = vec![BlifNote {
+            line: 7,
+            signal: "gclk".into(),
+            message: "latch control references undriven net 'gclk'".into(),
+        }];
+        let report = lint_netlist(&nl, &notes, &DelayModel::default(), &LintOptions::default());
+        assert_eq!(codes(&report), vec![9]);
+        assert_eq!(report.diagnostics()[0].nodes, vec!["gclk"]);
+        assert!(report.diagnostics()[0].message.starts_with("line 7:"));
+    }
+
+    #[test]
+    fn reports_are_byte_identical_across_runs() {
+        let mut nl = Netlist::new("stable");
+        let a = nl.add_input("a");
+        let dead = nl.add_not(a).unwrap();
+        let _dead2 = nl.add_not(dead).unwrap();
+        let live = nl.add_not(a).unwrap();
+        nl.set_output("y", live);
+        nl.set_output("y", live);
+        let first = run(&nl);
+        for _ in 0..10 {
+            let again = run(&nl);
+            assert_eq!(again, first);
+            assert_eq!(again.to_text(), first.to_text());
+            assert_eq!(again.to_json_lines(), first.to_json_lines());
+        }
+    }
+}

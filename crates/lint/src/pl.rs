@@ -1,0 +1,204 @@
+//! The phased-logic pass: re-checks the mapped [`pl_core::PlNetlist`]
+//! after technology mapping, where pin wiring and token topology exist.
+
+use pl_core::{PlArcKind, PlGateId, PlGateKind, PlNetlist};
+
+use crate::diag::{Code, Collector, LintOptions, LintReport};
+
+/// How many gate labels the aggregated dead-gate diagnostic (PL0203) spells
+/// out before eliding the rest.
+const MAX_LISTED: usize = 8;
+
+/// Runs every phased-logic check and returns the findings.
+#[must_use]
+pub fn lint_pl(pl: &PlNetlist, opts: &LintOptions) -> LintReport {
+    let mut c = Collector::new("pl", opts);
+    let n = pl.gates().len();
+    let label = |id: PlGateId| -> String {
+        pl.gate(id)
+            .name()
+            .map_or_else(|| id.to_string(), str::to_string)
+    };
+
+    // PL0201 / PL0202: every live pin must have exactly one driver — a
+    // constant tie or a single data arc (mirrors PlNetlist::check_pins, but
+    // reports every offender instead of the first).
+    for (i, gate) in pl.gates().iter().enumerate() {
+        let id = PlGateId::from_index(i);
+        for (pin, cv) in gate.const_pins().iter().enumerate() {
+            let arcs = gate
+                .data_in()
+                .iter()
+                .filter(|a| pl.arc(**a).dst_pin() == Some(pin as u8))
+                .count();
+            let drivers = arcs + usize::from(cv.is_some());
+            if drivers == 0 {
+                c.push(
+                    Code::new(201),
+                    vec![label(id)],
+                    format!(
+                        "gate '{}' pin {pin} has no data arc or constant tie",
+                        label(id)
+                    ),
+                );
+            } else if drivers > 1 {
+                c.push(
+                    Code::new(202),
+                    vec![label(id)],
+                    format!("gate '{}' pin {pin} has {drivers} drivers", label(id)),
+                );
+            }
+        }
+    }
+
+    // PL0203: dead gates. Walk data arcs backwards from every output gate;
+    // compute/register gates never reached can fire forever without any
+    // token reaching the environment. One aggregated finding.
+    let mut live = vec![false; n];
+    let mut stack: Vec<usize> = pl.output_gates().iter().map(|(_, id)| id.index()).collect();
+    while let Some(i) = stack.pop() {
+        if std::mem::replace(&mut live[i], true) {
+            continue;
+        }
+        for &arc in pl.gate(PlGateId::from_index(i)).data_in() {
+            let a = pl.arc(arc);
+            if a.kind() == PlArcKind::Data {
+                stack.push(a.src().index());
+            }
+        }
+    }
+    let dead: Vec<PlGateId> = (0..n)
+        .map(PlGateId::from_index)
+        .filter(|&id| !live[id.index()] && pl.gate(id).is_logic())
+        .collect();
+    if !dead.is_empty() {
+        let mut labels: Vec<String> = dead.iter().map(|&id| label(id)).collect();
+        labels.sort();
+        let shown = labels
+            .iter()
+            .take(MAX_LISTED)
+            .cloned()
+            .collect::<Vec<_>>()
+            .join(", ");
+        let elided = if labels.len() > MAX_LISTED {
+            format!(" … and {} more", labels.len() - MAX_LISTED)
+        } else {
+            String::new()
+        };
+        c.push(
+            Code::new(203),
+            labels.clone(),
+            format!(
+                "{} gate(s) with no data path to any output: {shown}{elided}",
+                labels.len()
+            ),
+        );
+    }
+
+    // PL0204: data-fanout envelope. Every data fanout is one more consumer
+    // whose acknowledge the producer must gather before it can fire again,
+    // so wide fanout directly slows the token game.
+    for (i, gate) in pl.gates().iter().enumerate() {
+        let id = PlGateId::from_index(i);
+        if matches!(pl.gate(id).kind(), PlGateKind::Constant { .. }) {
+            continue; // constants are outside the token game
+        }
+        let fo = gate
+            .out_arcs()
+            .iter()
+            .filter(|a| pl.arc(**a).kind() == PlArcKind::Data)
+            .count();
+        if fo > opts.max_fanout {
+            c.push(
+                Code::new(204),
+                vec![label(id)],
+                format!(
+                    "gate '{}' has data fanout {fo} (envelope {})",
+                    label(id),
+                    opts.max_fanout
+                ),
+            );
+        }
+    }
+
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pl_netlist::Netlist;
+
+    fn mapped(netlist: &Netlist) -> PlNetlist {
+        PlNetlist::from_sync(netlist).expect("valid netlist maps")
+    }
+
+    fn codes(report: &LintReport) -> Vec<u16> {
+        report
+            .diagnostics()
+            .iter()
+            .map(|d| d.code.number())
+            .collect()
+    }
+
+    fn sample() -> Netlist {
+        let mut nl = Netlist::new("sample");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let g = nl.add_and2(a, b).unwrap();
+        let d = nl.add_dff(false);
+        nl.set_dff_input(d, g).unwrap();
+        nl.set_output("q", d);
+        nl
+    }
+
+    #[test]
+    fn clean_mapping_is_clean() {
+        let pl = mapped(&sample());
+        assert!(lint_pl(&pl, &LintOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn removed_arc_floats_a_pin() {
+        let mut pl = mapped(&sample());
+        // Remove the first data arc feeding a logic gate; its pin floats.
+        let victim = pl
+            .arcs()
+            .iter()
+            .enumerate()
+            .find(|(_, a)| a.kind() == PlArcKind::Data && pl.gate(a.dst()).is_logic())
+            .map(|(i, _)| pl_core::PlArcId::from_index(i))
+            .expect("mapped netlist has data arcs");
+        pl.inject_remove_arc(victim);
+        let report = lint_pl(&pl, &LintOptions::default());
+        assert!(codes(&report).contains(&201));
+        assert!(report.has_deny());
+    }
+
+    #[test]
+    fn tight_fanout_envelope_fires() {
+        let mut nl = Netlist::new("fan");
+        let a = nl.add_input("a");
+        for i in 0..3 {
+            let g = nl.add_not(a).unwrap();
+            nl.set_output(format!("y{i}"), g);
+        }
+        let pl = mapped(&nl);
+        let opts = LintOptions {
+            max_fanout: 2,
+            ..LintOptions::default()
+        };
+        let report = lint_pl(&pl, &opts);
+        assert_eq!(codes(&report), vec![204]);
+        assert!(report.diagnostics()[0].message.contains("data fanout 3"));
+    }
+
+    #[test]
+    fn reports_are_byte_identical_across_runs() {
+        let pl = mapped(&sample());
+        let first = lint_pl(&pl, &LintOptions::default());
+        for _ in 0..10 {
+            assert_eq!(lint_pl(&pl, &LintOptions::default()), first);
+        }
+    }
+}

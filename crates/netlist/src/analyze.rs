@@ -19,8 +19,10 @@ use crate::node::NodeKind;
 ///
 /// # Errors
 ///
-/// Returns [`NetlistError::CombinationalLoop`] if LUT dependencies cycle
-/// (impossible via the public construction API, but checked defensively).
+/// Returns [`NetlistError::CombinationalLoop`] naming a concrete cycle
+/// path if LUT dependencies cycle (unconstructible via the creation-order
+/// API, but reachable through [`Netlist::rewire_lut_input`] and checked
+/// defensively).
 pub fn comb_topo_order(netlist: &Netlist) -> Result<Vec<NodeId>, NetlistError> {
     let n = netlist.len();
     let mut indegree = vec![0usize; n];
@@ -45,11 +47,12 @@ pub fn comb_topo_order(netlist: &Netlist) -> Result<Vec<NodeId>, NetlistError> {
         }
     }
     if order.len() != n {
-        let stuck = (0..n)
-            .find(|&i| indegree[i] > 0)
+        let path = crate::scc::first_cycle(n, &fanout)
+            .expect("an unfinished topological sort implies a cycle")
+            .into_iter()
             .map(NodeId::from_index)
-            .expect("some node must be stuck in a loop");
-        return Err(NetlistError::CombinationalLoop(stuck));
+            .collect();
+        return Err(NetlistError::CombinationalLoop { path });
     }
     Ok(order)
 }

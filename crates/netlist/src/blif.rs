@@ -116,11 +116,27 @@ fn logical_lines(text: &str) -> Vec<(usize, String)> {
     lines
 }
 
+/// A non-fatal observation made while parsing BLIF text: a construct the
+/// parser accepts for dialect compatibility but that very likely indicates
+/// a broken netlist (today: a `.latch` control net that is never driven
+/// anywhere in the file). The flow's lint stage surfaces each note as a
+/// `PL0009` diagnostic instead of dropping it on the floor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlifNote {
+    /// 1-based line number of the construct (first physical line).
+    pub line: usize,
+    /// The undriven signal name.
+    pub signal: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
 /// Parses BLIF text into a [`Netlist`].
 ///
 /// Handles the structural subset emitted by SIS/ABC, including `\` line
 /// continuations and all four `.latch` arities (`<input> <output>` with
-/// optional `<type> <control>` and optional `<init>`).
+/// optional `<type> <control>` and optional `<init>`). Non-fatal parser
+/// observations are discarded; use [`from_blif_with_notes`] to keep them.
 ///
 /// # Errors
 ///
@@ -128,6 +144,20 @@ fn logical_lines(text: &str) -> Vec<(usize, String)> {
 /// input (the first physical line of a wrapped construct), plus ordinary
 /// construction errors for over-wide LUTs.
 pub fn from_blif(text: &str) -> Result<Netlist, NetlistError> {
+    from_blif_with_notes(text).map(|(n, _)| n)
+}
+
+/// Parses BLIF text into a [`Netlist`] plus the parser's non-fatal
+/// [`BlifNote`]s (see there). This is the entry point the flow's ingest
+/// stage uses, so the notes become lint diagnostics.
+///
+/// # Errors
+///
+/// Same contract as [`from_blif`]. An undriven net referenced by `.names`
+/// is a hard [`NetlistError::BlifParse`] naming the signal (it cannot be
+/// represented in the IR); an undriven `.latch` control net is a note,
+/// because the single-implicit-clock flow ignores control nets entirely.
+pub fn from_blif_with_notes(text: &str) -> Result<(Netlist, Vec<BlifNote>), NetlistError> {
     #[derive(Debug)]
     struct NamesDef {
         line: usize,
@@ -141,10 +171,18 @@ pub fn from_blif(text: &str) -> Result<Netlist, NetlistError> {
         message: message.to_string(),
     };
 
+    struct LatchDef {
+        line: usize,
+        d: String,
+        q: String,
+        init: bool,
+        control: Option<String>,
+    }
+
     let mut model = String::from("top");
     let mut inputs: Vec<String> = Vec::new();
     let mut outputs: Vec<String> = Vec::new();
-    let mut latches: Vec<(usize, String, String, bool)> = Vec::new();
+    let mut latches: Vec<LatchDef> = Vec::new();
     let mut names: Vec<NamesDef> = Vec::new();
 
     let mut current: Option<NamesDef> = None;
@@ -184,7 +222,13 @@ pub fn from_blif(text: &str) -> Result<Netlist, NetlistError> {
                         "2" | "3" => false, // don't-care / unknown -> reset to 0
                         _ => return Err(err(line, "bad latch init value")),
                     };
-                    latches.push((line, toks[1].to_string(), toks[2].to_string(), init));
+                    latches.push(LatchDef {
+                        line,
+                        d: toks[1].to_string(),
+                        q: toks[2].to_string(),
+                        init,
+                        control: (toks.len() >= 5).then(|| toks[4].to_string()),
+                    });
                 }
                 ".names" => {
                     if toks.len() < 2 {
@@ -233,6 +277,35 @@ pub fn from_blif(text: &str) -> Result<Netlist, NetlistError> {
         names.push(def);
     }
 
+    // Every signal the file ever drives: inputs, latch outputs, .names
+    // outputs. References outside this set are undriven nets.
+    let defined: std::collections::HashSet<String> = inputs
+        .iter()
+        .cloned()
+        .chain(latches.iter().map(|l| l.q.clone()))
+        .chain(names.iter().map(|d| d.output.clone()))
+        .collect();
+
+    // Latch control nets are accepted for SIS/ABC dialect compatibility
+    // and ignored (the flow assumes a single implicit clock) — but one
+    // that is never driven anywhere is almost certainly a netlist bug, so
+    // it is recorded as an explicit note instead of vanishing silently.
+    let mut blif_notes: Vec<BlifNote> = Vec::new();
+    for latch in &latches {
+        if let Some(c) = &latch.control {
+            if !defined.contains(c.as_str()) {
+                blif_notes.push(BlifNote {
+                    line: latch.line,
+                    signal: c.clone(),
+                    message: format!(
+                        "latch control references undriven net '{c}' \
+                         (controls are ignored: the flow assumes a single implicit clock)"
+                    ),
+                });
+            }
+        }
+    }
+
     // Build the netlist. Signals: inputs, latch outputs, then .names outputs
     // in dependency order.
     let mut n = Netlist::new(model);
@@ -240,11 +313,11 @@ pub fn from_blif(text: &str) -> Result<Netlist, NetlistError> {
     for name in &inputs {
         sig.insert(name.clone(), n.add_input(name.clone()));
     }
-    for (line, _, q, init) in &latches {
-        if sig.contains_key(q) {
-            return Err(err(*line, "latch output redefines a signal"));
+    for latch in &latches {
+        if sig.contains_key(&latch.q) {
+            return Err(err(latch.line, "latch output redefines a signal"));
         }
-        sig.insert(q.clone(), n.add_dff(*init));
+        sig.insert(latch.q.clone(), n.add_dff(latch.init));
     }
     // Topological creation of .names definitions.
     let mut remaining: Vec<NamesDef> = names;
@@ -256,10 +329,25 @@ pub fn from_blif(text: &str) -> Result<Netlist, NetlistError> {
             .map(|(i, _)| i)
             .collect();
         if ready.is_empty() {
+            // Distinguish the two dead ends instead of one conflated
+            // message: a .names reading a net nothing drives is an
+            // undriven-net reference; if every referenced net is defined
+            // somewhere, the definitions themselves must cycle.
+            if let Some((d, missing)) = remaining.iter().find_map(|d| {
+                d.inputs
+                    .iter()
+                    .find(|i| !defined.contains(i.as_str()))
+                    .map(|i| (d, i))
+            }) {
+                return Err(err(
+                    d.line,
+                    &format!("'{}' references undriven net '{missing}'", d.output),
+                ));
+            }
             let d = &remaining[0];
             return Err(err(
                 d.line,
-                "unresolvable .names dependencies (combinational loop or undefined signal)",
+                &format!("combinational .names loop involving '{}'", d.output),
             ));
         }
         // Remove in reverse index order to keep indices valid.
@@ -307,20 +395,23 @@ pub fn from_blif(text: &str) -> Result<Netlist, NetlistError> {
             }
         }
     }
-    for (line, d, q, _) in &latches {
-        let src = *sig
-            .get(d)
-            .ok_or_else(|| err(*line, "latch input signal undefined"))?;
-        n.set_dff_input(sig[q], src)?;
+    for latch in &latches {
+        let src = *sig.get(&latch.d).ok_or_else(|| {
+            err(
+                latch.line,
+                &format!("latch references undriven net '{}'", latch.d),
+            )
+        })?;
+        n.set_dff_input(sig[&latch.q], src)?;
     }
     for name in &outputs {
         let id = *sig
             .get(name)
-            .ok_or_else(|| err(0, &format!("output signal '{name}' undefined")))?;
+            .ok_or_else(|| err(0, &format!("output references undriven net '{name}'")))?;
         n.set_output(name.clone(), id);
     }
     n.validate()?;
-    Ok(n)
+    Ok((n, blif_notes))
 }
 
 #[cfg(test)]
@@ -496,6 +587,93 @@ mod tests {
             from_blif(text),
             Err(NetlistError::BlifParse { line: 4, .. })
         ));
+    }
+
+    #[test]
+    fn undriven_names_input_is_an_explicit_error() {
+        // `g` reads `phantom`, which nothing drives. The pre-audit parser
+        // reported this as "combinational loop or undefined signal"; the
+        // error must now name the undriven net and the reading construct.
+        let text = "\
+.model pathological
+.inputs a
+.outputs y
+.names a phantom g
+11 1
+.names g y
+1 1
+.end
+";
+        match from_blif(text) {
+            Err(NetlistError::BlifParse { line, message }) => {
+                assert_eq!(line, 4);
+                assert!(message.contains("undriven net 'phantom'"), "{message}");
+                assert!(message.contains("'g'"), "{message}");
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn names_loop_is_distinguished_from_undriven_nets() {
+        // g and h drive each other: every net is defined, so this must be
+        // reported as a loop, not as an undriven reference.
+        let text = "\
+.model looped
+.inputs a
+.outputs y
+.names h g
+1 1
+.names g h
+1 1
+.names g y
+1 1
+.end
+";
+        match from_blif(text) {
+            Err(NetlistError::BlifParse { line, message }) => {
+                assert_eq!(line, 4);
+                assert!(message.contains("loop"), "{message}");
+                assert!(!message.contains("undriven"), "{message}");
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn undriven_latch_control_is_a_note_not_silence() {
+        // `clk` is never driven anywhere in the file: the parser accepts
+        // the latch (single-implicit-clock flow) but must say so.
+        let text = ".model l\n.inputs x\n.outputs q\n.latch g q re clk 1\n.names x g\n1 1\n.end\n";
+        let (n, notes) = from_blif_with_notes(text).unwrap();
+        assert_eq!(n.dffs().len(), 1);
+        assert_eq!(notes.len(), 1);
+        assert_eq!(notes[0].line, 4);
+        assert_eq!(notes[0].signal, "clk");
+        assert!(notes[0].message.contains("undriven net 'clk'"));
+        // A control net that IS driven (here: the primary input) is fine.
+        let text = ".model l\n.inputs x\n.outputs q\n.latch g q re x 1\n.names x g\n1 1\n.end\n";
+        let (_, notes) = from_blif_with_notes(text).unwrap();
+        assert!(notes.is_empty());
+    }
+
+    #[test]
+    fn undriven_latch_data_and_output_name_the_net() {
+        let text = ".model l\n.inputs x\n.outputs q\n.latch ghost q 0\n.end\n";
+        match from_blif(text) {
+            Err(NetlistError::BlifParse { line, message }) => {
+                assert_eq!(line, 4);
+                assert!(message.contains("undriven net 'ghost'"), "{message}");
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        let text = ".model o\n.inputs x\n.outputs nope\n.end\n";
+        match from_blif(text) {
+            Err(NetlistError::BlifParse { message, .. }) => {
+                assert!(message.contains("undriven net 'nope'"), "{message}");
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -27,10 +27,26 @@ pub enum NetlistError {
     },
     /// `set_dff_input` was called on a node that is not a flip-flop.
     NotADff(NodeId),
+    /// `rewire_lut_input` was called on a node that is not a LUT.
+    NotALut(NodeId),
+    /// `rewire_lut_input` addressed a pin beyond the LUT's arity.
+    LutPinOutOfRange {
+        /// The LUT being rewired.
+        node: NodeId,
+        /// The requested pin.
+        pin: usize,
+        /// The LUT's actual fanin count.
+        arity: usize,
+    },
     /// A flip-flop was left without a driver.
     UndrivenDff(NodeId),
-    /// The combinational part of the netlist contains a cycle through this node.
-    CombinationalLoop(NodeId),
+    /// The combinational part of the netlist contains a cycle; `path` is
+    /// one concrete cycle (`path[0] -> path[1] -> ... -> path[0]`).
+    CombinationalLoop {
+        /// The offending cycle, smallest node first; the closing edge back
+        /// to `path[0]` is implied.
+        path: Vec<NodeId>,
+    },
     /// A primary output references a missing node.
     DanglingOutput {
         /// Output port name.
@@ -66,9 +82,17 @@ impl fmt::Display for NetlistError {
                 write!(f, "lut arity {arity} exceeds supported maximum {max}")
             }
             NetlistError::NotADff(id) => write!(f, "node {id} is not a flip-flop"),
+            NetlistError::NotALut(id) => write!(f, "node {id} is not a LUT"),
+            NetlistError::LutPinOutOfRange { node, pin, arity } => {
+                write!(f, "LUT {node} has no pin {pin} (arity {arity})")
+            }
             NetlistError::UndrivenDff(id) => write!(f, "flip-flop {id} has no driver"),
-            NetlistError::CombinationalLoop(id) => {
-                write!(f, "combinational loop through node {id}")
+            NetlistError::CombinationalLoop { path } => {
+                write!(f, "combinational loop: ")?;
+                for id in path {
+                    write!(f, "{id} -> ")?;
+                }
+                write!(f, "{}", path.first().expect("cycle paths are non-empty"))
             }
             NetlistError::DanglingOutput { name, node } => {
                 write!(f, "output '{name}' references missing node {node}")

@@ -152,6 +152,57 @@ impl Netlist {
         self.outputs.push((name.into(), node));
     }
 
+    /// Rewires one fanin pin of an existing LUT to a different source node
+    /// (an ECO-style edit). Unlike the creation-order construction API this
+    /// **can introduce a combinational cycle** — [`Netlist::validate`] and
+    /// the `pl-lint` pass report such a cycle with its concrete path, which
+    /// is exactly what their regression tests use this method for.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownNode`] for a missing id,
+    /// [`NetlistError::NotALut`] if `lut` is not a LUT, or
+    /// [`NetlistError::LutPinOutOfRange`] for a pin beyond its arity.
+    pub fn rewire_lut_input(
+        &mut self,
+        lut: NodeId,
+        pin: usize,
+        src: NodeId,
+    ) -> Result<(), NetlistError> {
+        self.check(src)?;
+        self.check(lut)?;
+        match &mut self.nodes[lut.index()].kind {
+            NodeKind::Lut { inputs, .. } => match inputs.get_mut(pin) {
+                Some(slot) => {
+                    *slot = src;
+                    Ok(())
+                }
+                None => Err(NetlistError::LutPinOutOfRange {
+                    node: lut,
+                    pin,
+                    arity: inputs.len(),
+                }),
+            },
+            _ => Err(NetlistError::NotALut(lut)),
+        }
+    }
+
+    /// Swaps a LUT's truth table **without** the arity check — fault
+    /// injection only: the arity-vs-table mismatch this can create is
+    /// unconstructible through [`Netlist::add_lut`], and the lint pass's
+    /// defensive mismatch diagnostic needs a way to be exercised.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lut` does not exist or is not a LUT.
+    #[doc(hidden)]
+    pub fn inject_lut_table(&mut self, lut: NodeId, table: TruthTable) {
+        match &mut self.nodes[lut.index()].kind {
+            NodeKind::Lut { table: slot, .. } => *slot = table,
+            other => panic!("inject_lut_table on non-LUT node {lut}: {other:?}"),
+        }
+    }
+
     /// Attaches a debug name to a node (overwriting any previous name).
     ///
     /// # Errors
@@ -379,20 +430,44 @@ mod tests {
     }
 
     #[test]
-    fn combinational_loop_is_rejected() {
-        // Build a -> b -> a using two buffers by patching a LUT input via DFF
-        // trick is impossible through the public API (ids must exist), so
-        // force the check with a self-feeding LUT: create placeholder input,
-        // then a LUT reading itself is unconstructible. Instead verify via a
-        // 2-step cycle using set_dff_input misuse is also impossible; the
-        // only way to cycle combinationally is impossible by construction —
-        // creation order forbids forward references. Assert that property.
-        let mut n = Netlist::new("acyclic_by_construction");
+    fn combinational_loop_is_rejected_with_its_path() {
+        // The creation-order API cannot express a combinational cycle
+        // (forward references are impossible), so seed one with the ECO
+        // rewire: a -> b -> c, then patch b's input from a to c.
+        let mut n = Netlist::new("looped");
         let a = n.add_input("a");
         let b = n.add_not(a).unwrap();
         let c = n.add_not(b).unwrap();
         n.set_output("c", c);
         n.validate().unwrap();
+        n.rewire_lut_input(b, 0, c).unwrap();
+        match n.validate() {
+            Err(NetlistError::CombinationalLoop { path }) => {
+                assert_eq!(path, vec![b, c], "smallest cycle member first");
+            }
+            other => panic!("expected a combinational loop, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rewire_rejects_bad_targets() {
+        let mut n = Netlist::new("rw");
+        let a = n.add_input("a");
+        let g = n.add_not(a).unwrap();
+        let missing = NodeId::from_index(99);
+        assert_eq!(
+            n.rewire_lut_input(g, 0, missing),
+            Err(NetlistError::UnknownNode(missing))
+        );
+        assert_eq!(n.rewire_lut_input(a, 0, g), Err(NetlistError::NotALut(a)));
+        assert_eq!(
+            n.rewire_lut_input(g, 5, a),
+            Err(NetlistError::LutPinOutOfRange {
+                node: g,
+                pin: 5,
+                arity: 1
+            })
+        );
     }
 
     #[test]

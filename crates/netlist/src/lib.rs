@@ -48,6 +48,7 @@ pub mod eval;
 mod graph;
 mod node;
 pub mod opt;
+pub mod scc;
 pub mod verilog;
 
 pub use error::NetlistError;

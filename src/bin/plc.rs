@@ -4,22 +4,28 @@
 //! netlist (SIS/ABC dialect) or an ITC'99 catalog id and it runs
 //!
 //! ```text
-//! ingest → optimize → techmap → phased → early_eval → simulate → verify
+//! ingest → lint → optimize → techmap → phased → lint → early_eval → simulate → verify
 //! ```
 //!
 //! printing a per-stage report with timings, early-evaluation statistics
 //! (`--ee`), a latency report, and a synchronous cross-check (`--verify`).
 //! `--stage` stops the pipeline at any layer; `--emit-blif`, `--verilog`
-//! and `--vcd` export artifacts. Example:
+//! and `--vcd` export artifacts. The lint stages (stable `PL####` codes,
+//! see the `pl-lint` crate docs for the catalog) print warnings inline and
+//! abort on deny-level findings; tune per code with `--lint-level
+//! CODE=allow|warn|deny` or skip them with `--no-lint`. Examples:
 //!
 //! ```text
 //! plc assets/blif/b09.blif --ee --verify --vectors 100
+//! plc lint b14                      # diagnostics only, exit 1 on deny
+//! plc lint design.blif --json       # machine-readable JSON lines
 //! ```
 
 use std::process::ExitCode;
 
-use pl_flow::cli::{CliSpec, OptSpec, PositionalSpec};
+use pl_flow::cli::{CliError, CliSpec, OptSpec, PositionalSpec};
 use pl_flow::{CircuitSource, FlowOptions, Pipeline};
+use pl_lint::{Code, Severity};
 
 const SPEC: CliSpec = CliSpec {
     bin: "plc",
@@ -97,9 +103,19 @@ const SPEC: CliSpec = CliSpec {
             help: "target LUT arity for technology mapping (2..=6, default 4)",
         },
         OptSpec {
+            long: "--lint-level",
+            value: Some("CODE=SEV"),
+            help: "override a lint code's severity (allow|warn|deny), e.g. PL0006=allow; repeatable",
+        },
+        OptSpec {
+            long: "--no-lint",
+            value: None,
+            help: "skip both lint passes (static diagnostics run by default)",
+        },
+        OptSpec {
             long: "--stage",
             value: Some("NAME"),
-            help: "stop after ingest|optimize|techmap|phased|early-eval|simulate",
+            help: "stop after ingest|lint|optimize|techmap|phased|early-eval|simulate",
         },
         OptSpec {
             long: "--emit-blif",
@@ -119,10 +135,57 @@ const SPEC: CliSpec = CliSpec {
     ],
 };
 
+/// The `plc lint` subcommand: both lint passes over one design, rendered
+/// as text or JSON lines, exit 1 on any deny-level finding.
+const LINT_SPEC: CliSpec = CliSpec {
+    bin: "plc lint",
+    about: "run the static netlist diagnostics (both passes) and report every finding",
+    positional: Some(PositionalSpec {
+        name: "<file.blif|bXX>",
+        help: "BLIF file path, or an ITC'99 catalog id (b01..b15)",
+        many: false,
+        required: true,
+    }),
+    options: &[
+        OptSpec {
+            long: "--json",
+            value: None,
+            help: "print findings as JSON lines instead of text",
+        },
+        OptSpec {
+            long: "--lint-level",
+            value: Some("CODE=SEV"),
+            help:
+                "override a lint code's severity (allow|warn|deny), e.g. PL0006=allow; repeatable",
+        },
+        OptSpec {
+            long: "--max-fanout",
+            value: Some("N"),
+            help: "fanout envelope for PL0101/PL0204 (default 64)",
+        },
+        OptSpec {
+            long: "--max-depth",
+            value: Some("N"),
+            help: "combinational-depth envelope for PL0102 (default 128)",
+        },
+        OptSpec {
+            long: "--optimize",
+            value: None,
+            help: "run netlist cleanup passes before the phased-logic pass",
+        },
+        OptSpec {
+            long: "--lut-size",
+            value: Some("K"),
+            help: "target LUT arity for the phased-logic pass (2..=6, default 4)",
+        },
+    ],
+};
+
 /// How far down the pipeline to go.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 enum Stage {
     Ingest,
+    Lint,
     Optimize,
     Techmap,
     Phased,
@@ -133,6 +196,7 @@ enum Stage {
 fn parse_stage(name: &str) -> Option<Stage> {
     match name {
         "ingest" => Some(Stage::Ingest),
+        "lint" => Some(Stage::Lint),
         "optimize" => Some(Stage::Optimize),
         "techmap" | "map" => Some(Stage::Techmap),
         "phased" => Some(Stage::Phased),
@@ -142,7 +206,29 @@ fn parse_stage(name: &str) -> Option<Stage> {
     }
 }
 
+/// Parses repeated `--lint-level CODE=SEVERITY` values.
+fn parse_lint_levels(specs: &[&str]) -> Result<Vec<(Code, Severity)>, String> {
+    specs
+        .iter()
+        .map(|s| {
+            let (code, sev) = s
+                .split_once('=')
+                .ok_or_else(|| format!("--lint-level expects CODE=SEVERITY, got '{s}'"))?;
+            Ok((
+                code.parse::<Code>()
+                    .map_err(|e| format!("--lint-level: {e}"))?,
+                sev.parse::<Severity>()
+                    .map_err(|e| format!("--lint-level: {e}"))?,
+            ))
+        })
+        .collect()
+}
+
 fn main() -> ExitCode {
+    if std::env::args().nth(1).as_deref() == Some("lint") {
+        let argv: Vec<String> = std::env::args().skip(2).collect();
+        return lint_main(&argv);
+    }
     let args = SPEC.parse_env();
     let spec = args.positionals[0].clone();
     let stop_after = match args.get("--stage") {
@@ -175,6 +261,15 @@ fn main() -> ExitCode {
     opts.checkpoint_dir = args.get("--checkpoint-dir").map(std::path::PathBuf::from);
     opts.resume = args.flag("--resume");
     opts.max_retries = args.value_or("--max-retries", opts.max_retries);
+    opts.lint.enabled = !args.flag("--no-lint");
+    match parse_lint_levels(&args.get_all("--lint-level")) {
+        Ok(levels) => opts.lint.overrides = levels,
+        Err(msg) => {
+            eprintln!("error: {msg}\n");
+            eprintln!("{}", SPEC.help());
+            return ExitCode::from(2);
+        }
+    }
     if let Err(msg) = check_flag_consistency(&args, stop_after, &opts) {
         eprintln!("error: {msg}\n");
         eprintln!("{}", SPEC.help());
@@ -183,6 +278,65 @@ fn main() -> ExitCode {
 
     match drive(&spec, &args, stop_after, opts) {
         Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("plc: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The `plc lint` subcommand: run [`Pipeline::lint_session`] (never aborts
+/// on findings), print the rendered report, exit 1 when anything denied.
+fn lint_main(argv: &[String]) -> ExitCode {
+    let args = match LINT_SPEC.parse(argv) {
+        Ok(parsed) => parsed,
+        Err(CliError::Help(text)) => {
+            println!("{text}");
+            return ExitCode::SUCCESS;
+        }
+        Err(CliError::Usage(msg)) => {
+            eprintln!("error: {msg}\n");
+            eprintln!("{}", LINT_SPEC.help());
+            return ExitCode::from(2);
+        }
+    };
+    let mut opts = FlowOptions {
+        optimize: args.flag("--optimize"),
+        ..FlowOptions::default()
+    };
+    opts.map.lut_size = args.value_or("--lut-size", opts.map.lut_size);
+    opts.lint.max_fanout = args.value_or("--max-fanout", opts.lint.max_fanout);
+    opts.lint.max_depth = args.value_or("--max-depth", opts.lint.max_depth);
+    let usage_error = |msg: &str| {
+        eprintln!("error: {msg}\n");
+        eprintln!("{}", LINT_SPEC.help());
+        ExitCode::from(2)
+    };
+    match parse_lint_levels(&args.get_all("--lint-level")) {
+        Ok(levels) => opts.lint.overrides = levels,
+        Err(msg) => return usage_error(&msg),
+    }
+    if !(2..=6).contains(&opts.map.lut_size) {
+        return usage_error(&format!(
+            "--lut-size {} is outside the supported range 2..=6",
+            opts.map.lut_size
+        ));
+    }
+    let source = CircuitSource::from_spec(&args.positionals[0]);
+    let pipeline = Pipeline::new(opts);
+    match pipeline.lint_session(&source) {
+        Ok(session) => {
+            if args.flag("--json") {
+                print!("{}", session.render_json_lines());
+            } else {
+                print!("{}", session.render_text());
+            }
+            if session.has_deny() {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
         Err(e) => {
             eprintln!("plc: {e}");
             ExitCode::FAILURE
@@ -215,7 +369,14 @@ fn check_flag_consistency(
     } else {
         (Stage::Simulate, "simulate")
     };
-    let needs: [(&str, bool, Stage, &str); 14] = [
+    let needs: [(&str, bool, Stage, &str); 16] = [
+        ("--no-lint", args.flag("--no-lint"), Stage::Lint, "lint"),
+        (
+            "--lint-level",
+            !args.get_all("--lint-level").is_empty(),
+            Stage::Lint,
+            "lint",
+        ),
         (
             "--window",
             args.get("--window").is_some(),
@@ -306,6 +467,12 @@ fn check_flag_consistency(
     if args.get("--threshold").is_some() && !args.flag("--ee") {
         return Err("--threshold requires --ee (it configures the EE stage)".to_string());
     }
+    if !args.get_all("--lint-level").is_empty() && args.flag("--no-lint") {
+        return Err("--lint-level has no effect with --no-lint (the lint stage is skipped)".into());
+    }
+    if args.flag("--no-lint") && stop_after == Stage::Lint {
+        return Err("--no-lint contradicts --stage lint (stopping after a skipped stage)".into());
+    }
     if args.get("--checkpoint-dir").is_some() && args.get("--window").is_none() {
         return Err(
             "--checkpoint-dir requires --window (only the streamed sweep is resumable)".to_string(),
@@ -353,6 +520,16 @@ fn drive(
         return Ok(());
     }
 
+    if opts.lint.enabled {
+        let lint = pipeline.lint(&ingested)?;
+        print_lint_stage("[lint]     ", &lint);
+    } else {
+        println!("[lint]      skipped (--no-lint)");
+    }
+    if stop_after == Stage::Lint {
+        return Ok(());
+    }
+
     let optimized = pipeline.optimize(ingested)?;
     println!(
         "[optimize]  {} ({} -> {} nodes)  ({:.3}s)",
@@ -390,6 +567,10 @@ fn drive(
         "[phased]    {} gates, {} arcs ({} feedbacks) — live  ({:.3}s)",
         phased.report.logic_gates, phased.report.arcs, phased.report.ack_arcs, phased.report.secs,
     );
+    if opts.lint.enabled {
+        let lint = pipeline.lint_phased(&phased)?;
+        print_lint_stage("[pl-lint]  ", &lint);
+    }
     if let Some(path) = args.get("--vcd") {
         write_vcd(&phased.netlist, &mapped.netlist, &opts, path)?;
     }
@@ -476,6 +657,21 @@ fn drive(
         );
     }
     Ok(())
+}
+
+/// Prints a lint stage's outcome line plus one indented line per warning
+/// (a deny never reaches here: the stage methods abort with
+/// [`pl_flow::FlowError::Lint`] first).
+fn print_lint_stage(label: &str, stage: &pl_flow::LintStageReport) {
+    let (warns, _) = stage.report.counts();
+    if warns == 0 {
+        println!("{label} clean  ({:.3}s)", stage.secs);
+        return;
+    }
+    println!("{label} {warns} warning(s)  ({:.3}s)", stage.secs);
+    for line in stage.report.to_text().lines() {
+        println!("  {line}");
+    }
 }
 
 /// Prints one variant's streamed outcome with a deterministic FNV-1a

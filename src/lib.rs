@@ -22,6 +22,7 @@
 //! | [`core`] | LEDR, PL gates, marked graphs, **early evaluation** |
 //! | [`sim`] | discrete-event token simulator + sync reference simulator |
 //! | [`itc99`] | re-implemented ITC99 benchmark circuits b01–b15 + vendored BLIF assets |
+//! | [`lint`] | static netlist diagnostics with stable `PL####` codes |
 //! | [`flow`] | the compile pipeline: pluggable sources, staged compilation |
 //!
 //! # Architecture: the `pl-flow` pipeline and the `plc` CLI
@@ -32,7 +33,7 @@
 //! feeds a [`flow::Pipeline`] of explicit stages,
 //!
 //! ```text
-//! ingest → optimize → techmap → phased → early_eval → simulate → verify
+//! ingest → lint → optimize → techmap → phased → lint → early_eval → simulate → verify
 //! ```
 //!
 //! each returning a typed artifact plus a report with wall-clock timing,
@@ -73,11 +74,14 @@
 //! assert!(report.pairs().len() <= pl.num_compute_gates());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use pl_bench as bench;
 pub use pl_boolfn as boolfn;
 pub use pl_core as core;
 pub use pl_flow as flow;
 pub use pl_itc99 as itc99;
+pub use pl_lint as lint;
 pub use pl_netlist as netlist;
 pub use pl_rtl as rtl;
 pub use pl_sim as sim;

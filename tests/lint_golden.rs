@@ -1,0 +1,239 @@
+//! Golden-pinned lint reports for the whole catalog and the vendored
+//! BLIF assets, plus the behavioral contract around the lint stage: a
+//! deny-level finding aborts the pipeline with a typed error that names
+//! the combinational cycle, severity overrides re-gate the flow, the
+//! JSON-lines rendering round-trips losslessly, and every `.latch` arity
+//! walks through a full lint session.
+//!
+//! The CI lint smoke diffs `plc lint` output against the same goldens, so
+//! the files under `tests/golden/lint/` are shared fixtures. After an
+//! intentional diagnostics change, regenerate them with
+//! `UPDATE_GOLDEN=1 cargo test --test lint_golden`.
+
+use std::path::PathBuf;
+
+use pl_flow::{CircuitSource, FlowError, FlowOptions, LintSession, Pipeline};
+use pl_lint::{parse_json_line, Code, Severity};
+
+const CATALOG: [&str; 15] = [
+    "b01", "b02", "b03", "b04", "b05", "b06", "b07", "b08", "b09", "b10", "b11", "b12", "b13",
+    "b14", "b15",
+];
+const ASSETS: [&str; 4] = ["b01", "b03", "b06", "b09"];
+
+fn golden_path(file: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden/lint")
+        .join(file)
+}
+
+/// Compares `actual` against the checked-in golden; with `UPDATE_GOLDEN`
+/// set in the environment, rewrites the golden instead and passes.
+fn check_golden(file: &str, actual: &str) {
+    let path = golden_path(file);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); create it with \
+             `UPDATE_GOLDEN=1 cargo test --test lint_golden`",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual,
+        expected,
+        "lint report drifted from {}; if the change is intentional, regenerate \
+         with `UPDATE_GOLDEN=1 cargo test --test lint_golden`",
+        path.display()
+    );
+}
+
+fn session(source: &CircuitSource) -> LintSession {
+    Pipeline::new(FlowOptions::default())
+        .lint_session(source)
+        .expect("lint session")
+}
+
+#[test]
+fn catalog_lint_reports_match_goldens() {
+    for id in CATALOG {
+        let s = session(&CircuitSource::catalog(id).unwrap());
+        assert!(!s.has_deny(), "{id}: catalog designs must never deny");
+        check_golden(&format!("{id}.txt"), &s.render_text());
+    }
+}
+
+#[test]
+fn asset_lint_reports_match_goldens() {
+    // Integration tests run with the package root as cwd, so this relative
+    // spec is byte-identical to what CI passes to `plc lint` — the path is
+    // the session name and appears in the golden's header line.
+    for id in ASSETS {
+        let s = session(&CircuitSource::from_spec(&format!("assets/blif/{id}.blif")));
+        assert!(!s.has_deny(), "{id}: vendored assets must never deny");
+        check_golden(&format!("asset_{id}.txt"), &s.render_text());
+    }
+}
+
+/// b14 is the catalog design with real findings (PL0101 fanout warnings),
+/// so its JSON-lines rendering is the non-trivial golden: pinned bytes AND
+/// a lossless round-trip through the strict parser.
+#[test]
+fn b14_json_lines_match_golden_and_round_trip() {
+    let s = session(&CircuitSource::catalog("b14").unwrap());
+    let json = s.render_json_lines();
+    assert!(!json.is_empty(), "b14 should carry fanout warnings");
+    check_golden("b14.jsonl", &json);
+
+    let parsed: Vec<_> = json
+        .lines()
+        .map(|line| parse_json_line(line).expect("every emitted line parses back"))
+        .collect();
+    let expected: Vec<_> = std::iter::once(&s.netlist)
+        .chain(s.pl.as_ref())
+        .flat_map(|report| {
+            report
+                .diagnostics()
+                .iter()
+                .map(|d| (report.pass().to_string(), d.clone()))
+        })
+        .collect();
+    assert_eq!(parsed, expected, "JSON-lines round-trip must be lossless");
+}
+
+#[test]
+fn lint_reports_are_run_to_run_identical() {
+    let src = CircuitSource::catalog("b14").unwrap();
+    let first = session(&src);
+    for _ in 0..2 {
+        let again = session(&src);
+        assert_eq!(again.render_text(), first.render_text());
+        assert_eq!(again.render_json_lines(), first.render_json_lines());
+    }
+}
+
+/// A netlist seeded with a combinational cycle (via the `rewire_lut_input`
+/// ECO edit) must abort `Pipeline::run` with the typed lint error, and the
+/// PL0001 diagnostic must name the actual cycle path.
+#[test]
+fn seeded_cycle_aborts_the_run_and_names_the_path() {
+    let mut nl = pl_netlist::Netlist::new("cyc");
+    let a = nl.add_input("a");
+    let x = nl.add_and2(a, a).unwrap();
+    let y = nl.add_and2(x, a).unwrap();
+    nl.set_name(x, "x").unwrap();
+    nl.set_name(y, "y").unwrap();
+    nl.set_output("o", y);
+    nl.rewire_lut_input(x, 1, y).unwrap();
+    let src = CircuitSource::Netlist {
+        name: "cyc".into(),
+        netlist: nl,
+    };
+    match Pipeline::new(FlowOptions::default()).run(&src) {
+        Err(FlowError::Lint { pass, report }) => {
+            assert_eq!(pass, "netlist");
+            let d = &report.diagnostics()[0];
+            assert_eq!(d.code, Code::new(1));
+            assert_eq!(d.severity, Severity::Deny);
+            assert_eq!(d.message, "combinational cycle: x -> y -> x");
+        }
+        other => panic!("expected FlowError::Lint, got {other:?}"),
+    }
+}
+
+/// Per-code severity overrides re-gate the pipeline: escalating b14's
+/// fanout warnings to deny aborts the run, demoting them to allow wipes
+/// them from the report entirely.
+#[test]
+fn severity_overrides_regate_the_pipeline() {
+    let src = CircuitSource::catalog("b14").unwrap();
+
+    let mut deny = FlowOptions::default();
+    deny.lint.overrides.push((Code::new(101), Severity::Deny));
+    match Pipeline::new(deny).run(&src) {
+        Err(FlowError::Lint { pass, report }) => {
+            assert_eq!(pass, "netlist");
+            assert!(report.has_deny());
+            assert!(report
+                .diagnostics()
+                .iter()
+                .all(|d| d.code == Code::new(101)));
+        }
+        other => panic!("expected FlowError::Lint under PL0101=deny, got {other:?}"),
+    }
+
+    let mut allow = FlowOptions::default();
+    allow.lint.overrides.push((Code::new(101), Severity::Allow));
+    let s = Pipeline::new(allow).lint_session(&src).unwrap();
+    assert!(
+        s.netlist.is_empty(),
+        "PL0101=allow must silence b14's only findings"
+    );
+}
+
+/// All four `.latch` arities — bare, with init, with type/control, and
+/// with both — flow through a full lint session. The two clocked forms
+/// reference an undriven control net, which surfaces as PL0009 instead of
+/// vanishing silently.
+#[test]
+fn all_four_latch_arities_lint_through_the_session() {
+    let blif = "\
+.model arities
+.inputs x
+.outputs q0 q1 q2 q3
+.latch n0 q0
+.latch n1 q1 1
+.latch n2 q2 re clk
+.latch n3 q3 re clk 1
+.names x n0
+1 1
+.names x n1
+1 1
+.names x n2
+1 1
+.names x n3
+1 1
+.end
+";
+    let src = CircuitSource::BlifText {
+        name: "arities".into(),
+        text: blif.into(),
+    };
+    let s = session(&src);
+    assert!(!s.has_deny());
+    let codes: Vec<u16> = s
+        .netlist
+        .diagnostics()
+        .iter()
+        .map(|d| d.code.number())
+        .collect();
+    assert_eq!(codes, vec![9, 9], "one note per undriven 'clk' reference");
+    assert!(s.pl.is_some(), "clean netlist maps through the phased pass");
+}
+
+/// Degenerate netlists walk the lint *stage* (the gate `Pipeline::run`
+/// uses) without findings or panics: an empty netlist and a
+/// constant-only-output netlist are both clean.
+#[test]
+fn degenerate_netlists_pass_the_lint_stage_clean() {
+    let pipeline = Pipeline::new(FlowOptions::default());
+    let mut konst = pl_netlist::Netlist::new("konst");
+    let k = konst.add_const(true);
+    konst.set_output("y", k);
+    for (name, netlist) in [
+        ("empty", pl_netlist::Netlist::new("empty")),
+        ("konst", konst),
+    ] {
+        let src = CircuitSource::Netlist {
+            name: name.into(),
+            netlist,
+        };
+        let ingested = pipeline.ingest(&src).unwrap();
+        let stage = pipeline.lint(&ingested).unwrap();
+        assert!(stage.report.is_empty(), "{name}: expected a clean report");
+    }
+}

@@ -1,0 +1,58 @@
+//! Property-based tests over the lint passes: arbitrary generated
+//! netlists — including ones the generator's `validate()` gate would
+//! reject — must never panic the linter, must produce byte-identical
+//! reports run to run, and valid circuits must never trip a deny-level
+//! finding (otherwise `Pipeline::run` would start rejecting healthy
+//! random workloads).
+
+use pl_flow::{random_netlist, CircuitSource, FlowOptions, Pipeline, RandomSpec};
+use pl_lint::{lint_netlist, LintOptions};
+use pl_sim::DelayModel;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The netlist pass never panics and is deterministic, even with the
+    /// hazard envelopes squeezed far below realistic values (which forces
+    /// the fanout/depth lints to actually fire on small circuits).
+    #[test]
+    fn netlist_pass_never_panics_and_is_deterministic(
+        seed in any::<u64>(),
+        max_fanout in 1usize..6,
+        max_depth in 1u32..5,
+    ) {
+        let netlist = random_netlist(&RandomSpec::new(seed));
+        let opts = LintOptions {
+            max_fanout,
+            max_depth,
+            ..LintOptions::default()
+        };
+        let first = lint_netlist(&netlist, &[], &DelayModel::default(), &opts);
+        for _ in 0..2 {
+            let again = lint_netlist(&netlist, &[], &DelayModel::default(), &opts);
+            prop_assert_eq!(again.to_text(), first.to_text());
+            prop_assert_eq!(again.to_json_lines(), first.to_json_lines());
+        }
+    }
+
+    /// A full lint session over a random source (both passes, default
+    /// options) never denies: every structural deny lint guards an
+    /// invariant the generator upholds, so a deny here means a false
+    /// positive that would abort healthy `Pipeline::run` workloads.
+    #[test]
+    fn valid_random_circuits_never_deny(seed in any::<u64>()) {
+        let source = CircuitSource::Random(RandomSpec::new(seed));
+        let session = Pipeline::new(FlowOptions::default())
+            .lint_session(&source)
+            .expect("lint session");
+        prop_assert!(
+            !session.has_deny(),
+            "false positive on a valid circuit:\n{}",
+            session.render_text()
+        );
+        prop_assert!(session.pl.is_some());
+        let (_, denials) = session.counts();
+        prop_assert_eq!(denials, 0);
+    }
+}
