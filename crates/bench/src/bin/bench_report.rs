@@ -1,6 +1,6 @@
 //! Machine-readable performance report: `BENCH_sim.json`,
-//! `BENCH_ee_search.json`, `BENCH_parallel.json`, `BENCH_pipeline.json`
-//! and `BENCH_queue.json`.
+//! `BENCH_ee_search.json`, `BENCH_parallel.json`, `BENCH_pipeline.json`,
+//! `BENCH_queue.json` and `BENCH_batch.json`.
 //!
 //! This is the cross-PR perf trajectory tracker. It measures, in one run:
 //!
@@ -31,8 +31,16 @@
 //!   queue (`pl_sim::QueueKind`) on the same streamed b14/b15 workload,
 //!   with the two backends' outcomes asserted bit-identical (outputs,
 //!   makespan, dispatched-event counts) before any timing is reported.
+//! * **Word-parallel batch engine** (`BENCH_batch.json`) — events/sec and
+//!   vectors/sec of `pl_sim::BatchSimulator` marching 64 substreams
+//!   through one event flow with `u64` lane words, vs the same 64
+//!   substreams run back to back on scalar simulators, on streamed
+//!   b14/b15 — every lane asserted bit-identical to its scalar run
+//!   before any timing is reported.
 //!
-//! Output files land in the current directory. Usage:
+//! Every file records the host CPU count and the `rustc -V` line it was
+//! measured under, so a cross-PR trajectory diff can tell a code change
+//! from a host change. Output files land in the current directory. Usage:
 //!
 //! ```text
 //! cargo run --release -p pl-bench --bin bench_report [--quick] [--jobs J]
@@ -51,7 +59,7 @@ use pl_boolfn::TruthTable;
 use pl_core::ee::EeOptions;
 use pl_core::trigger::{search_triggers, search_triggers_baseline, TriggerCache};
 use pl_core::PlNetlist;
-use pl_sim::{DelayModel, PlSimulator, QueueKind, ReferenceSimulator};
+use pl_sim::{BatchSimulator, DelayModel, PlSimulator, QueueKind, ReferenceSimulator};
 use pl_techmap::{map_to_lut4, MapOptions};
 
 struct SimRow {
@@ -144,10 +152,24 @@ fn random_masters(count: usize) -> Vec<TruthTable> {
         .collect()
 }
 
+/// The host-context lines every `BENCH_*.json` carries — CPU count and
+/// the toolchain the measurement was compiled with — so the cross-PR
+/// trajectory files can separate code regressions from host changes.
+fn host_meta_json() -> String {
+    let host_cpus = std::thread::available_parallelism().map_or(1, usize::from);
+    let rustc = std::process::Command::new("rustc")
+        .arg("-V")
+        .output()
+        .ok()
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map_or_else(|| "unknown".to_string(), |s| s.trim().to_string());
+    format!("  \"host_cpus\": {host_cpus},\n  \"rustc\": \"{rustc}\",\n")
+}
+
 const SPEC: pl_flow::cli::CliSpec = pl_flow::cli::CliSpec {
     bin: "bench_report",
     about:
-        "write BENCH_sim.json, BENCH_ee_search.json, BENCH_parallel.json, BENCH_pipeline.json and BENCH_queue.json",
+        "write BENCH_sim.json, BENCH_ee_search.json, BENCH_parallel.json, BENCH_pipeline.json, BENCH_queue.json and BENCH_batch.json",
     positional: None,
     options: &[
         pl_flow::cli::OptSpec {
@@ -167,6 +189,7 @@ fn main() {
     let args = SPEC.parse_env();
     let quick = args.flag("--quick");
     let jobs: usize = args.value_or("--jobs", 1);
+    let host_meta = host_meta_json();
 
     // ---- BENCH_sim.json -------------------------------------------------
     let stream_vectors = if quick { 20 } else { 200 };
@@ -187,7 +210,7 @@ fn main() {
     }
     let ratios = measure_ratios(quick, jobs);
 
-    let mut sim_json = String::from("{\n  \"streamed\": [\n");
+    let mut sim_json = format!("{{\n{host_meta}  \"streamed\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let _ = writeln!(
             sim_json,
@@ -316,7 +339,7 @@ fn main() {
         ));
     }
 
-    let mut ee_json = String::from("{\n");
+    let mut ee_json = format!("{{\n{host_meta}");
     let _ = writeln!(
         ee_json,
         "  \"trigger_search_random_luts\": {{\"masters\": {}, \"reps\": {reps}, \"baseline_searches_per_sec\": {:.1}, \"word_parallel_searches_per_sec\": {:.1}, \"speedup\": {:.3}}},",
@@ -390,8 +413,7 @@ fn main() {
             seq_secs / par_secs,
         ));
     }
-    let mut par_json = String::from("{\n");
-    let _ = writeln!(par_json, "  \"host_cpus\": {host_cpus},");
+    let mut par_json = format!("{{\n{host_meta}");
     let _ = writeln!(
         par_json,
         "  \"note\": \"secs are the min over reps interleaved repetitions after a warm-up pass; speedup is bounded by host_cpus; bit_identical asserts the parallel merge equals the sequential run exactly\","
@@ -465,8 +487,7 @@ fn main() {
             seq_secs / pipe_secs,
         ));
     }
-    let mut pipe_json = String::from("{\n");
-    let _ = writeln!(pipe_json, "  \"host_cpus\": {host_cpus},");
+    let mut pipe_json = format!("{{\n{host_meta}");
     let _ = writeln!(
         pipe_json,
         "  \"note\": \"one continuous vector stream (state carries across vectors, unlike the sharded sweep's resets); leader_secs is the injection-only state-advance pass, sequential_secs the full run_stream every window replay adds up to, pipelined_secs the leader+replay overlap on workers threads; secs are the min over reps after a warm-up; the pipelined outcome is asserted bit-identical to run_stream; speedup is bounded by host_cpus and by the leader's share of the work\","
@@ -539,7 +560,7 @@ fn main() {
             heap_secs / ladder_secs,
         ));
     }
-    let mut queue_json = String::from("{\n");
+    let mut queue_json = format!("{{\n{host_meta}");
     let _ = writeln!(
         queue_json,
         "  \"note\": \"the same streamed workload scheduled through both pl_sim::QueueKind backends; secs are the min over reps after a warm-up; bit_identical asserts outputs, makespan and dispatched-event counts match exactly, so only queue-operation cost differs\","
@@ -549,4 +570,89 @@ fn main() {
     queue_json.push_str("\n  ]\n}\n");
     std::fs::write("BENCH_queue.json", &queue_json).expect("write BENCH_queue.json");
     println!("wrote BENCH_queue.json");
+
+    // ---- BENCH_batch.json ----------------------------------------------
+    // Word-parallel batch engine vs sequential scalar runs: 64 substreams
+    // of `batch_rounds` vectors each on the streamed b14/b15 workload. The
+    // batch engine marches all 64 substreams through ONE event flow with
+    // u64 lane words (every gate evaluation computes all 64 lanes bitwise),
+    // while the scalar pass runs the same 64 substreams back to back on
+    // fresh PlSimulators. Every lane is asserted bit-identical to its
+    // substream's scalar run, vector for vector, BEFORE any timing is
+    // recorded — so the only thing this section measures is the lane win.
+    // Timing follows the other sections' protocol (warm-up pass, then
+    // interleaved reps with the minimum kept).
+    let batch_rounds: usize = if quick { 2 } else { 4 };
+    let batch_reps = if quick { 2 } else { 5 };
+    let mut batch_lines = Vec::new();
+    for id in ["b14", "b15"] {
+        let (_, pl) = prepared_netlists(id);
+        let total = 64 * batch_rounds;
+        let all = lcg_vectors(pl.input_gates().len(), total, 0x5EED_0000 + total as u64);
+        let streams: Vec<&[Vec<bool>]> = all.chunks(batch_rounds).collect();
+        let delays = DelayModel::default();
+        // Warm-up + the lane-equivalence gate.
+        let mut scalar_events = 0u64;
+        let scalar_outs: Vec<_> = streams
+            .iter()
+            .map(|s| {
+                let mut sim = PlSimulator::new(&pl, delays.clone()).expect("live");
+                let r = sim.run_stream(s).expect("streams");
+                scalar_events += sim.events_processed();
+                r.outputs
+            })
+            .collect();
+        let mut batch_sim = BatchSimulator::new(&pl, delays.clone()).expect("live");
+        let batch_outs = batch_sim.run_lanes(&streams).expect("runs");
+        let batch_events = batch_sim.events_processed();
+        for (lane, (b, s)) in batch_outs.iter().zip(&scalar_outs).enumerate() {
+            assert_eq!(
+                &b.outputs, s,
+                "{id}: lane {lane} diverged from its scalar run"
+            );
+        }
+        let (mut scalar_secs, mut batch_secs) = (f64::INFINITY, f64::INFINITY);
+        for _ in 0..batch_reps {
+            let t0 = Instant::now();
+            for s in &streams {
+                let r = PlSimulator::new(&pl, delays.clone())
+                    .expect("live")
+                    .run_stream(s)
+                    .expect("streams");
+                std::hint::black_box(&r);
+            }
+            scalar_secs = scalar_secs.min(t0.elapsed().as_secs_f64());
+            let t0 = Instant::now();
+            let r = BatchSimulator::new(&pl, delays.clone())
+                .expect("live")
+                .run_lanes(&streams)
+                .expect("runs");
+            batch_secs = batch_secs.min(t0.elapsed().as_secs_f64());
+            std::hint::black_box(&r);
+        }
+        println!(
+            "{id}: batch engine (64 substreams x {batch_rounds} vectors, min of {batch_reps}) scalar {scalar_secs:.3}s ({:.0} vec/s), 64-lane {batch_secs:.3}s ({:.0} vec/s), speedup {:.2}x, all lanes bit-identical",
+            total as f64 / scalar_secs,
+            total as f64 / batch_secs,
+            scalar_secs / batch_secs,
+        );
+        batch_lines.push(format!(
+            "    {{\"bench\": \"{id}\", \"substreams\": 64, \"rounds_per_substream\": {batch_rounds}, \"vectors\": {total}, \"reps\": {batch_reps}, \"scalar_secs\": {scalar_secs:.6}, \"batch_secs\": {batch_secs:.6}, \"scalar_events\": {scalar_events}, \"batch_events\": {batch_events}, \"scalar_events_per_sec\": {:.1}, \"batch_events_per_sec\": {:.1}, \"scalar_vectors_per_sec\": {:.1}, \"batch_vectors_per_sec\": {:.1}, \"speedup\": {:.3}, \"bit_identical\": true}}",
+            scalar_events as f64 / scalar_secs,
+            batch_events as f64 / batch_secs,
+            total as f64 / scalar_secs,
+            total as f64 / batch_secs,
+            scalar_secs / batch_secs,
+        ));
+    }
+    let mut batch_json = format!("{{\n{host_meta}");
+    let _ = writeln!(
+        batch_json,
+        "  \"note\": \"64 independent substreams run once through the u64-lane batch engine (one event flow, all lanes per gate eval) vs back to back on scalar simulators; secs are the min over reps after a warm-up; bit_identical asserts every lane equals its substream's scalar run vector for vector before timing; batch_events counts the single shared schedule, so events/sec compares per-schedule dispatch cost while vectors/sec compares end-to-end throughput\","
+    );
+    batch_json.push_str("  \"batch_streams\": [\n");
+    batch_json.push_str(&batch_lines.join(",\n"));
+    batch_json.push_str("\n  ]\n}\n");
+    std::fs::write("BENCH_batch.json", &batch_json).expect("write BENCH_batch.json");
+    println!("wrote BENCH_batch.json");
 }

@@ -65,6 +65,20 @@ pub struct FlowOptions {
     /// no per-vector stable-input→stable-output latency); makespan and
     /// throughput are reported instead.
     pub window: Option<usize>,
+    /// When set, the simulate stage runs the *lane* protocol: the vector
+    /// stream is striped 64 ways (vector `i` → substream `i % 64`, round
+    /// `i / 64`; each substream is an independent run from the initial
+    /// marking) and the substreams are swept together — on 64 scalar
+    /// simulators with `Some(1)`, or on the word-parallel
+    /// [`pl_sim::BatchSimulator`] with `Some(64)`, which marches all 64
+    /// substreams through a *single* event flow with `u64` lane words.
+    /// The striping is identical for both widths, so their reassembled
+    /// outputs are bit-identical — `--lanes 1` vs `--lanes 64` diffs
+    /// cleanly even on stateful designs. Only `1` and `64` are accepted;
+    /// mutually exclusive with [`FlowOptions::window`] and
+    /// [`FlowOptions::checkpoint_dir`]. Latency statistics are empty in
+    /// this mode (substreams measure values, not per-vector latency).
+    pub lanes: Option<usize>,
     /// When set (streamed protocol only), the simulate stage runs each
     /// variant through the crash-resumable sweep
     /// ([`pl_sim::sweep_resumable`]) instead of the in-memory pipelined
@@ -110,6 +124,7 @@ impl Default for FlowOptions {
             jobs: 1,
             queue: QueueKind::default(),
             window: None,
+            lanes: None,
             checkpoint_dir: None,
             resume: false,
             max_retries: 2,
@@ -281,6 +296,10 @@ pub struct SimReport {
     /// Pipelined-window size when the streamed protocol ran
     /// (see [`FlowOptions::window`]); `None` for the per-vector protocol.
     pub window: Option<usize>,
+    /// Lane width when the lane protocol ran (see
+    /// [`FlowOptions::lanes`]): `Some(1)` for 64 scalar substreams,
+    /// `Some(64)` for the word-parallel batch engine; `None` otherwise.
+    pub lanes: Option<usize>,
     /// Recovery audit trail of the plain variant when the crash-resumable
     /// sweep ran (see [`FlowOptions::checkpoint_dir`]); `None` otherwise.
     pub recovery_plain: Option<SweepRecovery>,
@@ -658,6 +677,25 @@ impl Pipeline {
                     .into(),
             });
         }
+        if let Some(lanes) = self.opts.lanes {
+            if lanes != 1 && lanes != 64 {
+                return Err(FlowError::Config {
+                    message: format!("lane width must be 1 or 64, got {lanes}"),
+                });
+            }
+            if self.opts.window.is_some() {
+                return Err(FlowError::Config {
+                    message: "the lane protocol is mutually exclusive with a streaming window"
+                        .into(),
+                });
+            }
+            if self.opts.checkpoint_dir.is_some() {
+                return Err(FlowError::Config {
+                    message: "the lane protocol is mutually exclusive with a checkpoint directory"
+                        .into(),
+                });
+            }
+        }
         let inputs = pl_sim::random_vectors(
             ee.plain.input_gates().len(),
             self.opts.vectors,
@@ -668,10 +706,67 @@ impl Pipeline {
             jobs: self.opts.jobs,
             queue: self.opts.queue,
             window: self.opts.window,
+            lanes: self.opts.lanes,
             recovery_plain: None,
             recovery_ee: None,
             secs: 0.0,
         };
+        if let Some(lanes) = self.opts.lanes {
+            // Lane protocol: stripe the stream 64 ways (vector i →
+            // substream i % 64), sweep the substreams on scalar engines
+            // (lanes = 1) or one batch engine per 64-block (lanes = 64),
+            // and reassemble in vector order. The striping is width-
+            // invariant, so both widths produce identical outputs.
+            let mut subs: Vec<Vec<Vec<bool>>> = vec![Vec::new(); 64];
+            for (i, v) in inputs.iter().enumerate() {
+                subs[i % 64].push(v.clone());
+            }
+            let sweep = |pl: &PlNetlist| {
+                if lanes == 64 {
+                    pl_sim::sweep_streams_batch_with_queue(
+                        pl,
+                        &self.opts.delays,
+                        &subs,
+                        self.opts.jobs,
+                        self.opts.queue,
+                    )
+                } else {
+                    pl_sim::sweep_streams_with_queue(
+                        pl,
+                        &self.opts.delays,
+                        &subs,
+                        self.opts.jobs,
+                        self.opts.queue,
+                    )
+                }
+            };
+            let reassemble = |outs: &[pl_sim::StreamOutcome]| -> Vec<Vec<bool>> {
+                (0..inputs.len())
+                    .map(|i| outs[i % 64].outputs[i / 64].clone())
+                    .collect()
+            };
+            let outputs = reassemble(&sweep(&ee.plain)?);
+            if let Some(pl) = &ee.ee {
+                if reassemble(&sweep(pl)?) != outputs {
+                    return Err(FlowError::Mismatch {
+                        context: format!("{} (EE vs plain, {lanes}-lane)", ee.name),
+                    });
+                }
+            }
+            return Ok(Simulated {
+                name: ee.name.clone(),
+                inputs,
+                outputs,
+                stats_plain: LatencyStats::new(Vec::new()),
+                stats_ee: ee.ee.as_ref().map(|_| LatencyStats::new(Vec::new())),
+                stream_plain: None,
+                stream_ee: None,
+                report: SimReport {
+                    secs: t0.elapsed().as_secs_f64(),
+                    ..report
+                },
+            });
+        }
         if let Some(window) = self.opts.window {
             // Streamed protocol: parallelism lives INSIDE each stream, so
             // the variants run back to back, each pipelined over `jobs`.
@@ -805,9 +900,17 @@ impl Pipeline {
     /// [`FlowError::Mismatch`] naming the first diverging vector.
     pub fn verify(&self, mapped: &Netlist, sim: &Simulated) -> Result<VerifyReport, FlowError> {
         let t0 = Instant::now();
-        let mut sync = pl_sim::SyncSimulator::new(mapped).map_err(FlowError::Netlist)?;
+        // Under the lane protocol the stream was striped 64 ways, each
+        // substream an independent run from the initial state, so the
+        // reference must be striped identically: vector i replays on
+        // reference simulator i % 64.
+        let n_refs = if sim.report.lanes.is_some() { 64 } else { 1 };
+        let mut syncs = Vec::with_capacity(n_refs);
+        for _ in 0..n_refs {
+            syncs.push(pl_sim::SyncSimulator::new(mapped).map_err(FlowError::Netlist)?);
+        }
         for (i, (v, pl_out)) in sim.inputs.iter().zip(&sim.outputs).enumerate() {
-            let sync_out = sync.step(v).map_err(FlowError::Netlist)?;
+            let sync_out = syncs[i % n_refs].step(v).map_err(FlowError::Netlist)?;
             if &sync_out != pl_out {
                 return Err(FlowError::Mismatch {
                     context: format!("{} vector {i} (sync vs PL)", sim.name),

@@ -44,8 +44,9 @@ use std::collections::VecDeque;
 use pl_core::{PlArcKind, PlNetlist};
 
 use crate::delay::{ticks_to_ns, DelayModel};
-use crate::engine::{Event, PlSimulator};
+use crate::engine::{Event, LaneSimulator};
 use crate::error::SimError;
+use crate::lane::LaneWord;
 
 /// A tiny FNV-1a folder over `u64` words — the one digest definition the
 /// workspace shares (netlist fingerprints here, output digests in `plc`
@@ -124,8 +125,13 @@ pub(crate) fn netlist_fingerprint(pl: &PlNetlist) -> u64 {
 /// [`SimCheckpoint::to_bytes`] / [`SimCheckpoint::from_bytes`]
 /// ([`wire`]). `PartialEq` compares the full dynamic state — the
 /// encode→decode identity the wire format's property tests pin.
+///
+/// The lane parameter mirrors the simulator's: a checkpoint carries the
+/// per-lane value state at the width it was captured at, and restores
+/// only into a simulator of the same width (the wire format rejects a
+/// cross-width decode with [`SimError::CheckpointLaneMismatch`]).
 #[derive(Debug, Clone, PartialEq)]
-pub struct SimCheckpoint {
+pub struct SimCheckpoint<L: LaneWord = bool> {
     /// Shape of the source netlist (gates, arcs, outputs) plus its arc
     /// topology fingerprint — checked on restore so a checkpoint can
     /// never be replayed onto a structurally different design.
@@ -139,19 +145,19 @@ pub struct SimCheckpoint {
     pub(crate) rounds: u64,
     /// In-flight events, sorted by `(tick, seq)` key (a canonical order —
     /// the live heap's internal layout is not).
-    pub(crate) queue: Vec<Event>,
+    pub(crate) queue: Vec<Event<L>>,
     pub(crate) tokens: Vec<u8>,
-    pub(crate) values: Vec<bool>,
+    pub(crate) values: Vec<L>,
     pub(crate) pin_tokens: Vec<u8>,
-    pub(crate) pin_vals: Vec<u8>,
+    pub(crate) pin_vals: Vec<L::PinVals>,
     pub(crate) ack_missing: Vec<u32>,
-    pub(crate) pending_input: Vec<Option<bool>>,
+    pub(crate) pending_input: Vec<Option<L>>,
     pub(crate) flags: Vec<u8>,
     pub(crate) gen: Vec<u64>,
-    pub(crate) records: Vec<VecDeque<(bool, u64)>>,
+    pub(crate) records: Vec<VecDeque<(L, u64)>>,
 }
 
-impl SimCheckpoint {
+impl<L: LaneWord> SimCheckpoint<L> {
     /// Simulation time (ns) at which the snapshot was taken.
     #[must_use]
     pub fn time(&self) -> f64 {
@@ -177,7 +183,7 @@ impl SimCheckpoint {
     }
 }
 
-impl<'a> PlSimulator<'a> {
+impl<'a, L: LaneWord> LaneSimulator<'a, L> {
     /// Captures the simulator's complete dynamic state as an owned
     /// [`SimCheckpoint`]. The simulator itself is untouched — continuing
     /// to drive it produces exactly the run it would have produced without
@@ -187,8 +193,8 @@ impl<'a> PlSimulator<'a> {
     /// [`PlSimulator::feed_vector`] returns); the in-flight event queue is
     /// captured too, so tokens still propagating are part of the state.
     #[must_use]
-    pub fn snapshot(&self) -> SimCheckpoint {
-        let queue: Vec<Event> = self
+    pub fn snapshot(&self) -> SimCheckpoint<L> {
+        let queue: Vec<Event<L>> = self
             .queue
             .sorted_events()
             .into_iter()
@@ -227,7 +233,7 @@ impl<'a> PlSimulator<'a> {
     /// # Errors
     ///
     /// [`SimError::CheckpointMismatch`] when the netlists differ.
-    pub fn restore(&mut self, ck: &SimCheckpoint) -> Result<(), SimError> {
+    pub fn restore(&mut self, ck: &SimCheckpoint<L>) -> Result<(), SimError> {
         if ck.gates != self.pl.gates().len()
             || ck.arcs != self.pl.arcs().len()
             || ck.outputs != self.pl.output_gates().len()
@@ -284,7 +290,7 @@ impl<'a> PlSimulator<'a> {
     pub fn resume_from(
         pl: &'a PlNetlist,
         delays: DelayModel,
-        ck: &SimCheckpoint,
+        ck: &SimCheckpoint<L>,
     ) -> Result<Self, SimError> {
         let mut sim = Self::new(pl, delays)?;
         sim.restore(ck)?;
@@ -295,6 +301,7 @@ impl<'a> PlSimulator<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::PlSimulator;
     use pl_netlist::Netlist;
 
     fn counter() -> PlNetlist {

@@ -39,18 +39,43 @@
 //! is range-checked, queue keys must be strictly ascending with in-range
 //! sequence numbers, and boolean/flag bytes must be in-domain.
 //!
+//! # Lane widths (version 2)
+//!
+//! The checkpoint is generic over the simulator's [`LaneWord`], and the
+//! wire version IS the lane width's name: scalar (`bool`) checkpoints
+//! encode exactly the version-1 layout above, byte for byte, so every
+//! pre-batch checkpoint still decodes unchanged. 64-lane (`u64`)
+//! checkpoints encode version 2 ([`VERSION_BATCH`]), which differs only
+//! where per-lane values live:
+//!
+//! * `HEADER` gains a trailing `lanes: u64` field (64);
+//! * arc values, queue `Tokens` values, and record values are 8-byte
+//!   little-endian lane words instead of 0/1 bytes;
+//! * `pin_vals` is 64 bytes per gate (8 little-endian lane words, one
+//!   per pin) instead of one bitset byte;
+//! * `pending_input` is a tag byte (0 = none, 1 = present) followed by a
+//!   lane word when present, instead of the packed 0/1/2 byte.
+//!
+//! A decode at the wrong width — a v1 file into a 64-lane simulator or a
+//! v2 file into a scalar one — is rejected with
+//! [`SimError::CheckpointLaneMismatch`] (the version field names the
+//! width before any structure is parsed).
+//!
 //! # Version-evolution rules
 //!
 //! * The magic never changes; the version integer is bumped for **any**
 //!   layout change (new/removed/reordered sections or fields, changed
 //!   widths or tag values). There are no minor versions and no in-place
 //!   extension points — checkpoints are short-lived operational state,
-//!   not archives, so decoders support exactly one version and reject
-//!   everything else with [`SimError::CheckpointVersionSkew`].
+//!   not archives, so decoders support exactly one version per lane
+//!   width and reject everything else with
+//!   [`SimError::CheckpointVersionSkew`].
 //! * A reader that wants to migrate old checkpoints does so by matching
 //!   on the version **before** the section walk and dispatching to a
 //!   frozen copy of the old decoder; the current decoder never grows
-//!   conditional paths.
+//!   conditional paths. (The scalar/batch split is not such a migration:
+//!   one generic walk reads both, with the lane width fixed at the
+//!   decoder's type, not by the input bytes.)
 //! * Section tags are never reused for different content across versions,
 //!   so a misversioned decode attempt fails structurally even if the
 //!   version field itself was the corrupted byte (the trailer CRC catches
@@ -64,12 +89,18 @@ use crate::checkpoint::{netlist_fingerprint, Fnv64, SimCheckpoint};
 use crate::delay::DelayModel;
 use crate::engine::{Event, EventKind};
 use crate::error::SimError;
+use crate::lane::LaneWord;
 
 /// First eight bytes of every serialized checkpoint.
 pub const MAGIC: [u8; 8] = *b"PLSIMCK\0";
 
-/// The wire-format version this build encodes and decodes.
+/// The wire-format version for scalar (1-lane) checkpoints — the original
+/// layout, unchanged.
 pub const VERSION: u32 = 1;
+
+/// The wire-format version for 64-lane batch checkpoints (see the
+/// [module docs](self#lane-widths-version-2)).
+pub const VERSION_BATCH: u32 = 2;
 
 // Section tags (never reused across versions).
 const SEC_HEADER: (u8, &str) = (1, "HEADER");
@@ -283,7 +314,30 @@ fn check_gate(gate: u32, gates: usize, field: &'static str) -> Result<(), SimErr
     }
 }
 
-impl SimCheckpoint {
+/// Reads one lane word at the checkpoint's width. For the scalar word
+/// this is exactly the old 0/1-byte boolean read (with the same
+/// out-of-range error on other bytes); wider words cannot be out of
+/// domain.
+fn read_word<L: LaneWord>(r: &mut Reader<'_>, field: &'static str) -> Result<L, SimError> {
+    let bytes = r.take(L::WIRE_BYTES, field)?;
+    L::from_wire(bytes).ok_or(SimError::CheckpointOutOfRange {
+        field,
+        value: u64::from(bytes[0]),
+        limit: 1,
+    })
+}
+
+impl<L: LaneWord> SimCheckpoint<L> {
+    /// The wire version this lane width encodes and expects: the version
+    /// field names the width, so a cross-width decode fails before any
+    /// structure is parsed.
+    fn wire_version() -> u32 {
+        if L::LANES == 1 {
+            VERSION
+        } else {
+            VERSION_BATCH
+        }
+    }
     /// Serializes this checkpoint to the versioned, CRC-protected wire
     /// format described in the [module docs](self). `delays` must be the
     /// delay model the snapshotted simulator ran with — its digest is
@@ -293,17 +347,23 @@ impl SimCheckpoint {
     #[must_use]
     pub fn to_bytes(&self, delays: &DelayModel) -> Vec<u8> {
         let mut out = Vec::with_capacity(
-            64 + self.queue.len() * 29 + self.arcs * 2 + self.gates * 15 + self.outputs * 16,
+            64 + self.queue.len() * (26 + L::WIRE_BYTES)
+                + self.arcs * (1 + L::WIRE_BYTES)
+                + self.gates * (15 + L::PV_WIRE_BYTES + L::WIRE_BYTES)
+                + self.outputs * 16,
         );
         out.extend_from_slice(&MAGIC);
-        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&Self::wire_version().to_le_bytes());
 
-        let mut p = Vec::with_capacity(40);
+        let mut p = Vec::with_capacity(48);
         p.extend_from_slice(&self.fingerprint.to_le_bytes());
         p.extend_from_slice(&delay_digest(delays).to_le_bytes());
         p.extend_from_slice(&(self.gates as u64).to_le_bytes());
         p.extend_from_slice(&(self.arcs as u64).to_le_bytes());
         p.extend_from_slice(&(self.outputs as u64).to_le_bytes());
+        if L::LANES != 1 {
+            p.extend_from_slice(&(L::LANES as u64).to_le_bytes());
+        }
         push_section(&mut out, SEC_HEADER.0, &p);
 
         p.clear();
@@ -325,7 +385,7 @@ impl SimCheckpoint {
                 } => {
                     p.push(0);
                     p.extend_from_slice(&gate.to_le_bytes());
-                    push_bool(&mut p, value);
+                    value.to_wire(&mut p);
                     push_bool(&mut p, data);
                     push_bool(&mut p, acks);
                 }
@@ -350,22 +410,34 @@ impl SimCheckpoint {
         p.clear();
         p.extend_from_slice(&self.tokens);
         for &v in &self.values {
-            push_bool(&mut p, v);
+            v.to_wire(&mut p);
         }
         push_section(&mut out, SEC_ARCS.0, &p);
 
         p.clear();
         p.extend_from_slice(&self.pin_tokens);
-        p.extend_from_slice(&self.pin_vals);
+        for pv in &self.pin_vals {
+            L::pv_to_wire(pv, &mut p);
+        }
         for &a in &self.ack_missing {
             p.extend_from_slice(&a.to_le_bytes());
         }
         for &pi in &self.pending_input {
-            p.push(match pi {
-                None => 0,
-                Some(false) => 1,
-                Some(true) => 2,
-            });
+            if L::LANES == 1 {
+                // The v1 packed byte: 0 = none, 1 = false, 2 = true.
+                p.push(match pi {
+                    None => 0,
+                    Some(v) => 1 + u8::from(v.lane(0)),
+                });
+            } else {
+                match pi {
+                    None => p.push(0),
+                    Some(v) => {
+                        p.push(1);
+                        v.to_wire(&mut p);
+                    }
+                }
+            }
         }
         p.extend_from_slice(&self.flags);
         for &g in &self.gen {
@@ -378,7 +450,7 @@ impl SimCheckpoint {
         for q in &self.records {
             p.extend_from_slice(&(q.len() as u64).to_le_bytes());
             for &(v, t) in q {
-                push_bool(&mut p, v);
+                v.to_wire(&mut p);
                 p.extend_from_slice(&t.to_le_bytes());
             }
         }
@@ -402,15 +474,14 @@ impl SimCheckpoint {
     ///
     /// [`SimError::CheckpointTruncated`], [`SimError::CheckpointBadMagic`],
     /// [`SimError::CheckpointVersionSkew`],
+    /// [`SimError::CheckpointLaneMismatch`] (a checkpoint written at the
+    /// other lane width — the version field names the width, so this is
+    /// detected before any structure is parsed),
     /// [`SimError::CheckpointChecksum`],
     /// [`SimError::CheckpointDigestMismatch`] (wrong netlist, delay model,
     /// or shape counts), and [`SimError::CheckpointOutOfRange`] (indices
     /// or enum bytes outside their domain).
-    pub fn from_bytes(
-        bytes: &[u8],
-        pl: &PlNetlist,
-        delays: &DelayModel,
-    ) -> Result<SimCheckpoint, SimError> {
+    pub fn from_bytes(bytes: &[u8], pl: &PlNetlist, delays: &DelayModel) -> Result<Self, SimError> {
         let mut r = Reader::new(bytes);
         let magic = r.take(8, "magic")?;
         if magic != MAGIC {
@@ -419,10 +490,20 @@ impl SimCheckpoint {
             });
         }
         let version = r.u32("version")?;
-        if version != VERSION {
-            return Err(SimError::CheckpointVersionSkew {
-                found: version,
-                supported: VERSION,
+        if version != Self::wire_version() {
+            // A known version at the wrong width is a lane mismatch, not
+            // skew: the encoding is valid, it just belongs to the other
+            // simulator width.
+            return Err(if version == VERSION || version == VERSION_BATCH {
+                SimError::CheckpointLaneMismatch {
+                    found: if version == VERSION { 1 } else { 64 },
+                    expected: L::LANES as u32,
+                }
+            } else {
+                SimError::CheckpointVersionSkew {
+                    found: version,
+                    supported: Self::wire_version(),
+                }
             });
         }
         // Whole-file CRC before trusting any structure: guarantees every
@@ -453,6 +534,15 @@ impl SimCheckpoint {
         let gates = h.u64("header gate count")?;
         let arcs = h.u64("header arc count")?;
         let outputs = h.u64("header output count")?;
+        if L::LANES != 1 {
+            let lanes = h.u64("header lane count")?;
+            if lanes != L::LANES as u64 {
+                return Err(SimError::CheckpointLaneMismatch {
+                    found: lanes as u32,
+                    expected: L::LANES as u32,
+                });
+            }
+        }
         h.expect_end("header size")?;
         let expected_fp = netlist_fingerprint(pl);
         if fingerprint != expected_fp {
@@ -521,7 +611,7 @@ impl SimCheckpoint {
                     check_gate(gate, gates, "queue event gate")?;
                     EventKind::Tokens {
                         gate,
-                        value: read_bool(&mut q, "queue event value")?,
+                        value: read_word::<L>(&mut q, "queue event value")?,
                         data: read_bool(&mut q, "queue event data")?,
                         acks: read_bool(&mut q, "queue event acks")?,
                     }
@@ -560,29 +650,55 @@ impl SimCheckpoint {
         }
         let mut values = Vec::with_capacity(arcs);
         for _ in 0..arcs {
-            values.push(read_bool(&mut a, "arc value")?);
+            values.push(read_word::<L>(&mut a, "arc value")?);
         }
         a.expect_end("arcs section size")?;
 
         let mut g = Reader::new(read_section(&mut r, SEC_GATES)?);
         let pin_tokens = g.take(gates, "gate pin tokens")?.to_vec();
-        let pin_vals = g.take(gates, "gate pin values")?.to_vec();
+        let mut pin_vals = Vec::with_capacity(gates);
+        for _ in 0..gates {
+            let bytes = g.take(L::PV_WIRE_BYTES, "gate pin values")?;
+            pin_vals.push(
+                L::pv_from_wire(bytes).ok_or(SimError::CheckpointOutOfRange {
+                    field: "gate pin values",
+                    value: u64::from(bytes[0]),
+                    limit: 1,
+                })?,
+            );
+        }
         let mut ack_missing = Vec::with_capacity(gates);
         for _ in 0..gates {
             ack_missing.push(g.u32("gate ack counter")?);
         }
         let mut pending_input = Vec::with_capacity(gates);
         for _ in 0..gates {
-            pending_input.push(match g.u8("gate pending input")? {
-                0 => None,
-                1 => Some(false),
-                2 => Some(true),
-                other => {
-                    return Err(SimError::CheckpointOutOfRange {
-                        field: "gate pending input",
-                        value: u64::from(other),
-                        limit: 2,
-                    })
+            let tag = g.u8("gate pending input")?;
+            pending_input.push(if L::LANES == 1 {
+                // The v1 packed byte: 0 = none, 1 = false, 2 = true.
+                match tag {
+                    0 => None,
+                    1 => Some(L::splat(false)),
+                    2 => Some(L::splat(true)),
+                    other => {
+                        return Err(SimError::CheckpointOutOfRange {
+                            field: "gate pending input",
+                            value: u64::from(other),
+                            limit: 2,
+                        })
+                    }
+                }
+            } else {
+                match tag {
+                    0 => None,
+                    1 => Some(read_word::<L>(&mut g, "gate pending input")?),
+                    other => {
+                        return Err(SimError::CheckpointOutOfRange {
+                            field: "gate pending input",
+                            value: u64::from(other),
+                            limit: 1,
+                        })
+                    }
                 }
             });
         }
@@ -615,10 +731,10 @@ impl SimCheckpoint {
         }
         let mut records = Vec::with_capacity(outputs);
         for _ in 0..outputs {
-            let n = rec.count(9, "record entry count")?;
+            let n = rec.count(L::WIRE_BYTES + 8, "record entry count")?;
             let mut queue = VecDeque::with_capacity(n);
             for _ in 0..n {
-                let v = read_bool(&mut rec, "record value")?;
+                let v = read_word::<L>(&mut rec, "record value")?;
                 let t = rec.u64("record tick")?;
                 queue.push_back((v, t));
             }
@@ -653,7 +769,7 @@ impl SimCheckpoint {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::PlSimulator;
+    use crate::engine::{BatchSimulator, PlSimulator};
     use pl_netlist::Netlist;
 
     fn counter() -> PlNetlist {
@@ -673,6 +789,18 @@ mod tests {
     /// queue, non-trivial records, every section populated.
     fn mid_stream_checkpoint(pl: &PlNetlist) -> SimCheckpoint {
         let mut sim = PlSimulator::new(pl, DelayModel::default()).unwrap();
+        for _ in 0..3 {
+            sim.run_vector(&[]).unwrap();
+        }
+        sim.feed_vector(&[]).unwrap();
+        let ck = sim.snapshot();
+        assert!(ck.queued_events() > 0, "the counter free-runs");
+        ck
+    }
+
+    /// The 64-lane analogue of [`mid_stream_checkpoint`].
+    fn mid_stream_batch_checkpoint(pl: &PlNetlist) -> SimCheckpoint<u64> {
+        let mut sim = BatchSimulator::new(pl, DelayModel::default()).unwrap();
         for _ in 0..3 {
             sim.run_vector(&[]).unwrap();
         }
@@ -760,7 +888,7 @@ mod tests {
         let delays = DelayModel::default();
         let bytes = mid_stream_checkpoint(&pl).to_bytes(&delays);
         for len in 0..bytes.len() {
-            let err = SimCheckpoint::from_bytes(&bytes[..len], &pl, &delays)
+            let err = SimCheckpoint::<bool>::from_bytes(&bytes[..len], &pl, &delays)
                 .expect_err("truncated input must not decode");
             // Any typed error is acceptable; none may panic.
             let _ = err.to_string();
@@ -775,7 +903,7 @@ mod tests {
         for i in 0..bytes.len() {
             let mut corrupt = bytes.clone();
             corrupt[i] ^= 0xA5;
-            let err = SimCheckpoint::from_bytes(&corrupt, &pl, &delays)
+            let err = SimCheckpoint::<bool>::from_bytes(&corrupt, &pl, &delays)
                 .expect_err("flipped byte must not decode");
             let _ = err.to_string();
         }
@@ -787,7 +915,7 @@ mod tests {
         let delays = DelayModel::default();
         let mut bytes = mid_stream_checkpoint(&pl).to_bytes(&delays);
         bytes[0] = b'X';
-        match SimCheckpoint::from_bytes(&bytes, &pl, &delays) {
+        match SimCheckpoint::<bool>::from_bytes(&bytes, &pl, &delays) {
             Err(SimError::CheckpointBadMagic { found }) => assert_eq!(found[0], b'X'),
             other => panic!("expected CheckpointBadMagic, got {other:?}"),
         }
@@ -798,16 +926,40 @@ mod tests {
         let pl = counter();
         let delays = DelayModel::default();
         let mut bytes = mid_stream_checkpoint(&pl).to_bytes(&delays);
-        bytes[8..12].copy_from_slice(&2u32.to_le_bytes());
+        bytes[8..12].copy_from_slice(&3u32.to_le_bytes());
         // A future-version file would carry valid CRCs; only the version
         // differs.
         fix_crcs(&mut bytes);
-        match SimCheckpoint::from_bytes(&bytes, &pl, &delays) {
+        match SimCheckpoint::<bool>::from_bytes(&bytes, &pl, &delays) {
             Err(SimError::CheckpointVersionSkew {
-                found: 2,
+                found: 3,
                 supported: VERSION,
             }) => {}
             other => panic!("expected CheckpointVersionSkew, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lane_mismatch_is_named_in_both_directions() {
+        let pl = counter();
+        let delays = DelayModel::default();
+        // A scalar (v1) file into a 64-lane decoder...
+        let scalar_bytes = mid_stream_checkpoint(&pl).to_bytes(&delays);
+        match SimCheckpoint::<u64>::from_bytes(&scalar_bytes, &pl, &delays) {
+            Err(SimError::CheckpointLaneMismatch {
+                found: 1,
+                expected: 64,
+            }) => {}
+            other => panic!("expected CheckpointLaneMismatch, got {other:?}"),
+        }
+        // ...and a 64-lane (v2) file into a scalar decoder.
+        let batch_bytes = mid_stream_batch_checkpoint(&pl).to_bytes(&delays);
+        match SimCheckpoint::<bool>::from_bytes(&batch_bytes, &pl, &delays) {
+            Err(SimError::CheckpointLaneMismatch {
+                found: 64,
+                expected: 1,
+            }) => {}
+            other => panic!("expected CheckpointLaneMismatch, got {other:?}"),
         }
     }
 
@@ -822,7 +974,7 @@ mod tests {
         let g = n.add_xor2(a, b).unwrap();
         n.set_output("y", g);
         let other = PlNetlist::from_sync(&n).unwrap();
-        match SimCheckpoint::from_bytes(&bytes, &other, &delays) {
+        match SimCheckpoint::<bool>::from_bytes(&bytes, &other, &delays) {
             Err(SimError::CheckpointDigestMismatch {
                 what: "netlist fingerprint",
                 ..
@@ -837,7 +989,7 @@ mod tests {
         let delays = DelayModel::default();
         let bytes = mid_stream_checkpoint(&pl).to_bytes(&delays);
         let scaled = delays.scaled(2.0);
-        match SimCheckpoint::from_bytes(&bytes, &pl, &scaled) {
+        match SimCheckpoint::<bool>::from_bytes(&bytes, &pl, &scaled) {
             Err(SimError::CheckpointDigestMismatch {
                 what: "delay model",
                 ..
@@ -857,7 +1009,7 @@ mod tests {
         let gate_at = payload_offset(&bytes, 2) + 8 + 16 + 1;
         bytes[gate_at..gate_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
         fix_crcs(&mut bytes);
-        match SimCheckpoint::from_bytes(&bytes, &pl, &delays) {
+        match SimCheckpoint::<bool>::from_bytes(&bytes, &pl, &delays) {
             Err(SimError::CheckpointOutOfRange {
                 field: "queue event gate",
                 ..
@@ -879,11 +1031,66 @@ mod tests {
         let end = bytes.len() - 4;
         let trailer = crc32(&bytes[..end]);
         bytes[end..].copy_from_slice(&trailer.to_le_bytes());
-        match SimCheckpoint::from_bytes(&bytes, &pl, &delays) {
+        match SimCheckpoint::<bool>::from_bytes(&bytes, &pl, &delays) {
             Err(SimError::CheckpointChecksum {
                 section: "STATE", ..
             }) => {}
             other => panic!("expected the STATE checksum to fail, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_round_trip_is_identity_mid_stream() {
+        let pl = counter();
+        let delays = DelayModel::default();
+        let ck = mid_stream_batch_checkpoint(&pl);
+        let bytes = ck.to_bytes(&delays);
+        let back = SimCheckpoint::<u64>::from_bytes(&bytes, &pl, &delays).unwrap();
+        assert_eq!(back, ck);
+    }
+
+    #[test]
+    fn batch_round_trip_resumes_bit_identically() {
+        let pl = counter();
+        let delays = DelayModel::default();
+        let mut reference = BatchSimulator::new(&pl, delays.clone()).unwrap();
+        let expected: Vec<_> = (0..8).map(|_| reference.run_vector(&[]).unwrap()).collect();
+
+        let mut first = BatchSimulator::new(&pl, delays.clone()).unwrap();
+        for e in &expected[..4] {
+            assert_eq!(&first.run_vector(&[]).unwrap(), e);
+        }
+        let bytes = first.snapshot().to_bytes(&delays);
+        let ck = SimCheckpoint::<u64>::from_bytes(&bytes, &pl, &delays).unwrap();
+        let mut resumed = BatchSimulator::resume_from(&pl, delays, &ck).unwrap();
+        for e in &expected[4..] {
+            assert_eq!(&resumed.run_vector(&[]).unwrap(), e);
+        }
+    }
+
+    #[test]
+    fn batch_every_truncation_is_a_typed_error() {
+        let pl = counter();
+        let delays = DelayModel::default();
+        let bytes = mid_stream_batch_checkpoint(&pl).to_bytes(&delays);
+        for len in 0..bytes.len() {
+            let err = SimCheckpoint::<u64>::from_bytes(&bytes[..len], &pl, &delays)
+                .expect_err("truncated input must not decode");
+            let _ = err.to_string();
+        }
+    }
+
+    #[test]
+    fn batch_every_single_byte_flip_is_rejected() {
+        let pl = counter();
+        let delays = DelayModel::default();
+        let bytes = mid_stream_batch_checkpoint(&pl).to_bytes(&delays);
+        for i in 0..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[i] ^= 0xA5;
+            let err = SimCheckpoint::<u64>::from_bytes(&corrupt, &pl, &delays)
+                .expect_err("flipped byte must not decode");
+            let _ = err.to_string();
         }
     }
 

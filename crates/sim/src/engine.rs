@@ -49,10 +49,44 @@
 //!   [`pl_core::PlAdjacency`]: per-gate contiguous slices of pin-indexed
 //!   data-in arcs, ack in-arcs, and out-arcs pre-split into value-carrying
 //!   and acknowledge lists. Firing never scans arc `Vec`s or allocates.
-//! * **Incremental readiness** — per-gate bitsets (`pin_tokens`,
-//!   `pin_vals`, both one bit per LUT pin) and an `ack_missing` counter are
-//!   updated on every deliver/consume, so the firing checks in
-//!   `try_schedule` are O(1) mask compares instead of arc re-scans.
+//! * **Incremental readiness** — per-gate bitsets (`pin_tokens`, one bit
+//!   per LUT pin) and an `ack_missing` counter are updated on every
+//!   deliver/consume, so the firing checks in `try_schedule` are O(1)
+//!   mask compares instead of arc re-scans.
+//!
+//! # The lane model
+//!
+//! The simulator is generic over a [`LaneWord`] `L` — the value payload
+//! riding each token. [`PlSimulator`] is the 1-lane (`L = bool`)
+//! instantiation; [`BatchSimulator`] (`L = u64`) marches **64 independent
+//! input vectors in lockstep through one event flow**, each gate
+//! evaluation computing all 64 lanes with bitwise ops over the packed
+//! truth table.
+//!
+//! What is shared and what is per-lane:
+//!
+//! * **Shared (lane-invariant):** the whole token game — arc token
+//!   presence (`tokens`), per-gate readiness (`pin_tokens`,
+//!   `ack_missing`), scheduling flags, round generations, the event
+//!   queue, and therefore simulated time itself. The marked graph is a
+//!   Kahn network: *which* round's token an arc carries is decided by
+//!   token availability alone, never by token values, so 64 lanes fed in
+//!   lockstep always agree on the schedule.
+//! * **Per-lane:** token *values* — `values`, `pin_vals`,
+//!   `pending_input`, and the recorded output words. Each lane's value
+//!   stream is exactly what a scalar run fed that lane's vectors would
+//!   produce: per-round output values are a pure function of per-round
+//!   input values (Kahn determinism again), so the batch engine is
+//!   pinned bit-identical, lane by lane, to 64 sequential scalar runs
+//!   (`tests/engine_equivalence.rs`).
+//!
+//! The one lane-sensitive decision is early evaluation: the early path
+//! fires only when the trigger is true **in every lane**
+//! ([`LaneWord::all`]), so event *timing* in a batch run follows the
+//! worst lane of the block. Values are unaffected — any lane whose
+//! trigger fired true has a forced output no matter which path produces
+//! it — which is exactly the latitude the determinism contract leaves
+//! open (values bit-identical; makespans may differ from scalar runs).
 //!
 //! Observable semantics (output streams, event ordering, latencies up to
 //! the femtosecond quantization of the clock) are identical to the
@@ -66,13 +100,14 @@ use pl_core::{PlAdjacency, PlArcId, PlArcKind, PlGateId, PlNetlist};
 
 use crate::delay::{ticks_to_ns, DelayModel, TickDelays};
 use crate::error::SimError;
+use crate::lane::LaneWord;
 use crate::queue::{EventQueue, QueueKind};
 
 /// Result of simulating one input vector to a stable output word.
 #[derive(Debug, Clone, PartialEq)]
-pub struct VectorOutcome {
-    /// Output values, in output-port order.
-    pub outputs: Vec<bool>,
+pub struct VectorOutcome<L: LaneWord = bool> {
+    /// Output values, in output-port order (one lane word per output).
+    pub outputs: Vec<L>,
     /// Delay from vector application to the last output token (ns).
     pub latency: f64,
     /// Absolute simulation time at which the output word was complete.
@@ -81,9 +116,9 @@ pub struct VectorOutcome {
 
 /// Result of a pipelined [`PlSimulator::run_stream`] run.
 #[derive(Debug, Clone, PartialEq)]
-pub struct StreamOutcome {
+pub struct StreamOutcome<L: LaneWord = bool> {
     /// Output words, one per injected vector, in injection order.
-    pub outputs: Vec<Vec<bool>>,
+    pub outputs: Vec<Vec<L>>,
     /// Time from the first injection to the last output token (ns).
     pub makespan: f64,
     /// Sustained rate, vectors per nanosecond.
@@ -91,7 +126,7 @@ pub struct StreamOutcome {
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub(crate) enum EventKind {
+pub(crate) enum EventKind<L: LaneWord = bool> {
     /// Batched token delivery: every out-arc of `gate`'s firing shares the
     /// same wire delay, so all its deliveries land as ONE queue event
     /// (heap traffic per firing is O(1) instead of O(fanout)). Dispatch
@@ -99,7 +134,7 @@ pub(crate) enum EventKind {
     /// consecutive `seq`s, so nothing could interleave between them.
     Tokens {
         gate: u32,
-        value: bool,
+        value: L,
         data: bool,
         acks: bool,
     },
@@ -124,10 +159,10 @@ pub(crate) enum EventKind {
 /// pairs; this struct only exists so [`crate::SimCheckpoint`] can carry a
 /// queue-kind-portable sorted event list.
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub(crate) struct Event {
+pub(crate) struct Event<L: LaneWord = bool> {
     /// `(tick << 64) | seq` — a strict total order (seq is unique).
     pub(crate) key: u128,
-    pub(crate) kind: EventKind,
+    pub(crate) kind: EventKind<L>,
 }
 
 // Per-gate scheduling flags (round-trip state of the firing automaton).
@@ -136,13 +171,15 @@ const F_PRODUCED: u8 = 1 << 1;
 const F_NORMAL_SCHED: u8 = 1 << 2;
 const F_EARLY_SCHED: u8 = 1 << 3;
 
-/// Event-driven simulator over a [`PlNetlist`].
+/// Event-driven simulator over a [`PlNetlist`], generic over the
+/// [`LaneWord`] its token payloads carry (see the
+/// [module docs](self#the-lane-model)).
 ///
-/// See the [crate documentation](crate) for an example. Time is continuous
-/// across vectors: [`PlSimulator::run_vector`] injects a vector at the
-/// current time and runs until the output word is stable.
+/// Use the [`PlSimulator`] alias for ordinary scalar simulation and
+/// [`BatchSimulator`] for the 64-lane batch engine; the generic name only
+/// appears when writing code that works at either width.
 #[derive(Debug, Clone)]
-pub struct PlSimulator<'a> {
+pub struct LaneSimulator<'a, L: LaneWord = bool> {
     pub(crate) pl: &'a PlNetlist,
     adj: PlAdjacency,
     delays: DelayModel,
@@ -154,22 +191,24 @@ pub struct PlSimulator<'a> {
     pub(crate) now: u64,
     pub(crate) seq: u64,
     pub(crate) events: u64,
-    pub(crate) queue: EventQueue<EventKind>,
-    /// Per-arc token presence (0/1).
+    pub(crate) queue: EventQueue<EventKind<L>>,
+    /// Per-arc token presence (0/1) — shared by all lanes.
     pub(crate) tokens: Vec<u8>,
-    /// Per-arc token value (data/efire arcs).
-    pub(crate) values: Vec<bool>,
-    /// Per-gate bit-per-pin token presence (incremental `data_ready`).
+    /// Per-arc token value (data/efire arcs), one lane word per arc.
+    pub(crate) values: Vec<L>,
+    /// Per-gate bit-per-pin token presence (incremental `data_ready`) —
+    /// shared by all lanes.
     pub(crate) pin_tokens: Vec<u8>,
-    /// Per-gate bit-per-pin token values (the LUT minterm index, partially).
-    pub(crate) pin_vals: Vec<u8>,
+    /// Per-gate per-lane token values on the input pins (for the scalar
+    /// word this is the partial LUT minterm index, as before).
+    pub(crate) pin_vals: Vec<L::PinVals>,
     /// Per-gate count of unmarked acknowledge in-arcs (efire excluded).
     pub(crate) ack_missing: Vec<u32>,
-    pub(crate) pending_input: Vec<Option<bool>>,
+    pub(crate) pending_input: Vec<Option<L>>,
     pub(crate) flags: Vec<u8>,
     /// EE masters: per-gate round generation (stale-event guard).
     pub(crate) gen: Vec<u64>,
-    pub(crate) records: Vec<VecDeque<(bool, u64)>>,
+    pub(crate) records: Vec<VecDeque<(L, u64)>>,
     pub(crate) rounds: u64,
     pub(crate) trace: Option<Vec<crate::trace::TraceEvent>>,
     /// The pipelined sweep's leader diet: an output firing whose round
@@ -193,7 +232,18 @@ pub struct PlSimulator<'a> {
     pub(crate) fired_rounds: Vec<usize>,
 }
 
-impl<'a> PlSimulator<'a> {
+/// The scalar (1-lane) simulator — the engine every existing caller uses,
+/// pinned bit-identical to the pre-lane engine and to
+/// [`crate::reference`].
+pub type PlSimulator<'a> = LaneSimulator<'a, bool>;
+
+/// The 64-lane batch simulator: token payloads are `u64` words carrying
+/// 64 independent vectors through one event flow. See
+/// [`BatchSimulator::run_lanes`] for the packing front end and the
+/// [module docs](self#the-lane-model) for the determinism contract.
+pub type BatchSimulator<'a> = LaneSimulator<'a, u64>;
+
+impl<'a, L: LaneWord> LaneSimulator<'a, L> {
     /// Prepares a simulator: checks structural liveness, freezes the flat
     /// adjacency, and places the initial marking. Events schedule through
     /// the default [`QueueKind::Heap`] backend; use
@@ -233,9 +283,9 @@ impl<'a> PlSimulator<'a> {
             events: 0,
             queue: EventQueue::new(queue),
             tokens: pl.arcs().iter().map(pl_core::PlArc::init_tokens).collect(),
-            values: pl.arcs().iter().map(pl_core::PlArc::init_value).collect(),
+            values: pl.arcs().iter().map(|a| L::splat(a.init_value())).collect(),
             pin_tokens: vec![0; n],
-            pin_vals: vec![0; n],
+            pin_vals: vec![L::pv_empty(); n],
             ack_missing: vec![0; n],
             pending_input: vec![None; n],
             flags: vec![0; n],
@@ -259,9 +309,8 @@ impl<'a> PlSimulator<'a> {
             for (pin, &a) in sim.adj.pin_arcs(g).iter().enumerate() {
                 if a != NO_ARC && sim.tokens[a as usize] == 1 {
                     sim.pin_tokens[g] |= 1 << pin;
-                    if sim.values[a as usize] {
-                        sim.pin_vals[g] |= 1 << pin;
-                    }
+                    let v = sim.values[a as usize];
+                    L::pv_set(&mut sim.pin_vals[g], pin as u8, v);
                 }
             }
         }
@@ -336,7 +385,7 @@ impl<'a> PlSimulator<'a> {
     /// empty queue so skipped rounds never interleave behind kept ones
     /// (an outrun record beyond the horizon blocks skipping until a
     /// prune pops it).
-    fn record_output(&mut self, slot: usize, value: bool) {
+    fn record_output(&mut self, slot: usize, value: L) {
         let round = self.fired_rounds[slot];
         self.fired_rounds[slot] += 1;
         if round < self.record_horizon && self.records[slot].is_empty() {
@@ -347,6 +396,7 @@ impl<'a> PlSimulator<'a> {
     }
 
     /// Starts recording token deliveries for [`crate::trace::to_vcd`].
+    /// In a batch simulator only lane 0 is traced.
     pub fn enable_tracing(&mut self) {
         if self.trace.is_none() {
             self.trace = Some(Vec::new());
@@ -368,7 +418,31 @@ impl<'a> PlSimulator<'a> {
     /// [`SimError::Deadlock`] if the token game stalls;
     /// [`SimError::SafetyViolation`] / [`SimError::UnsoundTrigger`] indicate
     /// internal invariant breaches.
-    pub fn run_vector(&mut self, inputs: &[bool]) -> Result<VectorOutcome, SimError> {
+    pub fn run_vector(&mut self, inputs: &[L]) -> Result<VectorOutcome<L>, SimError> {
+        let mut outputs = Vec::new();
+        let (latency, completed_at) = self.run_vector_into(inputs, &mut outputs)?;
+        Ok(VectorOutcome {
+            outputs,
+            latency,
+            completed_at,
+        })
+    }
+
+    /// [`PlSimulator::run_vector`] writing the output word into a
+    /// caller-owned scratch buffer instead of allocating one — the
+    /// hot-loop primitive for digest/compare passes that run millions of
+    /// vectors and never keep the words. `out` is cleared first; its
+    /// capacity is reused across calls. Returns `(latency, completed_at)`
+    /// in ns, exactly the timing fields of [`VectorOutcome`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PlSimulator::run_vector`].
+    pub fn run_vector_into(
+        &mut self,
+        inputs: &[L],
+        out: &mut Vec<L>,
+    ) -> Result<(f64, f64), SimError> {
         debug_assert_eq!(self.record_horizon, 0, "run_vector collects records");
         let ports = self.pl.input_gates();
         if inputs.len() != ports.len() {
@@ -397,19 +471,16 @@ impl<'a> PlSimulator<'a> {
             self.now = crate::queue::tick_of(key);
             self.dispatch(kind)?;
         }
-        let mut outputs = Vec::with_capacity(self.records.len());
+        out.clear();
+        out.reserve(self.records.len());
         let mut completed_at = start;
         for q in &mut self.records {
             let (v, t) = q.pop_front().expect("round_complete guarantees a record");
-            outputs.push(v);
+            out.push(v);
             completed_at = completed_at.max(t);
         }
         self.rounds += 1;
-        Ok(VectorOutcome {
-            outputs,
-            latency: ticks_to_ns(completed_at - start),
-            completed_at: ticks_to_ns(completed_at),
-        })
+        Ok((ticks_to_ns(completed_at - start), ticks_to_ns(completed_at)))
     }
 
     /// Streams vectors through the netlist *pipelined*: each vector is
@@ -424,7 +495,7 @@ impl<'a> PlSimulator<'a> {
     /// # Errors
     ///
     /// Same conditions as [`PlSimulator::run_vector`].
-    pub fn run_stream(&mut self, vectors: &[Vec<bool>]) -> Result<StreamOutcome, SimError> {
+    pub fn run_stream(&mut self, vectors: &[Vec<L>]) -> Result<StreamOutcome<L>, SimError> {
         debug_assert_eq!(self.record_horizon, 0, "run_stream collects records");
         let start = self.now;
         let mut completed = 0usize;
@@ -479,7 +550,7 @@ impl<'a> PlSimulator<'a> {
     /// # Errors
     ///
     /// Same conditions as [`PlSimulator::run_vector`].
-    pub fn feed_vector(&mut self, inputs: &[bool]) -> Result<(), SimError> {
+    pub fn feed_vector(&mut self, inputs: &[L]) -> Result<(), SimError> {
         let ports = self.pl.input_gates();
         if inputs.len() != ports.len() {
             return Err(SimError::InputArityMismatch {
@@ -539,10 +610,10 @@ impl<'a> PlSimulator<'a> {
     /// [`crate::parallel::sweep_pipelined`]).
     pub(crate) fn replay_window(
         &mut self,
-        vecs: &[Vec<bool>],
+        vecs: &[Vec<L>],
         start_round: usize,
         base: &[usize],
-    ) -> Result<(Vec<Vec<bool>>, u64), SimError> {
+    ) -> Result<(Vec<Vec<L>>, u64), SimError> {
         debug_assert_eq!(self.record_horizon, 0, "window replay collects records");
         debug_assert_eq!(base.len(), self.records.len());
         debug_assert!(base.iter().all(|&b| b <= start_round));
@@ -550,7 +621,7 @@ impl<'a> PlSimulator<'a> {
             self.feed_vector(v)?;
         }
         let target = start_round + vecs.len();
-        let incomplete = |(q, &b): (&VecDeque<(bool, u64)>, &usize)| b + q.len() < target;
+        let incomplete = |(q, &b): (&VecDeque<(L, u64)>, &usize)| b + q.len() < target;
         while self.records.iter().zip(base).any(incomplete) {
             let Some((key, kind)) = self.queue.pop() else {
                 return Err(SimError::Deadlock {
@@ -589,7 +660,7 @@ impl<'a> PlSimulator<'a> {
             let gate = &self.pl.gates()[og.index()];
             if gate.data_in().is_empty() {
                 if let Some(v) = gate.const_pin(0) {
-                    self.record_output(slot, v);
+                    self.record_output(slot, L::splat(v));
                 }
             }
         }
@@ -625,13 +696,13 @@ impl<'a> PlSimulator<'a> {
 
     // ---- event machinery -------------------------------------------------
 
-    fn post(&mut self, delay: u64, kind: EventKind) {
+    fn post(&mut self, delay: u64, kind: EventKind<L>) {
         let key = crate::queue::pack_key(self.now + delay, self.seq);
         self.seq += 1;
         self.queue.push(key, kind);
     }
 
-    fn dispatch(&mut self, kind: EventKind) -> Result<(), SimError> {
+    fn dispatch(&mut self, kind: EventKind<L>) -> Result<(), SimError> {
         match kind {
             EventKind::Tokens {
                 gate,
@@ -656,13 +727,7 @@ impl<'a> PlSimulator<'a> {
 
     /// Delivers one firing's batched tokens (value-carrying and/or ack
     /// out-arcs of `g`). Each delivered token counts as one event.
-    fn deliver_all(
-        &mut self,
-        g: usize,
-        value: bool,
-        data: bool,
-        acks: bool,
-    ) -> Result<(), SimError> {
+    fn deliver_all(&mut self, g: usize, value: L, data: bool, acks: bool) -> Result<(), SimError> {
         if data {
             for k in 0..self.adj.out_value_arcs(g).len() {
                 let arc = self.adj.out_value_arcs(g)[k];
@@ -678,7 +743,7 @@ impl<'a> PlSimulator<'a> {
         Ok(())
     }
 
-    fn deliver(&mut self, arc: usize, value: bool) -> Result<(), SimError> {
+    fn deliver(&mut self, arc: usize, value: L) -> Result<(), SimError> {
         self.events += 1;
         if self.tokens[arc] >= 1 {
             return Err(SimError::SafetyViolation {
@@ -692,13 +757,8 @@ impl<'a> PlSimulator<'a> {
         match self.adj.arc_kind(arc) {
             PlArcKind::Data => {
                 let pin = self.adj.arc_dst_pin(arc);
-                let bit = 1u8 << pin;
-                self.pin_tokens[dst] |= bit;
-                if value {
-                    self.pin_vals[dst] |= bit;
-                } else {
-                    self.pin_vals[dst] &= !bit;
-                }
+                self.pin_tokens[dst] |= 1u8 << pin;
+                L::pv_set(&mut self.pin_vals[dst], pin, value);
             }
             PlArcKind::Ack => self.ack_missing[dst] -= 1,
             PlArcKind::Efire => {}
@@ -708,7 +768,7 @@ impl<'a> PlSimulator<'a> {
                 trace.push(crate::trace::TraceEvent {
                     time: ticks_to_ns(self.now),
                     arc,
-                    value,
+                    value: value.lane(0),
                 });
             }
         }
@@ -766,10 +826,13 @@ impl<'a> PlSimulator<'a> {
                             },
                         );
                     }
-                    // Early production: trigger fired true, fast pins here.
+                    // Early production: trigger fired true (in EVERY lane —
+                    // the shared event flow can only commit to the early
+                    // path when all lanes' outputs are forced), fast pins
+                    // here.
                     if self.flags[g] & (F_PRODUCED | F_EARLY_SCHED) == 0
                         && efire_ready
-                        && self.values[efire]
+                        && self.values[efire].all()
                         && self.subset_ready(g)
                         && acks_ready
                     {
@@ -817,12 +880,18 @@ impl<'a> PlSimulator<'a> {
         self.pin_tokens[g] & m == m
     }
 
-    /// Evaluates the gate's function from its (complete) pins: the LUT
-    /// minterm index is the pin-value bitset plus the folded constants.
-    fn evaluate(&self, g: usize) -> bool {
+    /// Evaluates the gate's function from its (complete) pins for every
+    /// lane at once — for the scalar word this is the LUT shift-lookup of
+    /// the pre-lane engine, verbatim.
+    fn evaluate(&self, g: usize) -> L {
         debug_assert!(self.data_ready(g), "evaluate needs every pin token");
-        let m = self.pin_vals[g] & self.pin_tokens[g] | self.adj.const_value_bits(g);
-        (self.adj.eval_bits(g) >> m) & 1 == 1
+        L::eval(
+            self.adj.eval_bits(g),
+            &self.pin_vals[g],
+            self.pin_tokens[g],
+            self.adj.const_pin_mask(g),
+            self.adj.const_value_bits(g),
+        )
     }
 
     /// Consumes gate `g`'s data in-arcs (clearing its pin-token bits).
@@ -852,7 +921,7 @@ impl<'a> PlSimulator<'a> {
     /// Sends tokens on out-arcs; `data_value` is placed on value-carrying
     /// (data + efire) arcs, acks carry pure timing tokens. One batched
     /// queue event covers the whole firing (all arcs share the wire delay).
-    fn produce(&mut self, g: usize, data_value: bool, include_data: bool, include_acks: bool) {
+    fn produce(&mut self, g: usize, data_value: L, include_data: bool, include_acks: bool) {
         self.post(
             self.ticks.wire,
             EventKind::Tokens {
@@ -916,14 +985,16 @@ impl<'a> PlSimulator<'a> {
             self.evaluate(g)
         } else {
             // Early path: the trigger promised the known pins force the
-            // output; verify that promise.
-            let table = self.pl.gates()[g]
-                .table()
-                .expect("EE masters are logic gates");
-            let vars = self.pin_tokens[g] | self.adj.const_pin_mask(g);
-            let bits = (self.pin_vals[g] & self.pin_tokens[g]) | self.adj.const_value_bits(g);
-            let asg = compress_bits(bits, vars);
-            let Some(v) = table.forced_value(vars, asg) else {
+            // output (in every lane); verify that promise by enumerating
+            // the completions of the missing pins.
+            let Some(v) = L::forced(
+                self.adj.eval_bits(g),
+                &self.pin_vals[g],
+                self.pin_tokens[g],
+                self.adj.data_full_mask(g),
+                self.adj.const_pin_mask(g),
+                self.adj.const_value_bits(g),
+            ) else {
                 return Err(SimError::UnsoundTrigger {
                     master: PlGateId::from_index(g),
                 });
@@ -954,27 +1025,84 @@ impl<'a> PlSimulator<'a> {
         self.tokens[efire] = 0;
         self.flags[g] = 0;
         self.gen[g] += 1;
-        self.produce(g, false, false, true);
+        self.produce(g, L::splat(false), false, true);
         self.try_schedule(g);
         Ok(())
     }
 }
 
-/// Compresses the bits of `bits` selected by `mask` into the low bits of
-/// the result (a scalar PEXT over the ≤8-bit pin domain).
-fn compress_bits(bits: u8, mask: u8) -> u32 {
-    let mut out = 0u32;
-    let mut k = 0;
-    let mut m = mask;
-    while m != 0 {
-        let b = m.trailing_zeros();
-        if (bits >> b) & 1 == 1 {
-            out |= 1 << k;
+impl<'a> BatchSimulator<'a> {
+    /// Runs up to 64 independent vector streams in lockstep through this
+    /// one engine: stream `l` becomes lane `l`, round `r` of the shared
+    /// event flow carries round `r` of every stream, and each stream's
+    /// outputs come back as plain `bool` words, truncated to its own
+    /// length (streams may be ragged; exhausted lanes are padded with
+    /// all-false vectors, which never perturbs other lanes' values).
+    ///
+    /// Each returned [`StreamOutcome`]'s output words are bit-identical
+    /// to a scalar [`PlSimulator::run_stream`] over the same stream. The
+    /// timing fields describe the *shared* block schedule (one makespan
+    /// for the whole block; per-stream throughput is the stream's own
+    /// length over that makespan), which can differ from a scalar run's
+    /// timing — see the [module docs](self#the-lane-model).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `streams` is empty or holds more than 64 streams.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PlSimulator::run_stream`];
+    /// [`SimError::InputArityMismatch`] if any vector of any stream has
+    /// the wrong arity.
+    pub fn run_lanes(&mut self, streams: &[&[Vec<bool>]]) -> Result<Vec<StreamOutcome>, SimError> {
+        assert!(
+            !streams.is_empty() && streams.len() <= 64,
+            "a batch runs 1..=64 streams, got {}",
+            streams.len()
+        );
+        let n_in = self.pl.input_gates().len();
+        let rounds = streams.iter().map(|s| s.len()).max().unwrap_or(0);
+        let mut packed = Vec::with_capacity(rounds);
+        for r in 0..rounds {
+            let mut word = vec![0u64; n_in];
+            for (l, s) in streams.iter().enumerate() {
+                if r >= s.len() {
+                    continue; // exhausted lane: all-false padding
+                }
+                if s[r].len() != n_in {
+                    return Err(SimError::InputArityMismatch {
+                        got: s[r].len(),
+                        expected: n_in,
+                    });
+                }
+                for (p, &bit) in s[r].iter().enumerate() {
+                    word[p] |= u64::from(bit) << l;
+                }
+            }
+            packed.push(word);
         }
-        k += 1;
-        m &= m - 1;
+        let wide = self.run_stream(&packed)?;
+        Ok(streams
+            .iter()
+            .enumerate()
+            .map(|(l, s)| {
+                let outputs = wide.outputs[..s.len()]
+                    .iter()
+                    .map(|word| word.iter().map(|&w| w.lane(l)).collect())
+                    .collect();
+                StreamOutcome {
+                    outputs,
+                    makespan: wide.makespan,
+                    throughput: if wide.makespan > 0.0 {
+                        s.len() as f64 / wide.makespan
+                    } else {
+                        f64::INFINITY
+                    },
+                }
+            })
+            .collect())
     }
-    out
 }
 
 #[cfg(test)]
@@ -1194,6 +1322,21 @@ mod tests {
         assert_eq!(sim.run_vector(&[true]).unwrap().outputs, vec![true]);
     }
 
+    #[test]
+    fn run_vector_into_reuses_buffer_and_matches_run_vector() {
+        let pl = and_gate();
+        let mut sim_a = PlSimulator::new(&pl, DelayModel::default()).unwrap();
+        let mut sim_b = PlSimulator::new(&pl, DelayModel::default()).unwrap();
+        let mut scratch = Vec::new();
+        for ins in [[true, true], [true, false], [false, true], [true, true]] {
+            let r = sim_a.run_vector(&ins).unwrap();
+            let (latency, completed_at) = sim_b.run_vector_into(&ins, &mut scratch).unwrap();
+            assert_eq!(scratch, r.outputs);
+            assert_eq!(latency.to_bits(), r.latency.to_bits());
+            assert_eq!(completed_at.to_bits(), r.completed_at.to_bits());
+        }
+    }
+
     /// Differential: new engine vs the retained pre-refactor baseline, with
     /// and without EE, per-vector and streamed.
     #[test]
@@ -1226,6 +1369,53 @@ mod tests {
             let sr = ref_sim.run_stream(&vectors).unwrap();
             assert_eq!(sn.outputs, sr.outputs, "streamed outputs diverged");
             assert!((sn.makespan - sr.makespan).abs() < 1e-6);
+        }
+    }
+
+    /// The 64-lane batch engine vs sequential scalar runs on the ripple
+    /// adder, plain and EE, with ragged stream lengths.
+    #[test]
+    fn batch_lanes_match_sequential_scalar_on_adder() {
+        let bits = 5;
+        let sync = ripple(bits);
+        for netlist in [
+            PlNetlist::from_sync(&sync).unwrap(),
+            PlNetlist::from_sync(&sync)
+                .unwrap()
+                .with_early_evaluation(&EeOptions::default())
+                .into_netlist(),
+        ] {
+            let all = adder_vectors(bits);
+            // Ragged: stream l gets a different prefix length.
+            let streams: Vec<&[Vec<bool>]> =
+                (0..7).map(|l| &all[..all.len() - 2 * (l % 4)]).collect();
+            let mut batch = BatchSimulator::new(&netlist, DelayModel::default()).unwrap();
+            let got = batch.run_lanes(&streams).unwrap();
+            assert_eq!(got.len(), streams.len());
+            for (s, out) in streams.iter().zip(&got) {
+                let mut scalar = PlSimulator::new(&netlist, DelayModel::default()).unwrap();
+                let want = scalar.run_stream(s).unwrap();
+                assert_eq!(out.outputs, want.outputs, "a lane diverged from scalar");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_counter_shares_the_schedule() {
+        // A pure-DFF free-runner has no inputs: every lane must see the
+        // identical count sequence.
+        let mut n = Netlist::new("cnt");
+        let q0 = n.add_dff(false);
+        let n0 = n.add_not(q0).unwrap();
+        n.set_dff_input(q0, n0).unwrap();
+        n.set_output("q0", q0);
+        let pl = PlNetlist::from_sync(&n).unwrap();
+        let mut sim = BatchSimulator::new(&pl, DelayModel::default()).unwrap();
+        let stream: Vec<Vec<bool>> = vec![vec![]; 4];
+        let got = sim.run_lanes(&[&stream, &stream, &stream]).unwrap();
+        for out in &got {
+            let flat: Vec<bool> = out.outputs.iter().map(|w| w[0]).collect();
+            assert_eq!(flat, vec![false, true, false, true]);
         }
     }
 }

@@ -80,6 +80,15 @@ pub enum SimError {
         /// The version this build supports.
         supported: u32,
     },
+    /// A serialized checkpoint was written at a different lane width than
+    /// the simulator decoding it (scalar checkpoints restore only into
+    /// scalar simulators, 64-lane into 64-lane).
+    CheckpointLaneMismatch {
+        /// Lane count the encoding was written at.
+        found: u32,
+        /// Lane count of the decoding simulator.
+        expected: u32,
+    },
     /// A serialized checkpoint's identity digest (netlist fingerprint,
     /// delay-model digest, or a shape count) disagrees with the netlist /
     /// delay model it is being decoded against.
@@ -198,6 +207,13 @@ impl fmt::Display for SimError {
                     f,
                     "checkpoint version skew: encoded as format v{found}, this \
                      build supports v{supported}"
+                )
+            }
+            SimError::CheckpointLaneMismatch { found, expected } => {
+                write!(
+                    f,
+                    "checkpoint lane mismatch: encoded at {found} lane(s), \
+                     this simulator runs {expected} lane(s)"
                 )
             }
             SimError::CheckpointDigestMismatch {

@@ -51,6 +51,23 @@
 //! * [`LatencyStats`] aggregates per-vector latencies into the numbers the
 //!   benchmark harness prints.
 //!
+//! # Word-parallel batch simulation
+//!
+//! The engine is generic over a [`LaneWord`] payload: [`PlSimulator`] is
+//! the 1-lane (`bool`) instantiation, [`BatchSimulator`] the 64-lane
+//! (`u64`) one, which marches 64 independent input vectors through a
+//! *single* event flow — one schedule, one queue, with every gate
+//! evaluation computing all 64 lanes at once by bitwise cofactor
+//! reduction over the packed LUT truth table. This works because the
+//! token game (which gate fires when) is value-independent in a marked
+//! graph, so all lanes share the schedule and only the values are
+//! per-lane; see [`lane`] and the engine module docs for the invariants.
+//! [`BatchSimulator::run_lanes`] packs up to 64 scalar streams, runs them
+//! in lockstep, and unpacks per-lane outcomes that are bit-identical,
+//! vector for vector, to 64 sequential scalar runs. Batch sweeps
+//! ([`sweep_streams_batch`], [`sweep_sharded_batch`]) scatter whole
+//! 64-stream blocks across workers.
+//!
 //! # Example
 //!
 //! ```
@@ -78,6 +95,7 @@ pub mod checkpoint;
 mod delay;
 mod engine;
 mod error;
+pub mod lane;
 pub mod parallel;
 pub mod queue;
 pub mod reference;
@@ -87,13 +105,15 @@ pub mod trace;
 
 pub use checkpoint::{Fnv64, SimCheckpoint};
 pub use delay::{ns_to_ticks, ticks_to_ns, DelayModel, TickDelays, TICKS_PER_NS};
-pub use engine::{PlSimulator, StreamOutcome, VectorOutcome};
+pub use engine::{BatchSimulator, LaneSimulator, PlSimulator, StreamOutcome, VectorOutcome};
 pub use error::SimError;
+pub use lane::{pack_lanes, LaneWord};
 pub use parallel::{
     scatter_gather, sweep_pipelined, sweep_pipelined_with_queue, sweep_resumable,
-    sweep_resumable_with_faults, sweep_sharded, sweep_sharded_with_queue, sweep_streams,
-    sweep_streams_with_queue, FaultPlan, ResumableOptions, ResumableOutcome, SweepRecovery,
-    WindowFailure,
+    sweep_resumable_with_faults, sweep_sharded, sweep_sharded_batch,
+    sweep_sharded_batch_with_queue, sweep_sharded_with_queue, sweep_streams, sweep_streams_batch,
+    sweep_streams_batch_with_queue, sweep_streams_with_queue, FaultPlan, ResumableOptions,
+    ResumableOutcome, SweepRecovery, WindowFailure,
 };
 pub use queue::{EventQueue, QueueKind};
 pub use reference::ReferenceSimulator;

@@ -41,6 +41,14 @@
 //!   bounded budget before degrading to in-process execution — all while
 //!   staying bit-identical to [`PlSimulator::run_stream`].
 //!
+//! The independent-stream shapes also come in **batch** variants
+//! ([`sweep_streams_batch`], [`sweep_sharded_batch`]) that scatter whole
+//! 64-stream blocks, each block marched through a single
+//! [`BatchSimulator`] event flow with `u64` lane words — the unit of
+//! parallel work becomes 64 vectors instead of one, multiplying the
+//! throughput of both levels (threads × lanes) while staying
+//! bit-identical to the scalar sweeps.
+//!
 //! Every sweep shape also has a `_with_queue` variant
 //! ([`sweep_streams_with_queue`], [`sweep_sharded_with_queue`],
 //! [`sweep_pipelined_with_queue`]) selecting the event-queue backend
@@ -68,7 +76,7 @@ use pl_core::PlNetlist;
 
 use crate::checkpoint::SimCheckpoint;
 use crate::delay::{ticks_to_ns, DelayModel};
-use crate::engine::{PlSimulator, StreamOutcome};
+use crate::engine::{BatchSimulator, PlSimulator, StreamOutcome};
 use crate::error::SimError;
 use crate::queue::QueueKind;
 
@@ -253,6 +261,118 @@ pub fn sweep_sharded_with_queue(
     assert!(shard_len > 0, "shard_len must be at least 1");
     let shards: Vec<&[Vec<bool>]> = vectors.chunks(shard_len).collect();
     let outcomes = sweep_streams_with_queue(pl, delays, &shards, jobs, queue)?;
+    let mut merged = StreamOutcome {
+        outputs: Vec::with_capacity(vectors.len()),
+        makespan: 0.0,
+        throughput: f64::INFINITY,
+    };
+    for o in outcomes {
+        merged.outputs.extend(o.outputs);
+        merged.makespan = merged.makespan.max(o.makespan);
+    }
+    if merged.makespan > 0.0 {
+        merged.throughput = merged.outputs.len() as f64 / merged.makespan;
+    }
+    Ok(merged)
+}
+
+/// [`sweep_streams`] over the 64-lane batch engine: streams are packed
+/// into blocks of up to 64, each block marched through one
+/// [`BatchSimulator`] event flow ([`BatchSimulator::run_lanes`]), and the
+/// blocks scattered across up to `jobs` workers. Per-stream outcomes come
+/// back in stream order and are bit-identical, vector for vector, to
+/// [`sweep_streams`] over the same streams (the lane dimension never
+/// changes values — see [`crate::lane`]).
+///
+/// # Errors
+///
+/// Propagates the first failing block's error, by block index.
+pub fn sweep_streams_batch<S>(
+    pl: &PlNetlist,
+    delays: &DelayModel,
+    streams: &[S],
+    jobs: usize,
+) -> Result<Vec<StreamOutcome>, SimError>
+where
+    S: AsRef<[Vec<bool>]> + Sync,
+{
+    sweep_streams_batch_with_queue(pl, delays, streams, jobs, QueueKind::default())
+}
+
+/// [`sweep_streams_batch`] with an explicit event-queue backend for the
+/// block simulators (results are backend-invariant).
+///
+/// # Errors
+///
+/// Same conditions as [`sweep_streams_batch`].
+pub fn sweep_streams_batch_with_queue<S>(
+    pl: &PlNetlist,
+    delays: &DelayModel,
+    streams: &[S],
+    jobs: usize,
+    queue: QueueKind,
+) -> Result<Vec<StreamOutcome>, SimError>
+where
+    S: AsRef<[Vec<bool>]> + Sync,
+{
+    let blocks: Vec<&[S]> = streams.chunks(64).collect();
+    let per_block = scatter_gather(jobs, &blocks, |_, block| {
+        let lanes: Vec<&[Vec<bool>]> = block.iter().map(AsRef::as_ref).collect();
+        BatchSimulator::with_queue(pl, delays.clone(), queue)?.run_lanes(&lanes)
+    });
+    let mut outcomes = Vec::with_capacity(streams.len());
+    for block in per_block {
+        outcomes.extend(block?);
+    }
+    Ok(outcomes)
+}
+
+/// [`sweep_sharded`] over the 64-lane batch engine: one long vector
+/// stream split into `shard_len`-sized shards, the shards marched 64 at
+/// a time through [`BatchSimulator::run_lanes`], and the shard outcomes
+/// merged vector-index-ordered exactly like [`sweep_sharded`] (outputs
+/// concatenated, makespan = slowest shard). Shard boundaries depend only
+/// on the stream length and `shard_len`, so the merged outcome is
+/// bit-identical to [`sweep_sharded`] for every `jobs` value.
+///
+/// # Errors
+///
+/// Propagates the first failing block's error, by block index.
+///
+/// # Panics
+///
+/// Panics if `shard_len` is zero.
+pub fn sweep_sharded_batch(
+    pl: &PlNetlist,
+    delays: &DelayModel,
+    vectors: &[Vec<bool>],
+    shard_len: usize,
+    jobs: usize,
+) -> Result<StreamOutcome, SimError> {
+    sweep_sharded_batch_with_queue(pl, delays, vectors, shard_len, jobs, QueueKind::default())
+}
+
+/// [`sweep_sharded_batch`] with an explicit event-queue backend for the
+/// block simulators (results are backend-invariant).
+///
+/// # Errors
+///
+/// Propagates the first failing block's error, by block index.
+///
+/// # Panics
+///
+/// Panics if `shard_len` is zero.
+pub fn sweep_sharded_batch_with_queue(
+    pl: &PlNetlist,
+    delays: &DelayModel,
+    vectors: &[Vec<bool>],
+    shard_len: usize,
+    jobs: usize,
+    queue: QueueKind,
+) -> Result<StreamOutcome, SimError> {
+    assert!(shard_len > 0, "shard_len must be at least 1");
+    let shards: Vec<&[Vec<bool>]> = vectors.chunks(shard_len).collect();
+    let outcomes = sweep_streams_batch_with_queue(pl, delays, &shards, jobs, queue)?;
     let mut merged = StreamOutcome {
         outputs: Vec::with_capacity(vectors.len()),
         makespan: 0.0,
@@ -743,6 +863,76 @@ mod tests {
             .run_stream(&vecs)
             .unwrap();
         assert_eq!(single, direct);
+    }
+
+    /// The batch sweep must reproduce the scalar sweep bit for bit — for
+    /// any worker count, and across a 64-stream block boundary (65
+    /// streams → two blocks, the second holding a single lane) with
+    /// ragged stream lengths.
+    #[test]
+    fn batch_sweep_matches_scalar_sweep_across_block_boundary() {
+        let pl = xor_netlist();
+        let delays = DelayModel::default();
+        let streams: Vec<Vec<Vec<bool>>> = (0..65)
+            .map(|k| vectors(1 + k % 5, 0x1A4E + k as u64))
+            .collect();
+        let scalar = sweep_streams(&pl, &delays, &streams, 1).unwrap();
+        for jobs in [1, 2, 4] {
+            let batch = sweep_streams_batch(&pl, &delays, &streams, jobs).unwrap();
+            assert_eq!(batch.len(), scalar.len());
+            for (i, (b, s)) in batch.iter().zip(&scalar).enumerate() {
+                assert_eq!(b.outputs, s.outputs, "stream {i} diverged at jobs={jobs}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_sweep_empty_and_single_stream() {
+        let pl = xor_netlist();
+        let delays = DelayModel::default();
+        let empty: Vec<Vec<Vec<bool>>> = Vec::new();
+        assert!(sweep_streams_batch(&pl, &delays, &empty, 4)
+            .unwrap()
+            .is_empty());
+        let one = vec![vectors(7, 0xF00)];
+        let batch = sweep_streams_batch(&pl, &delays, &one, 4).unwrap();
+        let scalar = sweep_streams(&pl, &delays, &one, 1).unwrap();
+        assert_eq!(batch[0].outputs, scalar[0].outputs);
+    }
+
+    #[test]
+    fn sharded_batch_matches_sharded_outputs_for_all_worker_counts() {
+        let pl = xor_netlist();
+        let delays = DelayModel::default();
+        let vecs = vectors(143, 0xC0DE);
+        let baseline = sweep_sharded(&pl, &delays, &vecs, 5, 1).unwrap();
+        for jobs in [1, 2, 4] {
+            let batch = sweep_sharded_batch(&pl, &delays, &vecs, 5, jobs).unwrap();
+            assert_eq!(batch.outputs, baseline.outputs, "jobs={jobs} diverged");
+        }
+    }
+
+    #[test]
+    fn batch_errors_propagate_deterministically_by_block() {
+        let pl = xor_netlist();
+        let delays = DelayModel::default();
+        // Lane 1 of the first block is malformed; its arity error must
+        // win for every worker count.
+        let streams: Vec<Vec<Vec<bool>>> = vec![
+            vectors(3, 1),
+            vec![vec![true]],
+            vectors(3, 2),
+            vec![vec![false; 5]],
+        ];
+        for jobs in [1, 2, 4] {
+            match sweep_streams_batch(&pl, &delays, &streams, jobs) {
+                Err(SimError::InputArityMismatch {
+                    got: 1,
+                    expected: 2,
+                }) => {}
+                other => panic!("jobs={jobs}: expected the arity error, got {other:?}"),
+            }
+        }
     }
 
     #[test]

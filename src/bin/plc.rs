@@ -68,6 +68,11 @@ const SPEC: CliSpec = CliSpec {
             help: "stream the vectors through pipelined N-vector windows (checkpoint handoff across --jobs workers; reports makespan/throughput)",
         },
         OptSpec {
+            long: "--lanes",
+            value: Some("N"),
+            help: "stripe the vectors across 64 substreams and sweep them at lane width N: 1 = scalar engines, 64 = the word-parallel batch engine (outputs are bit-identical either way; prints a lane digest)",
+        },
+        OptSpec {
             long: "--queue",
             value: Some("KIND"),
             help: "event-queue backend for simulation: heap (default) or ladder (calendar queue; results are bit-identical either way)",
@@ -258,6 +263,7 @@ fn main() -> ExitCode {
         opts.queue = q;
     }
     opts.window = args.value_opt::<usize>("--window");
+    opts.lanes = args.value_opt::<usize>("--lanes");
     opts.checkpoint_dir = args.get("--checkpoint-dir").map(std::path::PathBuf::from);
     opts.resume = args.flag("--resume");
     opts.max_retries = args.value_or("--max-retries", opts.max_retries);
@@ -362,6 +368,13 @@ fn check_flag_consistency(
     if opts.window == Some(0) {
         return Err("--window must be at least 1".to_string());
     }
+    if let Some(lanes) = opts.lanes {
+        if lanes != 1 && lanes != 64 {
+            return Err(format!(
+                "--lanes {lanes} is not a supported width (1 = scalar engines, 64 = batch engine)"
+            ));
+        }
+    }
     // `--seed` feeds the simulate stage, except that a `--vcd` export
     // already consumes it at the phased stage.
     let (seed_stage, seed_stage_name) = if args.get("--vcd").is_some() {
@@ -369,7 +382,13 @@ fn check_flag_consistency(
     } else {
         (Stage::Simulate, "simulate")
     };
-    let needs: [(&str, bool, Stage, &str); 16] = [
+    let needs: [(&str, bool, Stage, &str); 17] = [
+        (
+            "--lanes",
+            args.get("--lanes").is_some(),
+            Stage::Simulate,
+            "simulate",
+        ),
         ("--no-lint", args.flag("--no-lint"), Stage::Lint, "lint"),
         (
             "--lint-level",
@@ -476,6 +495,18 @@ fn check_flag_consistency(
     if args.get("--checkpoint-dir").is_some() && args.get("--window").is_none() {
         return Err(
             "--checkpoint-dir requires --window (only the streamed sweep is resumable)".to_string(),
+        );
+    }
+    if args.get("--lanes").is_some() && args.get("--window").is_some() {
+        return Err(
+            "--lanes is mutually exclusive with --window (lane and streamed protocols differ)"
+                .to_string(),
+        );
+    }
+    if args.get("--lanes").is_some() && args.get("--checkpoint-dir").is_some() {
+        return Err(
+            "--lanes is mutually exclusive with --checkpoint-dir (the lane sweep is not resumable)"
+                .to_string(),
         );
     }
     if args.flag("--resume") && args.get("--checkpoint-dir").is_none() {
@@ -614,7 +645,21 @@ fn drive(
         "[simulate]  {} vectors, {} job(s), {} queue  ({:.3}s)",
         sim.report.vectors, sim.report.jobs, sim.report.queue, sim.report.secs,
     );
-    if let (Some(window), Some(stream_plain)) = (sim.report.window, &sim.stream_plain) {
+    if let Some(lanes) = sim.report.lanes {
+        // Lane protocol: the output words were reassembled from the 64
+        // striped substreams in vector order. The digest line is width-
+        // invariant by the lane-equivalence contract — the CI batch
+        // determinism smoke diffs it between --lanes 1 and --lanes 64.
+        println!(
+            "  lane protocol: {lanes}-lane engine{}",
+            if sim.stats_ee.is_some() {
+                "  (EE outputs bit-identical to plain)"
+            } else {
+                ""
+            }
+        );
+        print_lane_digest(&sim.outputs);
+    } else if let (Some(window), Some(stream_plain)) = (sim.report.window, &sim.stream_plain) {
         // Streamed protocol: one pipelined run per variant — makespan and
         // throughput are the metrics, plus a digest of the output words
         // (the CI determinism smoke diffs these lines across --jobs).
@@ -672,6 +717,24 @@ fn print_lint_stage(label: &str, stage: &pl_flow::LintStageReport) {
     for line in stage.report.to_text().lines() {
         println!("  {line}");
     }
+}
+
+/// Prints the lane protocol's deterministic FNV-1a digest over the
+/// reassembled output words, in vector order. The line carries no lane
+/// width on purpose: `--lanes 1` (64 scalar substream engines) and
+/// `--lanes 64` (one batch engine per block) must print the identical
+/// digest — the CI batch determinism smoke diffs exactly this line.
+fn print_lane_digest(words: &[Vec<bool>]) {
+    let mut digest = pl_sim::Fnv64::new();
+    for word in words {
+        for &b in word {
+            digest.mix(u64::from(b));
+        }
+    }
+    println!(
+        "  lane digest (64 substreams, vector order): {:#018x}",
+        digest.finish()
+    );
 }
 
 /// Prints one variant's streamed outcome with a deterministic FNV-1a

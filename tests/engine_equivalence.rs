@@ -606,6 +606,128 @@ fn pipelined_sweep_on_ladder_matches_heap_run_stream() {
     }
 }
 
+// ---- word-parallel batch-engine determinism ----------------------------
+//
+// The 64-lane batch engine (`pl_sim::BatchSimulator`) must be a pure
+// throughput optimization: `run_lanes` over up to 64 substreams is
+// bit-identical, output word for output word, to running each substream
+// on its own scalar simulator from the initial marking. (The contract
+// covers values only — the wide EE trigger fires only when *all* lanes
+// agree, so per-lane timing may differ from a scalar run.)
+
+use pl_sim::BatchSimulator;
+use proptest::prelude::*;
+
+/// Per-benchmark deterministic substream set: `lanes` substreams with
+/// ragged lengths (so short lanes exercise the all-false padding).
+fn lane_streams_for(pl: &PlNetlist, id: &str, lanes: usize) -> Vec<Vec<Vec<bool>>> {
+    (0..lanes)
+        .map(|k| {
+            vectors(
+                pl.input_gates().len(),
+                1 + k % 2,
+                seed_for(id, 0xBA7C_4000 + k as u64),
+            )
+        })
+        .collect()
+}
+
+/// Asserts one `run_lanes` call over `streams` reproduces, lane for lane,
+/// the per-substream scalar runs exactly.
+fn assert_batch_matches_scalar(pl: &PlNetlist, streams: &[Vec<Vec<bool>>], context: &str) {
+    let delays = DelayModel::default();
+    let lanes: Vec<&[Vec<bool>]> = streams.iter().map(Vec::as_slice).collect();
+    let batch = BatchSimulator::new(pl, delays.clone())
+        .expect("batch engine builds")
+        .run_lanes(&lanes)
+        .unwrap_or_else(|e| panic!("{context}: batch run failed: {e}"));
+    assert_eq!(batch.len(), streams.len(), "{context}: outcome count");
+    for (lane, (b, s)) in batch.iter().zip(streams).enumerate() {
+        let scalar = PlSimulator::new(pl, delays.clone())
+            .expect("builds")
+            .run_stream(s)
+            .expect("streams");
+        assert_eq!(
+            b.outputs, scalar.outputs,
+            "{context}: lane {lane} diverged from its scalar run"
+        );
+    }
+}
+
+/// Full 64-lane blocks across the whole ITC'99 suite — b01 through b15,
+/// plain and with EE — must match 64 sequential scalar runs bit for bit.
+#[test]
+fn batch_engine_bit_identical_on_itc99_suite() {
+    for bench in pl_itc99::catalog() {
+        let (plain, ee) = itc99_netlists(bench.id);
+        let streams = lane_streams_for(&plain, bench.id, 64);
+        assert_batch_matches_scalar(&plain, &streams, &format!("{} plain", bench.id));
+        assert_batch_matches_scalar(&ee, &streams, &format!("{} ee", bench.id));
+    }
+}
+
+/// Randomized netlists through the batch-vs-scalar harness, at partial
+/// lane occupancy (including empty substreams).
+#[test]
+fn batch_engine_bit_identical_on_random_netlists() {
+    let mut rng = Lcg::new(0xBA7C_4AE5_0000_0007);
+    let mut tested = 0;
+    while tested < 10 {
+        let Some(mapped) = random_mapped_netlist(&mut rng) else {
+            continue;
+        };
+        let plain = PlNetlist::from_sync(&mapped).expect("PL maps");
+        let ee = PlNetlist::from_sync(&mapped)
+            .expect("PL maps")
+            .with_early_evaluation(&EeOptions::default())
+            .into_netlist();
+        let lanes = 1 + (rng.next_u64() % 64) as usize;
+        let streams: Vec<Vec<Vec<bool>>> = (0..lanes)
+            .map(|k| vectors(mapped.inputs().len(), k % 5, rng.next_u64()))
+            .collect();
+        assert_batch_matches_scalar(&plain, &streams, "random plain");
+        assert_batch_matches_scalar(&ee, &streams, "random ee");
+        tested += 1;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// A batch sweep over a vector count NOT divisible by 64 never
+    /// panics: the final ragged block (and ragged substream lengths
+    /// inside it) must still match the scalar sweep exactly.
+    #[test]
+    fn ragged_batch_sweep_matches_scalar(
+        seed in any::<u64>(),
+        total in 1usize..200,
+        jobs in 1usize..5,
+    ) {
+        prop_assume!(total % 64 != 0);
+        let mut rng = Lcg::new(seed);
+        let mapped = random_mapped_netlist(&mut rng);
+        prop_assume!(mapped.is_some());
+        let mapped = mapped.unwrap();
+        let pl = PlNetlist::from_sync(&mapped).expect("PL maps");
+        let delays = DelayModel::default();
+        // Stripe `total` vectors 64 ways like the flow's lane protocol
+        // does — the last block is ragged by construction.
+        let all = vectors(mapped.inputs().len(), total, rng.next_u64());
+        let mut subs: Vec<Vec<Vec<bool>>> = vec![Vec::new(); 64];
+        for (i, v) in all.iter().enumerate() {
+            subs[i % 64].push(v.clone());
+        }
+        let batch = pl_sim::sweep_streams_batch(&pl, &delays, &subs, jobs)
+            .expect("batch sweep runs");
+        let scalar = pl_sim::sweep_streams(&pl, &delays, &subs, jobs)
+            .expect("scalar sweep runs");
+        prop_assert_eq!(batch.len(), scalar.len());
+        for (b, s) in batch.iter().zip(&scalar) {
+            prop_assert_eq!(&b.outputs, &s.outputs);
+        }
+    }
+}
+
 /// Golden tripwire: fixed vectors through b01 and b06 (plain + EE) must
 /// keep producing exactly these output/latency fingerprints. Guards future
 /// engine changes against silent semantic drift even if both engines are

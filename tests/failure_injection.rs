@@ -219,24 +219,24 @@ fn corrupt_checkpoint_bytes_are_rejected_typed() {
     let pl = PlNetlist::from_sync(&ripple(4)).unwrap();
     let delays = DelayModel::default();
     let bytes = mid_stream_checkpoint(&pl).to_bytes(&delays);
-    SimCheckpoint::from_bytes(&bytes, &pl, &delays).expect("pristine bytes decode");
+    SimCheckpoint::<bool>::from_bytes(&bytes, &pl, &delays).expect("pristine bytes decode");
 
     // A cut inside the fixed magic+version header is reported as
     // truncation; a longer cut still carries a (stale) trailer and is
     // caught by the whole-file CRC instead — rejected either way.
     assert!(matches!(
-        SimCheckpoint::from_bytes(&bytes[..7], &pl, &delays),
+        SimCheckpoint::<bool>::from_bytes(&bytes[..7], &pl, &delays),
         Err(SimError::CheckpointTruncated { .. })
     ));
     assert!(matches!(
-        SimCheckpoint::from_bytes(&bytes[..bytes.len() / 2], &pl, &delays),
+        SimCheckpoint::<bool>::from_bytes(&bytes[..bytes.len() / 2], &pl, &delays),
         Err(SimError::CheckpointTruncated { .. } | SimError::CheckpointChecksum { .. })
     ));
 
     let mut bad_magic = bytes.clone();
     bad_magic[0] ^= 0xFF;
     assert!(matches!(
-        SimCheckpoint::from_bytes(&bad_magic, &pl, &delays),
+        SimCheckpoint::<bool>::from_bytes(&bad_magic, &pl, &delays),
         Err(SimError::CheckpointBadMagic { .. })
     ));
 
@@ -245,7 +245,7 @@ fn corrupt_checkpoint_bytes_are_rejected_typed() {
     let mut skewed = bytes.clone();
     skewed[8] = 0xEE;
     assert!(matches!(
-        SimCheckpoint::from_bytes(&skewed, &pl, &delays),
+        SimCheckpoint::<bool>::from_bytes(&skewed, &pl, &delays),
         Err(SimError::CheckpointVersionSkew { .. })
     ));
 
@@ -253,7 +253,7 @@ fn corrupt_checkpoint_bytes_are_rejected_typed() {
     let mid = bytes.len() / 2;
     flipped[mid] ^= 0x10;
     assert!(matches!(
-        SimCheckpoint::from_bytes(&flipped, &pl, &delays),
+        SimCheckpoint::<bool>::from_bytes(&flipped, &pl, &delays),
         Err(SimError::CheckpointChecksum { .. })
     ));
 
@@ -261,7 +261,7 @@ fn corrupt_checkpoint_bytes_are_rejected_typed() {
     // refuses the replay.
     let other = PlNetlist::from_sync(&small_pipeline()).unwrap();
     assert!(matches!(
-        SimCheckpoint::from_bytes(&bytes, &other, &delays),
+        SimCheckpoint::<bool>::from_bytes(&bytes, &other, &delays),
         Err(SimError::CheckpointDigestMismatch { .. })
     ));
 }

@@ -128,7 +128,7 @@ proptest! {
         let pos = pos_sel % bytes.len();
         bytes[pos] ^= mask;
         prop_assert!(
-            SimCheckpoint::from_bytes(&bytes, &pl, &delays).is_err(),
+            SimCheckpoint::<bool>::from_bytes(&bytes, &pl, &delays).is_err(),
             "flip at byte {pos} (mask {mask:#04x}) decoded successfully"
         );
     }
@@ -144,7 +144,7 @@ proptest! {
         let bytes = ck.to_bytes(&delays);
         let len = len_sel % bytes.len(); // strictly shorter than the full encoding
         prop_assert!(
-            SimCheckpoint::from_bytes(&bytes[..len], &pl, &delays).is_err(),
+            SimCheckpoint::<bool>::from_bytes(&bytes[..len], &pl, &delays).is_err(),
             "truncation to {len} of {} bytes decoded successfully",
             bytes.len()
         );
@@ -157,7 +157,7 @@ proptest! {
         prop_assume!(built.is_some());
         let (pl, _) = built.unwrap();
         let delays = DelayModel::default();
-        prop_assert!(SimCheckpoint::from_bytes(&bytes, &pl, &delays).is_err());
+        prop_assert!(SimCheckpoint::<bool>::from_bytes(&bytes, &pl, &delays).is_err());
     }
 
     /// A pristine encoding refuses to decode under a different delay
@@ -171,6 +171,6 @@ proptest! {
         let delays = DelayModel::default();
         let bytes = ck.to_bytes(&delays);
         let skewed = delays.scaled(f64::from(scale));
-        prop_assert!(SimCheckpoint::from_bytes(&bytes, &pl, &skewed).is_err());
+        prop_assert!(SimCheckpoint::<bool>::from_bytes(&bytes, &pl, &skewed).is_err());
     }
 }
