@@ -1,6 +1,6 @@
 //! Machine-readable performance report: `BENCH_sim.json`,
 //! `BENCH_ee_search.json`, `BENCH_parallel.json`, `BENCH_pipeline.json`,
-//! `BENCH_queue.json` and `BENCH_batch.json`.
+//! `BENCH_queue.json`, `BENCH_batch.json` and `BENCH_eco.json`.
 //!
 //! This is the cross-PR perf trajectory tracker. It measures, in one run:
 //!
@@ -37,6 +37,12 @@
 //!   substreams run back to back on scalar simulators, on streamed
 //!   b14/b15 — every lane asserted bit-identical to its scalar run
 //!   before any timing is reported.
+//! * **Incremental recompilation** (`BENCH_eco.json`) — wall-clock of a
+//!   single-gate ECO edit recompiled through `pl_flow::EcoSession`
+//!   (cone-limited re-techmap, trigger-cache reuse, downstream skip) vs
+//!   a full `Pipeline::run` on the same edited netlist, on b14/b15 —
+//!   the session's artifacts asserted bit-identical to the scratch
+//!   compile before any timing is reported.
 //!
 //! Every file records the host CPU count and the `rustc -V` line it was
 //! measured under, so a cross-PR trajectory diff can tell a code change
@@ -169,7 +175,7 @@ fn host_meta_json() -> String {
 const SPEC: pl_flow::cli::CliSpec = pl_flow::cli::CliSpec {
     bin: "bench_report",
     about:
-        "write BENCH_sim.json, BENCH_ee_search.json, BENCH_parallel.json, BENCH_pipeline.json, BENCH_queue.json and BENCH_batch.json",
+        "write BENCH_sim.json, BENCH_ee_search.json, BENCH_parallel.json, BENCH_pipeline.json, BENCH_queue.json, BENCH_batch.json and BENCH_eco.json",
     positional: None,
     options: &[
         pl_flow::cli::OptSpec {
@@ -655,4 +661,111 @@ fn main() {
     batch_json.push_str("\n  ]\n}\n");
     std::fs::write("BENCH_batch.json", &batch_json).expect("write BENCH_batch.json");
     println!("wrote BENCH_batch.json");
+
+    // ---- BENCH_eco.json ------------------------------------------------
+    // Incremental recompilation vs from-scratch: a single-gate table edit
+    // on the two largest catalog designs, applied through an `EcoSession`
+    // (cone-limited re-techmap + trigger-cache reuse) and timed against a
+    // full `Pipeline::run` on the same edited netlist. Bit-identity of
+    // the session's artifacts with the scratch compile is asserted BEFORE
+    // any timing, so the file can only ever report a speedup on results
+    // that are exactly equal. Each timed rep alternates the table between
+    // the original and the flipped bits — re-applying an identical table
+    // would hit the downstream-skip path and time nothing.
+    let eco_vectors = if quick { 4 } else { 16 };
+    let eco_reps = if quick { 2 } else { 5 };
+    let mut eco_lines = Vec::new();
+    for id in ["b14", "b15"] {
+        let pipeline = pl_flow::Pipeline::new(FlowOptions {
+            vectors: eco_vectors,
+            verify: false,
+            ..FlowOptions::default()
+        });
+        let source = pl_flow::CircuitSource::catalog(id).expect("catalog id");
+        let mut session = pipeline.eco_session(&source).expect("compiles");
+        let lut = live_lut(session.netlist());
+        let orig = session
+            .netlist()
+            .node(lut)
+            .lut_table()
+            .expect("is a LUT")
+            .bits();
+        let edit = |bits: u64| {
+            [pl_flow::EcoEdit::ReplaceTable {
+                node: pl_flow::NodeRef::Id(lut.index()),
+                bits,
+            }]
+        };
+
+        // The equivalence gate: flip once, compare against scratch.
+        let out = session.apply_eco(&edit(orig ^ 1)).expect("eco applies");
+        let scratch = pipeline
+            .run(&pl_flow::CircuitSource::Netlist {
+                name: id.to_string(),
+                netlist: session.netlist().clone(),
+            })
+            .expect("scratch compile");
+        let art = session.artifacts();
+        assert_eq!(art.mapped, scratch.mapped, "{id}: mapped diverged");
+        assert_eq!(art.outputs, scratch.outputs, "{id}: outputs diverged");
+        assert_eq!(art.pairs, scratch.pairs, "{id}: EE pairs diverged");
+        let (cuts_reused, two_nodes) = (out.eco.cuts_reused, out.eco.two_nodes);
+        let (hits, misses) = (out.eco.trigger_hits, out.eco.trigger_misses);
+
+        let (mut inc_secs, mut full_secs) = (f64::INFINITY, f64::INFINITY);
+        for rep in 0..eco_reps {
+            let bits = if rep % 2 == 0 { orig } else { orig ^ 1 };
+            let t0 = Instant::now();
+            let o = session.apply_eco(&edit(bits)).expect("eco applies");
+            inc_secs = inc_secs.min(t0.elapsed().as_secs_f64());
+            std::hint::black_box(&o);
+            let t0 = Instant::now();
+            let r = pipeline
+                .run(&pl_flow::CircuitSource::Netlist {
+                    name: id.to_string(),
+                    netlist: session.netlist().clone(),
+                })
+                .expect("full recompile");
+            full_secs = full_secs.min(t0.elapsed().as_secs_f64());
+            std::hint::black_box(&r);
+        }
+        println!(
+            "{id}: eco single-gate edit ({eco_vectors} vectors, min of {eco_reps}) incremental {inc_secs:.3}s, full {full_secs:.3}s, speedup {:.2}x, cuts reused {cuts_reused}/{two_nodes}, cache {hits}h/{misses}m, bit-identical",
+            full_secs / inc_secs,
+        );
+        eco_lines.push(format!(
+            "    {{\"bench\": \"{id}\", \"vectors\": {eco_vectors}, \"reps\": {eco_reps}, \"incremental_secs\": {inc_secs:.6}, \"full_secs\": {full_secs:.6}, \"speedup\": {:.3}, \"cuts_reused\": {cuts_reused}, \"two_input_nodes\": {two_nodes}, \"trigger_cache_hits\": {hits}, \"trigger_cache_misses\": {misses}, \"bit_identical\": true}}",
+            full_secs / inc_secs,
+        ));
+    }
+    let mut eco_json = format!("{{\n{host_meta}");
+    let _ = writeln!(
+        eco_json,
+        "  \"note\": \"one single-gate table edit recompiled incrementally (EcoSession: cone-limited re-techmap, trigger-cache reuse) vs a full Pipeline::run on the same edited netlist; secs are the min over reps; bit_identical asserts the session's mapped netlist, outputs and EE pairs equal the scratch compile's before timing; the timed edit alternates tables so every apply recompiles instead of hitting the downstream-skip path\","
+    );
+    eco_json.push_str("  \"eco\": [\n");
+    eco_json.push_str(&eco_lines.join(",\n"));
+    eco_json.push_str("\n  ]\n}\n");
+    std::fs::write("BENCH_eco.json", &eco_json).expect("write BENCH_eco.json");
+    println!("wrote BENCH_eco.json");
+}
+
+/// The edit target for the ECO section: the highest-id LUT reachable
+/// backwards from the primary outputs and DFF data pins, so the flip is
+/// guaranteed to land in the mapper's demand cone.
+fn live_lut(n: &pl_netlist::Netlist) -> pl_netlist::NodeId {
+    let mut stack: Vec<pl_netlist::NodeId> = n.outputs().iter().map(|(_, id)| *id).collect();
+    stack.extend(n.dffs().iter().copied());
+    let mut seen = vec![false; n.len()];
+    let mut best: Option<pl_netlist::NodeId> = None;
+    while let Some(id) = stack.pop() {
+        if std::mem::replace(&mut seen[id.index()], true) {
+            continue;
+        }
+        if n.node(id).is_lut() && best.is_none_or(|b| id > b) {
+            best = Some(id);
+        }
+        stack.extend(n.node(id).fanins());
+    }
+    best.expect("design has a live LUT")
 }

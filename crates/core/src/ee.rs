@@ -42,7 +42,7 @@ impl Default for EeOptions {
 }
 
 /// One implemented master/trigger pair.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EePair {
     /// The master compute gate.
     pub master: PlGateId,
@@ -145,11 +145,35 @@ impl PlNetlist {
     ///
     /// Panics if early evaluation was already applied to this netlist.
     #[must_use]
-    pub fn with_early_evaluation(mut self, opts: &EeOptions) -> EeReport {
+    pub fn with_early_evaluation(self, opts: &EeOptions) -> EeReport {
+        let mut cache = TriggerCache::new();
+        self.with_early_evaluation_cached(opts, &mut cache)
+    }
+
+    /// Like [`PlNetlist::with_early_evaluation`], but sharing a caller-owned
+    /// [`TriggerCache`] so repeated compiles (threshold sweeps, incremental
+    /// recompilation) reuse trigger searches across runs: a LUT class whose
+    /// (function, arrival-signature) key was analyzed by *any* earlier run
+    /// re-verifies from the memo. The cache is pure — `search` results are
+    /// pinned identical to a direct search — so sharing it never changes
+    /// which pairs are selected. The report's hit/miss counts are the
+    /// *deltas* contributed by this run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if early evaluation was already applied to this netlist.
+    #[must_use]
+    pub fn with_early_evaluation_cached(
+        mut self,
+        opts: &EeOptions,
+        cache: &mut TriggerCache,
+    ) -> EeReport {
         assert!(
             self.gates().iter().all(|g| g.ee().is_none()),
             "early evaluation was already applied to this netlist"
         );
+        let hits_before = cache.hits();
+        let misses_before = cache.misses();
         let levels = self.arrival_levels();
         let logic_gates_before = self.num_logic_gates();
         let mut examined = 0usize;
@@ -157,7 +181,6 @@ impl PlNetlist {
         // Phase 1: candidate selection (independent of feedback arcs).
         // Structurally identical gates (same LUT class, same arrival
         // profile) share one memoized search.
-        let mut cache = TriggerCache::new();
         let mut selections: Vec<(PlGateId, TriggerCandidate)> = Vec::new();
         let gate_count = self.gates.len();
         for idx in 0..gate_count {
@@ -221,8 +244,8 @@ impl PlNetlist {
             pairs,
             examined,
             logic_gates_before,
-            cache_hits: cache.hits(),
-            cache_misses: cache.misses(),
+            cache_hits: cache.hits() - hits_before,
+            cache_misses: cache.misses() - misses_before,
         }
     }
 

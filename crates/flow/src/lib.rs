@@ -67,11 +67,13 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+mod eco;
 mod error;
 mod lint;
 mod pipeline;
 mod source;
 
+pub use eco::{EcoEdit, EcoOutcome, EcoReport, EcoSession, NodeRef};
 pub use error::FlowError;
 pub use lint::LintSession;
 pub use pipeline::{

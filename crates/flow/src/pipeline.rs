@@ -16,17 +16,63 @@
 //! only parallel step (the plain-vs-EE latency sweep in
 //! [`Pipeline::simulate`]) scatters whole deterministic measurements via
 //! [`pl_sim::parallel::scatter_gather`] and reorders them by index.
+//!
+//! # Artifact fingerprints and incremental invalidation
+//!
+//! Every compile-side artifact ([`Ingested`], [`Optimized`], [`Mapped`],
+//! [`Phased`]) carries a 64-bit content `fingerprint` of the design it
+//! holds. Fingerprints are pure functions of artifact *content* (never of
+//! timings), so equal fingerprints across two runs mean the downstream
+//! stages would recompute byte-identical results — which is what the
+//! incremental recompilation session ([`crate::EcoSession`]) exploits:
+//!
+//! * **Netlist edits** return a [`pl_netlist::DirtySet`] — the value cone
+//!   of the edit (fanout closure through registers) plus the edit frontier
+//!   (old/new fanins whose fanout counts changed, which matter to the
+//!   mapper's area-flow cost).
+//! * **Techmap is cone-recomputed**: nodes outside the *combinational
+//!   fanout closure* of the structurally touched nodes and the frontier
+//!   (cut lists depend only on comb fanin structure and fanout counts —
+//!   the register-crossing value cone is irrelevant to the mapper) keep
+//!   byte-identical decomposition segments, and their priority-cut lists
+//!   are translated from the
+//!   retained [`pl_techmap::MapMemo`] instead of re-enumerated
+//!   (bit-identical by construction — see
+//!   [`pl_techmap::cuts::enumerate_incremental`]). Cover extraction and
+//!   cleanup always run whole-netlist; they are cheap and demand-driven.
+//!   With [`FlowOptions::optimize`] on, structural hashing renumbers
+//!   globally, so the session falls back to a full re-map (still correct,
+//!   just no reuse).
+//! * **A stage is skipped outright** when its *input* artifact fingerprint
+//!   is unchanged: if the re-mapped netlist fingerprints (and compares)
+//!   equal to the retained one, the phased graph, early evaluation,
+//!   simulation and verification are all reused verbatim from the retained
+//!   artifacts. Feedback-arc planning and EE arrival levels are
+//!   graph-global, so the phased stage is never cone-spliced — it either
+//!   reuses wholesale or rebuilds completely.
+//! * **Trigger searches memoize across compiles**: the session threads one
+//!   [`pl_core::trigger::TriggerCache`] through every
+//!   [`Pipeline::early_eval_cached`] call, so untouched LUT classes
+//!   re-verify from the memo (`EeStageReport::cache_hits` counts this
+//!   run's hits; the cache is pure, so selection never changes).
+//!
+//! The incremental determinism contract: for any edit sequence, the
+//! incrementally recompiled pipeline is bit-identical — mapped netlist,
+//! phased graph, simulation outputs, EE pair statistics — to a
+//! from-scratch compile of the edited netlist (pinned over b01–b15 and
+//! random netlists in `tests/eco_equivalence.rs`).
 
 use std::path::PathBuf;
 use std::time::Instant;
 
 use pl_core::ee::{EeOptions, EePair};
+use pl_core::trigger::TriggerCache;
 use pl_core::PlNetlist;
 use pl_lint::{LintOptions, LintReport};
 use pl_netlist::blif::BlifNote;
 use pl_netlist::Netlist;
 use pl_sim::{DelayModel, LatencyStats, QueueKind, ResumableOptions, SweepRecovery};
-use pl_techmap::{map_with_report, MapOptions};
+use pl_techmap::{map_with_memo, MapMemo, MapOptions, MapReuseStats, ReusePlan};
 
 use crate::error::FlowError;
 use crate::source::CircuitSource;
@@ -162,6 +208,8 @@ pub struct Ingested {
     /// Ingest-time observations (e.g. undriven nets the BLIF source
     /// referenced), surfaced by the lint stage as `PL0009`.
     pub notes: Vec<BlifNote>,
+    /// Content fingerprint of `netlist` ([`Netlist::fingerprint`]).
+    pub fingerprint: u64,
     /// Stage report.
     pub report: IngestReport,
 }
@@ -195,6 +243,8 @@ pub struct Optimized {
     pub name: String,
     /// The (possibly cleaned) netlist.
     pub netlist: Netlist,
+    /// Content fingerprint of `netlist` ([`Netlist::fingerprint`]).
+    pub fingerprint: u64,
     /// Stage report.
     pub report: OptimizeReport,
 }
@@ -221,6 +271,10 @@ pub struct Mapped {
     pub name: String,
     /// The mapped netlist (every LUT ≤ the configured arity).
     pub netlist: Netlist,
+    /// Content fingerprint of `netlist` ([`Netlist::fingerprint`]). Equal
+    /// fingerprints (confirmed by an equality compare) let the ECO session
+    /// reuse every downstream artifact verbatim.
+    pub fingerprint: u64,
     /// Stage report.
     pub report: TechmapReport,
 }
@@ -245,6 +299,8 @@ pub struct Phased {
     pub name: String,
     /// The phased-logic netlist (no EE yet).
     pub netlist: PlNetlist,
+    /// Content fingerprint of `netlist` ([`PlNetlist::fingerprint`]).
+    pub fingerprint: u64,
     /// Stage report.
     pub report: PhasedReport,
 }
@@ -461,6 +517,7 @@ impl Pipeline {
         };
         Ok(Ingested {
             name: source.name(),
+            fingerprint: netlist.fingerprint(),
             netlist,
             notes,
             report,
@@ -539,6 +596,12 @@ impl Pipeline {
                 nodes_after: netlist.len(),
                 secs: t0.elapsed().as_secs_f64(),
             },
+            // Pass-through keeps the ingest fingerprint without rehashing.
+            fingerprint: if self.opts.optimize {
+                netlist.fingerprint()
+            } else {
+                ingested.fingerprint
+            },
             netlist,
         })
     }
@@ -550,10 +613,29 @@ impl Pipeline {
     ///
     /// Mapping and validation failures.
     pub fn techmap(&self, optimized: Optimized) -> Result<Mapped, FlowError> {
+        Ok(self.techmap_memoized(optimized, None)?.0)
+    }
+
+    /// Techmap with cross-compile memoization: returns the mapped artifact
+    /// plus the [`MapMemo`] to retain for the next incremental compile and
+    /// the reuse statistics of this one. `prev` is a retained memo plus a
+    /// clean-source correspondence plan (see
+    /// [`pl_techmap::map_with_memo`]); `None` maps from scratch.
+    /// [`Pipeline::techmap`] is the plain `None` wrapper.
+    ///
+    /// # Errors
+    ///
+    /// Mapping and validation failures.
+    pub fn techmap_memoized(
+        &self,
+        optimized: Optimized,
+        prev: Option<(&MapMemo, &ReusePlan)>,
+    ) -> Result<(Mapped, MapMemo, MapReuseStats), FlowError> {
         let t0 = Instant::now();
-        let mr = map_with_report(&optimized.netlist, &self.opts.map)?;
-        Ok(Mapped {
+        let (mr, memo, stats) = map_with_memo(&optimized.netlist, &self.opts.map, prev)?;
+        let mapped = Mapped {
             name: optimized.name,
+            fingerprint: mr.netlist.fingerprint(),
             netlist: mr.netlist,
             report: TechmapReport {
                 lut_size: self.opts.map.lut_size,
@@ -562,7 +644,8 @@ impl Pipeline {
                 depth: mr.depth,
                 secs: t0.elapsed().as_secs_f64(),
             },
-        })
+        };
+        Ok((mapped, memo, stats))
     }
 
     /// **Stage 4 — phased**: maps the synchronous LUT netlist one-to-one
@@ -584,6 +667,7 @@ impl Pipeline {
         };
         Ok(Phased {
             name: mapped.name.clone(),
+            fingerprint: netlist.fingerprint(),
             netlist,
             report,
         })
@@ -598,6 +682,18 @@ impl Pipeline {
     /// plain netlist through and reports zero pairs.
     #[must_use]
     pub fn early_eval(&self, phased: Phased) -> EarlyEvaled {
+        let mut cache = TriggerCache::new();
+        self.early_eval_cached(phased, &mut cache)
+    }
+
+    /// [`Pipeline::early_eval`] with a caller-owned trigger memo: the
+    /// search cache lives across calls, so an incremental recompile
+    /// answers trigger searches for untouched LUT classes from the memo
+    /// of the previous compile. The cache is pure — selection is
+    /// bit-identical to a fresh-cache run — and the stage report counts
+    /// only *this run's* hits and misses.
+    #[must_use]
+    pub fn early_eval_cached(&self, phased: Phased, cache: &mut TriggerCache) -> EarlyEvaled {
         let t0 = Instant::now();
         if !self.opts.ee_enabled {
             return EarlyEvaled {
@@ -616,7 +712,10 @@ impl Pipeline {
                 },
             };
         }
-        let report = phased.netlist.clone().with_early_evaluation(&self.opts.ee);
+        let report = phased
+            .netlist
+            .clone()
+            .with_early_evaluation_cached(&self.opts.ee, cache);
         let stage_report = EeStageReport {
             enabled: true,
             pairs: report.pairs().len(),

@@ -70,5 +70,5 @@ pub use diag::{
     catalog, escape_json, parse_json_line, CatalogEntry, Code, Diagnostic, LintOptions, LintReport,
     Severity,
 };
-pub use netlist::lint_netlist;
+pub use netlist::{active_blif_notes, lint_netlist};
 pub use pl::lint_pl;

@@ -14,6 +14,24 @@ use crate::diag::{Code, Collector, LintOptions, LintReport};
 /// eliding the rest.
 const MAX_LISTED: usize = 8;
 
+/// Filters ingest-time BLIF notes against the *current* netlist: a note
+/// about an undriven signal is only still live while no node carries that
+/// signal's name. ECO edits re-derive notes through this filter rather than
+/// carrying stale ones — an edit that splices in (and names) a driver for a
+/// previously undriven net silences its PL0009, and removing that driver
+/// again resurfaces it.
+#[must_use]
+pub fn active_blif_notes<'a>(netlist: &Netlist, notes: &'a [BlifNote]) -> Vec<&'a BlifNote> {
+    notes
+        .iter()
+        .filter(|note| {
+            !netlist
+                .iter()
+                .any(|(_, node)| node.name() == Some(note.signal.as_str()))
+        })
+        .collect()
+}
+
 /// Runs every netlist-level check and returns the findings.
 ///
 /// `notes` are ingest-time observations (e.g. from
@@ -37,7 +55,7 @@ pub fn lint_netlist(
     };
 
     // PL0009: ingest notes (undriven nets referenced by the source text).
-    for note in notes {
+    for note in active_blif_notes(netlist, notes) {
         c.push(
             Code::new(9),
             vec![note.signal.clone()],

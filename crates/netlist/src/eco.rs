@@ -1,0 +1,274 @@
+//! ECO (engineering change order) dirty-set tracking.
+//!
+//! Every netlist edit ([`Netlist::replace_lut_table`],
+//! [`Netlist::insert_lut`], [`Netlist::remove_gate`],
+//! [`Netlist::rewire_lut_input`]) returns a [`DirtySet`]: the set of nodes
+//! whose *value* can differ from the pre-edit netlist (the edited node's
+//! output cone, followed through flip-flops, since a changed `d` pin changes
+//! the register's next-state and therefore its readers), plus the edit's
+//! *frontier* — the old and new fanins of the edited node, whose fanout
+//! counts changed even though their values did not. Downstream consumers use
+//! the two parts differently:
+//!
+//! * the value cone (`nodes`) bounds what simulation/verification state can
+//!   change and which primary `outputs` are affected;
+//! * the frontier matters to cost models that read fanout counts (the
+//!   technology mapper's area-flow), so incremental recompilation must treat
+//!   the *combinational fanout closure* of `nodes ∪ frontier` as dirty even
+//!   where values are unchanged — see [`comb_fanout_closure`].
+//!
+//! The closure walk uses a visited set, so it terminates even on a netlist
+//! that an edit has just made cyclic (the subsequent
+//! [`Netlist::validate`] is what reports the cycle as a typed error).
+
+use std::collections::BTreeSet;
+
+use crate::graph::{Netlist, NodeId};
+
+/// The set of nodes invalidated by one or more netlist edits.
+///
+/// See the [module documentation](self) for the meaning of the parts.
+/// All sets are ordered (`BTreeSet`) so iteration — and everything derived
+/// from it — is deterministic.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DirtySet {
+    /// Nodes whose value can differ from the pre-edit netlist: the edited
+    /// nodes plus their fanout closure, followed through flip-flops.
+    nodes: BTreeSet<NodeId>,
+    /// Old and new fanins of the edited nodes: values unchanged, fanout
+    /// counts changed.
+    frontier: BTreeSet<NodeId>,
+    /// Flip-flops inside `nodes` — the phase boundaries the dirty cone
+    /// crosses.
+    boundary_dffs: BTreeSet<NodeId>,
+    /// Primary-output port names driven from inside `nodes`.
+    outputs: BTreeSet<String>,
+}
+
+impl DirtySet {
+    /// An empty dirty set (nothing invalidated).
+    #[must_use]
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Computes the dirty set for value-changing `seeds` and fanout-changing
+    /// `frontier` nodes over `netlist`.
+    ///
+    /// The value cone is the fanout closure of `seeds`, crossing flip-flops:
+    /// a register whose `d` pin is dirty is itself dirty (next-state
+    /// changes), and the walk continues through its readers. Ids not present
+    /// in `netlist` are ignored, so the helper can be called with
+    /// pre-removal ids after a batch of edits.
+    #[must_use]
+    pub fn compute(netlist: &Netlist, seeds: &[NodeId], frontier: &[NodeId]) -> Self {
+        // Reader adjacency: `readers[src]` lists every node whose fanins
+        // (LUT pins or DFF `d`) include `src`.
+        let mut readers: Vec<Vec<NodeId>> = vec![Vec::new(); netlist.len()];
+        for (id, node) in netlist.iter() {
+            for f in node.fanins() {
+                if f.index() < readers.len() {
+                    readers[f.index()].push(id);
+                }
+            }
+        }
+        let mut nodes = BTreeSet::new();
+        let mut boundary_dffs = BTreeSet::new();
+        let mut work: Vec<NodeId> = Vec::new();
+        for &s in seeds {
+            if s.index() < netlist.len() && nodes.insert(s) {
+                work.push(s);
+            }
+        }
+        while let Some(id) = work.pop() {
+            if netlist.node(id).is_dff() {
+                boundary_dffs.insert(id);
+            }
+            for &r in &readers[id.index()] {
+                if nodes.insert(r) {
+                    work.push(r);
+                }
+            }
+        }
+        let outputs = netlist
+            .outputs()
+            .iter()
+            .filter(|(_, n)| nodes.contains(n))
+            .map(|(name, _)| name.clone())
+            .collect();
+        let frontier = frontier
+            .iter()
+            .copied()
+            .filter(|f| f.index() < netlist.len())
+            .collect();
+        Self {
+            nodes,
+            frontier,
+            boundary_dffs,
+            outputs,
+        }
+    }
+
+    /// Nodes whose value can differ from the pre-edit netlist.
+    #[must_use]
+    pub fn nodes(&self) -> &BTreeSet<NodeId> {
+        &self.nodes
+    }
+
+    /// Old/new fanins of the edited nodes (fanout counts changed).
+    #[must_use]
+    pub fn frontier(&self) -> &BTreeSet<NodeId> {
+        &self.frontier
+    }
+
+    /// Flip-flops the dirty cone crosses.
+    #[must_use]
+    pub fn boundary_dffs(&self) -> &BTreeSet<NodeId> {
+        &self.boundary_dffs
+    }
+
+    /// Primary-output port names affected by the edit.
+    #[must_use]
+    pub fn outputs(&self) -> &BTreeSet<String> {
+        &self.outputs
+    }
+
+    /// Whether nothing at all was invalidated.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty() && self.frontier.is_empty()
+    }
+
+    /// Merges `other` into `self` (union of every part).
+    pub fn union(&mut self, other: &DirtySet) {
+        self.nodes.extend(other.nodes.iter().copied());
+        self.frontier.extend(other.frontier.iter().copied());
+        self.boundary_dffs
+            .extend(other.boundary_dffs.iter().copied());
+        self.outputs.extend(other.outputs.iter().cloned());
+    }
+}
+
+/// The *combinational* fanout closure of `seeds`: every node reachable from
+/// a seed through LUT pins without crossing a flip-flop, plus the seeds
+/// themselves (when present in `netlist`).
+///
+/// This is the invalidation set incremental technology mapping uses: a node
+/// outside this closure has a byte-identical decomposition, identical cut
+/// candidates and identical area-flow inputs, so its mapping state can be
+/// reused verbatim. Registers clip the walk because the mapper decomposes
+/// and enumerates cuts per combinational cone only.
+#[must_use]
+pub fn comb_fanout_closure(netlist: &Netlist, seeds: &[NodeId]) -> BTreeSet<NodeId> {
+    let mut readers: Vec<Vec<NodeId>> = vec![Vec::new(); netlist.len()];
+    for (id, node) in netlist.iter() {
+        if node.is_lut() {
+            for f in node.fanins() {
+                readers[f.index()].push(id);
+            }
+        }
+    }
+    let mut closure = BTreeSet::new();
+    let mut work: Vec<NodeId> = Vec::new();
+    for &s in seeds {
+        if s.index() < netlist.len() && closure.insert(s) {
+            work.push(s);
+        }
+    }
+    while let Some(id) = work.pop() {
+        for &r in &readers[id.index()] {
+            if closure.insert(r) {
+                work.push(r);
+            }
+        }
+    }
+    closure
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// a -> x -> dff -> y -> out; editing x dirties x, the dff, y and the
+    /// output, and the dff lands in `boundary_dffs`.
+    #[test]
+    fn cone_crosses_registers_and_reaches_outputs() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let x = n.add_not(a).unwrap();
+        let dff = n.add_dff(false);
+        n.set_dff_input(dff, x).unwrap();
+        let y = n.add_not(dff).unwrap();
+        n.set_output("f", y);
+
+        let d = DirtySet::compute(&n, &[x], &[a]);
+        assert!(d.nodes().contains(&x));
+        assert!(d.nodes().contains(&dff));
+        assert!(d.nodes().contains(&y));
+        assert!(!d.nodes().contains(&a));
+        assert_eq!(
+            d.boundary_dffs().iter().copied().collect::<Vec<_>>(),
+            vec![dff]
+        );
+        assert_eq!(d.outputs().iter().cloned().collect::<Vec<_>>(), vec!["f"]);
+        assert!(d.frontier().contains(&a));
+    }
+
+    /// The combinational closure stops at registers; the value cone does not.
+    #[test]
+    fn comb_closure_clips_at_registers() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let x = n.add_not(a).unwrap();
+        let dff = n.add_dff(false);
+        n.set_dff_input(dff, x).unwrap();
+        let y = n.add_not(dff).unwrap();
+        n.set_output("f", y);
+
+        let c = comb_fanout_closure(&n, &[x]);
+        assert!(c.contains(&x));
+        assert!(!c.contains(&dff));
+        assert!(!c.contains(&y));
+    }
+
+    /// The closure walk terminates on a cyclic netlist (the cycle is
+    /// reported later by `validate`, not here).
+    #[test]
+    fn closure_terminates_on_cycles() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let x = n.add_and2(a, a).unwrap();
+        let y = n.add_and2(x, a).unwrap();
+        // Make x read y: a combinational cycle x <-> y.
+        let d = n.rewire_lut_input(x, 0, y).unwrap();
+        assert!(d.nodes().contains(&x));
+        assert!(d.nodes().contains(&y));
+        assert!(n.validate().is_err());
+    }
+
+    /// Union merges every component.
+    #[test]
+    fn union_merges_parts() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let x = n.add_not(a).unwrap();
+        let y = n.add_not(b).unwrap();
+        n.set_output("fx", x);
+        n.set_output("fy", y);
+        let mut d = DirtySet::compute(&n, &[x], &[a]);
+        let d2 = DirtySet::compute(&n, &[y], &[b]);
+        d.union(&d2);
+        assert!(d.nodes().contains(&x) && d.nodes().contains(&y));
+        assert!(d.frontier().contains(&a) && d.frontier().contains(&b));
+        assert_eq!(d.outputs().len(), 2);
+    }
+
+    /// An empty dirty set reports empty.
+    #[test]
+    fn empty_is_empty() {
+        assert!(DirtySet::empty().is_empty());
+        let n = Netlist::new("t");
+        assert!(DirtySet::compute(&n, &[], &[]).is_empty());
+    }
+}

@@ -38,6 +38,17 @@ pub enum NetlistError {
         /// The LUT's actual fanin count.
         arity: usize,
     },
+    /// `remove_gate` was called on a primary input; ports are part of the
+    /// design interface and cannot be removed by an ECO edit.
+    RemoveInput(NodeId),
+    /// `remove_gate` was called on a node that is still referenced.
+    RemoveInUse {
+        /// The node that was asked to be removed.
+        node: NodeId,
+        /// A human-readable description of one remaining user (a primary
+        /// output, LUT or flip-flop).
+        user: String,
+    },
     /// A flip-flop was left without a driver.
     UndrivenDff(NodeId),
     /// The combinational part of the netlist contains a cycle; `path` is
@@ -85,6 +96,15 @@ impl fmt::Display for NetlistError {
             NetlistError::NotALut(id) => write!(f, "node {id} is not a LUT"),
             NetlistError::LutPinOutOfRange { node, pin, arity } => {
                 write!(f, "LUT {node} has no pin {pin} (arity {arity})")
+            }
+            NetlistError::RemoveInput(id) => {
+                write!(
+                    f,
+                    "primary input {id} cannot be removed: ports are part of the interface"
+                )
+            }
+            NetlistError::RemoveInUse { node, user } => {
+                write!(f, "node {node} cannot be removed: still read by {user}")
             }
             NetlistError::UndrivenDff(id) => write!(f, "flip-flop {id} has no driver"),
             NetlistError::CombinationalLoop { path } => {

@@ -4,8 +4,34 @@ use std::fmt;
 
 use pl_boolfn::TruthTable;
 
+use crate::eco::DirtySet;
 use crate::error::NetlistError;
 use crate::node::{Node, NodeKind, MAX_LUT_ARITY};
+
+/// Minimal FNV-1a accumulator for [`Netlist::fingerprint`].
+struct Fnv(u64);
+
+impl Fnv {
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+        // Length terminator so concatenated fields cannot alias.
+        self.word(bytes.len() as u64);
+    }
+
+    fn word(&mut self, w: u64) {
+        self.bytes_no_len(&w.to_le_bytes());
+    }
+
+    fn bytes_no_len(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+}
 
 /// Identifier of a node inside one [`Netlist`].
 ///
@@ -153,10 +179,14 @@ impl Netlist {
     }
 
     /// Rewires one fanin pin of an existing LUT to a different source node
-    /// (an ECO-style edit). Unlike the creation-order construction API this
+    /// (an ECO edit). Unlike the creation-order construction API this
     /// **can introduce a combinational cycle** — [`Netlist::validate`] and
     /// the `pl-lint` pass report such a cycle with its concrete path, which
     /// is exactly what their regression tests use this method for.
+    ///
+    /// Returns the [`DirtySet`] of the edit: the LUT's output cone (through
+    /// registers) as the value cone, with the old and new source on the
+    /// frontier.
     ///
     /// # Errors
     ///
@@ -168,23 +198,218 @@ impl Netlist {
         lut: NodeId,
         pin: usize,
         src: NodeId,
-    ) -> Result<(), NetlistError> {
+    ) -> Result<DirtySet, NetlistError> {
         self.check(src)?;
         self.check(lut)?;
-        match &mut self.nodes[lut.index()].kind {
+        let old = match &mut self.nodes[lut.index()].kind {
             NodeKind::Lut { inputs, .. } => match inputs.get_mut(pin) {
                 Some(slot) => {
+                    let old = *slot;
                     *slot = src;
-                    Ok(())
+                    old
                 }
-                None => Err(NetlistError::LutPinOutOfRange {
-                    node: lut,
-                    pin,
-                    arity: inputs.len(),
-                }),
+                None => {
+                    return Err(NetlistError::LutPinOutOfRange {
+                        node: lut,
+                        pin,
+                        arity: inputs.len(),
+                    })
+                }
             },
-            _ => Err(NetlistError::NotALut(lut)),
+            _ => return Err(NetlistError::NotALut(lut)),
+        };
+        Ok(DirtySet::compute(self, &[lut], &[old, src]))
+    }
+
+    /// Replaces the truth table of an existing LUT (an ECO edit). The new
+    /// table must have the same arity as the LUT's fanin count.
+    ///
+    /// Returns the [`DirtySet`] of the edit: the LUT's output cone as the
+    /// value cone, with its (unchanged) fanins on the frontier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownNode`] for a missing id,
+    /// [`NetlistError::NotALut`] if `lut` is not a LUT, or
+    /// [`NetlistError::ArityMismatch`] if the table arity differs from the
+    /// fanin count.
+    pub fn replace_lut_table(
+        &mut self,
+        lut: NodeId,
+        table: TruthTable,
+    ) -> Result<DirtySet, NetlistError> {
+        self.check(lut)?;
+        let frontier = match &mut self.nodes[lut.index()].kind {
+            NodeKind::Lut {
+                table: slot,
+                inputs,
+            } => {
+                if table.num_vars() != inputs.len() {
+                    return Err(NetlistError::ArityMismatch {
+                        table_vars: table.num_vars(),
+                        fanins: inputs.len(),
+                    });
+                }
+                *slot = table;
+                inputs.clone()
+            }
+            _ => return Err(NetlistError::NotALut(lut)),
+        };
+        Ok(DirtySet::compute(self, &[lut], &frontier))
+    }
+
+    /// Adds a new LUT as an ECO edit, returning its id and the edit's
+    /// [`DirtySet`]. The fresh node has no readers yet, so the value cone is
+    /// just the node itself; its fanins land on the frontier (their fanout
+    /// counts grew). Follow up with [`Netlist::rewire_lut_input`] /
+    /// [`Netlist::set_dff_input`] / [`Netlist::set_output`] to splice it in.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Netlist::add_lut`].
+    pub fn insert_lut(
+        &mut self,
+        table: TruthTable,
+        inputs: Vec<NodeId>,
+    ) -> Result<(NodeId, DirtySet), NetlistError> {
+        let frontier = inputs.clone();
+        let id = self.add_lut(table, inputs)?;
+        let dirty = DirtySet::compute(self, &[id], &frontier);
+        Ok((id, dirty))
+    }
+
+    /// Removes an *unreferenced* gate (LUT, constant or flip-flop) from the
+    /// netlist (an ECO edit). Node ids above the removed node shift down by
+    /// one — the caller owns translating any ids it retains (the shift is
+    /// `id > removed ⇒ id - 1`).
+    ///
+    /// Removing dead logic changes no values, so the returned [`DirtySet`]
+    /// has an empty value cone; the removed node's old fanins are on the
+    /// frontier (their fanout counts shrank), already expressed in the
+    /// *post-removal* id space.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownNode`] for a missing id,
+    /// [`NetlistError::RemoveInput`] for a primary input (ports are part of
+    /// the interface), or [`NetlistError::RemoveInUse`] if the node still
+    /// drives a primary output, a LUT pin or a flip-flop — the error names
+    /// one concrete user.
+    pub fn remove_gate(&mut self, node: NodeId) -> Result<DirtySet, NetlistError> {
+        self.check(node)?;
+        if self.nodes[node.index()].is_input() {
+            return Err(NetlistError::RemoveInput(node));
         }
+        if let Some((name, _)) = self.outputs.iter().find(|(_, n)| *n == node) {
+            return Err(NetlistError::RemoveInUse {
+                node,
+                user: format!("primary output '{name}'"),
+            });
+        }
+        for (id, n) in self.iter() {
+            if id != node && n.fanins().contains(&node) {
+                let what = if n.is_dff() { "flip-flop" } else { "LUT" };
+                return Err(NetlistError::RemoveInUse {
+                    node,
+                    user: format!("{what} {id}"),
+                });
+            }
+        }
+        let frontier: Vec<NodeId> = self.nodes[node.index()].fanins();
+        self.nodes.remove(node.index());
+        let shift = |id: NodeId| {
+            if id > node {
+                NodeId::from_index(id.index() - 1)
+            } else {
+                id
+            }
+        };
+        for n in &mut self.nodes {
+            match &mut n.kind {
+                NodeKind::Lut { inputs, .. } => {
+                    for slot in inputs {
+                        *slot = shift(*slot);
+                    }
+                }
+                NodeKind::Dff { d, .. } => {
+                    if let Some(d) = d {
+                        *d = shift(*d);
+                    }
+                }
+                NodeKind::Input { .. } | NodeKind::Const { .. } => {}
+            }
+        }
+        self.inputs = self.inputs.iter().map(|&i| shift(i)).collect();
+        self.dffs = self
+            .dffs
+            .iter()
+            .filter(|&&f| f != node)
+            .map(|&f| shift(f))
+            .collect();
+        for (_, n) in &mut self.outputs {
+            *n = shift(*n);
+        }
+        let frontier: Vec<NodeId> = frontier.into_iter().map(shift).collect();
+        Ok(DirtySet::compute(self, &[], &frontier))
+    }
+
+    /// A 64-bit FNV-1a fingerprint of the netlist's full content: name,
+    /// every node (kind, table bits, fanins, debug name), the input/dff
+    /// declaration order and the named outputs. Two netlists compare equal
+    /// iff their construction histories produce identical content, so equal
+    /// fingerprints are a reliable cheap proxy for [`PartialEq`] (modulo
+    /// 64-bit collisions) — the flow uses them to decide whether a stage
+    /// artifact can be reused verbatim.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv(0xcbf2_9ce4_8422_2325);
+        h.bytes(self.name.as_bytes());
+        h.word(self.nodes.len() as u64);
+        for n in &self.nodes {
+            match &n.kind {
+                NodeKind::Input { name } => {
+                    h.word(1);
+                    h.bytes(name.as_bytes());
+                }
+                NodeKind::Const { value } => {
+                    h.word(2);
+                    h.word(u64::from(*value));
+                }
+                NodeKind::Lut { table, inputs } => {
+                    h.word(3);
+                    h.word(table.num_vars() as u64);
+                    h.word(table.bits());
+                    h.word(inputs.len() as u64);
+                    for i in inputs {
+                        h.word(i.index() as u64);
+                    }
+                }
+                NodeKind::Dff { d, init } => {
+                    h.word(4);
+                    h.word(d.map_or(u64::MAX, |d| d.index() as u64));
+                    h.word(u64::from(*init));
+                }
+            }
+            match &n.name {
+                Some(name) => {
+                    h.word(5);
+                    h.bytes(name.as_bytes());
+                }
+                None => h.word(6),
+            }
+        }
+        for &i in &self.inputs {
+            h.word(i.index() as u64);
+        }
+        for &f in &self.dffs {
+            h.word(f.index() as u64);
+        }
+        h.word(self.outputs.len() as u64);
+        for (name, n) in &self.outputs {
+            h.bytes(name.as_bytes());
+            h.word(n.index() as u64);
+        }
+        h.0
     }
 
     /// Swaps a LUT's truth table **without** the arity check — fault
@@ -496,5 +721,83 @@ mod tests {
     #[test]
     fn display_node_id() {
         assert_eq!(NodeId::from_index(7).to_string(), "n7");
+    }
+
+    #[test]
+    fn replace_lut_table_checks_arity_and_returns_cone() {
+        let mut n = Netlist::new("eco");
+        let a = n.add_input("a");
+        let g = n.add_not(a).unwrap();
+        let h = n.add_not(g).unwrap();
+        n.set_output("f", h);
+        assert_eq!(
+            n.replace_lut_table(g, TruthTable::from_bits(2, 0b1000)),
+            Err(NetlistError::ArityMismatch {
+                table_vars: 2,
+                fanins: 1
+            })
+        );
+        let d = n.replace_lut_table(g, TruthTable::var(1, 0)).unwrap();
+        assert!(d.nodes().contains(&g) && d.nodes().contains(&h));
+        assert!(d.frontier().contains(&a));
+        assert_eq!(d.outputs().iter().cloned().collect::<Vec<_>>(), vec!["f"]);
+        assert_eq!(n.node(g).lut_table().unwrap().bits(), 0b10);
+    }
+
+    #[test]
+    fn insert_lut_starts_unreferenced() {
+        let mut n = Netlist::new("eco");
+        let a = n.add_input("a");
+        let (id, d) = n
+            .insert_lut(TruthTable::from_bits(1, 0b01), vec![a])
+            .unwrap();
+        assert_eq!(d.nodes().iter().copied().collect::<Vec<_>>(), vec![id]);
+        assert!(d.frontier().contains(&a));
+        assert!(d.outputs().is_empty());
+    }
+
+    #[test]
+    fn remove_gate_shifts_ids_and_rejects_referenced_nodes() {
+        let mut n = Netlist::new("eco");
+        let a = n.add_input("a");
+        let dead = n.add_not(a).unwrap();
+        let live = n.add_not(a).unwrap();
+        n.set_output("f", live);
+        // The output driver and the input are not removable.
+        assert!(matches!(
+            n.remove_gate(live),
+            Err(NetlistError::RemoveInUse { node, .. }) if node == live
+        ));
+        assert_eq!(n.remove_gate(a), Err(NetlistError::RemoveInput(a)));
+        // Removing the dead LUT shifts `live` down by one and rewrites the
+        // output reference.
+        let d = n.remove_gate(dead).unwrap();
+        assert!(d.nodes().is_empty());
+        assert!(d.frontier().contains(&a));
+        assert_eq!(n.len(), 2);
+        let new_live = n.outputs()[0].1;
+        assert_eq!(new_live, NodeId::from_index(1));
+        assert_eq!(n.node(new_live).fanins(), vec![a]);
+        n.validate().unwrap();
+        // A flip-flop reading the victim also blocks removal.
+        let g = n.add_not(a).unwrap();
+        let dff = n.add_dff(false);
+        n.set_dff_input(dff, g).unwrap();
+        assert!(matches!(
+            n.remove_gate(g),
+            Err(NetlistError::RemoveInUse { .. })
+        ));
+    }
+
+    #[test]
+    fn fingerprint_tracks_content() {
+        let mut n = Netlist::new("fp");
+        let a = n.add_input("a");
+        let g = n.add_not(a).unwrap();
+        n.set_output("f", g);
+        let before = n.fingerprint();
+        assert_eq!(before, n.clone().fingerprint());
+        n.replace_lut_table(g, TruthTable::var(1, 0)).unwrap();
+        assert_ne!(before, n.fingerprint());
     }
 }

@@ -43,6 +43,7 @@
 
 pub mod analyze;
 pub mod blif;
+pub mod eco;
 mod error;
 pub mod eval;
 mod graph;
@@ -51,6 +52,7 @@ pub mod opt;
 pub mod scc;
 pub mod verilog;
 
+pub use eco::DirtySet;
 pub use error::NetlistError;
 pub use graph::{Netlist, NodeId};
 pub use node::{Node, NodeKind, MAX_LUT_ARITY};

@@ -91,42 +91,8 @@ pub fn enumerate(netlist: &Netlist, opts: &CutOptions) -> Result<CutDatabase, Ne
         let i = id.index();
         match netlist.node(id).kind() {
             NodeKind::Lut { inputs, .. } => {
-                let mut candidates: Vec<Cut> = Vec::new();
-                let fanin_cutlists: Vec<&[Cut]> = inputs
-                    .iter()
-                    .map(|f| db.cuts[f.index()].as_slice())
-                    .collect();
-                merge_fanins(&fanin_cutlists, opts.k, &mut candidates);
-                // Finalize costs: depth = 1 + max leaf depth; area-flow =
-                // (1000 + Σ leaf flow/fanout) approximation.
-                for c in &mut candidates {
-                    c.depth = 1 + c
-                        .leaves
-                        .iter()
-                        .map(|l| db.depth[l.index()])
-                        .max()
-                        .unwrap_or(0);
-                    c.area_flow = 1000
-                        + c.leaves
-                            .iter()
-                            .map(|l| {
-                                let fo = fanouts[l.index()].len().max(1) as u64;
-                                leaf_flow(&db, l.index()) / fo
-                            })
-                            .sum::<u64>();
-                }
-                // The trivial cut (the node itself as a leaf) is only useful
-                // for *fanouts* of this node, not for implementing it; store
-                // it last so selection prefers real cuts.
-                sort_and_prune(&mut candidates, opts.max_cuts);
-                let best_depth = candidates.first().map_or(0, |c| c.depth);
+                let (candidates, best_depth) = compute_lut_cuts(&db, &fanouts, id, inputs, opts);
                 db.depth[i] = best_depth;
-                let trivial = Cut {
-                    leaves: vec![id],
-                    depth: best_depth,
-                    area_flow: 1000,
-                };
-                candidates.push(trivial);
                 db.cuts[i] = candidates;
             }
             _ => {
@@ -141,6 +107,175 @@ pub fn enumerate(netlist: &Netlist, opts: &CutOptions) -> Result<CutDatabase, Ne
         }
     }
     Ok(db)
+}
+
+/// Re-enumerates cuts for a ≤2-input netlist, translating cut lists from a
+/// previous enumeration where a node's whole fanin cone is unchanged.
+///
+/// `old_of[i]` gives, for node `i` of `netlist`, the index of the
+/// *corresponding* node in the netlist `prev` was enumerated over, or `None`
+/// for nodes that are new or whose cone changed (those are recomputed with
+/// the same merge path [`enumerate`] uses). The caller promises that a
+/// `Some` correspondence means an identical local function *and* an
+/// identical combinational fanin cone with identical fanout counts; the
+/// correspondence must be monotone (`i < j ⇒ old_of[i] < old_of[j]` where
+/// both are `Some`).
+///
+/// Why translation is exact under that promise: the FIFO Kahn topological
+/// order preserves the relative order of corresponded nodes, every cost in a
+/// [`Cut`] (`depth`, `area_flow`) is id-independent, and the sort/prune
+/// tie-break on the lexicographic leaf list is invariant under a monotone
+/// id remap — so translating the old list through the remap yields exactly
+/// what recomputation would. (The dominance filter's `signature()` prefilter
+/// is implied by the subset test it guards, so `%64` hash aliasing cannot
+/// make pruning id-sensitive.) Any translation that would need a leaf
+/// without a new-space counterpart — or would break leaf sortedness —
+/// falls back to fresh recomputation, which is always sound.
+///
+/// Returns the database plus the number of LUT nodes whose lists were
+/// translated rather than recomputed.
+///
+/// # Errors
+///
+/// Propagates topological-ordering errors.
+///
+/// # Panics
+///
+/// Panics if `opts.k < 2` or `old_of.len() != netlist.len()`.
+pub fn enumerate_incremental(
+    netlist: &Netlist,
+    opts: &CutOptions,
+    prev: &CutDatabase,
+    old_of: &[Option<u32>],
+) -> Result<(CutDatabase, usize), NetlistError> {
+    assert!(opts.k >= 2, "cut size must be at least 2");
+    assert_eq!(
+        old_of.len(),
+        netlist.len(),
+        "correspondence covers every node"
+    );
+    let order = pl_netlist::analyze::comb_topo_order(netlist)?;
+    let n = netlist.len();
+    let mut db = CutDatabase {
+        cuts: vec![Vec::new(); n],
+        depth: vec![0; n],
+    };
+    let fanouts = pl_netlist::analyze::fanouts(netlist);
+    // Reverse correspondence for leaf translation.
+    let mut new_of: Vec<Option<u32>> = vec![None; prev.cuts.len()];
+    for (new_idx, o) in old_of.iter().enumerate() {
+        if let Some(o) = o {
+            if (*o as usize) < prev.cuts.len() {
+                new_of[*o as usize] = Some(new_idx as u32);
+            }
+        }
+    }
+    let mut reused = 0usize;
+    for &id in &order {
+        let i = id.index();
+        match netlist.node(id).kind() {
+            NodeKind::Lut { inputs, .. } => {
+                let translated = old_of[i]
+                    .filter(|o| (*o as usize) < prev.cuts.len())
+                    .and_then(|o| {
+                        translate_cuts(&prev.cuts[o as usize], &new_of)
+                            .map(|cuts| (cuts, prev.depth[o as usize]))
+                    });
+                if let Some((cuts, depth)) = translated {
+                    db.depth[i] = depth;
+                    db.cuts[i] = cuts;
+                    reused += 1;
+                } else {
+                    let (candidates, best_depth) =
+                        compute_lut_cuts(&db, &fanouts, id, inputs, opts);
+                    db.depth[i] = best_depth;
+                    db.cuts[i] = candidates;
+                }
+            }
+            _ => {
+                db.cuts[i] = vec![Cut {
+                    leaves: vec![id],
+                    depth: 0,
+                    area_flow: 0,
+                }];
+                db.depth[i] = 0;
+            }
+        }
+    }
+    Ok((db, reused))
+}
+
+/// Translates a cut list through the old→new correspondence; `None` if any
+/// leaf has no counterpart or the remap is not order-preserving here.
+fn translate_cuts(old: &[Cut], new_of: &[Option<u32>]) -> Option<Vec<Cut>> {
+    let mut out = Vec::with_capacity(old.len());
+    for c in old {
+        let mut leaves = Vec::with_capacity(c.leaves.len());
+        for l in &c.leaves {
+            let n = (*new_of.get(l.index())?)?;
+            let id = NodeId::from_index(n as usize);
+            if leaves.last().is_some_and(|&p| p >= id) {
+                return None; // non-monotone remap: recompute instead
+            }
+            leaves.push(id);
+        }
+        out.push(Cut {
+            leaves,
+            depth: c.depth,
+            area_flow: c.area_flow,
+        });
+    }
+    Some(out)
+}
+
+/// The full fresh cut computation for one LUT node: pairwise fanin merge,
+/// cost finalization, sort/prune, trivial-cut fallback. Returns the final
+/// priority list and the node's best depth. Shared between [`enumerate`]
+/// and the recompute path of [`enumerate_incremental`] so the two cannot
+/// drift.
+fn compute_lut_cuts(
+    db: &CutDatabase,
+    fanouts: &[Vec<NodeId>],
+    id: NodeId,
+    inputs: &[NodeId],
+    opts: &CutOptions,
+) -> (Vec<Cut>, u32) {
+    let mut candidates: Vec<Cut> = Vec::new();
+    let fanin_cutlists: Vec<&[Cut]> = inputs
+        .iter()
+        .map(|f| db.cuts[f.index()].as_slice())
+        .collect();
+    merge_fanins(&fanin_cutlists, opts.k, &mut candidates);
+    // Finalize costs: depth = 1 + max leaf depth; area-flow =
+    // (1000 + Σ leaf flow/fanout) approximation.
+    for c in &mut candidates {
+        c.depth = 1 + c
+            .leaves
+            .iter()
+            .map(|l| db.depth[l.index()])
+            .max()
+            .unwrap_or(0);
+        c.area_flow = 1000
+            + c.leaves
+                .iter()
+                .map(|l| {
+                    let fo = fanouts[l.index()].len().max(1) as u64;
+                    leaf_flow(db, l.index()) / fo
+                })
+                .sum::<u64>();
+    }
+    // The trivial cut (the node itself as a leaf) is only useful
+    // for *fanouts* of this node, not for implementing it; store
+    // it last so selection prefers real cuts.
+    sort_and_prune(&mut candidates, opts.max_cuts);
+    let best_depth = candidates.first().map_or(0, |c| c.depth);
+    let trivial = Cut {
+        leaves: vec![id],
+        depth: best_depth,
+        area_flow: 1000,
+    };
+    candidates.push(trivial);
+    (candidates, best_depth)
 }
 
 /// Area-flow of the best cut of a node (0 for sources).

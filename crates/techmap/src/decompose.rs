@@ -3,6 +3,34 @@
 use pl_boolfn::TruthTable;
 use pl_netlist::{Netlist, NetlistError, NodeId, NodeKind};
 
+/// The contiguous range of two-input-space nodes emitted for one source
+/// node by [`to_two_input_with_segments`].
+///
+/// `emit` only ever appends, so each source node's decomposition tree
+/// occupies one contiguous segment `[start, start + len)` of the two-input
+/// netlist, with the tree root at `start + len - 1`. The segment's *shape*
+/// (length and internal structure) depends only on the source node's truth
+/// table and arity, which is what makes segments reusable across
+/// incremental recompiles: an unchanged source node re-emits a byte-identical
+/// segment.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Segment {
+    /// First two-space node index of the segment.
+    pub start: u32,
+    /// Number of two-space nodes in the segment (0 for unmapped slots, e.g.
+    /// a flip-flop's data-pin entry that aliases its driver).
+    pub len: u32,
+}
+
+impl Segment {
+    /// The segment's root node (the one that realizes the source node).
+    #[must_use]
+    pub fn root(self) -> NodeId {
+        debug_assert!(self.len > 0, "empty segment has no root");
+        NodeId::from_index((self.start + self.len - 1) as usize)
+    }
+}
+
 /// Rewrites the netlist so every LUT has at most two inputs.
 ///
 /// LUTs of three or more inputs are recursively Shannon-expanded on their
@@ -13,32 +41,66 @@ use pl_netlist::{Netlist, NetlistError, NodeId, NodeKind};
 ///
 /// Propagates netlist validation/construction errors.
 pub fn to_two_input(netlist: &Netlist) -> Result<Netlist, NetlistError> {
+    Ok(to_two_input_with_segments(netlist)?.0)
+}
+
+/// Like [`to_two_input`], but also returns, for every source node, the
+/// [`Segment`] of two-space nodes emitted for it (indexed by source node
+/// index). Sources that emit nothing themselves keep a zero-length segment.
+///
+/// # Errors
+///
+/// Propagates netlist validation/construction errors.
+pub fn to_two_input_with_segments(
+    netlist: &Netlist,
+) -> Result<(Netlist, Vec<Segment>), NetlistError> {
     netlist.validate()?;
     let order = pl_netlist::analyze::comb_topo_order(netlist)?;
     let mut out = Netlist::new(netlist.name());
     let mut map: Vec<Option<NodeId>> = vec![None; netlist.len()];
+    let mut segments: Vec<Segment> = vec![Segment::default(); netlist.len()];
+    let record = |segments: &mut Vec<Segment>, idx: usize, start: usize, end: usize| {
+        segments[idx] = Segment {
+            start: start as u32,
+            len: (end - start) as u32,
+        };
+    };
 
     for &pi in netlist.inputs() {
         if let NodeKind::Input { name } = netlist.node(pi).kind() {
+            let start = out.len();
             map[pi.index()] = Some(out.add_input(name.clone()));
+            record(&mut segments, pi.index(), start, out.len());
         }
     }
     for &ff in netlist.dffs() {
         if let NodeKind::Dff { init, .. } = netlist.node(ff).kind() {
+            let start = out.len();
             map[ff.index()] = Some(out.add_dff(*init));
+            record(&mut segments, ff.index(), start, out.len());
         }
     }
     for &id in &order {
         match netlist.node(id).kind() {
             NodeKind::Const { value } => {
+                let start = out.len();
                 map[id.index()] = Some(out.add_const(*value));
+                record(&mut segments, id.index(), start, out.len());
             }
             NodeKind::Lut { table, inputs } => {
                 let fanins: Vec<NodeId> = inputs
                     .iter()
                     .map(|i| map[i.index()].expect("topo order maps fanins first"))
                     .collect();
-                map[id.index()] = Some(emit(&mut out, *table, &fanins)?);
+                let start = out.len();
+                let root = emit(&mut out, *table, &fanins)?;
+                record(&mut segments, id.index(), start, out.len());
+                debug_assert_eq!(
+                    segments[id.index()].root(),
+                    root,
+                    "emit root is appended last"
+                );
+                map[id.index()] = Some(root);
             }
             _ => {}
         }
@@ -54,7 +116,7 @@ pub fn to_two_input(netlist: &Netlist) -> Result<Netlist, NetlistError> {
     for (name, id) in netlist.outputs() {
         out.set_output(name.clone(), map[id.index()].expect("output driver mapped"));
     }
-    Ok(out)
+    Ok((out, segments))
 }
 
 /// Emits `table` over `fanins` as a tree of ≤2-input LUTs, returning the

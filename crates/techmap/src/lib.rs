@@ -40,4 +40,7 @@ pub mod cuts;
 pub mod decompose;
 mod mapper;
 
-pub use mapper::{map_to_lut4, map_with_report, MapOptions, MapReport};
+pub use mapper::{
+    map_to_lut4, map_with_memo, map_with_report, MapMemo, MapOptions, MapReport, MapReuseStats,
+    ReusePlan,
+};

@@ -5,8 +5,8 @@ use std::collections::HashMap;
 use pl_boolfn::TruthTable;
 use pl_netlist::{Netlist, NetlistError, NodeId, NodeKind};
 
-use crate::cuts::{enumerate, CutOptions};
-use crate::decompose::to_two_input;
+use crate::cuts::{enumerate, enumerate_incremental, CutDatabase, CutOptions};
+use crate::decompose::{to_two_input_with_segments, Segment};
 
 /// Options controlling [`map_to_lut4`].
 #[derive(Debug, Clone)]
@@ -69,20 +69,129 @@ pub fn map_to_lut4(netlist: &Netlist, opts: &MapOptions) -> Result<Netlist, Netl
 ///
 /// Panics if `opts.lut_size` is outside `2..=6`.
 pub fn map_with_report(netlist: &Netlist, opts: &MapOptions) -> Result<MapReport, NetlistError> {
+    Ok(map_with_memo(netlist, opts, None)?.0)
+}
+
+/// Reusable mapping state retained between incremental recompiles: the
+/// per-source-node decomposition [`Segment`]s and the full cut database of
+/// the previous run, keyed by the options they were built with.
+#[derive(Debug, Clone)]
+pub struct MapMemo {
+    segments: Vec<Segment>,
+    db: CutDatabase,
+    lut_size: usize,
+    max_cuts: usize,
+}
+
+/// Old↔new source-node correspondence for [`map_with_memo`].
+///
+/// `old_source[i]` names, for node `i` of the netlist being mapped, the
+/// corresponding node of the netlist the [`MapMemo`] was built from —
+/// `None` for nodes that are new, edited, or in the *combinational fanout
+/// closure* of any edit (including the edit frontier, whose fanout counts
+/// feed the area-flow cost). The mapping must be monotone where `Some`.
+#[derive(Debug, Clone, Default)]
+pub struct ReusePlan {
+    /// Per new-netlist node: its counterpart in the memo's source netlist.
+    pub old_source: Vec<Option<NodeId>>,
+}
+
+/// How much of an incremental mapping run was reused.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MapReuseStats {
+    /// Two-input-space nodes in this run.
+    pub two_nodes: usize,
+    /// LUT nodes whose cut lists were translated from the memo instead of
+    /// recomputed.
+    pub cuts_reused: usize,
+}
+
+/// Like [`map_with_report`], but optionally reuses cut-enumeration work
+/// from a previous run on an almost-identical netlist, and returns a
+/// [`MapMemo`] for the *next* incremental run.
+///
+/// With `prev = Some((memo, plan))`, nodes the plan marks as corresponded
+/// get their priority-cut lists translated from the memo (bit-identical to
+/// recomputation — see [`enumerate_incremental`]); everything else,
+/// including the whole demand-driven cover extraction and cleanup, runs
+/// exactly as in a from-scratch [`map_with_report`], so the mapped netlist
+/// is bit-identical to a full recompile by construction. A memo built with
+/// different options, or a plan of the wrong length, is ignored (full
+/// recompute, stats report zero reuse).
+///
+/// # Errors
+///
+/// Propagates netlist validation errors.
+///
+/// # Panics
+///
+/// Panics if `opts.lut_size` is outside `2..=6`.
+pub fn map_with_memo(
+    netlist: &Netlist,
+    opts: &MapOptions,
+    prev: Option<(&MapMemo, &ReusePlan)>,
+) -> Result<(MapReport, MapMemo, MapReuseStats), NetlistError> {
     assert!(
         (2..=6).contains(&opts.lut_size),
         "lut size {} outside supported range 2..=6",
         opts.lut_size
     );
-    let two = to_two_input(netlist)?;
-    let db = enumerate(
-        &two,
-        &CutOptions {
-            k: opts.lut_size,
-            max_cuts: opts.max_cuts,
-        },
-    )?;
+    let cut_opts = CutOptions {
+        k: opts.lut_size,
+        max_cuts: opts.max_cuts,
+    };
+    let (two, segments) = to_two_input_with_segments(netlist)?;
+    let mut stats = MapReuseStats {
+        two_nodes: two.len(),
+        cuts_reused: 0,
+    };
+    let db = match prev.filter(|(memo, plan)| {
+        memo.lut_size == opts.lut_size
+            && memo.max_cuts == opts.max_cuts
+            && plan.old_source.len() == netlist.len()
+    }) {
+        Some((memo, plan)) => {
+            // Lift the source-level correspondence to two-space by zipping
+            // equal-shaped segments.
+            let mut old_of: Vec<Option<u32>> = vec![None; two.len()];
+            for (i, seg_new) in segments.iter().enumerate() {
+                let Some(old) = plan.old_source[i] else {
+                    continue;
+                };
+                let Some(&seg_old) = memo.segments.get(old.index()) else {
+                    continue;
+                };
+                if seg_new.len != seg_old.len {
+                    continue;
+                }
+                for k in 0..seg_new.len {
+                    old_of[(seg_new.start + k) as usize] = Some(seg_old.start + k);
+                }
+            }
+            let (db, reused) = enumerate_incremental(&two, &cut_opts, &memo.db, &old_of)?;
+            stats.cuts_reused = reused;
+            db
+        }
+        None => enumerate(&two, &cut_opts)?,
+    };
 
+    let report = extract_cover(&two, &db, opts)?;
+    let memo = MapMemo {
+        segments,
+        db,
+        lut_size: opts.lut_size,
+        max_cuts: opts.max_cuts,
+    };
+    Ok((report, memo, stats))
+}
+
+/// Demand-driven cover extraction over an enumerated cut database — the
+/// back half of every mapping run, incremental or not.
+fn extract_cover(
+    two: &Netlist,
+    db: &CutDatabase,
+    opts: &MapOptions,
+) -> Result<MapReport, NetlistError> {
     let mut out = Netlist::new(two.name());
     let mut map: Vec<Option<NodeId>> = vec![None; two.len()];
 
@@ -126,7 +235,7 @@ pub fn map_with_report(netlist: &Netlist, opts: &MapOptions) -> Result<MapReport
                     .expect("lut nodes have at least one real cut");
                 let leaves = cut.leaves.clone();
                 if leaves.iter().all(|l| map[l.index()].is_some()) {
-                    let table = cone_truth_table(&two, id, &leaves);
+                    let table = cone_truth_table(two, id, &leaves);
                     let fanins: Vec<NodeId> = leaves
                         .iter()
                         .map(|l| map[l.index()].expect("checked above"))
@@ -224,6 +333,7 @@ fn build_tt(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::decompose::to_two_input;
     use pl_netlist::eval::Evaluator;
     use pl_rtl::Module;
     use rand::rngs::StdRng;
@@ -332,6 +442,71 @@ mod tests {
         let gates = m.elaborate().unwrap();
         let mapped = map_to_lut4(&gates, &MapOptions::default()).unwrap();
         assert_equivalent(&gates, &mapped, 4, 14);
+    }
+
+    #[test]
+    fn incremental_map_is_bit_identical_to_fresh() {
+        use pl_netlist::eco::comb_fanout_closure;
+        // Two disjoint cones so an edit in one leaves reusable work in the
+        // other.
+        let mut m = Module::new("two_cones");
+        let a = m.input_word("a", 6);
+        let b = m.input_word("b", 6);
+        let s = m.add(&a, &b);
+        m.output_word("s", &s);
+        let x = m.input_word("x", 8);
+        let y = m.and_reduce(&x);
+        m.output_bit("y", y);
+        let gates = m.elaborate().unwrap();
+
+        let opts = MapOptions::default();
+        let (full0, memo, _) = map_with_memo(&gates, &opts, None).unwrap();
+
+        // Edit: complement the table of the first LUT.
+        let mut edited = gates.clone();
+        let victim = edited
+            .iter()
+            .find(|(_, n)| n.is_lut())
+            .map(|(id, _)| id)
+            .unwrap();
+        let table = *edited.node(victim).lut_table().unwrap();
+        let flipped = TruthTable::from_fn(table.num_vars(), |m| !table.eval(m));
+        let dirty = edited.replace_lut_table(victim, flipped).unwrap();
+
+        // Reuse plan: identity correspondence outside the combinational
+        // fanout closure of the edit (cone + frontier).
+        let seeds: Vec<NodeId> = dirty
+            .nodes()
+            .iter()
+            .chain(dirty.frontier().iter())
+            .copied()
+            .collect();
+        let closure = comb_fanout_closure(&edited, &seeds);
+        let plan = ReusePlan {
+            old_source: (0..edited.len())
+                .map(|i| {
+                    let id = NodeId::from_index(i);
+                    (!closure.contains(&id)).then_some(id)
+                })
+                .collect(),
+        };
+
+        let (incr, _, stats) = map_with_memo(&edited, &opts, Some((&memo, &plan))).unwrap();
+        let fresh = map_with_report(&edited, &opts).unwrap();
+        assert_eq!(
+            incr.netlist, fresh.netlist,
+            "incremental map must be bit-identical"
+        );
+        assert_eq!(incr.depth, fresh.depth);
+        assert_eq!(incr.luts_after, fresh.luts_after);
+        assert!(
+            stats.cuts_reused > 0,
+            "untouched cone should reuse cut lists"
+        );
+        assert_ne!(
+            incr.netlist, full0.netlist,
+            "the edit must actually change the map"
+        );
     }
 
     #[test]

@@ -19,12 +19,13 @@
 //! plc assets/blif/b09.blif --ee --verify --vectors 100
 //! plc lint b14                      # diagnostics only, exit 1 on deny
 //! plc lint design.blif --json       # machine-readable JSON lines
+//! plc eco b04 --ee --edit table:n30:0x6  # incremental recompile
 //! ```
 
 use std::process::ExitCode;
 
 use pl_flow::cli::{CliError, CliSpec, OptSpec, PositionalSpec};
-use pl_flow::{CircuitSource, FlowOptions, Pipeline};
+use pl_flow::{CircuitSource, EcoEdit, FlowOptions, Pipeline};
 use pl_lint::{Code, Severity};
 
 const SPEC: CliSpec = CliSpec {
@@ -186,6 +187,74 @@ const LINT_SPEC: CliSpec = CliSpec {
     ],
 };
 
+/// The `plc eco` subcommand: compile once, hold the session, then apply
+/// each `--edit` as its own incremental recompile with deterministic
+/// digest lines (the CI ECO smoke diffs the `outputs digest` line against
+/// a from-scratch compile of the edited netlist).
+const ECO_SPEC: CliSpec = CliSpec {
+    bin: "plc eco",
+    about: "compile once, then apply ECO edits with incremental recompilation",
+    positional: Some(PositionalSpec {
+        name: "<file.blif|bXX>",
+        help: "BLIF file path, or an ITC'99 catalog id (b01..b15)",
+        many: false,
+        required: true,
+    }),
+    options: &[
+        OptSpec {
+            long: "--edit",
+            value: Some("SPEC"),
+            help: "one ECO edit, applied in order and incrementally recompiled: table:<node>:<hexbits> | rewire:<node>:<pin>:<src> | insert:<name>:<hexbits>:<src>[,<src>...] | remove:<node>; repeatable",
+        },
+        OptSpec {
+            long: "--ee",
+            value: None,
+            help: "run the early-evaluation stage (trigger cache persists across edits)",
+        },
+        OptSpec {
+            long: "--verify",
+            value: None,
+            help: "cross-check outputs against the synchronous reference",
+        },
+        OptSpec {
+            long: "--vectors",
+            value: Some("N"),
+            help: "random vectors to simulate (default 100)",
+        },
+        OptSpec {
+            long: "--seed",
+            value: Some("S"),
+            help: "vector-generation seed",
+        },
+        OptSpec {
+            long: "--optimize",
+            value: None,
+            help: "run netlist cleanup passes before mapping (disables cut reuse: cleanup renumbers globally)",
+        },
+        OptSpec {
+            long: "--lut-size",
+            value: Some("K"),
+            help: "target LUT arity for technology mapping (2..=6, default 4)",
+        },
+        OptSpec {
+            long: "--lint-level",
+            value: Some("CODE=SEV"),
+            help:
+                "override a lint code's severity (allow|warn|deny), e.g. PL0006=allow; repeatable",
+        },
+        OptSpec {
+            long: "--no-lint",
+            value: None,
+            help: "skip both lint passes (static diagnostics run by default)",
+        },
+        OptSpec {
+            long: "--emit-blif",
+            value: Some("PATH"),
+            help: "write the final edited (pre-map) netlist as BLIF",
+        },
+    ],
+};
+
 /// How far down the pipeline to go.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 enum Stage {
@@ -233,6 +302,10 @@ fn main() -> ExitCode {
     if std::env::args().nth(1).as_deref() == Some("lint") {
         let argv: Vec<String> = std::env::args().skip(2).collect();
         return lint_main(&argv);
+    }
+    if std::env::args().nth(1).as_deref() == Some("eco") {
+        let argv: Vec<String> = std::env::args().skip(2).collect();
+        return eco_main(&argv);
     }
     let args = SPEC.parse_env();
     let spec = args.positionals[0].clone();
@@ -348,6 +421,147 @@ fn lint_main(argv: &[String]) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// The `plc eco` subcommand: open an [`pl_flow::EcoSession`], apply each
+/// `--edit` as its own incremental recompile, and print per-edit reuse
+/// accounting plus deterministic digest lines.
+fn eco_main(argv: &[String]) -> ExitCode {
+    let args = match ECO_SPEC.parse(argv) {
+        Ok(parsed) => parsed,
+        Err(CliError::Help(text)) => {
+            println!("{text}");
+            return ExitCode::SUCCESS;
+        }
+        Err(CliError::Usage(msg)) => {
+            eprintln!("error: {msg}\n");
+            eprintln!("{}", ECO_SPEC.help());
+            return ExitCode::from(2);
+        }
+    };
+    let usage_error = |msg: &str| {
+        eprintln!("error: {msg}\n");
+        eprintln!("{}", ECO_SPEC.help());
+        ExitCode::from(2)
+    };
+    let mut opts = FlowOptions::default();
+    opts.vectors = args.value_or("--vectors", opts.vectors);
+    opts.seed = args.value_or("--seed", opts.seed);
+    opts.ee_enabled = args.flag("--ee");
+    opts.verify = args.flag("--verify");
+    opts.optimize = args.flag("--optimize");
+    opts.map.lut_size = args.value_or("--lut-size", opts.map.lut_size);
+    opts.lint.enabled = !args.flag("--no-lint");
+    match parse_lint_levels(&args.get_all("--lint-level")) {
+        Ok(levels) => opts.lint.overrides = levels,
+        Err(msg) => return usage_error(&msg),
+    }
+    if !(2..=6).contains(&opts.map.lut_size) {
+        return usage_error(&format!(
+            "--lut-size {} is outside the supported range 2..=6",
+            opts.map.lut_size
+        ));
+    }
+    let mut edits: Vec<(String, EcoEdit)> = Vec::new();
+    for spec in args.get_all("--edit") {
+        match EcoEdit::parse(spec) {
+            Ok(edit) => edits.push((spec.to_string(), edit)),
+            Err(e) => return usage_error(&e.to_string()),
+        }
+    }
+
+    match run_eco(&args.positionals[0], &edits, args.get("--emit-blif"), opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("plc: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Drives one ECO session: initial compile, then one incremental
+/// recompile per edit, digest lines after each.
+fn run_eco(
+    spec: &str,
+    edits: &[(String, EcoEdit)],
+    emit_blif: Option<&str>,
+    opts: FlowOptions,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let source = CircuitSource::from_spec(spec);
+    let pipeline = Pipeline::new(opts);
+    let mut session = pipeline.eco_session(&source)?;
+    {
+        let art = session.artifacts();
+        println!(
+            "[compile]   {}: {} LUTs, {} PL gates, {} EE pairs  ({:.3}s)",
+            session.name(),
+            art.report.techmap.luts_after,
+            art.report.phased.logic_gates,
+            art.pairs.len(),
+            art.report.total_secs(),
+        );
+        print_eco_digest(
+            art.mapped.fingerprint(),
+            art.plain.fingerprint(),
+            &art.outputs,
+        );
+    }
+    for (i, (text, edit)) in edits.iter().enumerate() {
+        let out = session.apply_eco(std::slice::from_ref(edit))?;
+        let e = &out.eco;
+        let downstream = if e.downstream_skipped {
+            "downstream reused".to_string()
+        } else if pipeline.opts().ee_enabled {
+            format!("cache {}h/{}m", e.trigger_hits, e.trigger_misses)
+        } else {
+            "downstream recomputed".to_string()
+        };
+        println!(
+            "[eco {}]     {}: {} dirty node(s) ({} output(s), {} boundary DFF(s)), cuts reused {}/{}, {}  ({:.3}s)",
+            i + 1,
+            text,
+            e.dirty_nodes,
+            e.dirty_outputs.len(),
+            e.boundary_dffs,
+            e.cuts_reused,
+            e.two_nodes,
+            downstream,
+            e.secs,
+        );
+        if let Some(lint) = &out.flow.lint {
+            let (warns, _) = lint.report.counts();
+            if warns > 0 {
+                print_lint_stage("[lint]     ", lint);
+            }
+        }
+        print_eco_digest(
+            e.mapped_fingerprint,
+            e.phased_fingerprint,
+            &session.artifacts().outputs,
+        );
+    }
+    if let Some(path) = emit_blif {
+        let blif = pl_netlist::blif::to_blif(session.netlist())?;
+        std::fs::write(path, &blif)?;
+        println!("[eco]       wrote {path} ({} bytes)", blif.len());
+    }
+    Ok(())
+}
+
+/// Prints one compile's deterministic digest block. The `outputs digest`
+/// line is the cross-compile comparison point: an incremental recompile
+/// and a from-scratch compile of the same edited netlist print identical
+/// lines (the mapped/phased fingerprints additionally pin the netlist
+/// bits, but survive BLIF round-trips only if node ids do).
+fn print_eco_digest(mapped_fp: u64, phased_fp: u64, outputs: &[Vec<bool>]) {
+    let mut digest = pl_sim::Fnv64::new();
+    for word in outputs {
+        for &b in word {
+            digest.mix(u64::from(b));
+        }
+    }
+    println!("  fingerprints: mapped {mapped_fp:#018x}, phased {phased_fp:#018x}");
+    println!("  outputs digest: {:#018x}", digest.finish());
 }
 
 /// Rejects flag combinations that would otherwise be silently ignored:

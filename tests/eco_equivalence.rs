@@ -1,0 +1,507 @@
+//! The incremental-recompilation determinism contract, pinned.
+//!
+//! For any edit sequence, an [`EcoSession`] recompile must be
+//! **bit-identical** to a from-scratch [`Pipeline::run`] on the edited
+//! netlist: the mapped netlist, the phased graph, the EE twin and its
+//! master/trigger pairs, the simulated outputs, and the per-vector
+//! latency statistics. Only wall-clock and the trigger-cache hit/miss
+//! counters are exempt (the cache is pure; its counters depend on
+//! session history by design).
+//!
+//! Pinned over the whole ITC'99 catalog (plain and EE), scripted
+//! multi-edit sequences, and random netlists under random edit sequences
+//! — plus the ECO edge cases: cycle-creating rewires surface typed
+//! errors (never hang), removing a primary-output driver is rejected,
+//! constant-making table edits surface `PL0007` incrementally, and BLIF
+//! undriven-net notes (`PL0009`) are re-derived rather than carried
+//! stale.
+
+use pl_flow::{
+    random_netlist, CircuitSource, EcoEdit, EcoOutcome, EcoSession, FlowError, FlowOptions, Lcg,
+    NodeRef, Pipeline, RandomSpec,
+};
+use pl_netlist::{Netlist, NetlistError, NodeId};
+
+/// Flow options for the suite: small deterministic runs, verify on.
+fn opts(ee: bool, vectors: usize) -> FlowOptions {
+    FlowOptions {
+        vectors,
+        ee_enabled: ee,
+        verify: true,
+        ..FlowOptions::default()
+    }
+}
+
+/// Scratch-compiles the session's current netlist with the session's own
+/// pipeline and asserts every artifact is bit-identical to what the
+/// session retained incrementally.
+fn assert_matches_scratch(s: &EcoSession, ctx: &str) {
+    let scratch = s
+        .pipeline()
+        .run(&CircuitSource::Netlist {
+            name: s.name().to_string(),
+            netlist: s.netlist().clone(),
+        })
+        .unwrap_or_else(|e| panic!("{ctx}: scratch compile failed: {e}"));
+    let art = s.artifacts();
+    assert_eq!(art.mapped, scratch.mapped, "{ctx}: mapped netlist diverged");
+    assert_eq!(art.plain, scratch.plain, "{ctx}: phased graph diverged");
+    assert_eq!(art.ee, scratch.ee, "{ctx}: EE netlist diverged");
+    assert_eq!(art.pairs, scratch.pairs, "{ctx}: EE pairs diverged");
+    assert_eq!(art.inputs, scratch.inputs, "{ctx}: input vectors diverged");
+    assert_eq!(art.outputs, scratch.outputs, "{ctx}: outputs diverged");
+    assert_eq!(
+        art.stats_plain.per_vector, scratch.stats_plain.per_vector,
+        "{ctx}: plain latencies diverged"
+    );
+    assert_eq!(
+        art.stats_ee.as_ref().map(|s| &s.per_vector),
+        scratch.stats_ee.as_ref().map(|s| &s.per_vector),
+        "{ctx}: EE latencies diverged"
+    );
+    // EE selection statistics match; cache hit/miss counters are exempt
+    // by design (they count session history, not results).
+    let (a, b) = (&art.report.early_eval, &scratch.report.early_eval);
+    assert_eq!(a.pairs, b.pairs, "{ctx}: EE pair count diverged");
+    assert_eq!(a.examined, b.examined, "{ctx}: EE examined diverged");
+    assert_eq!(a.area_increase, b.area_increase, "{ctx}: EE area diverged");
+}
+
+/// A live LUT near the outputs: the highest-id LUT reachable backwards
+/// from the primary outputs and DFF data inputs (so a table edit is
+/// guaranteed to change the mapped netlist's demand cone).
+fn live_lut(n: &Netlist) -> NodeId {
+    let mut stack: Vec<NodeId> = n.outputs().iter().map(|(_, id)| *id).collect();
+    stack.extend(n.dffs().iter().copied());
+    let mut seen = vec![false; n.len()];
+    let mut best: Option<NodeId> = None;
+    while let Some(id) = stack.pop() {
+        if std::mem::replace(&mut seen[id.index()], true) {
+            continue;
+        }
+        if n.node(id).is_lut() && best.is_none_or(|b| id > b) {
+            best = Some(id);
+        }
+        stack.extend(n.node(id).fanins());
+    }
+    best.expect("design has a live LUT")
+}
+
+/// Flips one row of a LUT's table (the all-zero-input row), returning the
+/// spec bits for a `table:` edit of the same arity.
+fn flipped_bits(n: &Netlist, lut: NodeId) -> u64 {
+    n.node(lut).lut_table().expect("is a LUT").bits() ^ 1
+}
+
+/// One table-flip edit on every catalog design, plain and EE: the
+/// incremental recompile must match scratch bit-for-bit, and with EE on,
+/// the recompile must answer some trigger searches from the session
+/// cache (untouched LUT classes re-verify from the memo).
+#[test]
+fn catalog_single_edit_matches_scratch_plain_and_ee() {
+    for bench in pl_itc99::catalog() {
+        // The two processor subsets dominate the suite's size; smaller
+        // vector counts keep the debug-profile run proportionate.
+        let vectors = if matches!(bench.id, "b14" | "b15") {
+            2
+        } else {
+            6
+        };
+        for ee in [false, true] {
+            let ctx = format!("{} (ee={ee})", bench.id);
+            let pipeline = Pipeline::new(opts(ee, vectors));
+            let mut s = pipeline
+                .eco_session(&CircuitSource::catalog(bench.id).unwrap())
+                .unwrap_or_else(|e| panic!("{ctx}: initial compile: {e}"));
+            let lut = live_lut(s.netlist());
+            let bits = flipped_bits(s.netlist(), lut);
+            let out = s
+                .apply_eco(&[EcoEdit::ReplaceTable {
+                    node: NodeRef::Id(lut.index()),
+                    bits,
+                }])
+                .unwrap_or_else(|e| panic!("{ctx}: eco failed: {e}"));
+            assert!(out.eco.techmap_incremental, "{ctx}: plan was used");
+            assert!(
+                !out.eco.downstream_skipped,
+                "{ctx}: a live-cone table flip must change the map"
+            );
+            assert!(out.eco.dirty_nodes > 0, "{ctx}: edit has a value cone");
+            if ee {
+                assert!(
+                    out.eco.trigger_hits > 0,
+                    "{ctx}: untouched LUT classes must re-verify from the cache"
+                );
+            }
+            assert_matches_scratch(&s, &ctx);
+        }
+    }
+}
+
+/// A scripted multi-edit session: flip, splice in a new LUT (insert +
+/// rewire), then retable again — applied batch by batch, checking
+/// bit-identity with scratch after every recompile, cut reuse throughout.
+#[test]
+fn scripted_edit_sequence_stays_bit_identical_at_every_step() {
+    for id in ["b04", "b09", "b11"] {
+        let pipeline = Pipeline::new(opts(true, 6));
+        let mut s = pipeline
+            .eco_session(&CircuitSource::catalog(id).unwrap())
+            .unwrap();
+        let lut = live_lut(s.netlist());
+        let bits = flipped_bits(s.netlist(), lut);
+
+        // Batch 1: retable.
+        let out = s
+            .apply_eco(&[EcoEdit::ReplaceTable {
+                node: NodeRef::Id(lut.index()),
+                bits,
+            }])
+            .unwrap();
+        assert!(out.eco.cuts_reused > 0, "{id}: clean cones translate");
+        assert_matches_scratch(&s, &format!("{id} after retable"));
+
+        // Batch 2: splice — insert an AND of the edited LUT's first two
+        // fanins, then swing the LUT's pin 0 onto it. One batch, two
+        // edits; the insert is referenced by batch end.
+        let fanins = s.netlist().node(lut).fanins();
+        let (a, b) = (fanins[0], fanins[fanins.len().min(2) - 1]);
+        // Whether the mapper absorbs the splice into an identical cover
+        // (possible when it is functionally transparent) or recomputes
+        // downstream, the session must stay bit-identical to scratch.
+        s.apply_eco(&[
+            EcoEdit::Insert {
+                name: Some(format!("{id}_splice")),
+                bits: 0x8,
+                inputs: vec![NodeRef::Id(a.index()), NodeRef::Id(b.index())],
+            },
+            EcoEdit::Rewire {
+                node: NodeRef::Id(lut.index()),
+                pin: 0,
+                src: NodeRef::Name(format!("{id}_splice")),
+            },
+        ])
+        .unwrap();
+        assert_matches_scratch(&s, &format!("{id} after splice"));
+
+        // Batch 3: retable the spliced LUT back via its name.
+        s.apply_eco(&[EcoEdit::ReplaceTable {
+            node: NodeRef::Name(format!("{id}_splice")),
+            bits: 0x6,
+        }])
+        .unwrap();
+        assert_matches_scratch(&s, &format!("{id} after re-retable"));
+    }
+}
+
+/// Random netlists under random edit sequences: every successful batch
+/// stays bit-identical to scratch; every failed batch (cycle, in-use
+/// removal, ...) rolls back to exactly the pre-batch state. The session
+/// must keep working after failures.
+#[test]
+fn random_netlists_survive_random_edit_sequences() {
+    let mut total_hits = 0;
+    for seed in [0xEC01_u64, 0xEC02, 0xEC03, 0xEC04] {
+        let netlist = random_netlist(&RandomSpec::new(seed));
+        let pipeline = Pipeline::new(opts(true, 5));
+        let mut s = pipeline
+            .eco_session(&CircuitSource::Netlist {
+                name: format!("rand-{seed:x}"),
+                netlist,
+            })
+            .unwrap();
+        let mut rng = Lcg::new(seed ^ 0xD1CE);
+        let mut applied = 0usize;
+        for step in 0..10 {
+            let Some(edit) = random_edit(s.netlist(), &mut rng) else {
+                continue;
+            };
+            let before = s.netlist().fingerprint();
+            let ctx = format!("rand-{seed:x} step {step} ({edit:?})");
+            match s.apply_eco(std::slice::from_ref(&edit)) {
+                Ok(out) => {
+                    applied += 1;
+                    total_hits += out.eco.trigger_hits;
+                    assert_matches_scratch(&s, &ctx);
+                }
+                Err(_) => {
+                    assert_eq!(
+                        s.netlist().fingerprint(),
+                        before,
+                        "{ctx}: failed batch must roll back"
+                    );
+                }
+            }
+        }
+        assert!(applied > 0, "seed {seed:#x}: no edit ever applied");
+    }
+    assert!(
+        total_hits > 0,
+        "across all random sessions, some trigger search must hit the cache"
+    );
+}
+
+/// Draws one random edit against the current netlist, or `None` when the
+/// drawn kind has no applicable target (e.g. nothing removable).
+fn random_edit(n: &Netlist, rng: &mut Lcg) -> Option<EcoEdit> {
+    let luts: Vec<NodeId> = n
+        .iter()
+        .filter(|(_, node)| node.is_lut())
+        .map(|(id, _)| id)
+        .collect();
+    let pick = |rng: &mut Lcg, v: &[NodeId]| v[rng.below(v.len())];
+    match rng.below(4) {
+        0 => {
+            let lut = pick(rng, &luts);
+            let width = 1u32 << n.node(lut).fanins().len();
+            let mask = (1u128 << width) - 1;
+            Some(EcoEdit::ReplaceTable {
+                node: NodeRef::Id(lut.index()),
+                bits: rng.next_u64() & (mask as u64),
+            })
+        }
+        1 => {
+            let lut = pick(rng, &luts);
+            let arity = n.node(lut).fanins().len();
+            Some(EcoEdit::Rewire {
+                node: NodeRef::Id(lut.index()),
+                pin: rng.below(arity),
+                // Any node, the LUT itself included: self-loops and
+                // cycles must come back as typed errors, not hangs.
+                src: NodeRef::Id(rng.below(n.len())),
+            })
+        }
+        2 => {
+            let a = rng.below(n.len());
+            let b = rng.below(n.len());
+            Some(EcoEdit::Insert {
+                name: None,
+                bits: rng.next_u64() & 0xF,
+                inputs: vec![NodeRef::Id(a), NodeRef::Id(b)],
+            })
+        }
+        _ => {
+            // Something unreferenced and removable, if any.
+            let mut read = vec![false; n.len()];
+            for (_, node) in n.iter() {
+                for f in node.fanins() {
+                    read[f.index()] = true;
+                }
+            }
+            for (_, id) in n.outputs() {
+                read[id.index()] = true;
+            }
+            let dead: Vec<NodeId> = n
+                .iter()
+                .filter(|(id, node)| !read[id.index()] && !node.is_input())
+                .map(|(id, _)| id)
+                .collect();
+            if dead.is_empty() {
+                return None;
+            }
+            Some(EcoEdit::Remove {
+                node: NodeRef::Id(pick(rng, &dead).index()),
+            })
+        }
+    }
+}
+
+/// A cycle-creating rewire surfaces as the typed
+/// [`NetlistError::CombinationalLoop`] (the post-batch `validate` finds
+/// it before any stage runs, lint on or off) — never a hang — and the
+/// session rolls back and stays usable.
+#[test]
+fn cycle_creating_rewire_is_typed_never_hangs() {
+    let mut n = Netlist::new("cyc");
+    let a = n.add_input("a");
+    let g1 = n.add_not(a).unwrap();
+    let g2 = n.add_not(g1).unwrap();
+    n.set_output("y", g2);
+    let src = CircuitSource::Netlist {
+        name: "cyc".into(),
+        netlist: n,
+    };
+    let make_cycle = [EcoEdit::Rewire {
+        node: NodeRef::Id(g1.index()),
+        pin: 0,
+        src: NodeRef::Id(g2.index()),
+    }];
+
+    for lint_on in [true, false] {
+        let mut o = opts(false, 4);
+        o.lint.enabled = lint_on;
+        let mut s = Pipeline::new(o).eco_session(&src).unwrap();
+        let before = s.netlist().fingerprint();
+        match s.apply_eco(&make_cycle) {
+            Err(FlowError::Netlist(NetlistError::CombinationalLoop { path })) => {
+                assert!(path.contains(&g1) && path.contains(&g2), "names the cycle");
+            }
+            other => panic!("lint={lint_on}: expected CombinationalLoop, got {other:?}"),
+        }
+        assert_eq!(
+            s.netlist().fingerprint(),
+            before,
+            "lint={lint_on}: cycle batch must roll back"
+        );
+        // Still usable: a legal edit (NOT -> buffer) compiles afterwards.
+        let out = s
+            .apply_eco(&[EcoEdit::ReplaceTable {
+                node: NodeRef::Id(g1.index()),
+                bits: 0x2,
+            }])
+            .unwrap();
+        assert!(!out.eco.downstream_skipped);
+        assert_matches_scratch(&s, &format!("post-cycle edit (lint={lint_on})"));
+    }
+}
+
+/// Removing a primary-output driver is rejected with a typed error that
+/// names the output, and nothing changes.
+#[test]
+fn removing_a_primary_output_driver_is_rejected() {
+    let pipeline = Pipeline::new(opts(false, 4));
+    let mut s = pipeline
+        .eco_session(&CircuitSource::catalog("b01").unwrap())
+        .unwrap();
+    let (name, driver) = s.netlist().outputs()[0].clone();
+    let before = s.netlist().fingerprint();
+    match s.apply_eco(&[EcoEdit::Remove {
+        node: NodeRef::Id(driver.index()),
+    }]) {
+        Err(FlowError::Netlist(NetlistError::RemoveInUse { user, .. })) => {
+            assert!(
+                user.contains(&name),
+                "error names the output: {user} vs {name}"
+            );
+        }
+        other => panic!("expected RemoveInUse, got {other:?}"),
+    }
+    assert_eq!(s.netlist().fingerprint(), before);
+}
+
+/// A table edit that turns a LUT constant surfaces `PL0007` in the
+/// recompile's own lint stage — the diagnostic appears incrementally,
+/// without a from-scratch relint.
+#[test]
+fn constant_making_edit_surfaces_pl0007_incrementally() {
+    let mut n = Netlist::new("constable");
+    let a = n.add_input("a");
+    let b = n.add_input("b");
+    let g = n.add_and2(a, b).unwrap();
+    n.set_output("y", g);
+    let mut s = Pipeline::new(opts(false, 4))
+        .eco_session(&CircuitSource::Netlist {
+            name: "constable".into(),
+            netlist: n,
+        })
+        .unwrap();
+    let had_before = |out: &EcoSession| {
+        out.artifacts().report.lint.as_ref().is_some_and(|l| {
+            l.report
+                .diagnostics()
+                .iter()
+                .any(|d| d.code.to_string() == "PL0007")
+        })
+    };
+    assert!(!had_before(&s), "baseline is PL0007-clean");
+    let out = s
+        .apply_eco(&[EcoEdit::ReplaceTable {
+            node: NodeRef::Id(g.index()),
+            bits: 0x0, // AND -> constant false
+        }])
+        .unwrap();
+    let lint = out.flow.lint.expect("lint stage ran");
+    assert!(
+        lint.report
+            .diagnostics()
+            .iter()
+            .any(|d| d.code.to_string() == "PL0007"),
+        "constant LUT warned incrementally: {:?}",
+        lint.report
+    );
+    assert_matches_scratch(&s, "constant-making edit");
+}
+
+/// BLIF undriven-net notes are re-derived on every recompile: an edit
+/// that names the undriven signal silences its `PL0009`, and removing
+/// that node brings the note back — no stale carry-over either way.
+#[test]
+fn eco_edits_rederive_blif_undriven_notes() {
+    let blif = "\
+.model noteful
+.inputs a
+.outputs q
+.latch a q re clk 0
+.end
+";
+    let src = CircuitSource::BlifText {
+        name: "noteful".into(),
+        text: blif.into(),
+    };
+    let pl0009 = |out: &EcoOutcome| {
+        out.flow.lint.as_ref().is_some_and(|l| {
+            l.report
+                .diagnostics()
+                .iter()
+                .any(|d| d.code.to_string() == "PL0009")
+        })
+    };
+    let mut s = Pipeline::new(opts(false, 4)).eco_session(&src).unwrap();
+    assert!(
+        s.artifacts().report.lint.as_ref().is_some_and(|l| l
+            .report
+            .diagnostics()
+            .iter()
+            .any(|d| d.code.to_string() == "PL0009")),
+        "baseline notes the undriven 'clk'"
+    );
+
+    // Naming a node 'clk' resolves the note; the recompile drops it.
+    let out = s
+        .apply_eco(&[EcoEdit::Insert {
+            name: Some("clk".into()),
+            bits: 0x2,
+            inputs: vec![NodeRef::Name("a".into()), NodeRef::Name("a".into())],
+        }])
+        .unwrap();
+    assert!(!pl0009(&out), "resolved note must not be carried stale");
+
+    // Removing it un-resolves the note; the recompile re-derives it.
+    let out = s
+        .apply_eco(&[EcoEdit::Remove {
+            node: NodeRef::Name("clk".into()),
+        }])
+        .unwrap();
+    assert!(pl0009(&out), "un-resolved note comes back");
+    assert_matches_scratch(&s, "note round-trip");
+}
+
+/// Removing dead logic leaves the mapped netlist untouched, so the whole
+/// downstream is reused verbatim — and that reuse is still bit-identical
+/// to a scratch compile of the edited netlist.
+#[test]
+fn dead_logic_removal_skips_downstream_and_still_matches_scratch() {
+    let mut n = Netlist::new("deadwood");
+    let a = n.add_input("a");
+    let b = n.add_input("b");
+    let live = n.add_and2(a, b).unwrap();
+    let dead = n.add_xor2(a, b).unwrap();
+    n.set_output("y", live);
+    let mut s = Pipeline::new(opts(true, 4))
+        .eco_session(&CircuitSource::Netlist {
+            name: "deadwood".into(),
+            netlist: n,
+        })
+        .unwrap();
+    let out = s
+        .apply_eco(&[EcoEdit::Remove {
+            node: NodeRef::Id(dead.index()),
+        }])
+        .unwrap();
+    assert!(
+        out.eco.downstream_skipped,
+        "dead removal cannot change the map"
+    );
+    assert_eq!(out.eco.trigger_hits, 0, "no EE search ran at all");
+    assert_matches_scratch(&s, "dead removal");
+}
