@@ -366,6 +366,7 @@ impl EcoSession {
     ///
     /// Propagates the first failing stage's error.
     pub fn new(pipeline: Pipeline, source: &CircuitSource) -> Result<Self, FlowError> {
+        pipeline.opts().validate()?;
         let ingested = pipeline.ingest(source)?;
         let name = ingested.name.clone();
         let netlist = ingested.netlist.clone();

@@ -32,6 +32,17 @@ pub enum FlowError {
         /// What is wrong with the options.
         message: String,
     },
+    /// An invalid [`crate::FlowOptions`] combination, rejected by
+    /// [`crate::FlowOptions::validate`] before any stage runs. The
+    /// message is phrased with the `plc` flag names (the CLI prints it
+    /// verbatim), but the check itself is option-level: programmatic
+    /// callers — the `pld` daemon building options from network
+    /// requests, library embedders — hit exactly the same rejections as
+    /// the command line.
+    Options {
+        /// What is wrong, phrased with the `plc` flag names.
+        message: String,
+    },
     /// The lint stage found deny-level diagnostics.
     Lint {
         /// Which pass denied: `"netlist"` or `"pl"`.
@@ -52,6 +63,7 @@ impl std::fmt::Display for FlowError {
             FlowError::Io { path, message } => write!(f, "cannot read '{path}': {message}"),
             FlowError::Mismatch { context } => write!(f, "output mismatch in {context}"),
             FlowError::Config { message } => write!(f, "invalid options: {message}"),
+            FlowError::Options { message } => write!(f, "invalid options: {message}"),
             FlowError::Lint { pass, report } => {
                 write!(
                     f,

@@ -209,9 +209,10 @@ mod tests {
         }
     }
 
-    /// A zero streaming window is caught as a typed [`FlowError::Config`]
-    /// in the simulate stage (library callers bypass plc's flag checks),
-    /// not as a panic deep inside the pipelined sweep.
+    /// A zero streaming window is caught as a typed
+    /// [`FlowError::Options`] before any stage runs (library callers get
+    /// the same rejection as plc's flag checks), not as a panic deep
+    /// inside the pipelined sweep.
     #[test]
     fn zero_window_is_a_typed_error() {
         let pipeline = Pipeline::new(FlowOptions {
@@ -221,11 +222,123 @@ mod tests {
             ..FlowOptions::default()
         });
         match pipeline.run(&CircuitSource::catalog("b01").unwrap()) {
-            Err(FlowError::Config { message }) => {
+            Err(FlowError::Options { message }) => {
                 assert!(message.contains("window"), "names the option: {message}");
             }
-            other => panic!("expected FlowError::Config, got {other:?}"),
+            other => panic!("expected FlowError::Options, got {other:?}"),
         }
+    }
+
+    /// Every flag combination `plc` rejects at the CLI layer is also
+    /// rejected by [`FlowOptions::validate`] on the programmatic path —
+    /// the daemon/library bugfix this PR hoists out of `src/bin/plc.rs`.
+    #[test]
+    fn validate_rejects_every_cli_rejected_combination() {
+        let base = FlowOptions {
+            vectors: 4,
+            verify: false,
+            ..FlowOptions::default()
+        };
+        let dir = Some(std::path::PathBuf::from("ckpt"));
+        let cases: Vec<(FlowOptions, &str)> = vec![
+            (
+                FlowOptions {
+                    map: pl_techmap::MapOptions {
+                        lut_size: 7,
+                        ..base.map.clone()
+                    },
+                    ..base.clone()
+                },
+                "--lut-size",
+            ),
+            (
+                FlowOptions {
+                    window: Some(0),
+                    ..base.clone()
+                },
+                "--window must be at least 1",
+            ),
+            (
+                FlowOptions {
+                    lanes: Some(7),
+                    ..base.clone()
+                },
+                "--lanes 7 is not a supported width",
+            ),
+            (
+                FlowOptions {
+                    lanes: Some(64),
+                    window: Some(4),
+                    ..base.clone()
+                },
+                "--lanes is mutually exclusive with --window",
+            ),
+            (
+                FlowOptions {
+                    lanes: Some(64),
+                    checkpoint_dir: dir.clone(),
+                    ..base.clone()
+                },
+                "--lanes is mutually exclusive with --checkpoint-dir",
+            ),
+            (
+                FlowOptions {
+                    checkpoint_dir: dir.clone(),
+                    ..base.clone()
+                },
+                "--checkpoint-dir requires --window",
+            ),
+            (
+                FlowOptions {
+                    resume: true,
+                    ..base.clone()
+                },
+                "--resume requires --checkpoint-dir",
+            ),
+            (
+                FlowOptions {
+                    max_retries: Some(3),
+                    ..base.clone()
+                },
+                "--max-retries requires --checkpoint-dir",
+            ),
+        ];
+        for (opts, expect) in cases {
+            match opts.validate() {
+                Err(FlowError::Options { message }) => {
+                    assert!(
+                        message.contains(expect),
+                        "expected {expect:?} in {message:?}"
+                    );
+                }
+                other => panic!("expected FlowError::Options for {expect:?}, got {other:?}"),
+            }
+            // The same rejection fires from every pipeline entry point.
+            let pipeline = Pipeline::new(opts);
+            let src = CircuitSource::catalog("b01").unwrap();
+            assert!(matches!(pipeline.run(&src), Err(FlowError::Options { .. })));
+            assert!(matches!(
+                pipeline.eco_session(&src),
+                Err(FlowError::Options { .. })
+            ));
+        }
+        // Valid combinations still pass.
+        base.validate().unwrap();
+        FlowOptions {
+            lanes: Some(64),
+            ..base.clone()
+        }
+        .validate()
+        .unwrap();
+        FlowOptions {
+            window: Some(8),
+            checkpoint_dir: dir,
+            resume: true,
+            max_retries: Some(1),
+            ..base
+        }
+        .validate()
+        .unwrap();
     }
 
     #[test]

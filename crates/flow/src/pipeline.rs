@@ -142,7 +142,11 @@ pub struct FlowOptions {
     pub resume: bool,
     /// Re-attempts granted to a failed or panicked sweep window before it
     /// degrades to in-process execution (resumable protocol only).
-    pub max_retries: u32,
+    /// `None` takes the resumable sweep's default
+    /// ([`ResumableOptions::default`]); `Some` requires
+    /// [`FlowOptions::checkpoint_dir`] — there is no resumable sweep to
+    /// tune otherwise, and [`FlowOptions::validate`] rejects the combo.
+    pub max_retries: Option<u32>,
     /// Technology-mapping options (LUT arity, cut budget, cleanup).
     pub map: MapOptions,
     /// Run the standalone netlist cleanup passes (constant propagation,
@@ -173,11 +177,89 @@ impl Default for FlowOptions {
             lanes: None,
             checkpoint_dir: None,
             resume: false,
-            max_retries: 2,
+            max_retries: None,
             map: MapOptions::default(),
             optimize: false,
             lint: LintOptions::default(),
         }
+    }
+}
+
+impl FlowOptions {
+    /// Rejects inconsistent option combinations with a typed
+    /// [`FlowError::Options`] — the same combinations `plc` rejects at
+    /// the command line, phrased with the same flag names, so
+    /// programmatic callers (the `pld` daemon building options from
+    /// network requests, library embedders) cannot silently bypass them:
+    ///
+    /// * a LUT arity outside `2..=6`,
+    /// * a zero streaming window,
+    /// * a lane width other than 1 or 64,
+    /// * [`FlowOptions::lanes`] with [`FlowOptions::window`] (the lane
+    ///   and streamed protocols differ),
+    /// * [`FlowOptions::lanes`] with [`FlowOptions::checkpoint_dir`]
+    ///   (the lane sweep is not resumable),
+    /// * [`FlowOptions::checkpoint_dir`] without a window (only the
+    ///   streamed sweep is resumable),
+    /// * [`FlowOptions::resume`] without a checkpoint directory,
+    /// * [`FlowOptions::max_retries`] without a checkpoint directory.
+    ///
+    /// Called at the top of [`Pipeline::run`], [`Pipeline::simulate`]
+    /// and [`Pipeline::eco_session`], so an invalid combination fails
+    /// fast and typed instead of panicking deep inside a sweep or being
+    /// silently ignored.
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::Options`] naming the first offending combination.
+    pub fn validate(&self) -> Result<(), FlowError> {
+        let reject = |message: String| Err(FlowError::Options { message });
+        if !(2..=6).contains(&self.map.lut_size) {
+            return reject(format!(
+                "--lut-size {} is outside the supported range 2..=6",
+                self.map.lut_size
+            ));
+        }
+        if self.window == Some(0) {
+            return reject("--window must be at least 1".to_string());
+        }
+        if let Some(lanes) = self.lanes {
+            if lanes != 1 && lanes != 64 {
+                return reject(format!(
+                    "--lanes {lanes} is not a supported width (1 = scalar engines, 64 = batch engine)"
+                ));
+            }
+            if self.window.is_some() {
+                return reject(
+                    "--lanes is mutually exclusive with --window (lane and streamed protocols differ)"
+                        .to_string(),
+                );
+            }
+            if self.checkpoint_dir.is_some() {
+                return reject(
+                    "--lanes is mutually exclusive with --checkpoint-dir (the lane sweep is not resumable)"
+                        .to_string(),
+                );
+            }
+        }
+        if self.checkpoint_dir.is_some() && self.window.is_none() {
+            return reject(
+                "--checkpoint-dir requires --window (only the streamed sweep is resumable)"
+                    .to_string(),
+            );
+        }
+        if self.resume && self.checkpoint_dir.is_none() {
+            return reject(
+                "--resume requires --checkpoint-dir (nowhere to resume from)".to_string(),
+            );
+        }
+        if self.max_retries.is_some() && self.checkpoint_dir.is_none() {
+            return reject(
+                "--max-retries requires --checkpoint-dir (it tunes the resumable sweep)"
+                    .to_string(),
+            );
+        }
+        Ok(())
     }
 }
 
@@ -759,42 +841,14 @@ impl Pipeline {
     /// # Errors
     ///
     /// Simulator failures; [`FlowError::Mismatch`] if EE ever changed a
-    /// value (must never happen); [`FlowError::Config`] for a zero
-    /// streaming window or a checkpoint directory without a window.
+    /// value (must never happen); [`FlowError::Options`] for an
+    /// inconsistent option combination (see
+    /// [`FlowOptions::validate`]).
     pub fn simulate(&self, ee: &EarlyEvaled) -> Result<Simulated, FlowError> {
         let t0 = Instant::now();
-        if self.opts.window == Some(0) {
-            // Caught here so library callers get a typed error instead of
-            // the sweep's panic (plc validates the flag separately).
-            return Err(FlowError::Config {
-                message: "streaming window must be at least 1 vector".into(),
-            });
-        }
-        if self.opts.checkpoint_dir.is_some() && self.opts.window.is_none() {
-            return Err(FlowError::Config {
-                message: "a checkpoint directory requires the streamed protocol (set a window)"
-                    .into(),
-            });
-        }
-        if let Some(lanes) = self.opts.lanes {
-            if lanes != 1 && lanes != 64 {
-                return Err(FlowError::Config {
-                    message: format!("lane width must be 1 or 64, got {lanes}"),
-                });
-            }
-            if self.opts.window.is_some() {
-                return Err(FlowError::Config {
-                    message: "the lane protocol is mutually exclusive with a streaming window"
-                        .into(),
-                });
-            }
-            if self.opts.checkpoint_dir.is_some() {
-                return Err(FlowError::Config {
-                    message: "the lane protocol is mutually exclusive with a checkpoint directory"
-                        .into(),
-                });
-            }
-        }
+        // Caught here so library callers get a typed error instead of
+        // the sweep's panic (plc delegates to the same check).
+        self.opts.validate()?;
         let inputs = pl_sim::random_vectors(
             ee.plain.input_gates().len(),
             self.opts.vectors,
@@ -970,7 +1024,10 @@ impl Pipeline {
                         jobs: self.opts.jobs,
                         queue: self.opts.queue,
                         resume,
-                        max_retries: self.opts.max_retries,
+                        max_retries: self
+                            .opts
+                            .max_retries
+                            .unwrap_or(ResumableOptions::default().max_retries),
                     },
                 )?;
                 Ok((out.outcome, Some(out.recovery)))
@@ -1028,6 +1085,7 @@ impl Pipeline {
     ///
     /// Propagates the first failing stage's error.
     pub fn run(&self, source: &CircuitSource) -> Result<FlowArtifacts, FlowError> {
+        self.opts.validate()?;
         let ingested = self.ingest(source)?;
         let ingest_report = ingested.report.clone();
         let lint_report = if self.opts.lint.enabled {

@@ -1,0 +1,78 @@
+//! The blocking client side of the `pld` protocol: connect, frame a
+//! request, read one response frame back.
+
+use crate::error::ServeError;
+use crate::proto::{Request, Response};
+use crate::wire::{read_frame, write_frame};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// One connection to a `pld` daemon. A connection serves any number of
+/// sequential requests (the protocol is strict request→response).
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to `addr` (`host:port`).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] if the connect fails.
+    pub fn connect(addr: &str) -> Result<Self, ServeError> {
+        let stream = TcpStream::connect(addr).map_err(|e| ServeError::Io {
+            context: "connect",
+            message: format!("{addr}: {e}"),
+        })?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client { stream })
+    }
+
+    /// Bounds how long a single response read may block.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] if the socket rejects the timeout.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ServeError> {
+        self.stream
+            .set_read_timeout(timeout)
+            .map_err(|e| ServeError::Io {
+                context: "set timeout",
+                message: e.to_string(),
+            })
+    }
+
+    /// Sends one request and reads its response. A server-side error
+    /// frame is returned as `Ok(Response::Error { .. })` so callers can
+    /// inspect the code; use [`Response`] matching or
+    /// [`Client::expect_ok`] to turn it into a typed failure.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`]/[`ServeError::Frame`]/[`ServeError::Request`]
+    /// for transport or decoding failures.
+    pub fn request(&mut self, request: &Request) -> Result<Response, ServeError> {
+        let (kind, payload) = request.encode();
+        write_frame(&mut self.stream, kind, &payload)?;
+        match read_frame(&mut self.stream)? {
+            Some((kind, payload)) => Response::decode(kind, &payload),
+            None => Err(ServeError::Frame {
+                context: "truncated frame",
+                message: "server closed the connection before responding".into(),
+            }),
+        }
+    }
+
+    /// [`Client::request`], with a server error frame mapped to
+    /// [`ServeError::Remote`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`], plus [`ServeError::Remote`].
+    pub fn expect_ok(&mut self, request: &Request) -> Result<Response, ServeError> {
+        match self.request(request)? {
+            Response::Error { code, message } => Err(ServeError::Remote { code, message }),
+            ok => Ok(ok),
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! The deterministic digest lines shared by `plc` and the daemon.
+//!
+//! One definition, used by `plc eco`'s output, the server's responses
+//! and the client's rendering — so "diff the digest lines" is a
+//! meaningful equivalence check rather than two formats drifting apart.
+
+use pl_sim::Fnv64;
+
+/// FNV digest over every primary-output bit of a sweep, in vector
+/// order — the cross-run comparison point (`outputs digest` line).
+pub fn outputs_digest(outputs: &[Vec<bool>]) -> u64 {
+    let mut digest = Fnv64::new();
+    for word in outputs {
+        for &b in word {
+            digest.mix(u64::from(b));
+        }
+    }
+    digest.finish()
+}
+
+/// Renders the two digest lines exactly as `plc eco` prints them (two
+/// leading spaces, `{:#018x}` hex, trailing newline on each line).
+pub fn render_digest_block(mapped_fp: u64, phased_fp: u64, outputs_digest: u64) -> String {
+    format!(
+        "  fingerprints: mapped {mapped_fp:#018x}, phased {phased_fp:#018x}\n  outputs digest: {outputs_digest:#018x}\n"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_is_order_sensitive() {
+        let a = outputs_digest(&[vec![true, false]]);
+        let b = outputs_digest(&[vec![false, true]]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn render_matches_plc_format() {
+        let s = render_digest_block(1, 2, 3);
+        assert_eq!(
+            s,
+            "  fingerprints: mapped 0x0000000000000001, phased 0x0000000000000002\n  outputs digest: 0x0000000000000003\n"
+        );
+    }
+}

@@ -228,7 +228,15 @@ impl<'a> Reader<'a> {
                 limit,
             });
         }
-        Ok(raw as usize)
+        // `raw <= limit <= remaining()` so this cannot fail on any
+        // target, but keep the conversion checked rather than a bare
+        // `as` cast: on a 32-bit usize a future bound change must fail
+        // typed, never truncate.
+        usize::try_from(raw).map_err(|_| SimError::CheckpointOutOfRange {
+            field,
+            value: raw,
+            limit,
+        })
     }
 
     pub(crate) fn expect_end(&self, field: &'static str) -> Result<(), SimError> {
@@ -264,15 +272,20 @@ pub(crate) fn read_section<'a>(
             limit: u64::from(tag),
         });
     }
-    // The length is bounded by the remaining bytes minus the 4-byte CRC.
-    let len = r.u64(name)? as usize;
-    if len > r.remaining().saturating_sub(4) {
+    // The length is bounded by the remaining bytes minus the 4-byte CRC
+    // *in u64 space*: narrowing to usize first would truncate lengths
+    // like `1 << 32` to 0 on 32-bit targets and sail past this check.
+    let len = r.u64(name)?;
+    let avail = r.remaining().saturating_sub(4) as u64;
+    if len > avail {
         return Err(SimError::CheckpointTruncated {
             context: name,
-            needed: len + 4,
+            needed: usize::try_from(len).map_or(usize::MAX, |l| l.saturating_add(4)),
             available: r.remaining(),
         });
     }
+    // Bounded by `remaining()` (a usize), so the narrowing is exact.
+    let len = len as usize;
     let payload = r.take(len, name)?;
     let stored = r.u32(name)?;
     let computed = crc32(payload);

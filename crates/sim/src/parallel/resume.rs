@@ -416,10 +416,14 @@ fn parse_entry(bytes: &[u8], shape: &JournalShape) -> Option<(usize, usize, Jour
         return None;
     }
     let mut r = Reader::new(payload);
-    let window = r.u64("journal").ok()? as usize;
+    // Checked narrowing: a u64 that does not fit usize is malformed by
+    // definition (no real window/word count gets near it), and an `as`
+    // cast would instead truncate it into a plausible small value on
+    // 32-bit targets.
+    let window = usize::try_from(r.u64("journal").ok()?).ok()?;
     let last_tick = r.u64("journal").ok()?;
-    let n_words = r.u64("journal").ok()? as usize;
-    let width = r.u64("journal").ok()? as usize;
+    let n_words = usize::try_from(r.u64("journal").ok()?).ok()?;
+    let width = usize::try_from(r.u64("journal").ok()?).ok()?;
     if window >= shape.n_windows || width != shape.width || n_words != shape.words_in(window) {
         return None;
     }

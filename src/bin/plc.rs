@@ -255,6 +255,123 @@ const ECO_SPEC: CliSpec = CliSpec {
     ],
 };
 
+/// The `plc serve` subcommand: run the `pld` daemon (see the `pl-serve`
+/// crate) — compile once, answer many concurrent sessions from an LRU
+/// cache of warm compiled netlists.
+const SERVE_SPEC: CliSpec = CliSpec {
+    bin: "plc serve",
+    about: "run the pld simulation daemon (compiled-netlist LRU cache over TCP)",
+    positional: None,
+    options: &[
+        OptSpec {
+            long: "--addr",
+            value: Some("HOST"),
+            help: "address to bind (default 127.0.0.1)",
+        },
+        OptSpec {
+            long: "--port",
+            value: Some("P"),
+            help: "port to bind (default 0 = ephemeral; the bound address is printed as 'pld: listening on ...')",
+        },
+        OptSpec {
+            long: "--cache-entries",
+            value: Some("N"),
+            help: "LRU capacity of the compiled-netlist cache (default 8)",
+        },
+    ],
+};
+
+/// The `plc client` subcommand: one request against a running `pld`
+/// daemon, printing the same deterministic digest lines as an
+/// in-process run.
+const CLIENT_SPEC: CliSpec = CliSpec {
+    bin: "plc client",
+    about: "send one request to a running pld daemon and print its digest lines",
+    positional: Some(PositionalSpec {
+        name: "<host:port> [file.blif|bXX]",
+        help: "daemon address, then (unless --stats/--shutdown) the design: a local BLIF file (shipped inline) or a server-side spec",
+        many: true,
+        required: true,
+    }),
+    options: &[
+        OptSpec {
+            long: "--edit",
+            value: Some("SPEC"),
+            help: "apply ECO edits against the warm cache entry instead of a plain compile; same grammar as plc eco, repeatable",
+        },
+        OptSpec {
+            long: "--ee",
+            value: None,
+            help: "add early evaluation",
+        },
+        OptSpec {
+            long: "--verify",
+            value: None,
+            help: "cross-check outputs against the synchronous reference",
+        },
+        OptSpec {
+            long: "--vectors",
+            value: Some("N"),
+            help: "random vectors to simulate (default 100)",
+        },
+        OptSpec {
+            long: "--seed",
+            value: Some("S"),
+            help: "vector-generation seed",
+        },
+        OptSpec {
+            long: "--jobs",
+            value: Some("J"),
+            help: "worker threads for the sweep",
+        },
+        OptSpec {
+            long: "--window",
+            value: Some("N"),
+            help: "streamed protocol with N-vector windows",
+        },
+        OptSpec {
+            long: "--lanes",
+            value: Some("N"),
+            help: "lane protocol at width N (1 or 64)",
+        },
+        OptSpec {
+            long: "--queue",
+            value: Some("KIND"),
+            help: "event-queue backend: heap (default) or ladder",
+        },
+        OptSpec {
+            long: "--threshold",
+            value: Some("T"),
+            help: "EE cost threshold (requires --ee)",
+        },
+        OptSpec {
+            long: "--optimize",
+            value: None,
+            help: "run netlist cleanup passes before mapping",
+        },
+        OptSpec {
+            long: "--lut-size",
+            value: Some("K"),
+            help: "target LUT arity for technology mapping (2..=6, default 4)",
+        },
+        OptSpec {
+            long: "--no-lint",
+            value: None,
+            help: "skip both lint passes",
+        },
+        OptSpec {
+            long: "--stats",
+            value: None,
+            help: "print the daemon's cache/error counters and exit",
+        },
+        OptSpec {
+            long: "--shutdown",
+            value: None,
+            help: "ask the daemon to shut down and exit",
+        },
+    ],
+};
+
 /// How far down the pipeline to go.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 enum Stage {
@@ -307,6 +424,14 @@ fn main() -> ExitCode {
         let argv: Vec<String> = std::env::args().skip(2).collect();
         return eco_main(&argv);
     }
+    if std::env::args().nth(1).as_deref() == Some("serve") {
+        let argv: Vec<String> = std::env::args().skip(2).collect();
+        return serve_main(&argv);
+    }
+    if std::env::args().nth(1).as_deref() == Some("client") {
+        let argv: Vec<String> = std::env::args().skip(2).collect();
+        return client_main(&argv);
+    }
     let args = SPEC.parse_env();
     let spec = args.positionals[0].clone();
     let stop_after = match args.get("--stage") {
@@ -339,7 +464,7 @@ fn main() -> ExitCode {
     opts.lanes = args.value_opt::<usize>("--lanes");
     opts.checkpoint_dir = args.get("--checkpoint-dir").map(std::path::PathBuf::from);
     opts.resume = args.flag("--resume");
-    opts.max_retries = args.value_or("--max-retries", opts.max_retries);
+    opts.max_retries = args.value_opt::<u32>("--max-retries");
     opts.lint.enabled = !args.flag("--no-lint");
     match parse_lint_levels(&args.get_all("--lint-level")) {
         Ok(levels) => opts.lint.overrides = levels,
@@ -395,11 +520,8 @@ fn lint_main(argv: &[String]) -> ExitCode {
         Ok(levels) => opts.lint.overrides = levels,
         Err(msg) => return usage_error(&msg),
     }
-    if !(2..=6).contains(&opts.map.lut_size) {
-        return usage_error(&format!(
-            "--lut-size {} is outside the supported range 2..=6",
-            opts.map.lut_size
-        ));
+    if let Err(pl_flow::FlowError::Options { message }) = opts.validate() {
+        return usage_error(&message);
     }
     let source = CircuitSource::from_spec(&args.positionals[0]);
     let pipeline = Pipeline::new(opts);
@@ -456,11 +578,8 @@ fn eco_main(argv: &[String]) -> ExitCode {
         Ok(levels) => opts.lint.overrides = levels,
         Err(msg) => return usage_error(&msg),
     }
-    if !(2..=6).contains(&opts.map.lut_size) {
-        return usage_error(&format!(
-            "--lut-size {} is outside the supported range 2..=6",
-            opts.map.lut_size
-        ));
+    if let Err(pl_flow::FlowError::Options { message }) = opts.validate() {
+        return usage_error(&message);
     }
     let mut edits: Vec<(String, EcoEdit)> = Vec::new();
     for spec in args.get_all("--edit") {
@@ -552,43 +671,237 @@ fn run_eco(
 /// line is the cross-compile comparison point: an incremental recompile
 /// and a from-scratch compile of the same edited netlist print identical
 /// lines (the mapped/phased fingerprints additionally pin the netlist
-/// bits, but survive BLIF round-trips only if node ids do).
+/// bits, but survive BLIF round-trips only if node ids do). The format
+/// lives in `pl_serve::render_digest_block`, shared with the `pld`
+/// daemon's client so server responses diff cleanly against in-process
+/// runs.
 fn print_eco_digest(mapped_fp: u64, phased_fp: u64, outputs: &[Vec<bool>]) {
-    let mut digest = pl_sim::Fnv64::new();
-    for word in outputs {
-        for &b in word {
-            digest.mix(u64::from(b));
+    print!(
+        "{}",
+        pl_serve::render_digest_block(mapped_fp, phased_fp, pl_serve::outputs_digest(outputs))
+    );
+}
+
+/// The `plc serve` subcommand: bind, announce, and serve until a client
+/// sends `--shutdown`.
+fn serve_main(argv: &[String]) -> ExitCode {
+    let args = match SERVE_SPEC.parse(argv) {
+        Ok(parsed) => parsed,
+        Err(CliError::Help(text)) => {
+            println!("{text}");
+            return ExitCode::SUCCESS;
+        }
+        Err(CliError::Usage(msg)) => {
+            eprintln!("error: {msg}\n");
+            eprintln!("{}", SERVE_SPEC.help());
+            return ExitCode::from(2);
+        }
+    };
+    let host = args.get("--addr").unwrap_or("127.0.0.1").to_string();
+    let port: u16 = args.value_or("--port", 0);
+    let config = pl_serve::ServerConfig {
+        cache_entries: args.value_or("--cache-entries", 8),
+        ..pl_serve::ServerConfig::default()
+    };
+    let run = || -> Result<(), pl_serve::ServeError> {
+        let server = pl_serve::PldServer::bind(&format!("{host}:{port}"), &config)?;
+        // The parseable handshake line: smoke tests and wrapper scripts
+        // read the bound (possibly ephemeral) address from it.
+        println!("pld: listening on {}", server.local_addr()?);
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        server.serve()?;
+        println!("pld: shut down");
+        Ok(())
+    };
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("plc: {e}");
+            ExitCode::FAILURE
         }
     }
-    println!("  fingerprints: mapped {mapped_fp:#018x}, phased {phased_fp:#018x}");
-    println!("  outputs digest: {:#018x}", digest.finish());
+}
+
+/// The `plc client` subcommand: one request, digest lines rendered with
+/// the same shared helper `plc eco` prints through.
+fn client_main(argv: &[String]) -> ExitCode {
+    let args = match CLIENT_SPEC.parse(argv) {
+        Ok(parsed) => parsed,
+        Err(CliError::Help(text)) => {
+            println!("{text}");
+            return ExitCode::SUCCESS;
+        }
+        Err(CliError::Usage(msg)) => {
+            eprintln!("error: {msg}\n");
+            eprintln!("{}", CLIENT_SPEC.help());
+            return ExitCode::from(2);
+        }
+    };
+    let usage_error = |msg: &str| {
+        eprintln!("error: {msg}\n");
+        eprintln!("{}", CLIENT_SPEC.help());
+        ExitCode::from(2)
+    };
+    let request = match build_client_request(&args) {
+        Ok(r) => r,
+        Err(msg) => return usage_error(&msg),
+    };
+    match run_client(&args.positionals[0], &request) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("plc: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Maps the `plc client` flags onto a protocol request — the same
+/// wiring as the in-process subcommands, so equal flags mean equal
+/// digests.
+fn build_client_request(args: &pl_flow::cli::ParsedArgs) -> Result<pl_serve::Request, String> {
+    use pl_serve::{DesignSpec, Request, RequestOptions};
+    if args.flag("--shutdown") {
+        return Ok(Request::Shutdown);
+    }
+    if args.flag("--stats") {
+        return Ok(Request::Stats);
+    }
+    let Some(design) = args.positionals.get(1) else {
+        return Err("a design is required unless --stats or --shutdown is given".to_string());
+    };
+    let mut options = RequestOptions::default();
+    options.vectors = args.value_or("--vectors", options.vectors);
+    options.seed = args.value_or("--seed", options.seed);
+    options.jobs = args.value_or("--jobs", options.jobs);
+    options.lut_size = args.value_or("--lut-size", options.lut_size);
+    if let Some(t) = args.value_opt::<f64>("--threshold") {
+        options.threshold = t;
+    }
+    if let Some(q) = args.value_opt::<pl_flow::QueueKind>("--queue") {
+        options.queue = q;
+    }
+    options.ee = args.flag("--ee");
+    options.verify = args.flag("--verify");
+    options.optimize = args.flag("--optimize");
+    options.no_lint = args.flag("--no-lint");
+    options.window = args.value_opt::<usize>("--window");
+    options.lanes = args.value_opt::<usize>("--lanes");
+    // A locally readable BLIF file is shipped inline (the daemon need
+    // not share a filesystem); anything else is a server-side spec
+    // (catalog id, `rand:` spec, or a path on the daemon's host).
+    let path = std::path::Path::new(design);
+    let design = if path.extension().is_some_and(|e| e == "blif") && path.is_file() {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read '{design}': {e}"))?;
+        let name = path
+            .file_stem()
+            .map_or_else(|| design.to_string(), |s| s.to_string_lossy().into_owned());
+        DesignSpec::BlifText { name, text }
+    } else {
+        DesignSpec::Spec(design.to_string())
+    };
+    let edits: Vec<String> = args
+        .get_all("--edit")
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    Ok(if edits.is_empty() {
+        Request::Compile { design, options }
+    } else {
+        Request::Eco {
+            design,
+            options,
+            edits,
+        }
+    })
+}
+
+/// Sends one request and renders the response.
+fn run_client(addr: &str, request: &pl_serve::Request) -> Result<(), Box<dyn std::error::Error>> {
+    use pl_serve::{render_digest_block, Response};
+    let mut client = pl_serve::Client::connect(addr)?;
+    match client.expect_ok(request)? {
+        Response::CompileOk {
+            name,
+            cache_hit,
+            luts,
+            gates,
+            pairs,
+            digest,
+        } => {
+            println!(
+                "[compile]   {name}: {luts} LUTs, {gates} PL gates, {pairs} EE pairs  (cache {})",
+                if cache_hit { "hit" } else { "miss" },
+            );
+            print!(
+                "{}",
+                render_digest_block(digest.mapped_fp, digest.phased_fp, digest.outputs_digest)
+            );
+        }
+        Response::EcoOk {
+            name,
+            cache_hit,
+            initial,
+            edits,
+        } => {
+            println!(
+                "[compile]   {name}  (cache {})",
+                if cache_hit { "hit" } else { "miss" },
+            );
+            print!(
+                "{}",
+                render_digest_block(initial.mapped_fp, initial.phased_fp, initial.outputs_digest)
+            );
+            for (i, e) in edits.iter().enumerate() {
+                println!(
+                    "[eco {}]     {}: {} dirty node(s)",
+                    i + 1,
+                    e.spec,
+                    e.dirty_nodes
+                );
+                print!(
+                    "{}",
+                    render_digest_block(
+                        e.digest.mapped_fp,
+                        e.digest.phased_fp,
+                        e.digest.outputs_digest
+                    )
+                );
+            }
+        }
+        Response::StatsOk(s) => {
+            println!(
+                "pld stats: entries {}/{} | hits {} | misses {} | evictions {} | eco edits {} | malformed {}",
+                s.entries, s.capacity, s.hits, s.misses, s.evictions, s.eco_edits, s.malformed,
+            );
+        }
+        Response::ShutdownOk => println!("pld: shutdown acknowledged"),
+        Response::Error { .. } => unreachable!("expect_ok maps error frames"),
+    }
+    Ok(())
 }
 
 /// Rejects flag combinations that would otherwise be silently ignored:
 /// an export/check flag whose stage is cut off by `--stage`, a
 /// `--threshold` without the EE stage it configures, or a LUT arity the
 /// mapper would reject with a panic instead of a usage error.
+///
+/// Option-level combinations (lane widths, checkpoint/resume wiring,
+/// LUT arity, window bounds) are delegated to
+/// [`FlowOptions::validate`], which phrases its messages with these
+/// flag names — the CLI and programmatic paths reject identically.
+/// Only the checks that need the raw argv (stage gating, flags with a
+/// CLI-only meaning) stay here.
 fn check_flag_consistency(
     args: &pl_flow::cli::ParsedArgs,
     stop_after: Stage,
     opts: &FlowOptions,
 ) -> Result<(), String> {
-    if !(2..=6).contains(&opts.map.lut_size) {
-        return Err(format!(
-            "--lut-size {} is outside the supported range 2..=6",
-            opts.map.lut_size
-        ));
-    }
-    if opts.window == Some(0) {
-        return Err("--window must be at least 1".to_string());
-    }
-    if let Some(lanes) = opts.lanes {
-        if lanes != 1 && lanes != 64 {
-            return Err(format!(
-                "--lanes {lanes} is not a supported width (1 = scalar engines, 64 = batch engine)"
-            ));
-        }
-    }
+    opts.validate().map_err(|e| match e {
+        pl_flow::FlowError::Options { message } => message,
+        other => other.to_string(),
+    })?;
     // `--seed` feeds the simulate stage, except that a `--vcd` export
     // already consumes it at the phased stage.
     let (seed_stage, seed_stage_name) = if args.get("--vcd").is_some() {
@@ -705,31 +1018,6 @@ fn check_flag_consistency(
     }
     if args.flag("--no-lint") && stop_after == Stage::Lint {
         return Err("--no-lint contradicts --stage lint (stopping after a skipped stage)".into());
-    }
-    if args.get("--checkpoint-dir").is_some() && args.get("--window").is_none() {
-        return Err(
-            "--checkpoint-dir requires --window (only the streamed sweep is resumable)".to_string(),
-        );
-    }
-    if args.get("--lanes").is_some() && args.get("--window").is_some() {
-        return Err(
-            "--lanes is mutually exclusive with --window (lane and streamed protocols differ)"
-                .to_string(),
-        );
-    }
-    if args.get("--lanes").is_some() && args.get("--checkpoint-dir").is_some() {
-        return Err(
-            "--lanes is mutually exclusive with --checkpoint-dir (the lane sweep is not resumable)"
-                .to_string(),
-        );
-    }
-    if args.flag("--resume") && args.get("--checkpoint-dir").is_none() {
-        return Err("--resume requires --checkpoint-dir (nowhere to resume from)".to_string());
-    }
-    if args.get("--max-retries").is_some() && args.get("--checkpoint-dir").is_none() {
-        return Err(
-            "--max-retries requires --checkpoint-dir (it tunes the resumable sweep)".to_string(),
-        );
     }
     Ok(())
 }

@@ -7,9 +7,56 @@
 use pl_boolfn::TruthTable;
 use pl_core::PlNetlist;
 use pl_netlist::{Netlist, NodeId};
-use pl_sim::{DelayModel, PlSimulator, SimCheckpoint};
+use pl_sim::{DelayModel, PlSimulator, SimCheckpoint, SimError};
 use pl_techmap::{map_to_lut4, MapOptions};
 use proptest::prelude::*;
+
+/// IEEE CRC32 (reflected, polynomial `0xEDB8_8320`) — reimplemented
+/// here because the wire module's helpers are `pub(crate)`. The
+/// `crc32_check_value` test pins it to the standard check value, and
+/// `roundtrip_is_identity` implicitly pins it to the encoder's CRC
+/// (a mismatch would make every re-fixed frame fail decoding for the
+/// wrong reason).
+fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+#[test]
+fn crc32_check_value() {
+    assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+}
+
+/// Byte offsets of each section's length field (the u64 right after the
+/// tag byte) in a pristine encoding, in wire order: HEADER, STATE,
+/// QUEUE, ARCS, GATES, RECORDS.
+fn section_len_offsets(bytes: &[u8]) -> Vec<usize> {
+    let mut offsets = Vec::new();
+    let mut pos = 12; // magic (8) + version (4)
+    let end = bytes.len() - 4; // whole-file trailer CRC
+    while pos < end {
+        offsets.push(pos + 1);
+        let len = u64::from_le_bytes(bytes[pos + 1..pos + 9].try_into().expect("8 bytes")) as usize;
+        pos += 1 + 8 + len + 4; // tag + length + payload + section CRC
+    }
+    offsets
+}
+
+/// Recomputes the whole-file trailer CRC after a deliberate mutation,
+/// so corrupted-length frames reach the section walk instead of being
+/// caught by the file checksum.
+fn refix_trailer(bytes: &mut [u8]) {
+    let body = bytes.len() - 4;
+    let crc = crc32(&bytes[..body]);
+    bytes[body..].copy_from_slice(&crc.to_le_bytes());
+}
 
 /// Recipe for one random synchronous circuit (same scheme as
 /// `prop_flow`, scaled down: the wire format is shape-generic, the
@@ -172,5 +219,83 @@ proptest! {
         let bytes = ck.to_bytes(&delays);
         let skewed = delays.scaled(f64::from(scale));
         prop_assert!(SimCheckpoint::<bool>::from_bytes(&bytes, &pl, &skewed).is_err());
+    }
+
+    /// An absurd section length — larger than the file, larger than any
+    /// 32-bit usize, or `u64::MAX` — survives the whole-file CRC (the
+    /// trailer is re-fixed after the mutation) and must be rejected as a
+    /// typed truncation by the bound-before-narrow check in
+    /// `read_section`, with no attempt to allocate or slice by the raw
+    /// value. A bare `as usize` narrowing would instead wrap lengths
+    /// like `1 << 32` to ~0 on 32-bit targets and mis-slice the walk.
+    #[test]
+    fn oversized_section_length_is_rejected(
+        recipe in arb_recipe(),
+        seed in any::<u64>(),
+        section_sel in any::<usize>(),
+        shape in 0usize..3,
+    ) {
+        let built = mid_stream(&recipe, 2, seed);
+        prop_assume!(built.is_some());
+        let (pl, ck) = built.unwrap();
+        let delays = DelayModel::default();
+        let mut bytes = ck.to_bytes(&delays);
+        let offsets = section_len_offsets(&bytes);
+        let at = offsets[section_sel % offsets.len()];
+        let original =
+            u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8 bytes"));
+        let huge = match shape {
+            0 => u64::MAX,
+            1 => (1u64 << 32) + original, // wraps back to `original` under 32-bit `as usize`
+            _ => bytes.len() as u64,      // fits usize but overruns the buffer
+        };
+        bytes[at..at + 8].copy_from_slice(&huge.to_le_bytes());
+        refix_trailer(&mut bytes);
+        match SimCheckpoint::<bool>::from_bytes(&bytes, &pl, &delays) {
+            Err(SimError::CheckpointTruncated { .. }) => {}
+            other => prop_assert!(
+                false,
+                "length {huge:#x} at offset {at}: expected CheckpointTruncated, got {other:?}"
+            ),
+        }
+    }
+
+    /// An absurd element count inside a section payload (here the queue
+    /// event count, the first u64 of SEC_QUEUE) is rejected as typed
+    /// out-of-range before any allocation sized by it — both the section
+    /// CRC and the trailer are re-fixed so only the count check can
+    /// catch it.
+    #[test]
+    fn oversized_queue_count_is_rejected(
+        recipe in arb_recipe(),
+        seed in any::<u64>(),
+        excess in 1u64..=u64::MAX / 2,
+    ) {
+        let built = mid_stream(&recipe, 2, seed);
+        prop_assume!(built.is_some());
+        let (pl, ck) = built.unwrap();
+        let delays = DelayModel::default();
+        let mut bytes = ck.to_bytes(&delays);
+        let offsets = section_len_offsets(&bytes);
+        let len_at = offsets[2]; // QUEUE is the third section
+        let len = u64::from_le_bytes(bytes[len_at..len_at + 8].try_into().expect("8 bytes"))
+            as usize;
+        let payload = len_at + 8..len_at + 8 + len;
+        // Saturate the count far past what the payload could hold: the
+        // in-bounds limit is at most `len / 21` events, so any value of
+        // at least `len` is guaranteed out of range.
+        let count_at = payload.start;
+        bytes[count_at..count_at + 8]
+            .copy_from_slice(&(len as u64).saturating_add(excess).to_le_bytes());
+        let crc = crc32(&bytes[payload.clone()]);
+        bytes[payload.end..payload.end + 4].copy_from_slice(&crc.to_le_bytes());
+        refix_trailer(&mut bytes);
+        match SimCheckpoint::<bool>::from_bytes(&bytes, &pl, &delays) {
+            Err(SimError::CheckpointOutOfRange { .. }) => {}
+            other => prop_assert!(
+                false,
+                "queue count +{excess}: expected CheckpointOutOfRange, got {other:?}"
+            ),
+        }
     }
 }
